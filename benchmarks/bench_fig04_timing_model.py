@@ -1,0 +1,33 @@
+"""Fig. 4: per-bit timing-error rates under voltage underscaling."""
+
+import numpy as np
+from common import run_once
+
+from repro.eval import banner, format_table
+from repro.eval.experiments import timing_error_table
+
+
+def test_fig04a_bit_error_rate_table(benchmark):
+    table = run_once(benchmark, timing_error_table)
+    print()
+    print(banner("Fig. 4(a): bit-level timing error rate vs. supply voltage"))
+    bits = [0, 8, 12, 16, 20, 22, 23]
+    rows = []
+    for voltage, rates in sorted(table.items(), reverse=True):
+        rows.append([voltage] + [rates[b] for b in bits])
+    print(format_table(["voltage (V)"] + [f"bit {b}" for b in bits], rows))
+
+
+def test_fig04b_error_pattern_at_085v(benchmark):
+    def run():
+        table = timing_error_table([0.85])
+        rates = table[0.85]
+        magnitudes = 2.0 ** np.arange(rates.size)
+        return rates, magnitudes
+
+    rates, magnitudes = run_once(benchmark, run)
+    print()
+    print(banner("Fig. 4(b): at 0.85 V errors concentrate in high (large-magnitude) bits"))
+    rows = [[bit, rates[bit], magnitudes[bit]] for bit in range(0, 24, 3)] + [[23, rates[23], magnitudes[23]]]
+    print(format_table(["bit", "error rate", "error magnitude (LSBs)"], rows))
+    assert rates[23] > rates[0]

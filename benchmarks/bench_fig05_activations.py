@@ -1,0 +1,22 @@
+"""Fig. 5(i-l): activation distributions and normalization skew under faults."""
+
+from common import jarvis_plain, run_once
+
+from repro.eval import banner, format_table
+from repro.eval.resilience import activation_study
+
+
+def test_fig05il_activation_and_normalization_statistics(benchmark):
+    system = jarvis_plain()
+
+    def run():
+        return activation_study(system, task="wooden", ber=1e-3, seed=0)
+
+    stats = run_once(benchmark, run)
+    print()
+    print(banner("Fig. 5(i-l): planner activations carry systematic outliers; a fault "
+                 "skews its normalization statistics far more than the controller's"))
+    rows = [[name, values["outlier_ratio"], values["mu"], values["sigma"]]
+            for name, values in stats.items()]
+    print(format_table(["distribution", "max/mean ratio", "mu", "sigma"], rows))
+    assert stats["planner_clean"]["outlier_ratio"] > stats["controller_clean"]["outlier_ratio"]

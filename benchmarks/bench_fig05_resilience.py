@@ -1,0 +1,58 @@
+"""Fig. 5(a-d): planner vs. controller resilience characterization."""
+
+from common import jarvis_plain, num_trials, run_once
+
+from repro.eval import banner, ber_sweep, format_sweep
+from repro.eval.resilience import PLANNER_CHARACTERIZATION_EXPOSURE
+
+
+def test_fig05ab_planner_resilience(benchmark):
+    """Planner success collapses at BERs orders of magnitude below the controller's.
+
+    The x axis is quoted at paper scale: per-bit rates are multiplied by the
+    planner fault-exposure factor (see EXPERIMENTS.md) so one surrogate
+    invocation sees as many corrupted elements as one 8 B-parameter inference.
+    """
+    executor = jarvis_plain().executor()
+    bers = [1e-9, 1e-8, 3e-8, 1e-7, 3e-7, 1e-6]
+    trials = num_trials()
+
+    def run():
+        return {
+            "wooden": ber_sweep(executor, "wooden", bers, target="planner",
+                                num_trials=trials, seed=0,
+                                exposure_scale=PLANNER_CHARACTERIZATION_EXPOSURE,
+                                label="wooden"),
+            "stone": ber_sweep(executor, "stone", bers, target="planner",
+                               num_trials=trials, seed=0,
+                               exposure_scale=PLANNER_CHARACTERIZATION_EXPOSURE,
+                               label="stone"),
+        }
+
+    sweeps = run_once(benchmark, run)
+    print()
+    print(banner("Fig. 5(a-b): planner resilience (success rate / avg steps vs. BER)"))
+    print(format_sweep(sweeps, "success_rate", title="success rate"))
+    print(format_sweep(sweeps, "average_steps", title="average steps"))
+
+
+def test_fig05cd_controller_resilience(benchmark):
+    executor = jarvis_plain().executor()
+    bers = [1e-6, 1e-5, 1e-4, 3e-4, 1e-3, 3e-3]
+    trials = num_trials()
+
+    def run():
+        return {
+            "wooden": ber_sweep(executor, "wooden", bers, target="controller",
+                                num_trials=trials, seed=0, label="wooden"),
+            "stone": ber_sweep(executor, "stone", bers, target="controller",
+                               num_trials=trials, seed=0, label="stone"),
+        }
+
+    sweeps = run_once(benchmark, run)
+    print()
+    print(banner("Fig. 5(c-d): controller resilience (success rate / avg steps vs. BER)"))
+    print(format_sweep(sweeps, "success_rate", title="success rate"))
+    print(format_sweep(sweeps, "average_steps", title="average steps"))
+    # The controller tolerates BERs that destroy the planner (Insight 1).
+    assert sweeps["wooden"].success_rates()[2] > 0.5

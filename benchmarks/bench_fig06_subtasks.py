@@ -1,0 +1,22 @@
+"""Fig. 6: different subtasks exhibit diverse resilience."""
+
+from common import jarvis_plain, num_trials, run_once
+
+from repro.eval import banner, format_sweep
+from repro.eval.resilience import subtask_sweep
+
+
+def test_fig06_subtask_resilience_diversity(benchmark):
+    system = jarvis_plain()
+    tasks = ["log", "stone", "coal", "wool", "chicken", "seed"]
+    bers = [1e-4, 6e-4, 1.5e-3, 4e-3]
+
+    def run():
+        return subtask_sweep(system, tasks, bers, num_trials=num_trials(10), seed=0)
+
+    sweeps = run_once(benchmark, run)
+    print()
+    print(banner("Fig. 6: sequential subtasks (log, stone) degrade abruptly; stochastic "
+                 "subtasks (wool, chicken, seed) degrade gracefully"))
+    print(format_sweep(sweeps, "success_rate", title="success rate vs. controller BER"))
+    print(format_sweep(sweeps, "average_steps", title="average steps vs. controller BER"))

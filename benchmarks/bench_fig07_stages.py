@@ -1,0 +1,34 @@
+"""Fig. 7 / Fig. 10: stage-specific resilience and the entropy criticality signal."""
+
+import numpy as np
+from common import jarvis_plain, num_trials, run_once
+
+from repro.eval import banner, format_table
+from repro.eval.resilience import stage_entropy_profile
+
+
+def test_fig07_fig10_entropy_tracks_step_criticality(benchmark):
+    system = jarvis_plain()
+
+    def run():
+        profile = stage_entropy_profile(system, "wooden", num_trials=num_trials(6), seed=0)
+        result = system.executor().run_trial("wooden", seed=1)
+        entropies, critical, _ = result.entropy_trace.as_arrays()
+        return profile, entropies, critical
+
+    profile, entropies, critical = run_once(benchmark, run)
+    print()
+    print(banner("Fig. 7: non-critical steps have near-uniform action logits, critical "
+                 "steps have picky logits"))
+    print(format_table(["statistic", "value"], [
+        ["mean entropy (critical steps)", profile["critical_mean_entropy"]],
+        ["mean entropy (non-critical steps)", profile["non_critical_mean_entropy"]],
+        ["separation", profile["separation"]],
+    ]))
+    print()
+    print(banner("Fig. 10: entropy trace across the first task steps"))
+    window = min(60, len(entropies))
+    rows = [[step, round(entropies[step], 3), "critical" if critical[step] else "non-critical"]
+            for step in range(0, window, 4)]
+    print(format_table(["step", "entropy", "stage"], rows))
+    assert profile["separation"] > 0.3

@@ -1,0 +1,23 @@
+"""Fig. 8(a): runtime GEMM output distribution defines the anomaly bound."""
+
+from common import jarvis_plain, run_once
+
+from repro.eval import banner, format_table
+from repro.eval.experiments import gemm_output_profile
+
+
+def test_fig08a_gemm_output_profile(benchmark):
+    system = jarvis_plain()
+    profile = run_once(benchmark, gemm_output_profile, system)
+    planner_bounds = system.planner.output_bounds()
+    controller_bounds = system.controller.output_bounds()
+    print()
+    print(banner("Fig. 8(a): profiled GEMM output magnitudes (anomaly-detection bounds)"))
+    rows = [[key, value] for key, value in profile.items()]
+    print(format_table(["statistic", "value"], rows))
+    print()
+    sample = sorted(planner_bounds.items())[:6] + sorted(controller_bounds.items())[:6]
+    print(format_table(["component", "profiled |output| bound"],
+                       [[name, bound] for name, bound in sample],
+                       title="per-component bounds (first planner and controller entries)"))
+    assert profile["planner_median_bound"] > 0

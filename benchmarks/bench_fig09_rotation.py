@@ -1,0 +1,15 @@
+"""Fig. 9(b): Hadamard weight rotation removes activation outliers offline."""
+
+from common import jarvis_plain, jarvis_rotated, run_once
+
+from repro.eval import banner, format_table
+from repro.eval.experiments import rotation_study
+
+
+def test_fig09b_rotation_removes_outliers(benchmark):
+    study = run_once(benchmark, rotation_study, jarvis_plain(), jarvis_rotated(), "wooden")
+    print()
+    print(banner("Fig. 9(b): pre- vs. post-rotation planner activation distribution"))
+    print(format_table(["metric", "value"], [[k, v] for k, v in study.items()]))
+    assert study["outlier_ratio_after"] < study["outlier_ratio_before"]
+    assert study["bound_tightening"] > 1.0

@@ -1,0 +1,34 @@
+"""Fig. 12(c), Table 2, Table 3: hardware platform area/power/latency summary."""
+
+from common import run_once
+
+from repro.eval import banner, format_table
+from repro.eval.experiments import hardware_report
+
+
+def test_fig12_table2_table3_hardware_platform(benchmark):
+    report = run_once(benchmark, hardware_report)
+    print()
+    print(banner("Fig. 12(c): area and power breakdown of the accelerator"))
+    print(format_table(["block", "area (mm^2)", "power (W)"],
+                       [[name, values["area_mm2"], values["power_w"]]
+                        for name, values in report["blocks"].items()]))
+    print(format_table(["overhead", "fraction of PE array"], [
+        ["AD unit area", report["ad_area_overhead"]],
+        ["AD unit power", report["ad_power_overhead"]],
+        ["LDO area", report["ldo_area_overhead"]],
+        ["LDO power", report["ldo_power_overhead"]],
+    ]))
+    print()
+    print(banner("Table 2: LDO performance specifications"))
+    print(format_table(["parameter", "value"], [[k, v] for k, v in report["ldo_spec"].items()]))
+    print()
+    print(banner("Table 3: full-accelerator performance"))
+    rows = [["peak TOPS", report["peak_tops"]],
+            ["voltage switching latency (ns)", report["voltage_switch_latency_ns"]]]
+    for name, latency in report["latencies_ms"].items():
+        rows.append([f"{name} latency (ms)", latency])
+        rows.append([f"{name} MACs (G)", report["macs"][name] / 1e9])
+    print(format_table(["metric", "value"], rows))
+    assert report["ad_area_overhead"] < 0.01
+    assert report["voltage_switch_latency_ns"] <= 540.0 + 1e-6

@@ -1,0 +1,47 @@
+"""Fig. 13(a-b): anomaly detection and clearance evaluation on planner and controller."""
+
+from common import jarvis_plain, num_trials, run_once
+
+from repro.eval import banner, format_sweep
+from repro.eval.experiments import ad_evaluation
+
+
+def test_fig13a_ad_on_planner(benchmark):
+    executor = jarvis_plain().executor()
+    bers = [3e-4, 1e-3, 3e-3, 1e-2]
+
+    def run():
+        results = {}
+        for task in ("wooden", "stone"):
+            results[task] = ad_evaluation(executor, task, bers, target="planner",
+                                          num_trials=num_trials(), seed=0)
+        return results
+
+    results = run_once(benchmark, run)
+    print()
+    print(banner("Fig. 13(a): AD on the planner recovers success at aggressive BERs"))
+    for task, sweeps in results.items():
+        print(format_sweep(sweeps, "success_rate", title=f"{task}: success rate"))
+        print(format_sweep(sweeps, "average_steps", title=f"{task}: average steps"))
+    for sweeps in results.values():
+        assert sweeps["with_ad"].success_rates()[-2] >= sweeps["without_ad"].success_rates()[-2]
+
+
+def test_fig13b_ad_on_controller(benchmark):
+    executor = jarvis_plain().executor()
+    bers = [3e-4, 1e-3, 5e-3]
+
+    def run():
+        results = {}
+        for task in ("wooden", "stone"):
+            results[task] = ad_evaluation(executor, task, bers, target="controller",
+                                          num_trials=num_trials(), seed=0)
+        return results
+
+    results = run_once(benchmark, run)
+    print()
+    print(banner("Fig. 13(b): AD on the controller extends its tolerable BER range"))
+    for task, sweeps in results.items():
+        print(format_sweep(sweeps, "success_rate", title=f"{task}: success rate"))
+    for sweeps in results.values():
+        assert sweeps["with_ad"].success_rates()[-1] >= sweeps["without_ad"].success_rates()[-1]

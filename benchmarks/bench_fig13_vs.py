@@ -1,0 +1,25 @@
+"""Fig. 13(d): autonomy-adaptive voltage scaling vs. constant-voltage baselines."""
+
+from common import jarvis_plain, num_trials, run_once
+
+from repro.eval import banner, format_table
+from repro.eval.experiments import vs_evaluation
+
+
+def test_fig13d_adaptive_policies_beat_constant_voltage(benchmark):
+    system = jarvis_plain()
+
+    def run():
+        results = {}
+        for task in ("wooden", "stone"):
+            results[task] = vs_evaluation(system, task, num_trials=num_trials(10), seed=0)
+        return results
+
+    results = run_once(benchmark, run)
+    print()
+    print(banner("Fig. 13(d): policies A-F vs. constant voltages (AD enabled), per task"))
+    for task, evaluations in results.items():
+        rows = [[e.policy.name, e.success_rate, e.effective_voltage,
+                 e.summary.mean_energy_j * 1e3] for e in evaluations]
+        print(format_table(["policy", "success rate", "effective voltage (V)", "energy (mJ)"],
+                           rows, title=task))

@@ -1,0 +1,27 @@
+"""Fig. 13(c): weight-rotation-enhanced planning evaluation."""
+
+from common import jarvis_plain, jarvis_rotated, num_trials, run_once
+
+from repro.eval import banner, format_sweep
+from repro.eval.experiments import wr_evaluation
+
+
+def test_fig13c_weight_rotation_on_planner(benchmark):
+    plain_exec = jarvis_plain().executor()
+    rotated_exec = jarvis_rotated().executor()
+    bers = [3e-4, 1e-3, 3e-3]
+
+    def run():
+        results = {}
+        for task in ("wooden", "stone"):
+            results[task] = wr_evaluation(plain_exec, rotated_exec, task, bers,
+                                          num_trials=num_trials(), seed=0,
+                                          anomaly_detection=False)
+        return results
+
+    results = run_once(benchmark, run)
+    print()
+    print(banner("Fig. 13(c): WR improves planner success and reduces wasted steps"))
+    for task, sweeps in results.items():
+        print(format_sweep(sweeps, "success_rate", title=f"{task}: success rate"))
+        print(format_sweep(sweeps, "average_steps", title=f"{task}: average steps"))

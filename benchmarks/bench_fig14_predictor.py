@@ -1,0 +1,49 @@
+"""Fig. 14: entropy-predictor accuracy (R^2) and real-time tracking."""
+
+import numpy as np
+from common import jarvis_plain, run_once
+
+from repro.agents import get_predictor_network
+from repro.core import ProtectionConfig, VoltageScalingConfig, default_policy, evaluate_predictor
+from repro.core.predictor import build_predictor_dataset
+from repro.env import MINECRAFT_SUBTASKS, MINECRAFT_SUITE
+from repro.eval import banner, format_table
+
+
+def test_fig14a_predicted_vs_actual_entropy(benchmark):
+    system = jarvis_plain()
+    network = get_predictor_network("jarvis")
+
+    def run():
+        images, prompts, targets = build_predictor_dataset(
+            system.controller, MINECRAFT_SUITE, MINECRAFT_SUBTASKS, num_episodes=4, seed=77)
+        return evaluate_predictor(network, images, prompts, targets)
+
+    metrics = run_once(benchmark, run)
+    print()
+    print(banner("Fig. 14(a): predicted vs. actual entropy"))
+    print(format_table(["metric", "value"], [["MSE", metrics["mse"]], ["R^2", metrics["r2"]]]))
+    assert metrics["r2"] > 0.5
+
+
+def test_fig14b_realtime_tracking_and_voltage(benchmark):
+    system = jarvis_plain()
+    executor = system.executor()
+
+    def run():
+        protection = ProtectionConfig(
+            anomaly_detection=True,
+            voltage_scaling=VoltageScalingConfig(policy=default_policy(),
+                                                 entropy_source="predictor"))
+        return executor.run_trial("wooden", seed=5, controller_protection=protection)
+
+    result = run_once(benchmark, run)
+    entropies, _, voltages = result.entropy_trace.as_arrays()
+    print()
+    print(banner("Fig. 14(b): real-time entropy and the voltage the LDO applied"))
+    window = min(60, len(entropies))
+    rows = [[step, round(float(entropies[step]), 3), voltages[step]]
+            for step in range(0, window, 4)]
+    print(format_table(["step", "measured entropy", "voltage (V)"], rows))
+    # Lower-entropy steps must not get lower voltages than higher-entropy steps.
+    assert np.corrcoef(entropies[:window], voltages[:window])[0, 1] < 0.5

@@ -1,0 +1,26 @@
+"""Fig. 15: voltage-update-interval sensitivity."""
+
+from common import jarvis_plain, num_trials, run_once
+
+from repro.eval import banner, format_table
+from repro.eval.experiments import interval_sweep
+
+
+def test_fig15_voltage_update_interval(benchmark):
+    system = jarvis_plain()
+
+    def run():
+        results = {}
+        for task in ("wooden", "stone"):
+            results[task] = interval_sweep(system, task, intervals=[1, 5, 10, 20],
+                                           num_trials=num_trials(8), seed=0)
+        return results
+
+    results = run_once(benchmark, run)
+    print()
+    print(banner("Fig. 15: effect of the voltage update interval on success and energy"))
+    for task, summaries in results.items():
+        rows = [[interval, s.success_rate, s.mean_energy_j * 1e3, s.effective_voltage]
+                for interval, s in summaries.items()]
+        print(format_table(["interval (steps)", "success rate", "energy (mJ)",
+                            "effective voltage (V)"], rows, title=task))

@@ -1,0 +1,95 @@
+"""Fig. 16: overall evaluation across eight Minecraft tasks.
+
+(a) reliability at a fixed aggressive voltage (0.75 V);
+(b) energy savings at the lowest voltage that sustains success.
+"""
+
+import numpy as np
+from common import jarvis_plain, jarvis_rotated, num_trials, run_once
+
+from repro.core import CreateConfig, default_policy
+from repro.eval import banner, format_table
+from repro.eval.experiments import minimum_voltage_search, overall_evaluation
+
+TASKS = ["wooden", "stone", "charcoal", "chicken", "coal", "iron", "wool", "seed"]
+LOW_VOLTAGE = 0.75
+
+
+def _configs(voltage):
+    return {
+        "unprotected": CreateConfig(ad=False, wr=False, vs_policy=None,
+                                    planner_voltage=voltage, controller_voltage=voltage),
+        "AD": CreateConfig(ad=True, wr=False, vs_policy=None,
+                           planner_voltage=voltage, controller_voltage=voltage),
+        "AD+WR": CreateConfig(ad=True, wr=True, vs_policy=None,
+                              planner_voltage=voltage, controller_voltage=voltage),
+        "AD+WR+VS": CreateConfig(ad=True, wr=True, vs_policy=default_policy(),
+                                 planner_voltage=voltage),
+    }
+
+
+def test_fig16a_reliability_at_075v(benchmark):
+    plain = jarvis_plain()
+    rotated = jarvis_rotated()
+    configs = _configs(LOW_VOLTAGE)
+    systems = {"unprotected": plain, "AD": plain, "AD+WR": rotated, "AD+WR+VS": rotated}
+    trials = num_trials(8)
+
+    def run():
+        baseline = overall_evaluation({"clean": plain}, TASKS,
+                                      {"clean": CreateConfig(ad=False, wr=False)},
+                                      num_trials=trials, seed=0)["clean"]
+        protected = overall_evaluation(systems, TASKS, configs, num_trials=trials, seed=0)
+        return baseline, protected
+
+    baseline, protected = run_once(benchmark, run)
+    print()
+    print(banner(f"Fig. 16(a): success rate and per-task energy at {LOW_VOLTAGE} V"))
+    headers = ["task", "error-free"] + list(protected)
+    rows = []
+    for task in TASKS:
+        rows.append([task, baseline.per_task[task].success_rate]
+                    + [protected[label].per_task[task].success_rate for label in protected])
+    rows.append(["average", baseline.mean_success()]
+                + [protected[label].mean_success() for label in protected])
+    print(format_table(headers, rows, title="success rate"))
+    energy_rows = [[label, result.mean_energy() * 1e3] for label, result in protected.items()]
+    energy_rows.insert(0, ["error-free (nominal V)", baseline.mean_energy() * 1e3])
+    print(format_table(["configuration", "mean energy per task (mJ)"], energy_rows))
+    assert protected["AD+WR"].mean_success() > protected["unprotected"].mean_success()
+
+
+def test_fig16b_energy_savings_at_minimum_voltage(benchmark):
+    plain = jarvis_plain()
+    rotated = jarvis_rotated()
+    trials = num_trials(6)
+    tasks = ["wooden", "stone", "chicken", "seed"]
+
+    def run():
+        baseline = overall_evaluation({"clean": plain}, tasks,
+                                      {"clean": CreateConfig(ad=False, wr=False)},
+                                      num_trials=trials, seed=0)["clean"]
+        rows = []
+        configs = {
+            "AD": (plain, CreateConfig(ad=True, wr=False)),
+            "AD+WR": (rotated, CreateConfig(ad=True, wr=True)),
+            "AD+WR+VS": (rotated, CreateConfig(ad=True, wr=True, vs_policy=default_policy())),
+        }
+        for label, (system, config) in configs.items():
+            savings = []
+            for task in tasks:
+                voltage, summaries = minimum_voltage_search(
+                    system, task, config, num_trials=trials, seed=0,
+                    voltages=[0.80, 0.77, 0.74], success_threshold=0.75)
+                best = summaries.get(voltage)
+                if best is None:
+                    continue
+                savings.append(1.0 - best.mean_energy_j
+                               / baseline.per_task[task].mean_energy_j)
+            rows.append([label, float(np.mean(savings)) * 100.0 if savings else 0.0])
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(banner("Fig. 16(b): computational energy savings at the lowest sustainable voltage"))
+    print(format_table(["configuration", "mean energy savings vs. nominal (%)"], rows))

@@ -1,0 +1,58 @@
+"""Fig. 17: cross-platform generality (OpenVLA, RoboFlamingo planners; Octo, RT-1 controllers)."""
+
+from common import controller_platform, num_trials, planner_platform, run_once
+
+from repro.eval import banner, format_table
+from repro.eval.experiments import cross_platform_controller_eval, cross_platform_planner_eval
+
+PLANNER_TASKS = {"openvla": ["wine", "alphabet", "bbq"],
+                 "roboflamingo": ["button", "block", "handle"]}
+CONTROLLER_TASKS = {"octo": ["eggplant", "coke", "carrot"],
+                    "rt1": ["open", "move", "place"]}
+
+
+def test_fig17a_planner_platforms(benchmark):
+    trials = num_trials(8)
+
+    def run():
+        results = {}
+        for name, tasks in PLANNER_TASKS.items():
+            plain = planner_platform(name, rotated=False)
+            rotated = planner_platform(name, rotated=True)
+            results[name] = cross_platform_planner_eval(plain, rotated, tasks,
+                                                        voltage=0.78, num_trials=trials,
+                                                        seed=0)
+        return results
+
+    results = run_once(benchmark, run)
+    print()
+    print(banner("Fig. 17(a): AD+WR planner energy savings on OpenVLA (LIBERO) and "
+                 "RoboFlamingo (CALVIN)"))
+    for name, per_task in results.items():
+        rows = [[task, values["baseline_success"], values["protected_success"],
+                 values["planner_energy_savings_percent"]]
+                for task, values in per_task.items()]
+        print(format_table(["task", "baseline success", "AD+WR success",
+                            "planner energy savings (%)"], rows, title=name))
+
+
+def test_fig17b_controller_platforms(benchmark):
+    trials = num_trials(8)
+
+    def run():
+        results = {}
+        for name, tasks in CONTROLLER_TASKS.items():
+            system = controller_platform(name)
+            results[name] = cross_platform_controller_eval(system, tasks,
+                                                           num_trials=trials, seed=0)
+        return results
+
+    results = run_once(benchmark, run)
+    print()
+    print(banner("Fig. 17(b): AD+VS controller energy savings on Octo and RT-1 (OXE tasks)"))
+    for name, per_task in results.items():
+        rows = [[task, values["baseline_success"], values["protected_success"],
+                 values["controller_energy_savings_percent"]]
+                for task, values in per_task.items()]
+        print(format_table(["task", "baseline success", "AD+VS success",
+                            "controller energy savings (%)"], rows, title=name))

@@ -1,0 +1,21 @@
+"""Fig. 18: chip-level energy breakdown and battery-life impact."""
+
+from common import run_once
+
+from repro.eval import banner, format_table
+from repro.eval.experiments import chip_energy_breakdown
+
+
+def test_fig18_chip_level_energy_breakdown(benchmark):
+    breakdown = run_once(benchmark, chip_energy_breakdown)
+    print()
+    print(banner("Fig. 18: computation vs. memory energy split, chip-level savings and "
+                 "battery-life extension (paper-scale models)"))
+    rows = [[name, values["compute_fraction"] * 100.0, values["memory_fraction"] * 100.0,
+             values["compute_savings_percent"], values["chip_level_savings_percent"],
+             values["battery_life_extension_percent"]]
+            for name, values in breakdown.items()]
+    print(format_table(["model", "compute (%)", "memory (%)", "compute savings (%)",
+                        "chip savings (%)", "battery life +(%)"], rows))
+    for values in breakdown.values():
+        assert 0 < values["chip_level_savings_percent"] < values["compute_savings_percent"]

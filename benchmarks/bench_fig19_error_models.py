@@ -1,0 +1,31 @@
+"""Fig. 19: uniform vs. hardware-specific error models give consistent trends."""
+
+from common import jarvis_plain, num_trials, run_once
+
+from repro.eval import banner, format_table
+from repro.eval.experiments import error_model_comparison
+
+
+def test_fig19_uniform_vs_hardware_error_model(benchmark):
+    executor = jarvis_plain().executor()
+    trials = num_trials(10)
+
+    def run():
+        return {
+            "planner": error_model_comparison(executor, "wooden", "planner",
+                                              voltages=[0.80, 0.775, 0.75],
+                                              num_trials=trials, seed=0),
+            "controller": error_model_comparison(executor, "wooden", "controller",
+                                                 voltages=[0.775, 0.75, 0.725],
+                                                 num_trials=trials, seed=0),
+        }
+
+    results = run_once(benchmark, run)
+    print()
+    print(banner("Fig. 19: success under the uniform model vs. the voltage-LUT model "
+                 "(matched mean BER)"))
+    for target, comparison in results.items():
+        voltages = sorted(comparison["uniform"], reverse=True)
+        rows = [[v, comparison["uniform"][v], comparison["hardware"][v]] for v in voltages]
+        print(format_table(["voltage (V)", "uniform model", "hardware model"], rows,
+                           title=target))

@@ -1,0 +1,30 @@
+"""Fig. 20: CREATE vs. existing techniques (DMR, ThUnderVolt, ABFT)."""
+
+from common import jarvis_plain, jarvis_rotated, num_trials, run_once
+
+from repro.eval import banner, format_table
+from repro.eval.experiments import baseline_comparison
+
+
+def test_fig20_comparison_with_existing_techniques(benchmark):
+    trials = num_trials(8)
+
+    def run():
+        return baseline_comparison(jarvis_plain(), jarvis_rotated(), "wooden",
+                                   voltages=[0.85, 0.80, 0.775, 0.75],
+                                   num_trials=trials, seed=0)
+
+    results = run_once(benchmark, run)
+    print()
+    print(banner("Fig. 20: success rate and total energy across operating voltages"))
+    voltages = sorted(results["create"], reverse=True)
+    for metric in ("success_rate", "energy_j"):
+        rows = []
+        for voltage in voltages:
+            rows.append([voltage] + [results[tech][voltage][metric]
+                                     for tech in ("create", "dmr", "thundervolt", "abft")])
+        print(format_table(["voltage (V)", "CREATE", "DMR", "ThUnderVolt", "ABFT"], rows,
+                           title=metric))
+    lowest = voltages[-1]
+    # CREATE keeps quality at the lowest voltage with far less energy than DMR.
+    assert results["create"][lowest]["energy_j"] < results["dmr"][lowest]["energy_j"]

@@ -1,0 +1,41 @@
+"""Fig. 21: entropy-to-voltage mapping policies and the candidate search."""
+
+import numpy as np
+from common import jarvis_plain, num_trials, run_once
+
+from repro.core import REFERENCE_POLICIES, generate_candidate_policies
+from repro.eval import banner, format_table
+from repro.eval.experiments import vs_evaluation
+from repro.core.policies import pareto_front
+
+
+def test_fig21_reference_policies(benchmark):
+    def run():
+        return {name: policy.describe() for name, policy in REFERENCE_POLICIES.items()}
+
+    described = run_once(benchmark, run)
+    print()
+    print(banner("Fig. 21: entropy-to-voltage mapping policies A-F"))
+    print(format_table(["policy", "mapping"], [[k, v] for k, v in described.items()]))
+
+
+def test_fig21_policy_search_pareto_front(benchmark):
+    """The search over random candidates that produced policies A-F (Sec. 6.5)."""
+    system = jarvis_plain()
+    candidates = generate_candidate_policies(12, np.random.default_rng(3))
+
+    def run():
+        evaluations = vs_evaluation(system, "wooden", policies=candidates,
+                                    constant_voltages=[], num_trials=num_trials(4), seed=0)
+        success = np.array([e.success_rate for e in evaluations])
+        voltage = np.array([e.effective_voltage for e in evaluations])
+        return evaluations, pareto_front(success, voltage)
+
+    evaluations, front = run_once(benchmark, run)
+    print()
+    print(banner("Policy search: candidate policies and the Pareto-optimal subset"))
+    rows = [[e.policy.name, e.success_rate, e.effective_voltage,
+             "front" if index in front else ""]
+            for index, e in enumerate(evaluations)]
+    print(format_table(["candidate", "success rate", "effective voltage (V)", "pareto"], rows))
+    assert front

@@ -1,0 +1,20 @@
+"""Table 4: model parameters and computational requirements."""
+
+from common import run_once
+
+from repro.eval import banner, format_table
+from repro.eval.experiments import model_table
+
+
+def test_table4_model_parameters_and_gops(benchmark):
+    table = run_once(benchmark, model_table)
+    print()
+    print(banner("Table 4: model parameters and computational requirements"))
+    rows = [[name, values["paper_params_millions"], values["modelled_params_millions"],
+             values["paper_gops"], values["modelled_gops"]]
+            for name, values in table.items()]
+    print(format_table(["model", "paper params (M)", "modelled params (M)",
+                        "paper GOps", "modelled GOps"], rows))
+    planner = table["jarvis_planner"]
+    ratio = planner["modelled_params_millions"] / planner["paper_params_millions"]
+    assert 0.75 < ratio < 1.25

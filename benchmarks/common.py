@@ -1,0 +1,52 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper: it runs the
+corresponding experiment from :mod:`repro.eval.experiments` exactly once
+(wrapped in ``benchmark.pedantic`` so pytest-benchmark also reports its wall
+time) and prints the regenerated rows/series.
+
+Trial counts default to quick-but-meaningful values so the whole suite runs in
+minutes on a laptop; set ``REPRO_BENCH_TRIALS`` (e.g. to 100, the paper's
+repetition count) for tighter confidence intervals.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro.agents import build_controller_platform, build_jarvis_system, build_planner_platform
+
+
+def num_trials(default: int = 12) -> int:
+    """Number of repetitions per experimental condition."""
+    return int(os.environ.get("REPRO_BENCH_TRIALS", default))
+
+
+@lru_cache(maxsize=None)
+def jarvis_plain():
+    """JARVIS-1 system without weight rotation."""
+    return build_jarvis_system(rotate_planner=False, with_predictor=True)
+
+
+@lru_cache(maxsize=None)
+def jarvis_rotated():
+    """JARVIS-1 system with weight-rotation-enhanced planning."""
+    return build_jarvis_system(rotate_planner=True, with_predictor=True)
+
+
+@lru_cache(maxsize=None)
+def planner_platform(name: str, rotated: bool = True):
+    """Cross-platform planner system (openvla / roboflamingo)."""
+    return build_planner_platform(name, rotate_planner=rotated)
+
+
+@lru_cache(maxsize=None)
+def controller_platform(name: str):
+    """Cross-platform controller system (octo / rt1)."""
+    return build_controller_platform(name)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,17 @@
+"""CREATE: Cross-Layer Resilience Characterization and Optimization for
+Efficient yet Reliable Embodied AI Systems — a from-scratch Python reproduction.
+
+The package is organised bottom-up:
+
+* :mod:`repro.nn`, :mod:`repro.train` — numpy neural-network and training substrate
+* :mod:`repro.quant`, :mod:`repro.faults` — INT8 deployment pipeline and fault injection
+* :mod:`repro.hardware` — timing-error, systolic-array, energy and LDO models
+* :mod:`repro.env` — Minecraft-style and manipulation-style embodied benchmarks
+* :mod:`repro.agents` — planner / controller surrogates and the mission executor
+* :mod:`repro.core` — the CREATE techniques (AD, WR, VS) and prior-art baselines
+* :mod:`repro.eval` — metrics, sweeps and per-figure experiment runners
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["nn", "train", "quant", "faults", "hardware", "env", "agents", "core", "eval"]

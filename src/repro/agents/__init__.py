@@ -1,0 +1,80 @@
+"""Embodied agents: planner / controller surrogates, deployment, mission execution."""
+
+from .configs import (
+    CONTROLLER_CONFIGS,
+    ControllerConfig,
+    PAPER_MODEL_STATS,
+    PaperModelStats,
+    PLANNER_CONFIGS,
+    PlannerConfig,
+)
+from .vocabulary import PlannerVocabulary, build_vocabulary
+from .planner import (
+    DeployedPlanner,
+    PlannerNetwork,
+    PlannerWeights,
+    build_planner_dataset,
+    extract_planner_weights,
+    plan_accuracy,
+    train_planner,
+)
+from .controller import (
+    ControllerNetwork,
+    DeployedController,
+    build_controller_dataset,
+    controller_agreement,
+    train_controller,
+)
+from .executor import MissionExecutor, TrialResult, build_protection_hooks
+from .jarvis import (
+    EmbodiedSystem,
+    build_controller_platform,
+    build_jarvis_system,
+    build_planner_platform,
+)
+from .zoo import (
+    cache_directory,
+    clear_cache,
+    get_controller_network,
+    get_planner_network,
+    get_predictor_network,
+    registry_for_benchmark,
+)
+from . import platforms
+
+__all__ = [
+    "PlannerConfig",
+    "ControllerConfig",
+    "PaperModelStats",
+    "PLANNER_CONFIGS",
+    "CONTROLLER_CONFIGS",
+    "PAPER_MODEL_STATS",
+    "PlannerVocabulary",
+    "build_vocabulary",
+    "PlannerNetwork",
+    "PlannerWeights",
+    "DeployedPlanner",
+    "build_planner_dataset",
+    "extract_planner_weights",
+    "plan_accuracy",
+    "train_planner",
+    "ControllerNetwork",
+    "DeployedController",
+    "build_controller_dataset",
+    "controller_agreement",
+    "train_controller",
+    "MissionExecutor",
+    "TrialResult",
+    "build_protection_hooks",
+    "EmbodiedSystem",
+    "build_jarvis_system",
+    "build_planner_platform",
+    "build_controller_platform",
+    "cache_directory",
+    "clear_cache",
+    "get_planner_network",
+    "get_controller_network",
+    "get_predictor_network",
+    "registry_for_benchmark",
+    "platforms",
+]

@@ -1,0 +1,120 @@
+"""Model configurations for planner / controller surrogates and platform metadata.
+
+Two kinds of information live here:
+
+* **surrogate configs** — the (small) architectures this repository actually
+  trains and deploys; layer counts and width ratios mirror the relative sizes
+  of the paper's platforms (Tables 7-8) at a scale a CPU can execute;
+* **paper-scale metadata** — parameter counts and GOps of the original models
+  (Table 4), used by the hardware benchmarks (latency, chip-level energy
+  breakdown) where the surrogate sizes would be meaningless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "PlannerConfig",
+    "ControllerConfig",
+    "PaperModelStats",
+    "PLANNER_CONFIGS",
+    "CONTROLLER_CONFIGS",
+    "PAPER_MODEL_STATS",
+]
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Surrogate LLM planner architecture (LLaMA-style, pre-RMSNorm)."""
+
+    name: str
+    benchmark: str
+    num_layers: int = 3
+    dim: int = 48
+    num_heads: int = 4
+    mlp_dim: int = 128
+    max_plan_length: int = 12
+    #: Number of residual channels carrying systematic activation outliers.
+    outlier_channels: int = 3
+    #: Magnitude multiplier of the outlier channels.
+    outlier_scale: float = 14.0
+    seed: int = 2024
+
+    def __post_init__(self):
+        if self.dim % self.num_heads != 0:
+            raise ValueError("dim must be divisible by num_heads")
+        if self.outlier_channels >= self.dim:
+            raise ValueError("outlier_channels must be smaller than dim")
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Surrogate RL controller architecture (GPT-style, pre-LayerNorm)."""
+
+    name: str
+    benchmark: str
+    num_layers: int = 2
+    dim: int = 32
+    num_heads: int = 4
+    mlp_dim: int = 96
+    num_obs_tokens: int = 4
+    seed: int = 2025
+
+    def __post_init__(self):
+        if self.dim % self.num_heads != 0:
+            raise ValueError("dim must be divisible by num_heads")
+        if self.num_obs_tokens <= 0:
+            raise ValueError("num_obs_tokens must be positive")
+
+
+@dataclass(frozen=True)
+class PaperModelStats:
+    """Paper-scale size of the original model (Table 4)."""
+
+    name: str
+    params_millions: float
+    gops_int8: float
+    input_tokens: int | None = None
+    output_tokens: int | None = None
+    image_resolution: int | None = None
+
+
+# ----------------------------------------------------------------------
+# Surrogate architectures (relative sizes follow paper Tables 7-8)
+# ----------------------------------------------------------------------
+PLANNER_CONFIGS: dict[str, PlannerConfig] = {
+    "jarvis": PlannerConfig(name="jarvis", benchmark="minecraft",
+                            num_layers=3, dim=48, mlp_dim=128),
+    "openvla": PlannerConfig(name="openvla", benchmark="libero",
+                             num_layers=3, dim=40, mlp_dim=112, seed=2026),
+    "roboflamingo": PlannerConfig(name="roboflamingo", benchmark="calvin",
+                                  num_layers=2, dim=40, mlp_dim=96, seed=2027),
+}
+
+CONTROLLER_CONFIGS: dict[str, ControllerConfig] = {
+    "jarvis": ControllerConfig(name="jarvis", benchmark="minecraft",
+                               num_layers=2, dim=32, mlp_dim=96),
+    "rt1": ControllerConfig(name="rt1", benchmark="oxe",
+                            num_layers=2, dim=32, mlp_dim=80, seed=2028),
+    "octo": ControllerConfig(name="octo", benchmark="oxe",
+                             num_layers=2, dim=24, mlp_dim=64, seed=2029),
+}
+
+# ----------------------------------------------------------------------
+# Paper-scale statistics (Table 4)
+# ----------------------------------------------------------------------
+PAPER_MODEL_STATS: dict[str, PaperModelStats] = {
+    "jarvis_planner": PaperModelStats("JARVIS-1 planner", 7869.0, 5344.0,
+                                      input_tokens=740, output_tokens=251),
+    "openvla_planner": PaperModelStats("OpenVLA", 6929.0, 4595.0,
+                                       input_tokens=617, output_tokens=71),
+    "roboflamingo_planner": PaperModelStats("RoboFlamingo", 2552.0, 2411.0,
+                                            input_tokens=505, output_tokens=61),
+    "jarvis_controller": PaperModelStats("JARVIS-1 controller", 61.0, 102.0,
+                                         image_resolution=128),
+    "rt1_controller": PaperModelStats("RT-1", 35.0, 78.0, image_resolution=224),
+    "octo_controller": PaperModelStats("Octo", 27.0, 76.0, image_resolution=224),
+    "entropy_predictor": PaperModelStats("Entropy predictor", 0.055, 0.043,
+                                         image_resolution=64),
+}

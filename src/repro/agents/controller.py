@@ -1,0 +1,338 @@
+"""The RL controller surrogate: training, deployment, quantized inference.
+
+The controller maps (current subtask, observation) to action logits every
+step, exactly the role of STEVE-1 / RT-1 / Octo in the paper's platforms.  It
+is trained by imitation of the environment's oracle action distribution, so
+its logits inherit the stage-dependent sharpness (picky during critical
+execution, near-uniform during exploration) that the entropy-based voltage
+scaling exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..env.actions import NUM_ACTIONS
+from ..env.observations import OBSERVATION_DIM
+from ..env.subtasks import ALL_SUBTASKS, SubtaskRegistry
+from ..env.tasks import TaskSuite
+from ..env.world import EmbodiedWorld, WorldConfig
+from ..nn import Embedding, GptTransformer, Linear, Module, Tensor, no_grad
+from ..nn.functional import layer_norm, relu, softmax
+from ..quant import Calibrator, GemmHooks, INT8, QuantizedLinear, QuantSpec
+from ..train import AdamW, clip_grad_norm
+from .configs import ControllerConfig
+
+__all__ = [
+    "ControllerNetwork",
+    "DeployedController",
+    "build_controller_dataset",
+    "train_controller",
+    "controller_agreement",
+]
+
+_LN_EPS = 1e-5
+
+
+# ----------------------------------------------------------------------
+# Trainable network
+# ----------------------------------------------------------------------
+class ControllerNetwork(Module):
+    """GPT-style policy over a short token sequence (subtask prompt + observation)."""
+
+    def __init__(self, config: ControllerConfig,
+                 num_subtasks: int | None = None,
+                 observation_dim: int = OBSERVATION_DIM,
+                 num_actions: int = NUM_ACTIONS):
+        super().__init__()
+        rng = np.random.default_rng(config.seed)
+        self.config = config
+        self.num_subtasks = num_subtasks or len(ALL_SUBTASKS)
+        self.observation_dim = observation_dim
+        self.num_actions = num_actions
+        self.subtask_embed = Embedding(self.num_subtasks, config.dim, rng=rng)
+        self.obs_proj = Linear(observation_dim, config.dim * config.num_obs_tokens, rng=rng)
+        self.transformer = GptTransformer(
+            config.num_layers, config.dim, config.num_heads, config.mlp_dim, rng, causal=False)
+        self.policy_head = Linear(config.dim, num_actions, rng=rng)
+
+    def forward(self, subtask_ids: np.ndarray, observations: np.ndarray) -> Tensor:
+        subtask_ids = np.asarray(subtask_ids, dtype=np.int64)
+        batch = subtask_ids.shape[0]
+        prompt = self.subtask_embed(subtask_ids).reshape(batch, 1, self.config.dim)
+        obs_tokens = self.obs_proj(Tensor(observations)).reshape(
+            batch, self.config.num_obs_tokens, self.config.dim)
+        tokens = Tensor.concatenate([prompt, obs_tokens], axis=1)
+        hidden = self.transformer(tokens)
+        pooled = hidden.mean(axis=1)
+        return self.policy_head(pooled)
+
+
+# ----------------------------------------------------------------------
+# Dataset generation (oracle imitation)
+# ----------------------------------------------------------------------
+def build_controller_dataset(suite: TaskSuite, registry: SubtaskRegistry,
+                             num_episodes: int = 40,
+                             world_config: WorldConfig | None = None,
+                             seed: int = 7) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Roll out the oracle policy and record (subtask id, observation, oracle probs)."""
+    rng = np.random.default_rng(seed)
+    subtask_ids: list[int] = []
+    observations: list[np.ndarray] = []
+    targets: list[np.ndarray] = []
+    task_list = suite.tasks()
+    for episode in range(num_episodes):
+        task = task_list[episode % len(task_list)]
+        world = EmbodiedWorld(task, registry, world_config or WorldConfig(),
+                              np.random.default_rng(seed * 1000 + episode))
+        for subtask in task.plan:
+            world.set_subtask(subtask)
+            while True:
+                probs = world.oracle_distribution()
+                subtask_ids.append(ALL_SUBTASKS.token_id(subtask))
+                observations.append(world.observation())
+                targets.append(probs)
+                action = rng.choice(probs.size, p=probs)
+                result = world.step(action)
+                if result.subtask_completed or world.subtask_budget_exhausted() \
+                        or world.task_budget_exhausted():
+                    break
+            if world.task_budget_exhausted():
+                break
+    return (np.asarray(subtask_ids, dtype=np.int64),
+            np.asarray(observations, dtype=np.float64),
+            np.asarray(targets, dtype=np.float64))
+
+
+def _soft_cross_entropy(logits: Tensor, target_probs: np.ndarray) -> Tensor:
+    log_probs = logits - logits.exp().sum(axis=-1, keepdims=True).log()
+    return (log_probs * Tensor(target_probs)).sum() * (-1.0 / logits.shape[0])
+
+
+def train_controller(config: ControllerConfig, suite: TaskSuite, registry: SubtaskRegistry,
+                     num_episodes: int = 40, epochs: int = 12, lr: float = 2e-3,
+                     batch_size: int = 64, verbose: bool = False) -> ControllerNetwork:
+    """Imitation-train a controller on oracle rollouts of a benchmark suite."""
+    subtask_ids, observations, targets = build_controller_dataset(
+        suite, registry, num_episodes=num_episodes, seed=config.seed)
+    network = ControllerNetwork(config)
+    optimizer = AdamW(network.parameters(), lr=lr, weight_decay=1e-4)
+    rng = np.random.default_rng(config.seed + 1)
+
+    network.train()
+    n = subtask_ids.shape[0]
+    for epoch in range(epochs):
+        order = rng.permutation(n)
+        losses = []
+        for start in range(0, n, batch_size):
+            batch = order[start:start + batch_size]
+            optimizer.zero_grad()
+            logits = network(subtask_ids[batch], observations[batch])
+            loss = _soft_cross_entropy(logits, targets[batch])
+            loss.backward()
+            clip_grad_norm(network.parameters(), 1.0)
+            optimizer.step()
+            losses.append(loss.item())
+        if verbose and (epoch + 1) % 4 == 0:  # pragma: no cover - logging only
+            print(f"controller epoch {epoch + 1}: loss={np.mean(losses):.4f}")
+    network.eval()
+    return network
+
+
+def controller_agreement(network: ControllerNetwork, suite: TaskSuite,
+                         registry: SubtaskRegistry, num_samples: int = 400,
+                         seed: int = 99) -> float:
+    """Fraction of sampled states where argmax(policy) is an oracle-acceptable action."""
+    subtask_ids, observations, targets = build_controller_dataset(
+        suite, registry, num_episodes=6, seed=seed)
+    if subtask_ids.shape[0] > num_samples:
+        subtask_ids = subtask_ids[:num_samples]
+        observations = observations[:num_samples]
+        targets = targets[:num_samples]
+    with no_grad():
+        logits = network(subtask_ids, observations).data
+    chosen = np.argmax(logits, axis=-1)
+    acceptable = targets[np.arange(chosen.size), chosen] >= 0.08
+    return float(np.mean(acceptable))
+
+
+# ----------------------------------------------------------------------
+# Quantized deployment
+# ----------------------------------------------------------------------
+class DeployedController:
+    """INT8 controller inference with fault-injection / anomaly-clearance hooks."""
+
+    def __init__(self, network: ControllerNetwork, spec: QuantSpec = INT8,
+                 calibration_samples: tuple[np.ndarray, np.ndarray] | None = None,
+                 calibration_suite: TaskSuite | None = None,
+                 calibration_registry: SubtaskRegistry | None = None):
+        self.config = network.config
+        self.spec = spec
+        self.num_actions = network.num_actions
+        self._extract_weights(network)
+        self.calibrator = Calibrator(spec)
+        self._quantized: dict[str, QuantizedLinear] = {}
+        if calibration_samples is None:
+            if calibration_suite is None or calibration_registry is None:
+                raise ValueError(
+                    "provide calibration_samples or a calibration suite + registry")
+            ids, obs, _ = build_controller_dataset(
+                calibration_suite, calibration_registry, num_episodes=6,
+                seed=self.config.seed + 17)
+            calibration_samples = (ids[:600], obs[:600])
+        self.calibrate(*calibration_samples)
+
+    # ------------------------------------------------------------------
+    def _extract_weights(self, network: ControllerNetwork) -> None:
+        self.subtask_embed = network.subtask_embed.weight.data.copy()
+        self._float_weights: dict[str, np.ndarray] = {
+            "obs_proj": network.obs_proj.weight.data.copy(),
+            "policy_head": network.policy_head.weight.data.copy(),
+        }
+        self._biases: dict[str, np.ndarray | None] = {
+            "obs_proj": network.obs_proj.bias.data.copy(),
+            "policy_head": network.policy_head.bias.data.copy(),
+        }
+        self._norms: list[dict[str, np.ndarray]] = []
+        for index, block in enumerate(network.transformer.blocks):
+            prefix = f"layer{index}"
+            self._float_weights[f"{prefix}.q"] = block.attn.q_proj.weight.data.copy()
+            self._float_weights[f"{prefix}.k"] = block.attn.k_proj.weight.data.copy()
+            self._float_weights[f"{prefix}.v"] = block.attn.v_proj.weight.data.copy()
+            self._float_weights[f"{prefix}.o"] = block.attn.o_proj.weight.data.copy()
+            self._float_weights[f"{prefix}.fc1"] = block.mlp.fc1.weight.data.copy()
+            self._float_weights[f"{prefix}.fc2"] = block.mlp.fc2.weight.data.copy()
+            self._biases[f"{prefix}.q"] = None
+            self._biases[f"{prefix}.k"] = None
+            self._biases[f"{prefix}.v"] = None
+            self._biases[f"{prefix}.o"] = None
+            self._biases[f"{prefix}.fc1"] = block.mlp.fc1.bias.data.copy()
+            self._biases[f"{prefix}.fc2"] = block.mlp.fc2.bias.data.copy()
+            self._norms.append({
+                "attn_gamma": block.attn_norm.gamma.data.copy(),
+                "attn_beta": block.attn_norm.beta.data.copy(),
+                "mlp_gamma": block.mlp_norm.gamma.data.copy(),
+                "mlp_beta": block.mlp_norm.beta.data.copy(),
+            })
+        self.final_norm = {
+            "gamma": network.transformer.final_norm.gamma.data.copy(),
+            "beta": network.transformer.final_norm.beta.data.copy(),
+        }
+
+    def component_names(self) -> list[str]:
+        return list(self._float_weights)
+
+    # ------------------------------------------------------------------
+    def _attention(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+        seq, dim = q.shape
+        heads = self.config.num_heads
+        head_dim = dim // heads
+        q = q.reshape(seq, heads, head_dim).transpose(1, 0, 2)
+        k = k.reshape(seq, heads, head_dim).transpose(1, 0, 2)
+        v = v.reshape(seq, heads, head_dim).transpose(1, 0, 2)
+        scores = q @ k.transpose(0, 2, 1) / np.sqrt(head_dim)
+        weights = softmax(scores, axis=-1)
+        return (weights @ v).transpose(1, 0, 2).reshape(seq, dim)
+
+    def _forward(self, subtask_id: int, observation: np.ndarray, linear) -> np.ndarray:
+        cfg = self.config
+        prompt = self.subtask_embed[subtask_id][None, :]
+        obs_tokens = linear("obs_proj", observation[None, :]).reshape(
+            cfg.num_obs_tokens, cfg.dim)
+        x = np.concatenate([prompt, obs_tokens], axis=0)
+        for index in range(cfg.num_layers):
+            prefix = f"layer{index}"
+            norms = self._norms[index]
+            h = layer_norm(x, norms["attn_gamma"], norms["attn_beta"], eps=_LN_EPS)
+            attn = self._attention(linear(f"{prefix}.q", h), linear(f"{prefix}.k", h),
+                                   linear(f"{prefix}.v", h))
+            x = x + linear(f"{prefix}.o", attn)
+            h2 = layer_norm(x, norms["mlp_gamma"], norms["mlp_beta"], eps=_LN_EPS)
+            x = x + linear(f"{prefix}.fc2", relu(linear(f"{prefix}.fc1", h2)))
+        x = layer_norm(x, self.final_norm["gamma"], self.final_norm["beta"], eps=_LN_EPS)
+        pooled = x.mean(axis=0, keepdims=True)
+        return linear("policy_head", pooled)[0]
+
+    def _float_linear(self, observer: Calibrator | None = None):
+        def linear(name: str, x: np.ndarray) -> np.ndarray:
+            out = x @ self._float_weights[name]
+            bias = self._biases[name]
+            if bias is not None:
+                out = out + bias
+            if observer is not None:
+                observer.observe(name, x, out)
+            return out
+        return linear
+
+    def _quantized_linear(self, hooks: GemmHooks | None):
+        def linear(name: str, x: np.ndarray) -> np.ndarray:
+            return self._quantized[name](x, hooks=hooks)
+        return linear
+
+    # ------------------------------------------------------------------
+    def calibrate(self, subtask_ids: np.ndarray, observations: np.ndarray) -> None:
+        observer = Calibrator(self.spec)
+        linear = self._float_linear(observer)
+        for subtask_id, observation in zip(subtask_ids, observations):
+            self._forward(int(subtask_id), observation, linear)
+        self.calibrator = observer
+        self._quantized = {}
+        for name, weight in self._float_weights.items():
+            self._quantized[name] = QuantizedLinear(
+                name=name,
+                weight=weight,
+                bias=self._biases[name],
+                x_params=observer.input_params(name),
+                spec=self.spec,
+                output_bound=observer.output_bound(name),
+            )
+
+    def output_bounds(self) -> dict[str, float]:
+        return {name: self.calibrator.output_bound(name) for name in self._float_weights}
+
+    # ------------------------------------------------------------------
+    def act_logits(self, subtask_id: int, observation: np.ndarray,
+                   hooks: GemmHooks | None = None, quantized: bool = True) -> np.ndarray:
+        """Action logits for one step."""
+        if quantized:
+            if not self._quantized:
+                raise RuntimeError("controller has not been calibrated/quantized")
+            linear = self._quantized_linear(hooks)
+        else:
+            linear = self._float_linear()
+        return self._forward(subtask_id, observation, linear)
+
+    def capture_activations(self, subtask_id: int, observation: np.ndarray,
+                            hooks: GemmHooks | None = None,
+                            quantized: bool = True) -> dict[str, np.ndarray]:
+        """Pre-normalization residual activations (for the Fig. 5 i-l study)."""
+        captured: dict[str, np.ndarray] = {}
+        linear = self._quantized_linear(hooks) if quantized else self._float_linear()
+        cfg = self.config
+        prompt = self.subtask_embed[subtask_id][None, :]
+        obs_tokens = linear("obs_proj", observation[None, :]).reshape(
+            cfg.num_obs_tokens, cfg.dim)
+        x = np.concatenate([prompt, obs_tokens], axis=0)
+        for index in range(cfg.num_layers):
+            prefix = f"layer{index}"
+            norms = self._norms[index]
+            h = layer_norm(x, norms["attn_gamma"], norms["attn_beta"], eps=_LN_EPS)
+            attn = self._attention(linear(f"{prefix}.q", h), linear(f"{prefix}.k", h),
+                                   linear(f"{prefix}.v", h))
+            x = x + linear(f"{prefix}.o", attn)
+            captured[f"{prefix}.pre_mlp_norm"] = x.copy()
+            h2 = layer_norm(x, norms["mlp_gamma"], norms["mlp_beta"], eps=_LN_EPS)
+            x = x + linear(f"{prefix}.fc2", relu(linear(f"{prefix}.fc1", h2)))
+            captured[f"{prefix}.pre_attn_norm"] = x.copy()
+        return captured
+
+    @property
+    def macs_per_step(self) -> int:
+        """INT8 MACs of one controller invocation (one environment step)."""
+        seq = 1 + self.config.num_obs_tokens
+        total = 0
+        for name, weight in self._float_weights.items():
+            rows = 1 if name in ("obs_proj", "policy_head") else seq
+            total += rows * weight.shape[0] * weight.shape[1]
+        total += 2 * seq * seq * self.config.dim * self.config.num_layers
+        return total

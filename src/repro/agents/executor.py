@@ -1,0 +1,286 @@
+"""Mission executor: runs one embodied task end to end under a fault environment.
+
+This is the experimental engine behind every resilience / energy number in the
+repository: it wires the deployed planner and controller to the world, builds
+the fault-injection and anomaly-clearance hooks described by
+:class:`~repro.core.create.ProtectionConfig`, drives autonomy-adaptive voltage
+scaling, and accounts MACs per operating voltage so the energy model can price
+the trial afterwards.
+
+The control flow mirrors JARVIS-1 (paper Sec. 2.1): the planner is invoked
+once up front; the controller then executes the plan step by step; if a
+subtask exceeds its step budget the planner is re-invoked with the current
+progress; the task fails when the total step budget is exhausted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.anomaly import AnomalyDetector
+from ..core.create import ProtectionConfig
+from ..core.entropy import EntropyTrace, action_entropy
+from ..core.predictor import EntropyPredictor
+from ..core.voltage_scaling import AdaptiveVoltageController
+from ..env.subtasks import ALL_SUBTASKS, SubtaskRegistry
+from ..env.tasks import TaskSuite
+from ..env.world import EmbodiedWorld, WorldConfig
+from ..faults.injector import ErrorInjector
+from ..faults.models import VoltageErrorModel
+from ..hardware.energy import EnergyModel
+from ..hardware.timing import NOMINAL_VOLTAGE, TimingErrorModel
+from ..nn.functional import softmax
+from ..quant import GemmHooks
+from .controller import DeployedController
+from .planner import DeployedPlanner
+
+__all__ = ["TrialResult", "MissionExecutor", "build_protection_hooks"]
+
+
+@dataclass
+class TrialResult:
+    """Everything measured during one task attempt."""
+
+    task: str
+    success: bool
+    steps: int
+    planner_invocations: int
+    controller_steps: int
+    planner_macs_by_voltage: dict[float, float] = field(default_factory=dict)
+    controller_macs_by_voltage: dict[float, float] = field(default_factory=dict)
+    predictor_macs_by_voltage: dict[float, float] = field(default_factory=dict)
+    entropy_trace: EntropyTrace = field(default_factory=EntropyTrace)
+    planner_bits_flipped: int = 0
+    controller_bits_flipped: int = 0
+    planner_elements_clamped: int = 0
+    controller_elements_clamped: int = 0
+    voltage_summary: dict[str, float] = field(default_factory=dict)
+
+    def macs_by_voltage(self) -> dict[float, float]:
+        """All MACs of the trial grouped by operating voltage."""
+        merged: dict[float, float] = {}
+        for source in (self.planner_macs_by_voltage, self.controller_macs_by_voltage,
+                       self.predictor_macs_by_voltage):
+            for voltage, macs in source.items():
+                merged[voltage] = merged.get(voltage, 0.0) + macs
+        return merged
+
+    def computational_energy_j(self, energy_model: EnergyModel | None = None) -> float:
+        model = energy_model or EnergyModel()
+        return model.compute_energy_j(self.macs_by_voltage())
+
+    def effective_voltage(self, energy_model: EnergyModel | None = None) -> float:
+        model = energy_model or EnergyModel()
+        return model.effective_voltage(self.macs_by_voltage())
+
+
+def build_protection_hooks(protection: ProtectionConfig, rng: np.random.Generator,
+                           timing_model: TimingErrorModel | None = None
+                           ) -> tuple[GemmHooks, ErrorInjector | None, AnomalyDetector | None]:
+    """Translate a :class:`ProtectionConfig` into quantized-GEMM hooks."""
+    timing_model = timing_model or TimingErrorModel()
+    targets = list(protection.target_components) if protection.target_components else None
+
+    error_model = protection.error_model
+    if error_model is None and (protection.voltage is not None
+                                or protection.voltage_scaling is not None):
+        voltage = protection.voltage if protection.voltage is not None else NOMINAL_VOLTAGE
+        error_model = VoltageErrorModel(voltage, timing_model)
+
+    injector: ErrorInjector | None = None
+    if error_model is not None:
+        if protection.injector_kind == "thundervolt":
+            from ..core.baselines import ThUnderVoltInjector
+
+            injector = ThUnderVoltInjector(error_model, rng=rng,
+                                           exposure_scale=protection.exposure_scale)
+            injector.target_components = targets
+        else:
+            injector = ErrorInjector(error_model, rng=rng,
+                                     exposure_scale=protection.exposure_scale,
+                                     target_components=targets)
+    detector = AnomalyDetector() if protection.anomaly_detection else None
+    hooks = GemmHooks(injector=injector, anomaly_clamp=detector)
+    return hooks, injector, detector
+
+
+class MissionExecutor:
+    """Runs task trials for one (planner, controller) system on one benchmark."""
+
+    def __init__(self, controller: DeployedController, suite: TaskSuite,
+                 registry: SubtaskRegistry, planner: DeployedPlanner | None = None,
+                 predictor: EntropyPredictor | None = None,
+                 world_config: WorldConfig | None = None,
+                 timing_model: TimingErrorModel | None = None,
+                 action_temperature: float = 1.0,
+                 max_replans: int = 8,
+                 invalid_token_penalty: int = 10):
+        self.controller = controller
+        self.planner = planner
+        self.suite = suite
+        self.registry = registry
+        self.predictor = predictor
+        self.world_config = world_config or WorldConfig()
+        self.timing_model = timing_model or TimingErrorModel()
+        self.action_temperature = action_temperature
+        self.max_replans = max_replans
+        self.invalid_token_penalty = invalid_token_penalty
+
+    # ------------------------------------------------------------------
+    # Planning helpers
+    # ------------------------------------------------------------------
+    def _progress(self, world: EmbodiedWorld, task) -> int:
+        return sum(1 for subtask in task.plan if subtask in world.inventory)
+
+    def _invoke_planner(self, task, world: EmbodiedWorld, hooks: GemmHooks,
+                        result: TrialResult, voltage: float) -> list[str]:
+        progress = self._progress(world, task)
+        if self.planner is None:
+            # Ground-truth planning (controller-only studies).
+            return [subtask for subtask in task.plan[progress:]]
+        plan = self.planner.plan(task.name, progress, hooks=hooks)
+        result.planner_invocations += 1
+        generated = len(plan) + 1  # +1 for the EOS decode step
+        prompt_len = 4
+        macs = sum(self.planner.macs_per_decode_step(prompt_len + i) for i in range(generated))
+        result.planner_macs_by_voltage[voltage] = (
+            result.planner_macs_by_voltage.get(voltage, 0.0) + macs)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Trial execution
+    # ------------------------------------------------------------------
+    def run_trial(self, task_name: str, seed: int = 0,
+                  planner_protection: ProtectionConfig | None = None,
+                  controller_protection: ProtectionConfig | None = None) -> TrialResult:
+        planner_protection = planner_protection or ProtectionConfig()
+        controller_protection = controller_protection or ProtectionConfig()
+        task = self.suite.get(task_name)
+        rng = np.random.default_rng(seed)
+        world = EmbodiedWorld(task, self.registry, self.world_config,
+                              np.random.default_rng(seed + 10_000))
+
+        planner_hooks, planner_injector, planner_detector = build_protection_hooks(
+            planner_protection, np.random.default_rng(seed + 20_000), self.timing_model)
+        controller_hooks, controller_injector, controller_detector = build_protection_hooks(
+            controller_protection, np.random.default_rng(seed + 30_000), self.timing_model)
+
+        planner_voltage = planner_protection.static_voltage() or NOMINAL_VOLTAGE
+
+        vs_runtime: AdaptiveVoltageController | None = None
+        if controller_protection.voltage_scaling is not None:
+            predictor = self.predictor \
+                if controller_protection.voltage_scaling.entropy_source == "predictor" else None
+            vs_runtime = AdaptiveVoltageController(
+                config=controller_protection.voltage_scaling,
+                predictor=predictor,
+                injector=controller_injector,
+                timing_model=self.timing_model,
+            )
+            vs_runtime.begin_trial()
+
+        result = TrialResult(task=task_name, success=False, steps=0,
+                             planner_invocations=0, controller_steps=0)
+
+        plan_queue: deque[str] = deque(
+            self._invoke_planner(task, world, planner_hooks, result, planner_voltage))
+        replans = 0
+        controller_macs = self.controller.macs_per_step
+        predictor_macs = self.predictor.macs_per_call if self.predictor is not None else 0
+
+        while not world.task_completed and not world.task_budget_exhausted():
+            if not plan_queue:
+                replans += 1
+                if replans > self.max_replans:
+                    break
+                plan_queue = deque(
+                    self._invoke_planner(task, world, planner_hooks, result, planner_voltage))
+                if not plan_queue:
+                    break
+                continue
+
+            subtask = plan_queue.popleft()
+            if not world.set_subtask(subtask):
+                world.waste_steps(self.invalid_token_penalty)
+                continue
+            subtask_token = ALL_SUBTASKS.token_id(subtask) if subtask in ALL_SUBTASKS else 0
+
+            completed = False
+            while not world.task_budget_exhausted():
+                if vs_runtime is not None:
+                    voltage, predicted = vs_runtime.before_step(world, subtask_token)
+                    if predicted:
+                        result.predictor_macs_by_voltage[NOMINAL_VOLTAGE] = (
+                            result.predictor_macs_by_voltage.get(NOMINAL_VOLTAGE, 0.0)
+                            + predictor_macs)
+                else:
+                    voltage = controller_protection.static_voltage() or NOMINAL_VOLTAGE
+
+                logits = self.controller.act_logits(subtask_token, world.observation(),
+                                                    hooks=controller_hooks)
+                result.controller_steps += 1
+                result.controller_macs_by_voltage[voltage] = (
+                    result.controller_macs_by_voltage.get(voltage, 0.0) + controller_macs)
+                result.entropy_trace.record(action_entropy(logits),
+                                            world.is_critical_step(), voltage)
+
+                action = self._select_action(logits, rng)
+                step = world.step(action)
+                if step.subtask_completed:
+                    completed = True
+                    break
+                if world.subtask_budget_exhausted():
+                    break
+
+            if not completed and not world.task_completed:
+                # Subtask retry budget exhausted: force a replanning round.
+                plan_queue.clear()
+
+        result.success = world.task_completed
+        result.steps = world.steps_taken
+        if not result.success:
+            # Failed tasks are charged the full execution budget (paper Sec. 6.1).
+            remaining = max(self.world_config.task_step_limit - result.steps, 0)
+            fallback_voltage = controller_protection.static_voltage() or NOMINAL_VOLTAGE
+            if vs_runtime is not None:
+                fallback_voltage = vs_runtime.voltage
+            result.controller_macs_by_voltage[fallback_voltage] = (
+                result.controller_macs_by_voltage.get(fallback_voltage, 0.0)
+                + remaining * controller_macs)
+            result.steps = self.world_config.task_step_limit
+
+        if planner_injector is not None:
+            result.planner_bits_flipped = planner_injector.stats.bits_flipped
+        if controller_injector is not None:
+            result.controller_bits_flipped = controller_injector.stats.bits_flipped
+        if planner_detector is not None:
+            result.planner_elements_clamped = planner_detector.stats.elements_clamped
+        if controller_detector is not None:
+            result.controller_elements_clamped = controller_detector.stats.elements_clamped
+        if vs_runtime is not None:
+            result.voltage_summary = vs_runtime.schedule_summary()
+        return result
+
+    def _select_action(self, logits: np.ndarray, rng: np.random.Generator) -> int:
+        """Sample an action from the (temperature-scaled) softmax of the logits."""
+        scaled = np.asarray(logits, dtype=np.float64) / self.action_temperature
+        scaled = np.nan_to_num(scaled, nan=0.0, posinf=60.0, neginf=-60.0)
+        scaled = np.clip(scaled, -60.0, 60.0)
+        probs = softmax(scaled)
+        return int(rng.choice(probs.size, p=probs))
+
+    # ------------------------------------------------------------------
+    def run_trials(self, task_name: str, num_trials: int, seed: int = 0,
+                   planner_protection: ProtectionConfig | None = None,
+                   controller_protection: ProtectionConfig | None = None
+                   ) -> list[TrialResult]:
+        """Repeat a trial with distinct seeds (the paper repeats >= 100 times)."""
+        if num_trials <= 0:
+            raise ValueError("num_trials must be positive")
+        return [self.run_trial(task_name, seed=seed + index,
+                               planner_protection=planner_protection,
+                               controller_protection=controller_protection)
+                for index in range(num_trials)]

@@ -1,0 +1,149 @@
+"""System builders: assemble deployed planner + controller + predictor into one agent.
+
+:class:`EmbodiedSystem` is the object the evaluation harness and the examples
+work with — it owns the deployed (quantized) models of one platform and hands
+out :class:`~repro.agents.executor.MissionExecutor` instances.  Building a
+system pulls trained weights from the model zoo (training them on first use)
+and performs the deployment steps of the paper: gamma folding, optional
+Hadamard weight rotation (WR), INT8 calibration and quantization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.predictor import EntropyPredictor
+from ..core.rotation import rotation_matrix_for_dim
+from ..env.subtasks import SubtaskRegistry
+from ..env.tasks import SUITES, TaskSuite
+from ..env.world import WorldConfig
+from ..quant import INT8, QuantSpec
+from .configs import CONTROLLER_CONFIGS, PLANNER_CONFIGS
+from .controller import DeployedController
+from .executor import MissionExecutor
+from .planner import DeployedPlanner, extract_planner_weights
+from .zoo import (
+    get_controller_network,
+    get_planner_network,
+    get_predictor_network,
+    registry_for_benchmark,
+)
+
+__all__ = ["EmbodiedSystem", "build_jarvis_system", "build_planner_platform",
+           "build_controller_platform"]
+
+
+@dataclass
+class EmbodiedSystem:
+    """A deployed embodied-AI platform ready to run missions."""
+
+    name: str
+    suite: TaskSuite
+    registry: SubtaskRegistry
+    controller: DeployedController
+    planner: DeployedPlanner | None = None
+    predictor: EntropyPredictor | None = None
+    planner_rotated: bool = False
+
+    def executor(self, world_config: WorldConfig | None = None,
+                 **kwargs) -> MissionExecutor:
+        return MissionExecutor(
+            controller=self.controller,
+            suite=self.suite,
+            registry=self.registry,
+            planner=self.planner,
+            predictor=self.predictor,
+            world_config=world_config,
+            **kwargs,
+        )
+
+    @property
+    def task_names(self) -> list[str]:
+        return self.suite.task_names
+
+
+def _deploy_planner(name: str, rotate: bool, spec: QuantSpec) -> DeployedPlanner:
+    network, vocab = get_planner_network(name)
+    weights = extract_planner_weights(network)
+    if rotate:
+        rotation = rotation_matrix_for_dim(weights.dim, np.random.default_rng(weights.config.seed))
+        weights = weights.apply_rotation(rotation)
+    suite = SUITES[PLANNER_CONFIGS[name].benchmark]
+    return DeployedPlanner(weights, vocab, suite, spec=spec)
+
+
+def _deploy_controller(name: str, spec: QuantSpec) -> DeployedController:
+    network = get_controller_network(name)
+    benchmark = CONTROLLER_CONFIGS[name].benchmark
+    registry = registry_for_benchmark(benchmark)
+    calibration_suite = SUITES["minecraft"] if benchmark == "minecraft" \
+        else SUITES["manipulation"]
+    return DeployedController(network, spec=spec, calibration_suite=calibration_suite,
+                              calibration_registry=registry)
+
+
+def build_jarvis_system(rotate_planner: bool = True, with_planner: bool = True,
+                        with_predictor: bool = True,
+                        spec: QuantSpec = INT8) -> EmbodiedSystem:
+    """The primary testbed: JARVIS-1-style agent on the Minecraft benchmark."""
+    controller = _deploy_controller("jarvis", spec)
+    planner = _deploy_planner("jarvis", rotate_planner, spec) if with_planner else None
+    predictor = None
+    if with_predictor:
+        predictor = EntropyPredictor(get_predictor_network("jarvis"))
+    return EmbodiedSystem(
+        name="jarvis",
+        suite=SUITES["minecraft"],
+        registry=registry_for_benchmark("minecraft"),
+        controller=controller,
+        planner=planner,
+        predictor=predictor,
+        planner_rotated=rotate_planner,
+    )
+
+
+def build_planner_platform(name: str, rotate_planner: bool = True,
+                           spec: QuantSpec = INT8) -> EmbodiedSystem:
+    """Cross-platform planner evaluation (OpenVLA on LIBERO, RoboFlamingo on CALVIN).
+
+    The platform's planner is paired with a manipulation controller (the RT-1
+    surrogate) so full episodes can run; planner-level protections (AD, WR) are
+    what the cross-platform study varies.
+    """
+    if name == "jarvis":
+        return build_jarvis_system(rotate_planner=rotate_planner, spec=spec)
+    if name not in PLANNER_CONFIGS:
+        raise KeyError(f"unknown planner platform {name!r}")
+    planner = _deploy_planner(name, rotate_planner, spec)
+    controller = _deploy_controller("rt1", spec)
+    benchmark = PLANNER_CONFIGS[name].benchmark
+    return EmbodiedSystem(
+        name=name,
+        suite=SUITES[benchmark],
+        registry=registry_for_benchmark(benchmark),
+        controller=controller,
+        planner=planner,
+        planner_rotated=rotate_planner,
+    )
+
+
+def build_controller_platform(name: str, spec: QuantSpec = INT8) -> EmbodiedSystem:
+    """Cross-platform controller evaluation (Octo / RT-1 on OXE tasks).
+
+    Episodes follow the ground-truth plan (no planner), isolating the
+    controller-level protections (AD, VS) exactly as the paper does.
+    """
+    if name not in CONTROLLER_CONFIGS:
+        raise KeyError(f"unknown controller platform {name!r}")
+    controller = _deploy_controller(name, spec)
+    benchmark = CONTROLLER_CONFIGS[name].benchmark
+    suite = SUITES["oxe"] if benchmark != "minecraft" else SUITES["minecraft"]
+    return EmbodiedSystem(
+        name=name,
+        suite=suite,
+        registry=registry_for_benchmark(benchmark),
+        controller=controller,
+        planner=None,
+    )

@@ -1,0 +1,453 @@
+"""The LLM planner surrogate: training, weight extraction, quantized deployment.
+
+Three stages mirror the real platform:
+
+1. :class:`PlannerNetwork` — a small LLaMA-style causal language model trained
+   in float (numpy autograd) to emit the ground-truth subtask sequence for a
+   task prompt.  Its residual stream carries *systematic activation outliers*
+   (a few channels scaled up at initialization and preserved by training),
+   reproducing the LLM phenomenon at the heart of the paper's model-level
+   findings.
+2. :class:`PlannerWeights` — the deployment-ready float weights: RMSNorm gains
+   folded into the adjacent projections so the residual stream can be rotated
+   (weight-rotation-enhanced planning) without changing the function.
+3. :class:`DeployedPlanner` — static INT8 per-tensor quantization of every
+   GEMM, executed through :mod:`repro.quant` with fault-injection and
+   anomaly-clearance hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.rotation import rotate_reader, rotate_writer
+from ..env.tasks import TaskSuite
+from ..nn import Embedding, Linear, LlamaTransformer, Module, Tensor, no_grad
+from ..nn.functional import rms_norm, silu, softmax
+from ..quant import Calibrator, GemmHooks, QuantizedLinear, QuantSpec, INT8
+from ..train import AdamW, clip_grad_norm
+from .configs import PlannerConfig
+from .vocabulary import PlannerVocabulary, build_vocabulary
+
+__all__ = [
+    "PlannerNetwork",
+    "PlannerWeights",
+    "DeployedPlanner",
+    "build_planner_dataset",
+    "train_planner",
+    "plan_accuracy",
+]
+
+_NORM_EPS = 1e-6
+
+
+# ----------------------------------------------------------------------
+# Trainable network
+# ----------------------------------------------------------------------
+class PlannerNetwork(Module):
+    """LLaMA-style causal LM over the planner vocabulary."""
+
+    def __init__(self, config: PlannerConfig, vocab_size: int):
+        super().__init__()
+        rng = np.random.default_rng(config.seed)
+        self.config = config
+        self.vocab_size = vocab_size
+        self.embed = Embedding(vocab_size, config.dim, rng=rng)
+        self.transformer = LlamaTransformer(
+            config.num_layers, config.dim, config.num_heads, config.mlp_dim, rng, causal=True)
+        self.head = Linear(config.dim, vocab_size, bias=False, rng=rng)
+        self.outlier_channel_indices = self._install_outliers(rng)
+
+    def _install_outliers(self, rng: np.random.Generator) -> np.ndarray:
+        """Scale a fixed set of residual channels in every writer projection.
+
+        The same channels are boosted in every layer (systematic outliers);
+        training starts from — and, with a modest learning rate, stays near —
+        this outlier-dominated structure, so the deployed activations show the
+        distribution of paper Fig. 5(i).
+        """
+        cfg = self.config
+        channels = rng.choice(cfg.dim, size=cfg.outlier_channels, replace=False)
+        for block in self.transformer.blocks:
+            block.attn.o_proj.weight.data[:, channels] *= cfg.outlier_scale
+            block.mlp.down.weight.data[:, channels] *= cfg.outlier_scale
+        return np.sort(channels)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        x = self.embed(np.asarray(tokens, dtype=np.int64))
+        x = self.transformer(x)
+        return self.head(x)
+
+
+# ----------------------------------------------------------------------
+# Training
+# ----------------------------------------------------------------------
+def build_planner_dataset(suite: TaskSuite, vocab: PlannerVocabulary,
+                          max_length: int) -> tuple[np.ndarray, np.ndarray]:
+    """(tokens, loss_mask) for every (task, progress) replanning situation.
+
+    Each example is ``[BOS, TASK, PROGRESS, SEP, remaining plan ..., EOS]``
+    padded to ``max_length``; the loss mask selects the completion positions
+    (plan tokens and EOS) so the prompt is never penalized.
+    """
+    sequences: list[list[int]] = []
+    masks: list[list[bool]] = []
+    for task in suite.tasks():
+        for progress in range(len(task.plan)):
+            prompt = vocab.encode_prompt(task.name, progress)
+            completion = vocab.encode_plan(list(task.plan[progress:]))
+            sequence = prompt + completion
+            mask = [False] * len(prompt) + [True] * len(completion)
+            if len(sequence) > max_length:
+                sequence = sequence[:max_length]
+                mask = mask[:max_length]
+            pad = max_length - len(sequence)
+            sequences.append(sequence + [vocab.pad] * pad)
+            masks.append(mask + [False] * pad)
+    return np.asarray(sequences, dtype=np.int64), np.asarray(masks, dtype=bool)
+
+
+def _masked_lm_loss(logits: Tensor, tokens: np.ndarray, mask: np.ndarray) -> Tensor:
+    """Next-token cross entropy restricted to masked (completion) positions."""
+    targets = tokens[:, 1:]
+    target_mask = mask[:, 1:]
+    vocab = logits.shape[-1]
+    flat_logits = logits[:, :-1, :].reshape(-1, vocab)
+    flat_targets = targets.reshape(-1)
+    flat_mask = target_mask.reshape(-1)
+    selected = np.nonzero(flat_mask)[0]
+    picked_logits = flat_logits[selected]
+    picked_targets = flat_targets[selected]
+    log_probs = picked_logits - picked_logits.exp().sum(axis=-1, keepdims=True).log()
+    one_hot = np.zeros((selected.size, vocab))
+    one_hot[np.arange(selected.size), picked_targets] = 1.0
+    return (log_probs * Tensor(one_hot)).sum() * (-1.0 / max(selected.size, 1))
+
+
+def train_planner(config: PlannerConfig, suite: TaskSuite,
+                  vocab: PlannerVocabulary | None = None,
+                  epochs: int = 260, lr: float = 3e-3, batch_size: int = 16,
+                  verbose: bool = False) -> tuple[PlannerNetwork, PlannerVocabulary]:
+    """Train a planner to reproduce the ground-truth plans of a suite."""
+    vocab = vocab or build_vocabulary()
+    max_length = config.max_plan_length + 6
+    tokens, mask = build_planner_dataset(suite, vocab, max_length)
+    network = PlannerNetwork(config, vocab.size)
+    optimizer = AdamW(network.parameters(), lr=lr, weight_decay=1e-4)
+    rng = np.random.default_rng(config.seed + 1)
+
+    network.train()
+    n = tokens.shape[0]
+    for epoch in range(epochs):
+        order = rng.permutation(n)
+        losses = []
+        for start in range(0, n, batch_size):
+            batch = order[start:start + batch_size]
+            optimizer.zero_grad()
+            logits = network(tokens[batch])
+            loss = _masked_lm_loss(logits, tokens[batch], mask[batch])
+            loss.backward()
+            clip_grad_norm(network.parameters(), 1.0)
+            optimizer.step()
+            losses.append(loss.item())
+        if verbose and (epoch + 1) % 20 == 0:  # pragma: no cover - logging only
+            print(f"planner epoch {epoch + 1}: loss={np.mean(losses):.4f}")
+    network.eval()
+    return network, vocab
+
+
+def _greedy_decode(network: PlannerNetwork, vocab: PlannerVocabulary, task_name: str,
+                   progress: int, max_new_tokens: int) -> list[int]:
+    tokens = list(vocab.encode_prompt(task_name, progress))
+    with no_grad():
+        for _ in range(max_new_tokens):
+            logits = network(np.asarray([tokens])).data[0, -1]
+            next_token = int(np.argmax(logits))
+            tokens.append(next_token)
+            if next_token == vocab.eos:
+                break
+    return tokens[len(vocab.encode_prompt(task_name, progress)):]
+
+
+def plan_accuracy(network: PlannerNetwork, suite: TaskSuite,
+                  vocab: PlannerVocabulary) -> float:
+    """Fraction of (task, progress) prompts whose greedy plan matches the recipe."""
+    total = 0
+    correct = 0
+    for task in suite.tasks():
+        for progress in range(len(task.plan)):
+            expected = list(task.plan[progress:])
+            decoded = _greedy_decode(network, vocab, task.name, progress,
+                                     max_new_tokens=len(expected) + 2)
+            produced = vocab.decode_plan(decoded)
+            total += 1
+            correct += int(produced == expected)
+    return correct / max(total, 1)
+
+
+# ----------------------------------------------------------------------
+# Deployment-ready weights (gamma-folded, rotatable)
+# ----------------------------------------------------------------------
+@dataclass
+class PlannerWeights:
+    """Float weights of the planner in deployment form.
+
+    RMSNorm gains are already folded into the residual readers (Q, K, V, Gate,
+    Up, head), so every normalization in the deployed graph is a plain
+    gain-free RMSNorm and the residual stream can be rotated consistently.
+    """
+
+    config: PlannerConfig
+    vocab_size: int
+    embed: np.ndarray
+    layers: list[dict[str, np.ndarray]]
+    head: np.ndarray
+    rotated: bool = False
+    rotation: np.ndarray | None = None
+
+    @property
+    def dim(self) -> int:
+        return self.config.dim
+
+    def component_names(self) -> list[str]:
+        names = []
+        for index in range(len(self.layers)):
+            for key in ("q", "k", "v", "o", "gate", "up", "down"):
+                names.append(f"layer{index}.{key}")
+        names.append("head")
+        return names
+
+    def apply_rotation(self, rotation: np.ndarray) -> "PlannerWeights":
+        """Return a rotated copy (weight-rotation-enhanced planning)."""
+        if rotation.shape != (self.dim, self.dim):
+            raise ValueError("rotation must be (dim, dim)")
+        if not np.allclose(rotation @ rotation.T, np.eye(self.dim), atol=1e-8):
+            raise ValueError("rotation must be orthonormal")
+        layers = []
+        for layer in self.layers:
+            layers.append({
+                "q": rotate_reader(layer["q"], rotation),
+                "k": rotate_reader(layer["k"], rotation),
+                "v": rotate_reader(layer["v"], rotation),
+                "o": rotate_writer(layer["o"], rotation),
+                "gate": rotate_reader(layer["gate"], rotation),
+                "up": rotate_reader(layer["up"], rotation),
+                "down": rotate_writer(layer["down"], rotation),
+            })
+        return PlannerWeights(
+            config=self.config,
+            vocab_size=self.vocab_size,
+            embed=self.embed @ rotation,
+            layers=layers,
+            head=rotate_reader(self.head, rotation),
+            rotated=True,
+            rotation=rotation.copy(),
+        )
+
+
+def extract_planner_weights(network: PlannerNetwork) -> PlannerWeights:
+    """Fold norm gains and collect the float weights of a trained planner."""
+    layers: list[dict[str, np.ndarray]] = []
+    for block in network.transformer.blocks:
+        attn_gamma = block.attn_norm.gamma.data
+        mlp_gamma = block.mlp_norm.gamma.data
+        layers.append({
+            "q": np.diag(attn_gamma) @ block.attn.q_proj.weight.data,
+            "k": np.diag(attn_gamma) @ block.attn.k_proj.weight.data,
+            "v": np.diag(attn_gamma) @ block.attn.v_proj.weight.data,
+            "o": block.attn.o_proj.weight.data.copy(),
+            "gate": np.diag(mlp_gamma) @ block.mlp.gate.weight.data,
+            "up": np.diag(mlp_gamma) @ block.mlp.up.weight.data,
+            "down": block.mlp.down.weight.data.copy(),
+        })
+    final_gamma = network.transformer.final_norm.gamma.data
+    return PlannerWeights(
+        config=network.config,
+        vocab_size=network.vocab_size,
+        embed=network.embed.weight.data.copy(),
+        layers=layers,
+        head=np.diag(final_gamma) @ network.head.weight.data,
+    )
+
+
+# ----------------------------------------------------------------------
+# Quantized deployment
+# ----------------------------------------------------------------------
+def _unit_rms_norm(x: np.ndarray) -> np.ndarray:
+    return rms_norm(x, np.ones(x.shape[-1]), eps=_NORM_EPS)
+
+
+class DeployedPlanner:
+    """INT8 planner inference with fault-injection / anomaly-clearance hooks."""
+
+    def __init__(self, weights: PlannerWeights, vocab: PlannerVocabulary,
+                 suite: TaskSuite, spec: QuantSpec = INT8,
+                 calibrate: bool = True):
+        self.weights = weights
+        self.vocab = vocab
+        self.suite = suite
+        self.spec = spec
+        self.config = weights.config
+        self.calibrator = Calibrator(spec)
+        self._quantized: dict[str, QuantizedLinear] = {}
+        self._activation_probe: dict[str, np.ndarray] | None = None
+        if calibrate:
+            self.calibrate()
+
+    # ------------------------------------------------------------------
+    # Forward pass (shared between float calibration and quantized inference)
+    # ------------------------------------------------------------------
+    def _attention(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+        seq, dim = q.shape
+        heads = self.config.num_heads
+        head_dim = dim // heads
+        q = q.reshape(seq, heads, head_dim).transpose(1, 0, 2)
+        k = k.reshape(seq, heads, head_dim).transpose(1, 0, 2)
+        v = v.reshape(seq, heads, head_dim).transpose(1, 0, 2)
+        scores = q @ k.transpose(0, 2, 1) / np.sqrt(head_dim)
+        mask = np.triu(np.full((seq, seq), -1e9), k=1)
+        weights = softmax(scores + mask, axis=-1)
+        context = weights @ v
+        return context.transpose(1, 0, 2).reshape(seq, dim)
+
+    def _forward_tokens(self, tokens: list[int], linear) -> np.ndarray:
+        """Run the decoder over ``tokens``; return logits of the last position.
+
+        ``linear(name, x)`` performs the projection for component ``name`` —
+        either the float matmul (calibration) or the quantized pipeline.
+        """
+        x = self.weights.embed[np.asarray(tokens, dtype=np.int64)]
+        probe = self._activation_probe
+        for index, layer in enumerate(self.weights.layers):
+            prefix = f"layer{index}"
+            h = _unit_rms_norm(x)
+            q = linear(f"{prefix}.q", h)
+            k = linear(f"{prefix}.k", h)
+            v = linear(f"{prefix}.v", h)
+            attn = self._attention(q, k, v)
+            x = x + linear(f"{prefix}.o", attn)
+            if probe is not None:
+                probe[f"{prefix}.pre_mlp_norm"] = x.copy()
+            h2 = _unit_rms_norm(x)
+            gate = silu(linear(f"{prefix}.gate", h2))
+            up = linear(f"{prefix}.up", h2)
+            x = x + linear(f"{prefix}.down", gate * up)
+            if probe is not None:
+                probe[f"{prefix}.pre_attn_norm"] = x.copy()
+        x = _unit_rms_norm(x)
+        logits = linear("head", x[-1:])
+        return logits[0]
+
+    def _float_linear(self, observer: Calibrator | None = None):
+        def linear(name: str, x: np.ndarray) -> np.ndarray:
+            weight = self._float_weight(name)
+            out = x @ weight
+            if observer is not None:
+                observer.observe(name, x, out)
+            return out
+        return linear
+
+    def _float_weight(self, name: str) -> np.ndarray:
+        if name == "head":
+            return self.weights.head
+        layer_name, component = name.split(".")
+        index = int(layer_name.removeprefix("layer"))
+        return self.weights.layers[index][component]
+
+    def _quantized_linear(self, hooks: GemmHooks | None):
+        def linear(name: str, x: np.ndarray) -> np.ndarray:
+            return self._quantized[name](x, hooks=hooks)
+        return linear
+
+    # ------------------------------------------------------------------
+    # Calibration / quantization
+    # ------------------------------------------------------------------
+    def calibrate(self) -> None:
+        """Profile activations over every (task, progress) prompt, then quantize."""
+        observer = Calibrator(self.spec)
+        linear = self._float_linear(observer)
+        for task in self.suite.tasks():
+            for progress in range(len(task.plan)):
+                self._decode(task.name, progress, linear, max_new_tokens=None)
+        self.calibrator = observer
+        self._quantized = {}
+        for name in self.weights.component_names():
+            self._quantized[name] = QuantizedLinear(
+                name=name,
+                weight=self._float_weight(name),
+                bias=None,
+                x_params=observer.input_params(name),
+                spec=self.spec,
+                output_bound=observer.output_bound(name),
+            )
+
+    def output_bounds(self) -> dict[str, float]:
+        """Profiled per-component anomaly bounds (float domain)."""
+        return {name: self.calibrator.output_bound(name)
+                for name in self.weights.component_names()}
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def _decode(self, task_name: str, progress: int, linear,
+                max_new_tokens: int | None) -> list[int]:
+        limit = max_new_tokens or self.config.max_plan_length + 1
+        tokens = list(self.vocab.encode_prompt(task_name, progress))
+        generated: list[int] = []
+        for _ in range(limit):
+            logits = self._forward_tokens(tokens, linear)
+            next_token = int(np.argmax(logits))
+            generated.append(next_token)
+            tokens.append(next_token)
+            if next_token == self.vocab.eos:
+                break
+        return generated
+
+    def plan(self, task_name: str, progress: int = 0,
+             hooks: GemmHooks | None = None,
+             quantized: bool = True) -> list[str]:
+        """Produce a subtask plan for a task at the given completion progress."""
+        if quantized:
+            if not self._quantized:
+                raise RuntimeError("planner has not been calibrated/quantized")
+            linear = self._quantized_linear(hooks)
+        else:
+            linear = self._float_linear()
+        generated = self._decode(task_name, progress, linear, max_new_tokens=None)
+        return self.vocab.decode_plan(generated)
+
+    def logits(self, task_name: str, progress: int = 0,
+               hooks: GemmHooks | None = None, quantized: bool = True) -> np.ndarray:
+        """Logits of the first completion token (used by resilience probes)."""
+        linear = self._quantized_linear(hooks) if quantized else self._float_linear()
+        tokens = list(self.vocab.encode_prompt(task_name, progress))
+        return self._forward_tokens(tokens, linear)
+
+    # ------------------------------------------------------------------
+    # Introspection used by the characterization experiments
+    # ------------------------------------------------------------------
+    def capture_activations(self, task_name: str, progress: int = 0,
+                            hooks: GemmHooks | None = None,
+                            quantized: bool = True) -> dict[str, np.ndarray]:
+        """Capture pre-normalization residual activations during one forward."""
+        self._activation_probe = {}
+        try:
+            linear = self._quantized_linear(hooks) if quantized else self._float_linear()
+            tokens = list(self.vocab.encode_prompt(task_name, progress))
+            self._forward_tokens(tokens, linear)
+            return dict(self._activation_probe)
+        finally:
+            self._activation_probe = None
+
+    def macs_per_decode_step(self, context_length: int) -> int:
+        """INT8 MACs of one decode step at a given context length."""
+        cfg = self.config
+        per_token = 0
+        for layer in self.weights.layers:
+            for weight in layer.values():
+                per_token += weight.shape[0] * weight.shape[1]
+        head = self.weights.head.shape[0] * self.weights.head.shape[1]
+        attention = 2 * context_length * cfg.dim  # QK^T and PV per token
+        return context_length * per_token + head + context_length * attention

@@ -1,0 +1,121 @@
+"""Paper-scale platform descriptions used by the hardware benchmarks.
+
+The resilience experiments run on the (small) surrogate models, but the
+hardware results of the paper — accelerator latencies (Table 3), model
+parameter / operation counts (Table 4), chip-level energy breakdown (Fig. 18)
+— are functions of the *original* model sizes.  This module describes those
+original architectures (Tables 7-8) and converts them into GEMM workloads the
+SCALE-Sim-style model can consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.systolic import GemmWorkload
+from .configs import PAPER_MODEL_STATS, PaperModelStats
+
+__all__ = [
+    "TransformerArch",
+    "PAPER_PLANNER_ARCHS",
+    "PAPER_CONTROLLER_ARCHS",
+    "transformer_workloads",
+    "planner_inference_workloads",
+    "controller_inference_workloads",
+    "predictor_inference_workloads",
+    "paper_stats",
+]
+
+
+@dataclass(frozen=True)
+class TransformerArch:
+    """Shape of a Transformer stack (paper Tables 7-8, primary modules only)."""
+
+    name: str
+    num_layers: int
+    hidden_dim: int
+    mlp_dim: int
+    vocab_size: int = 32000
+
+    def params_millions(self) -> float:
+        per_layer = 4 * self.hidden_dim ** 2 + 3 * self.hidden_dim * self.mlp_dim
+        embed = 2 * self.vocab_size * self.hidden_dim
+        return (per_layer * self.num_layers + embed) / 1e6
+
+
+#: LLM planner architectures (paper Table 7).
+PAPER_PLANNER_ARCHS: dict[str, TransformerArch] = {
+    "jarvis": TransformerArch("JARVIS-1 planner", 32, 4096, 14336),
+    "openvla": TransformerArch("OpenVLA", 32, 4096, 11008),
+    "roboflamingo": TransformerArch("RoboFlamingo", 24, 2048, 8192),
+}
+
+#: Controller architectures, approximated by their Transformer decoder stack
+#: (paper Table 8 lists the vision front-ends separately; we fold them into an
+#: equivalent number of decoder-dimension GEMMs).
+PAPER_CONTROLLER_ARCHS: dict[str, TransformerArch] = {
+    "jarvis": TransformerArch("JARVIS-1 controller", 4, 1024, 4096, vocab_size=1024),
+    "rt1": TransformerArch("RT-1", 4, 768, 3072, vocab_size=256),
+    "octo": TransformerArch("Octo", 4, 640, 2560, vocab_size=256),
+}
+
+
+def transformer_workloads(arch: TransformerArch, tokens: int,
+                          include_head: bool = True,
+                          prefix: str = "") -> list[GemmWorkload]:
+    """GEMM workloads of one forward pass over ``tokens`` tokens."""
+    if tokens <= 0:
+        raise ValueError("tokens must be positive")
+    workloads: list[GemmWorkload] = []
+    d, m = arch.hidden_dim, arch.mlp_dim
+    for layer in range(arch.num_layers):
+        name = f"{prefix}layer{layer}"
+        workloads.extend([
+            GemmWorkload(tokens, d, d, f"{name}.q"),
+            GemmWorkload(tokens, d, d, f"{name}.k"),
+            GemmWorkload(tokens, d, d, f"{name}.v"),
+            GemmWorkload(tokens, d, d, f"{name}.o"),
+            GemmWorkload(tokens, d, m, f"{name}.gate"),
+            GemmWorkload(tokens, d, m, f"{name}.up"),
+            GemmWorkload(tokens, m, d, f"{name}.down"),
+        ])
+    if include_head:
+        workloads.append(GemmWorkload(1, d, arch.vocab_size, f"{prefix}head"))
+    return workloads
+
+
+def planner_inference_workloads(name: str) -> list[GemmWorkload]:
+    """One planner inference: prefill over the prompt plus autoregressive decode."""
+    arch = PAPER_PLANNER_ARCHS[name]
+    stats = paper_stats(f"{name}_planner")
+    prefill_tokens = stats.input_tokens or 512
+    decode_tokens = stats.output_tokens or 64
+    workloads = transformer_workloads(arch, prefill_tokens, prefix="prefill.")
+    # Decode steps process one token each; aggregate them into one m=decode GEMM set.
+    workloads += transformer_workloads(arch, decode_tokens, prefix="decode.")
+    return workloads
+
+
+def controller_inference_workloads(name: str, patch_tokens: int = 196) -> list[GemmWorkload]:
+    """One controller invocation (one environment step)."""
+    arch = PAPER_CONTROLLER_ARCHS[name]
+    return transformer_workloads(arch, patch_tokens, prefix="step.")
+
+
+def predictor_inference_workloads() -> list[GemmWorkload]:
+    """One entropy-predictor invocation (paper Table 9: three conv layers + MLPs)."""
+    return [
+        GemmWorkload(484, 27, 16, "conv1"),      # 22x22 positions, 3x3x3 patches
+        GemmWorkload(121, 144, 32, "conv2"),     # 11x11 positions, 16x3x3 patches
+        GemmWorkload(36, 288, 64, "conv3"),      # 6x6 positions, 32x3x3 patches
+        GemmWorkload(1, 512, 64, "prompt_mlp"),
+        GemmWorkload(1, 128, 128, "fusion1"),
+        GemmWorkload(1, 128, 1, "fusion2"),
+    ]
+
+
+def paper_stats(key: str) -> PaperModelStats:
+    """Look up the paper-reported size of a model (Table 4)."""
+    if key not in PAPER_MODEL_STATS:
+        raise KeyError(f"unknown paper model {key!r}")
+    return PAPER_MODEL_STATS[key]

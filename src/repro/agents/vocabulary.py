@@ -1,0 +1,82 @@
+"""Token vocabulary of the planner language model.
+
+The planner is a (small) causal language model: its prompt names the task and
+the current progress, and its completion is the sequence of subtask tokens —
+the "plan".  A single shared vocabulary covers all benchmarks so planners for
+different platforms are interchangeable pieces of the same system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..env.subtasks import ALL_SUBTASKS
+from ..env.tasks import SUITES
+
+__all__ = ["PlannerVocabulary", "build_vocabulary"]
+
+_MAX_PROGRESS = 12
+
+
+@dataclass(frozen=True)
+class PlannerVocabulary:
+    """Bidirectional token <-> symbol mapping."""
+
+    pad: int
+    bos: int
+    eos: int
+    sep: int
+    task_tokens: dict[str, int]
+    progress_tokens: dict[int, int]
+    subtask_tokens: dict[str, int]
+
+    @property
+    def size(self) -> int:
+        return 4 + len(self.task_tokens) + len(self.progress_tokens) + len(self.subtask_tokens)
+
+    # ------------------------------------------------------------------
+    def encode_prompt(self, task_name: str, progress: int) -> list[int]:
+        """Prompt tokens: ``[BOS, TASK, PROGRESS, SEP]``."""
+        if task_name not in self.task_tokens:
+            raise KeyError(f"unknown task {task_name!r}")
+        progress = int(min(max(progress, 0), _MAX_PROGRESS - 1))
+        return [self.bos, self.task_tokens[task_name], self.progress_tokens[progress], self.sep]
+
+    def encode_plan(self, subtasks: list[str] | tuple[str, ...]) -> list[int]:
+        """Completion tokens: one per subtask, terminated by EOS."""
+        return [self.subtask_tokens[name] for name in subtasks] + [self.eos]
+
+    def decode_plan(self, tokens: list[int]) -> list[str]:
+        """Map completion tokens back to subtask names.
+
+        Unknown or non-subtask tokens are kept as synthetic ``<invalid:k>``
+        names: the executor treats them as subtasks that can never complete,
+        which is how a corrupted plan wastes steps instead of crashing.
+        """
+        names: list[str] = []
+        inverse = {token: name for name, token in self.subtask_tokens.items()}
+        for token in tokens:
+            if token == self.eos:
+                break
+            names.append(inverse.get(token, f"<invalid:{token}>"))
+        return names
+
+    def is_subtask_token(self, token: int) -> bool:
+        return token in set(self.subtask_tokens.values())
+
+
+def build_vocabulary() -> PlannerVocabulary:
+    """Construct the shared vocabulary from the task suites and subtask registry."""
+    task_names = sorted({task for suite in SUITES.values() for task in suite.task_names})
+    offset = 4
+    task_tokens = {name: offset + index for index, name in enumerate(task_names)}
+    offset += len(task_tokens)
+    progress_tokens = {index: offset + index for index in range(_MAX_PROGRESS)}
+    offset += len(progress_tokens)
+    subtask_tokens = {name: offset + index for index, name in enumerate(ALL_SUBTASKS.names)}
+    return PlannerVocabulary(
+        pad=0, bos=1, eos=2, sep=3,
+        task_tokens=task_tokens,
+        progress_tokens=progress_tokens,
+        subtask_tokens=subtask_tokens,
+    )

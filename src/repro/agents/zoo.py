@@ -1,0 +1,159 @@
+"""Model zoo: train-or-load caching of the surrogate networks.
+
+Resilience experiments repeat hundreds of trials over the same trained models,
+so the zoo trains each surrogate once and caches its weights (as ``.npz``
+files) keyed by a hash of its configuration.  Delete the cache directory (or
+set ``REPRO_MODEL_CACHE``) to force retraining.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from ..core.predictor import (
+    EntropyPredictorNetwork,
+    PredictorConfig,
+    train_entropy_predictor,
+)
+from ..env.subtasks import MANIPULATION_SUBTASKS, MINECRAFT_SUBTASKS, SubtaskRegistry
+from ..env.tasks import SUITES, TaskSuite
+from .configs import CONTROLLER_CONFIGS, ControllerConfig, PLANNER_CONFIGS, PlannerConfig
+from .controller import ControllerNetwork, DeployedController, train_controller
+from .planner import PlannerNetwork, train_planner
+from .vocabulary import PlannerVocabulary, build_vocabulary
+
+__all__ = [
+    "cache_directory",
+    "clear_cache",
+    "registry_for_benchmark",
+    "get_planner_network",
+    "get_controller_network",
+    "get_predictor_network",
+]
+
+_CACHE_ENV = "REPRO_MODEL_CACHE"
+
+
+def cache_directory() -> Path:
+    """Directory holding cached model weights."""
+    override = os.environ.get(_CACHE_ENV)
+    if override:
+        path = Path(override)
+    else:
+        path = Path(__file__).resolve().parents[3] / ".model_cache"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def clear_cache() -> None:
+    for file in cache_directory().glob("*.npz"):
+        file.unlink()
+
+
+def _config_hash(config) -> str:
+    payload = json.dumps(asdict(config), sort_keys=True, default=str)
+    return hashlib.sha1(payload.encode()).hexdigest()[:12]
+
+
+def _cache_path(kind: str, name: str, config) -> Path:
+    return cache_directory() / f"{kind}-{name}-{_config_hash(config)}.npz"
+
+
+def _save_state(path: Path, state: dict[str, np.ndarray]) -> None:
+    np.savez_compressed(path, **{key.replace(".", "__"): value for key, value in state.items()})
+
+
+def _load_state(path: Path) -> dict[str, np.ndarray]:
+    with np.load(path) as data:
+        return {key.replace("__", "."): data[key] for key in data.files}
+
+
+def registry_for_benchmark(benchmark: str) -> SubtaskRegistry:
+    """Subtask registry used by a benchmark suite."""
+    if benchmark == "minecraft":
+        return MINECRAFT_SUBTASKS
+    return MANIPULATION_SUBTASKS
+
+
+def _suite_for(config) -> TaskSuite:
+    return SUITES[config.benchmark]
+
+
+# ----------------------------------------------------------------------
+# Planner
+# ----------------------------------------------------------------------
+def get_planner_network(name: str = "jarvis", config: PlannerConfig | None = None,
+                        retrain: bool = False, epochs: int = 160,
+                        ) -> tuple[PlannerNetwork, PlannerVocabulary]:
+    """Return a trained planner network (training it on first use)."""
+    config = config or PLANNER_CONFIGS[name]
+    vocab = build_vocabulary()
+    path = _cache_path("planner", config.name, config)
+    if path.exists() and not retrain:
+        network = PlannerNetwork(config, vocab.size)
+        network.load_state_dict(_load_state(path))
+        network.eval()
+        return network, vocab
+    network, vocab = train_planner(config, _suite_for(config), vocab, epochs=epochs)
+    _save_state(path, network.state_dict())
+    return network, vocab
+
+
+# ----------------------------------------------------------------------
+# Controller
+# ----------------------------------------------------------------------
+def get_controller_network(name: str = "jarvis", config: ControllerConfig | None = None,
+                           retrain: bool = False, num_episodes: int = 30,
+                           epochs: int = 10) -> ControllerNetwork:
+    """Return a trained controller network (training it on first use)."""
+    config = config or CONTROLLER_CONFIGS[name]
+    path = _cache_path("controller", config.name, config)
+    if path.exists() and not retrain:
+        network = ControllerNetwork(config)
+        network.load_state_dict(_load_state(path))
+        network.eval()
+        return network
+    # Manipulation controllers (Octo / RT-1) are trained across the union of
+    # LIBERO / CALVIN / OXE episodes so they cover every manipulation subtask.
+    suite = SUITES["minecraft"] if config.benchmark == "minecraft" else SUITES["manipulation"]
+    registry = registry_for_benchmark(config.benchmark)
+    network = train_controller(config, suite, registry,
+                               num_episodes=num_episodes, epochs=epochs)
+    _save_state(path, network.state_dict())
+    return network
+
+
+# ----------------------------------------------------------------------
+# Entropy predictor
+# ----------------------------------------------------------------------
+def get_predictor_network(controller_name: str = "jarvis",
+                          config: PredictorConfig | None = None,
+                          retrain: bool = False, num_episodes: int = 24,
+                          epochs: int = 20) -> EntropyPredictorNetwork:
+    """Return a trained entropy predictor for a controller's benchmark."""
+    config = config or PredictorConfig()
+    controller_config = CONTROLLER_CONFIGS[controller_name]
+    path = cache_directory() / (
+        f"predictor-{controller_name}-{_config_hash(config)}-"
+        f"{_config_hash(controller_config)}.npz")
+    if path.exists() and not retrain:
+        network = EntropyPredictorNetwork(config)
+        network.load_state_dict(_load_state(path))
+        network.eval()
+        return network
+    controller_network = get_controller_network(controller_name)
+    suite = SUITES["minecraft"] if controller_config.benchmark == "minecraft" \
+        else SUITES["manipulation"]
+    registry = registry_for_benchmark(controller_config.benchmark)
+    deployed = DeployedController(controller_network, calibration_suite=suite,
+                                  calibration_registry=registry)
+    network, _ = train_entropy_predictor(deployed, suite, registry, config=config,
+                                         num_episodes=num_episodes, epochs=epochs)
+    _save_state(path, network.state_dict())
+    return network

@@ -1,0 +1,158 @@
+"""Command-line interface to the CREATE reproduction.
+
+Four subcommands cover the workflows a downstream user needs most often::
+
+    python -m repro.cli hardware                      # accelerator / LDO / model tables
+    python -m repro.cli policies                      # entropy-to-voltage policies A-F
+    python -m repro.cli mission --task wooden         # run protected missions
+    python -m repro.cli characterize --target planner # BER sweep on one model
+
+The first invocation of ``mission`` / ``characterize`` trains and caches the
+surrogate models (a few minutes); later invocations are fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-create",
+        description="CREATE: cross-layer resilience characterization and optimization "
+                    "for efficient yet reliable embodied AI systems (reproduction CLI)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    mission = subparsers.add_parser(
+        "mission", help="run repeated task missions under a CREATE configuration")
+    mission.add_argument("--task", default="wooden", help="task name (default: wooden)")
+    mission.add_argument("--trials", type=int, default=10, help="number of repetitions")
+    mission.add_argument("--seed", type=int, default=0)
+    mission.add_argument("--ad", action="store_true", help="enable anomaly detection")
+    mission.add_argument("--wr", action="store_true", help="deploy the weight-rotated planner")
+    mission.add_argument("--vs", action="store_true",
+                         help="enable autonomy-adaptive voltage scaling (policy C)")
+    mission.add_argument("--planner-voltage", type=float, default=None,
+                         help="planner supply voltage in volts (default: nominal 0.9)")
+    mission.add_argument("--controller-voltage", type=float, default=None,
+                         help="controller supply voltage (ignored when --vs is set)")
+
+    characterize = subparsers.add_parser(
+        "characterize", help="sweep the BER injected into the planner or controller")
+    characterize.add_argument("--target", choices=("planner", "controller"),
+                              default="controller")
+    characterize.add_argument("--task", default="wooden")
+    characterize.add_argument("--bers", type=float, nargs="+",
+                              default=[1e-5, 1e-4, 1e-3, 3e-3])
+    characterize.add_argument("--trials", type=int, default=10)
+    characterize.add_argument("--ad", action="store_true", help="enable anomaly detection")
+    characterize.add_argument("--seed", type=int, default=0)
+
+    subparsers.add_parser("hardware", help="print the accelerator / LDO / model tables")
+
+    subparsers.add_parser("policies", help="print the entropy-to-voltage policies A-F")
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def _run_mission(args) -> int:
+    from .agents import build_jarvis_system
+    from .core import CreateConfig, default_policy
+    from .eval import format_table, summarize_trials
+
+    system = build_jarvis_system(rotate_planner=args.wr)
+    config = CreateConfig(
+        ad=args.ad,
+        wr=args.wr,
+        vs_policy=default_policy() if args.vs else None,
+        planner_voltage=args.planner_voltage,
+        controller_voltage=args.controller_voltage,
+    )
+    trials = system.executor().run_trials(
+        args.task, args.trials, seed=args.seed,
+        planner_protection=config.planner_protection(),
+        controller_protection=config.controller_protection())
+    summary = summarize_trials(trials)
+    print(format_table(["metric", "value"],
+                       list(summary.as_dict().items()),
+                       title=f"{config.label()} on task {args.task!r}"))
+    return 0
+
+
+def _run_characterize(args) -> int:
+    from .agents import build_jarvis_system
+    from .eval import ber_sweep, format_sweep
+
+    system = build_jarvis_system(rotate_planner=False)
+    sweep = ber_sweep(system.executor(), args.task, list(args.bers), target=args.target,
+                      num_trials=args.trials, seed=args.seed, anomaly_detection=args.ad)
+    print(format_sweep({sweep.label: sweep}, "success_rate",
+                       title=f"{args.target} success rate vs. BER on {args.task!r}"))
+    print(format_sweep({sweep.label: sweep}, "average_steps", title="average steps"))
+    threshold = sweep.failure_threshold()
+    if np.isfinite(threshold):
+        print(f"first BER with success below 50%: {threshold:.1e}")
+    else:
+        print("success never fell below 50% in the swept range")
+    return 0
+
+
+def _run_hardware(_args) -> int:
+    from .eval import format_table
+    from .eval.experiments import hardware_report, model_table
+
+    report = hardware_report()
+    print(format_table(["block", "area (mm^2)", "power (W)"],
+                       [[name, values["area_mm2"], values["power_w"]]
+                        for name, values in report["blocks"].items()],
+                       title="accelerator blocks (Fig. 12c)"))
+    print()
+    print(format_table(["metric", "value"], [
+        ["peak TOPS", report["peak_tops"]],
+        ["AD area overhead", report["ad_area_overhead"]],
+        ["AD power overhead", report["ad_power_overhead"]],
+        ["voltage switch latency (ns)", report["voltage_switch_latency_ns"]],
+    ], title="platform summary (Table 3)"))
+    print()
+    table = model_table()
+    print(format_table(["model", "paper params (M)", "modelled params (M)", "modelled GOps"],
+                       [[name, values["paper_params_millions"],
+                         values["modelled_params_millions"], values["modelled_gops"]]
+                        for name, values in table.items()],
+                       title="model requirements (Table 4)"))
+    return 0
+
+
+def _run_policies(_args) -> int:
+    from .core import REFERENCE_POLICIES
+
+    for name, policy in REFERENCE_POLICIES.items():
+        print(policy.describe())
+    print(f"\ndefault policy: C (paper Sec. 6.5); {len(REFERENCE_POLICIES)} reference policies")
+    return 0
+
+
+_COMMANDS = {
+    "mission": _run_mission,
+    "characterize": _run_characterize,
+    "hardware": _run_hardware,
+    "policies": _run_policies,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""CREATE core techniques: anomaly clearance, weight rotation, adaptive voltage scaling."""
+
+from .anomaly import AnomalyDetector, AnomalyStats
+from .rotation import (
+    RESIDUAL_READERS,
+    RESIDUAL_WRITERS,
+    hadamard_matrix,
+    outlier_ratio,
+    random_orthogonal_matrix,
+    rotation_matrix_for_dim,
+    rotate_reader,
+    rotate_writer,
+)
+from .entropy import EntropyTrace, action_entropy, max_entropy, normalized_entropy
+from .predictor import (
+    EntropyPredictor,
+    EntropyPredictorNetwork,
+    PredictorConfig,
+    build_predictor_dataset,
+    evaluate_predictor,
+    train_entropy_predictor,
+)
+from .policies import (
+    ConstantVoltagePolicy,
+    REFERENCE_POLICIES,
+    VoltagePolicy,
+    default_policy,
+    generate_candidate_policies,
+    pareto_front,
+)
+from .voltage_scaling import AdaptiveVoltageController, VoltageScalingConfig
+from .baselines import AbftModel, BaselineEnergyModel, DmrModel, ThUnderVoltInjector
+from .create import CreateConfig, ProtectionConfig
+
+__all__ = [
+    "AnomalyDetector",
+    "AnomalyStats",
+    "hadamard_matrix",
+    "random_orthogonal_matrix",
+    "rotation_matrix_for_dim",
+    "rotate_reader",
+    "rotate_writer",
+    "outlier_ratio",
+    "RESIDUAL_READERS",
+    "RESIDUAL_WRITERS",
+    "EntropyTrace",
+    "action_entropy",
+    "max_entropy",
+    "normalized_entropy",
+    "EntropyPredictor",
+    "EntropyPredictorNetwork",
+    "PredictorConfig",
+    "build_predictor_dataset",
+    "evaluate_predictor",
+    "train_entropy_predictor",
+    "VoltagePolicy",
+    "ConstantVoltagePolicy",
+    "REFERENCE_POLICIES",
+    "default_policy",
+    "generate_candidate_policies",
+    "pareto_front",
+    "AdaptiveVoltageController",
+    "VoltageScalingConfig",
+    "DmrModel",
+    "AbftModel",
+    "ThUnderVoltInjector",
+    "BaselineEnergyModel",
+    "CreateConfig",
+    "ProtectionConfig",
+]

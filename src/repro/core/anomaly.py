@@ -1,0 +1,85 @@
+"""Anomaly detection and clearance (AD) — the circuit-level CREATE technique.
+
+Timing violations under voltage underscaling predominantly flip high
+accumulator bits, producing values far outside the range GEMM outputs occupy
+during normal inference (paper Fig. 4 / Fig. 8a).  AD places a comparator +
+multiplexer row at the systolic-array output: any result whose magnitude
+exceeds the profiled valid bound is clamped to zero; in-range values pass
+through unchanged.  Clamping does not *fix* the faulty value — it relies on
+the DNN's inherent tolerance of a zeroed activation — but it removes the
+catastrophic large-magnitude deviations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["AnomalyStats", "AnomalyDetector"]
+
+
+@dataclass
+class AnomalyStats:
+    """Counters describing clamp activity (useful for tests and benchmarks)."""
+
+    gemm_calls: int = 0
+    elements_checked: int = 0
+    elements_clamped: int = 0
+    clamps_per_component: dict[str, int] = field(default_factory=dict)
+
+    def reset(self) -> None:
+        self.gemm_calls = 0
+        self.elements_checked = 0
+        self.elements_clamped = 0
+        self.clamps_per_component.clear()
+
+    @property
+    def clamp_rate(self) -> float:
+        if self.elements_checked == 0:
+            return 0.0
+        return self.elements_clamped / self.elements_checked
+
+
+class AnomalyDetector:
+    """Clamp out-of-bounds accumulator values to zero.
+
+    Instances are passed to :class:`repro.quant.GemmHooks` as the
+    ``anomaly_clamp`` callable; the quantized GEMM pipeline converts the
+    per-layer profiled float bound into the accumulator domain and calls
+    ``detector(acc, bound, component)``.
+
+    Parameters
+    ----------
+    bound_margin:
+        Multiplier on the profiled bound (1.0 = clamp anything above the
+        largest value seen during calibration).  Weight rotation tightens the
+        profiled bound itself, so the margin normally stays at 1.0.
+    """
+
+    def __init__(self, bound_margin: float = 1.0, enabled: bool = True):
+        if bound_margin <= 0:
+            raise ValueError("bound_margin must be positive")
+        self.bound_margin = bound_margin
+        self.enabled = enabled
+        self.stats = AnomalyStats()
+
+    def __call__(self, accumulators: np.ndarray, bound: int,
+                 component: str | None = None) -> np.ndarray:
+        self.stats.gemm_calls += 1
+        self.stats.elements_checked += int(accumulators.size)
+        if not self.enabled:
+            return accumulators
+        threshold = int(np.ceil(bound * self.bound_margin))
+        mask = np.abs(accumulators) > threshold
+        clamped = int(mask.sum())
+        if clamped == 0:
+            return accumulators
+        out = accumulators.copy()
+        out[mask] = 0
+        self.stats.elements_clamped += clamped
+        if component is not None:
+            self.stats.clamps_per_component[component] = (
+                self.stats.clamps_per_component.get(component, 0) + clamped
+            )
+        return out

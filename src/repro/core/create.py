@@ -1,0 +1,109 @@
+"""Configuration objects describing which CREATE techniques are active.
+
+``ProtectionConfig`` describes the runtime protection of ONE model (planner or
+controller): the fault environment it runs in (a fixed voltage, an explicit
+error model for BER sweeps, or nothing = clean), whether anomaly detection
+and clearance is enabled, and — for the controller — the autonomy-adaptive
+voltage-scaling configuration.  Weight rotation is not a runtime switch: it is
+applied offline when the deployed planner is built (see
+:meth:`repro.agents.PlannerWeights.apply_rotation`), so ``CreateConfig`` tracks
+it as a build-time flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..faults.models import ErrorModel
+from .policies import VoltagePolicy
+from .voltage_scaling import VoltageScalingConfig
+
+__all__ = ["ProtectionConfig", "CreateConfig"]
+
+
+@dataclass(frozen=True)
+class ProtectionConfig:
+    """Fault environment + protection of one deployed model for one trial."""
+
+    #: Fixed operating voltage (drives the voltage-LUT error model).  ``None``
+    #: together with ``error_model=None`` means clean, nominal-voltage operation.
+    voltage: float | None = None
+    #: Explicit error model (e.g. a uniform BER for the characterization study).
+    #: Takes precedence over ``voltage``.
+    error_model: ErrorModel | None = None
+    #: Enable anomaly detection and clearance on this model's GEMMs.
+    anomaly_detection: bool = False
+    #: Autonomy-adaptive voltage scaling (controller only).  When set, the
+    #: ``voltage`` field is ignored and the policy drives the LDO instead.
+    voltage_scaling: VoltageScalingConfig | None = None
+    #: Restrict injection to specific components (glob patterns), e.g. ["*.k"].
+    target_components: tuple[str, ...] | None = None
+    #: Multiplier on per-bit error rates (see repro.faults.ErrorInjector).
+    exposure_scale: float = 1.0
+    #: Injector behaviour: "bitflip" (default) keeps corrupted values,
+    #: "thundervolt" zeroes detected faulty results (the ThUnderVolt baseline).
+    injector_kind: str = "bitflip"
+
+    @property
+    def is_clean(self) -> bool:
+        return (self.error_model is None and self.voltage is None
+                and self.voltage_scaling is None)
+
+    def static_voltage(self) -> float | None:
+        """The fixed voltage this model runs at (None for clean or VS-driven)."""
+        if self.voltage_scaling is not None:
+            return None
+        return self.voltage
+
+
+@dataclass(frozen=True)
+class CreateConfig:
+    """Full CREATE configuration of an embodied-AI system for an experiment.
+
+    The four canonical configurations of the paper's overall evaluation
+    (Fig. 16) are expressible directly:
+
+    * unprotected:      ``CreateConfig(ad=False, wr=False, vs_policy=None)``
+    * AD only:          ``CreateConfig(ad=True,  wr=False, vs_policy=None)``
+    * AD + WR:          ``CreateConfig(ad=True,  wr=True,  vs_policy=None)``
+    * AD + WR + VS:     ``CreateConfig(ad=True,  wr=True,  vs_policy=policy_C)``
+    """
+
+    ad: bool = True
+    wr: bool = True
+    vs_policy: VoltagePolicy | None = None
+    vs_update_interval: int = 5
+    vs_entropy_source: str = "predictor"
+    planner_voltage: float | None = None
+    controller_voltage: float | None = None
+    exposure_scale: float = 1.0
+    extra: dict = field(default_factory=dict)
+
+    def planner_protection(self) -> ProtectionConfig:
+        return ProtectionConfig(
+            voltage=self.planner_voltage,
+            anomaly_detection=self.ad,
+            exposure_scale=self.exposure_scale,
+        )
+
+    def controller_protection(self) -> ProtectionConfig:
+        scaling = None
+        if self.vs_policy is not None:
+            scaling = VoltageScalingConfig(
+                policy=self.vs_policy,
+                update_interval=self.vs_update_interval,
+                entropy_source=self.vs_entropy_source,
+            )
+        return ProtectionConfig(
+            voltage=self.controller_voltage,
+            anomaly_detection=self.ad,
+            voltage_scaling=scaling,
+            exposure_scale=self.exposure_scale,
+        )
+
+    def label(self) -> str:
+        parts = []
+        parts.append("AD" if self.ad else "noAD")
+        parts.append("WR" if self.wr else "noWR")
+        parts.append(f"VS({self.vs_policy.name})" if self.vs_policy else "noVS")
+        return "+".join(parts)

@@ -1,0 +1,71 @@
+"""Action-logit entropy: the runtime criticality indicator of CREATE's VS.
+
+Low entropy of the controller's action distribution indicates a critical step
+(the policy is confident one precise action is required — e.g. striking the
+tree block), so the voltage must stay high; high entropy indicates a
+non-critical step (many actions are acceptable — e.g. wandering while
+exploring), where the voltage can be lowered for energy savings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.functional import entropy as _entropy
+from ..nn.functional import softmax
+
+__all__ = ["action_entropy", "max_entropy", "normalized_entropy", "EntropyTrace"]
+
+
+def action_entropy(logits: np.ndarray, temperature: float = 1.0) -> float:
+    """Shannon entropy (nats) of the softmax distribution over action logits."""
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    probs = softmax(np.asarray(logits, dtype=np.float64).ravel() / temperature)
+    return float(_entropy(probs))
+
+
+def max_entropy(num_actions: int) -> float:
+    """Upper bound of the entropy for a ``num_actions``-way distribution."""
+    if num_actions <= 0:
+        raise ValueError("num_actions must be positive")
+    return float(np.log(num_actions))
+
+
+def normalized_entropy(logits: np.ndarray) -> float:
+    """Entropy scaled to [0, 1] by the maximum achievable entropy."""
+    n = np.asarray(logits).size
+    if n <= 1:
+        return 0.0
+    return action_entropy(logits) / max_entropy(n)
+
+
+class EntropyTrace:
+    """Records the entropy (and criticality) of every controller step of a trial."""
+
+    def __init__(self):
+        self.entropies: list[float] = []
+        self.critical_flags: list[bool] = []
+        self.voltages: list[float] = []
+
+    def record(self, entropy_value: float, critical: bool, voltage: float) -> None:
+        self.entropies.append(float(entropy_value))
+        self.critical_flags.append(bool(critical))
+        self.voltages.append(float(voltage))
+
+    def __len__(self) -> int:
+        return len(self.entropies)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return (np.asarray(self.entropies), np.asarray(self.critical_flags, dtype=bool),
+                np.asarray(self.voltages))
+
+    def mean_entropy(self, critical: bool | None = None) -> float:
+        """Mean entropy, optionally restricted to (non-)critical steps."""
+        values, flags, _ = self.as_arrays()
+        if values.size == 0:
+            return float("nan")
+        if critical is None:
+            return float(values.mean())
+        selected = values[flags] if critical else values[~flags]
+        return float(selected.mean()) if selected.size else float("nan")

@@ -1,0 +1,139 @@
+"""Entropy-to-voltage mapping policies (paper Sec. 6.5, Fig. 21).
+
+A policy is a monotone step function: low entropy (critical step) maps to a
+high, safe voltage; high entropy (non-critical step) maps to a lower voltage.
+Six reference policies A-F are provided, together with the random candidate
+generator and Pareto-front selection the paper uses to pick the default
+(policy C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hardware.timing import MIN_VOLTAGE, NOMINAL_VOLTAGE
+
+__all__ = [
+    "VoltagePolicy",
+    "ConstantVoltagePolicy",
+    "REFERENCE_POLICIES",
+    "default_policy",
+    "generate_candidate_policies",
+    "pareto_front",
+]
+
+
+@dataclass(frozen=True)
+class VoltagePolicy:
+    """Step-function mapping from action-logit entropy to supply voltage.
+
+    ``thresholds`` are ascending entropy breakpoints; ``voltages`` has one more
+    entry than ``thresholds`` and must be non-increasing (higher entropy never
+    gets a higher voltage).
+    """
+
+    name: str
+    thresholds: tuple[float, ...]
+    voltages: tuple[float, ...]
+
+    def __post_init__(self):
+        if len(self.voltages) != len(self.thresholds) + 1:
+            raise ValueError("need exactly len(thresholds) + 1 voltages")
+        if any(b <= a for a, b in zip(self.thresholds, self.thresholds[1:])):
+            raise ValueError("thresholds must be strictly increasing")
+        if any(b > a + 1e-12 for a, b in zip(self.voltages, self.voltages[1:])):
+            raise ValueError("voltages must be non-increasing with entropy")
+        for voltage in self.voltages:
+            if not MIN_VOLTAGE - 1e-9 <= voltage <= NOMINAL_VOLTAGE + 1e-9:
+                raise ValueError(f"voltage {voltage} outside the LDO range")
+
+    def voltage_for_entropy(self, entropy: float) -> float:
+        index = int(np.searchsorted(self.thresholds, entropy, side="left"))
+        return self.voltages[index]
+
+    def min_voltage(self) -> float:
+        return min(self.voltages)
+
+    def max_voltage(self) -> float:
+        return max(self.voltages)
+
+    def describe(self) -> str:
+        parts = []
+        bounds = ("-inf",) + tuple(f"{t:.2f}" for t in self.thresholds)
+        uppers = tuple(f"{t:.2f}" for t in self.thresholds) + ("+inf",)
+        for low, high, voltage in zip(bounds, uppers, self.voltages):
+            parts.append(f"H in ({low}, {high}] -> {voltage:.2f}V")
+        return f"{self.name}: " + ", ".join(parts)
+
+
+class ConstantVoltagePolicy(VoltagePolicy):
+    """A fixed-voltage baseline expressed in the same interface."""
+
+    def __init__(self, voltage: float, name: str | None = None):
+        super().__init__(name=name or f"constant-{voltage:.2f}V",
+                         thresholds=(), voltages=(voltage,))
+
+
+#: Reference policies A-F (ordered roughly from conservative to aggressive).
+REFERENCE_POLICIES: dict[str, VoltagePolicy] = {
+    "A": VoltagePolicy("A", (0.5, 1.0, 1.5), (0.82, 0.80, 0.79, 0.78)),
+    "B": VoltagePolicy("B", (0.5, 1.0, 1.5), (0.80, 0.79, 0.77, 0.76)),
+    "C": VoltagePolicy("C", (0.5, 1.0, 1.5), (0.79, 0.77, 0.76, 0.74)),
+    "D": VoltagePolicy("D", (0.6, 1.3), (0.78, 0.76, 0.73)),
+    "E": VoltagePolicy("E", (0.8, 1.6), (0.77, 0.75, 0.72)),
+    "F": VoltagePolicy("F", (0.5, 1.0, 1.5), (0.76, 0.74, 0.72, 0.71)),
+}
+
+
+def default_policy() -> VoltagePolicy:
+    """Policy C, the Pareto-optimal default of the paper."""
+    return REFERENCE_POLICIES["C"]
+
+
+def generate_candidate_policies(num_candidates: int = 100,
+                                rng: np.random.Generator | None = None,
+                                entropy_range: tuple[float, float] = (0.3, 2.2),
+                                voltage_range: tuple[float, float] = (0.70, 0.84),
+                                num_levels: int = 4) -> list[VoltagePolicy]:
+    """Random search space of entropy-to-voltage policies (paper: 100 candidates)."""
+    if num_candidates <= 0:
+        raise ValueError("num_candidates must be positive")
+    rng = rng or np.random.default_rng(0)
+    candidates = []
+    for index in range(num_candidates):
+        thresholds = np.sort(rng.uniform(*entropy_range, size=num_levels - 1))
+        # Enforce strictly increasing thresholds.
+        thresholds = thresholds + np.arange(num_levels - 1) * 1e-3
+        voltages = np.sort(rng.uniform(*voltage_range, size=num_levels))[::-1]
+        candidates.append(VoltagePolicy(
+            name=f"cand-{index:03d}",
+            thresholds=tuple(round(float(t), 4) for t in thresholds),
+            voltages=tuple(round(float(v), 4) for v in voltages),
+        ))
+    return candidates
+
+
+def pareto_front(success_rates: np.ndarray, effective_voltages: np.ndarray) -> list[int]:
+    """Indices of the Pareto-optimal policies (maximize success, minimize voltage)."""
+    success_rates = np.asarray(success_rates, dtype=np.float64)
+    effective_voltages = np.asarray(effective_voltages, dtype=np.float64)
+    if success_rates.shape != effective_voltages.shape:
+        raise ValueError("success_rates and effective_voltages must align")
+    front = []
+    for i in range(success_rates.size):
+        dominated = False
+        for j in range(success_rates.size):
+            if i == j:
+                continue
+            better_or_equal = (success_rates[j] >= success_rates[i]
+                               and effective_voltages[j] <= effective_voltages[i])
+            strictly_better = (success_rates[j] > success_rates[i]
+                               or effective_voltages[j] < effective_voltages[i])
+            if better_or_equal and strictly_better:
+                dominated = True
+                break
+        if not dominated:
+            front.append(i)
+    return front

@@ -1,0 +1,190 @@
+"""The pre-execution entropy predictor (paper Sec. 5.3, Fig. 11a, Fig. 14).
+
+Under voltage scaling the controller's own logits may already be corrupted, so
+CREATE predicts the *error-free* entropy of the next step before running the
+controller, from the observation image and the subtask prompt, using a small
+CNN + MLP fusion network that always runs at nominal voltage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..env.actions import NUM_ACTIONS
+from ..env.observations import IMAGE_SHAPE
+from ..env.subtasks import ALL_SUBTASKS, SubtaskRegistry
+from ..env.tasks import TaskSuite
+from ..env.world import EmbodiedWorld, WorldConfig
+from ..nn import (
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+    Tensor,
+    no_grad,
+)
+from ..train import AdamW, ArrayDataset, DataLoader, Trainer, mse_loss
+
+__all__ = [
+    "PredictorConfig",
+    "EntropyPredictorNetwork",
+    "build_predictor_dataset",
+    "train_entropy_predictor",
+    "evaluate_predictor",
+    "EntropyPredictor",
+]
+
+
+@dataclass(frozen=True)
+class PredictorConfig:
+    """Architecture of the entropy predictor (scaled-down paper Table 9)."""
+
+    image_channels: int = IMAGE_SHAPE[0]
+    conv_channels: tuple[int, int] = (8, 16)
+    prompt_dim: int = len(ALL_SUBTASKS)
+    prompt_hidden: int = 16
+    fusion_hidden: int = 32
+    seed: int = 31
+
+
+class EntropyPredictorNetwork(Module):
+    """CNN over the observation image + MLP over the subtask prompt, fused to a scalar."""
+
+    def __init__(self, config: PredictorConfig | None = None):
+        super().__init__()
+        self.config = config or PredictorConfig()
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        c1, c2 = cfg.conv_channels
+        self.image_net = Sequential(
+            Conv2d(cfg.image_channels, c1, kernel_size=3, stride=2, padding=1, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(c1, c2, kernel_size=3, stride=1, padding=1, rng=rng),
+            ReLU(),
+            GlobalAvgPool2d(),
+        )
+        self.prompt_net = Sequential(
+            Linear(cfg.prompt_dim, cfg.prompt_hidden, rng=rng),
+            ReLU(),
+        )
+        self.fusion = Sequential(
+            Linear(c2 + cfg.prompt_hidden, cfg.fusion_hidden, rng=rng),
+            ReLU(),
+            Linear(cfg.fusion_hidden, 1, rng=rng),
+        )
+
+    def forward(self, images: np.ndarray | Tensor, prompts: np.ndarray | Tensor) -> Tensor:
+        images = images if isinstance(images, Tensor) else Tensor(images)
+        prompts = prompts if isinstance(prompts, Tensor) else Tensor(prompts)
+        image_features = self.image_net(images)
+        prompt_features = self.prompt_net(prompts)
+        fused = Tensor.concatenate([image_features, prompt_features], axis=-1)
+        return self.fusion(fused)
+
+    def num_macs(self) -> int:
+        """Approximate MACs of one prediction (used for energy accounting)."""
+        return int(self.num_parameters())
+
+
+# ----------------------------------------------------------------------
+# Dataset: (image, prompt one-hot) -> error-free controller entropy
+# ----------------------------------------------------------------------
+def build_predictor_dataset(controller, suite: TaskSuite, registry: SubtaskRegistry,
+                            num_episodes: int = 30, seed: int = 11,
+                            world_config: WorldConfig | None = None
+                            ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Roll out the (error-free) deployed controller and record entropy targets.
+
+    ``controller`` is a :class:`repro.agents.DeployedController`; every frame
+    contributes (observation image, subtask one-hot, entropy of the clean
+    action distribution).
+    """
+    from .entropy import action_entropy  # local import to avoid cycles at module load
+
+    rng = np.random.default_rng(seed)
+    images: list[np.ndarray] = []
+    prompts: list[np.ndarray] = []
+    entropies: list[float] = []
+    tasks = suite.tasks()
+    for episode in range(num_episodes):
+        task = tasks[episode % len(tasks)]
+        world = EmbodiedWorld(task, registry, world_config or WorldConfig(),
+                              np.random.default_rng(seed * 997 + episode))
+        for subtask in task.plan:
+            world.set_subtask(subtask)
+            token = ALL_SUBTASKS.token_id(subtask)
+            prompt = np.zeros(len(ALL_SUBTASKS))
+            prompt[token] = 1.0
+            while True:
+                logits = controller.act_logits(token, world.observation(), quantized=False)
+                images.append(world.observation_image())
+                prompts.append(prompt.copy())
+                entropies.append(action_entropy(logits))
+                probs = np.exp(logits - logits.max())
+                probs /= probs.sum()
+                action = rng.choice(NUM_ACTIONS, p=probs)
+                result = world.step(action)
+                if result.subtask_completed or world.subtask_budget_exhausted() \
+                        or world.task_budget_exhausted():
+                    break
+            if world.task_budget_exhausted():
+                break
+    return (np.asarray(images), np.asarray(prompts),
+            np.asarray(entropies, dtype=np.float64).reshape(-1, 1))
+
+
+def train_entropy_predictor(controller, suite: TaskSuite, registry: SubtaskRegistry,
+                            config: PredictorConfig | None = None,
+                            num_episodes: int = 30, epochs: int = 25,
+                            lr: float = 1e-3, weight_decay: float = 1e-2,
+                            batch_size: int = 64,
+                            seed: int = 11) -> tuple[EntropyPredictorNetwork, float]:
+    """Train the predictor with an MSE objective (AdamW, as in the paper)."""
+    images, prompts, targets = build_predictor_dataset(
+        controller, suite, registry, num_episodes=num_episodes, seed=seed)
+    network = EntropyPredictorNetwork(config)
+    optimizer = AdamW(network.parameters(), lr=lr, weight_decay=weight_decay)
+    trainer = Trainer(network, optimizer, mse_loss, n_inputs=2)
+    loader = DataLoader(ArrayDataset(images, prompts, targets), batch_size=batch_size,
+                        rng=np.random.default_rng(seed + 1))
+    result = trainer.fit(loader, epochs=epochs)
+    return network, result.final_loss
+
+
+def evaluate_predictor(network: EntropyPredictorNetwork, images: np.ndarray,
+                       prompts: np.ndarray, targets: np.ndarray) -> dict[str, float]:
+    """MSE and R^2 of the predictor on a held-out set (paper reports R^2 = 0.92)."""
+    with no_grad():
+        predictions = network(images, prompts).data
+    targets = np.asarray(targets, dtype=np.float64).reshape(predictions.shape)
+    residual = predictions - targets
+    mse = float(np.mean(residual ** 2))
+    variance = float(np.var(targets))
+    r_squared = 1.0 - mse / variance if variance > 0 else float("nan")
+    return {"mse": mse, "r2": r_squared}
+
+
+class EntropyPredictor:
+    """Deployment wrapper: one-sample prediction from (image, subtask token)."""
+
+    def __init__(self, network: EntropyPredictorNetwork):
+        self.network = network
+        self.network.eval()
+
+    def predict(self, image: np.ndarray, subtask_token: int) -> float:
+        prompt = np.zeros((1, self.network.config.prompt_dim))
+        prompt[0, subtask_token] = 1.0
+        with no_grad():
+            value = self.network(image[None, ...], prompt).data
+        return float(value.reshape(-1)[0])
+
+    @property
+    def macs_per_call(self) -> int:
+        return self.network.num_macs()

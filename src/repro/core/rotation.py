@@ -1,0 +1,102 @@
+"""Weight-rotation-enhanced planning (WR) — the model-level CREATE technique.
+
+Large language models develop systematic activation outliers: a handful of
+residual-stream channels one to two orders of magnitude larger than the rest.
+Those outliers inflate the quantization range and the anomaly-detection bound
+of the pre-normalization components (O and Down), so in-range faults can still
+be large enough to skew the normalization statistics and wreck the plan.
+
+WR multiplies the residual stream by an orthonormal Hadamard matrix so the
+outlier energy is spread evenly over all channels.  The rotation is merged
+into the weights offline (no runtime cost):
+
+* the *writers* of the residual stream — token embedding, attention output
+  projection ``O``, MLP ``Down`` — are right-multiplied by ``H``;
+* the *readers* of the residual stream — ``Q``, ``K``, ``V``, ``Gate``, ``Up``
+  and the LM head — are left-multiplied by ``H^T``;
+* RMSNorm (with its gain folded into the readers) preserves the L2 norm, so
+  the rotated network computes exactly the same function.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "hadamard_matrix",
+    "random_orthogonal_matrix",
+    "rotation_matrix_for_dim",
+    "rotate_writer",
+    "rotate_reader",
+    "outlier_ratio",
+    "RESIDUAL_WRITERS",
+    "RESIDUAL_READERS",
+]
+
+#: Planner components whose *outputs* live in the residual stream.
+RESIDUAL_WRITERS = ("o", "down")
+
+#: Planner components whose *inputs* come from the residual stream.
+RESIDUAL_READERS = ("q", "k", "v", "gate", "up", "head")
+
+
+def hadamard_matrix(dim: int) -> np.ndarray:
+    """Orthonormal Hadamard matrix of size ``dim`` (must be a power of two).
+
+    Recursively defined via the Kronecker product,
+    ``H_2 = [[1, 1], [1, -1]] / sqrt(2)`` and ``H_{2k} = H_2 (x) H_k``.
+    """
+    if dim <= 0 or dim & (dim - 1) != 0:
+        raise ValueError(f"Hadamard matrix requires a power-of-two dimension, got {dim}")
+    h = np.array([[1.0]])
+    base = np.array([[1.0, 1.0], [1.0, -1.0]]) / np.sqrt(2.0)
+    while h.shape[0] < dim:
+        h = np.kron(base, h)
+    return h
+
+
+def random_orthogonal_matrix(dim: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Random orthonormal matrix (QR of a Gaussian), for non-power-of-two dims."""
+    rng = rng or np.random.default_rng(0)
+    gaussian = rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(gaussian)
+    # Make the decomposition unique (positive diagonal of R).
+    return q * np.sign(np.diag(r))
+
+
+def rotation_matrix_for_dim(dim: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Hadamard when possible, random orthogonal otherwise."""
+    if dim > 0 and dim & (dim - 1) == 0:
+        return hadamard_matrix(dim)
+    return random_orthogonal_matrix(dim, rng)
+
+
+def rotate_writer(weight: np.ndarray, rotation: np.ndarray) -> np.ndarray:
+    """Rotate a residual-writer weight: ``W -> W H`` (output channels mixed)."""
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.shape[-1] != rotation.shape[0]:
+        raise ValueError(
+            f"writer output dim {weight.shape[-1]} does not match rotation {rotation.shape[0]}")
+    return weight @ rotation
+
+
+def rotate_reader(weight: np.ndarray, rotation: np.ndarray) -> np.ndarray:
+    """Rotate a residual-reader weight: ``W -> H^T W`` (input channels mixed)."""
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.shape[0] != rotation.shape[0]:
+        raise ValueError(
+            f"reader input dim {weight.shape[0]} does not match rotation {rotation.shape[0]}")
+    return rotation.T @ weight
+
+
+def outlier_ratio(activations: np.ndarray) -> float:
+    """Max-to-mean absolute-magnitude ratio of an activation tensor.
+
+    A convenient scalar summary of "how outlier-dominated" a distribution is;
+    WR should reduce it substantially (paper Fig. 9b).
+    """
+    magnitudes = np.abs(np.asarray(activations, dtype=np.float64))
+    mean = float(magnitudes.mean())
+    if mean == 0.0:
+        return 1.0
+    return float(magnitudes.max() / mean)

@@ -1,0 +1,119 @@
+"""Autonomy-adaptive voltage scaling (VS) — the application-level CREATE technique.
+
+Every ``update_interval`` controller steps, the runtime estimates the entropy
+of the upcoming action distribution (with the nominal-voltage entropy
+predictor, or the oracle entropy in ablation mode), maps it to a supply
+voltage through a :class:`~repro.core.policies.VoltagePolicy`, and programs the
+digital LDO.  The controller's fault-injection model then reflects the new
+voltage, so reliability and energy are both functions of the schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..faults.injector import ErrorInjector
+from ..faults.models import VoltageErrorModel
+from ..hardware.ldo import DigitalLDO, LdoSpec
+from ..hardware.timing import NOMINAL_VOLTAGE, TimingErrorModel
+from .policies import VoltagePolicy
+from .predictor import EntropyPredictor
+
+__all__ = ["VoltageScalingConfig", "AdaptiveVoltageController"]
+
+
+@dataclass(frozen=True)
+class VoltageScalingConfig:
+    """Runtime parameters of autonomy-adaptive voltage scaling."""
+
+    policy: VoltagePolicy
+    update_interval: int = 5
+    #: "predictor" uses the trained entropy predictor; "oracle" uses the
+    #: environment's ground-truth entropy (an idealized ablation).
+    entropy_source: str = "predictor"
+
+    def __post_init__(self):
+        if self.update_interval <= 0:
+            raise ValueError("update_interval must be positive")
+        if self.entropy_source not in ("predictor", "oracle"):
+            raise ValueError("entropy_source must be 'predictor' or 'oracle'")
+
+
+@dataclass
+class AdaptiveVoltageController:
+    """Stateful VS runtime used by the mission executor.
+
+    It owns the LDO and (optionally) the controller's error injector: whenever
+    the voltage changes, the injector's error model is swapped for the model of
+    the new voltage, so subsequent GEMMs see the corresponding per-bit rates.
+    """
+
+    config: VoltageScalingConfig
+    predictor: EntropyPredictor | None = None
+    injector: ErrorInjector | None = None
+    timing_model: TimingErrorModel = field(default_factory=TimingErrorModel)
+    ldo: DigitalLDO = field(default_factory=lambda: DigitalLDO(LdoSpec()))
+    _steps_since_update: int = field(default=0, init=False)
+    _initialized: bool = field(default=False, init=False)
+    last_entropy: float = field(default=float("nan"), init=False)
+
+    def __post_init__(self):
+        if self.config.entropy_source == "predictor" and self.predictor is None:
+            raise ValueError("entropy_source='predictor' requires a predictor instance")
+
+    # ------------------------------------------------------------------
+    @property
+    def voltage(self) -> float:
+        return self.ldo.voltage
+
+    def _apply_voltage(self, voltage: float) -> None:
+        self.ldo.set_voltage(voltage)
+        if self.injector is not None:
+            self.injector.model = VoltageErrorModel(self.ldo.voltage, self.timing_model)
+
+    def _estimate_entropy(self, world, subtask_token: int) -> float:
+        if self.config.entropy_source == "oracle":
+            return float(world.oracle_entropy())
+        image = world.observation_image()
+        return self.predictor.predict(image, subtask_token)
+
+    # ------------------------------------------------------------------
+    def begin_trial(self) -> None:
+        """Reset per-trial state (keeps the policy and predictor)."""
+        self._steps_since_update = 0
+        self._initialized = False
+        self.ldo.reset(self.config.policy.max_voltage())
+        if self.injector is not None:
+            self.injector.model = VoltageErrorModel(self.ldo.voltage, self.timing_model)
+
+    def before_step(self, world, subtask_token: int) -> tuple[float, bool]:
+        """Possibly re-estimate entropy and adjust the voltage before a step.
+
+        Returns ``(current voltage, predictor_invoked)``; the second element
+        lets the executor charge the predictor's (nominal-voltage) energy only
+        when a prediction actually ran.
+        """
+        predicted = False
+        if not self._initialized or self._steps_since_update >= self.config.update_interval:
+            entropy = self._estimate_entropy(world, subtask_token)
+            self.last_entropy = entropy
+            self._apply_voltage(self.config.policy.voltage_for_entropy(entropy))
+            self._steps_since_update = 0
+            self._initialized = True
+            predicted = self.config.entropy_source == "predictor"
+        self._steps_since_update += 1
+        return self.ldo.voltage, predicted
+
+    # ------------------------------------------------------------------
+    def schedule_summary(self) -> dict[str, float]:
+        """Aggregate statistics of the voltage schedule of the last trial."""
+        trace = np.asarray(self.ldo.trace)
+        return {
+            "mean_voltage": float(trace.mean()) if trace.size else NOMINAL_VOLTAGE,
+            "min_voltage": float(trace.min()) if trace.size else NOMINAL_VOLTAGE,
+            "max_voltage": float(trace.max()) if trace.size else NOMINAL_VOLTAGE,
+            "num_switches": float(self.ldo.num_switches),
+            "switching_latency_ns": float(self.ldo.total_switching_latency_ns),
+        }

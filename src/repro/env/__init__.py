@@ -1,0 +1,53 @@
+"""Embodied environments: Minecraft-style and manipulation-style task worlds."""
+
+from .actions import Action, INTERACTION_ACTIONS, MOVEMENT_ACTIONS, NUM_ACTIONS
+from .subtasks import (
+    ALL_SUBTASKS,
+    MANIPULATION_SUBTASKS,
+    MINECRAFT_SUBTASKS,
+    SubtaskKind,
+    SubtaskRegistry,
+    SubtaskSpec,
+)
+from .tasks import (
+    CALVIN_SUITE,
+    LIBERO_SUITE,
+    MANIPULATION_SUITE,
+    MINECRAFT_SUITE,
+    OXE_SUITE,
+    SUITES,
+    TaskSpec,
+    TaskSuite,
+    get_task,
+)
+from .observations import IMAGE_SHAPE, OBSERVATION_DIM, encode_observation, render_observation_image
+from .world import EmbodiedWorld, StepResult, WorldConfig
+
+__all__ = [
+    "Action",
+    "NUM_ACTIONS",
+    "MOVEMENT_ACTIONS",
+    "INTERACTION_ACTIONS",
+    "SubtaskKind",
+    "SubtaskSpec",
+    "SubtaskRegistry",
+    "MINECRAFT_SUBTASKS",
+    "MANIPULATION_SUBTASKS",
+    "ALL_SUBTASKS",
+    "TaskSpec",
+    "TaskSuite",
+    "MINECRAFT_SUITE",
+    "LIBERO_SUITE",
+    "CALVIN_SUITE",
+    "OXE_SUITE",
+    "MANIPULATION_SUITE",
+    "SUITES",
+    "get_task",
+    "OBSERVATION_DIM",
+    "IMAGE_SHAPE",
+    "encode_observation",
+    "render_observation_image",
+    "EmbodiedWorld",
+    "StepResult",
+    "WorldConfig",
+]

@@ -1,0 +1,39 @@
+"""Discrete action space shared by all embodied benchmarks."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = ["Action", "NUM_ACTIONS", "MOVEMENT_ACTIONS", "INTERACTION_ACTIONS"]
+
+
+class Action(IntEnum):
+    """Low-level actions the controller can issue each step.
+
+    The set merges the Minecraft-style control surface used by JARVIS-1 /
+    STEVE-1 (movement + attack/use/craft) with the manipulation primitives the
+    OXE-style controllers need (grasp/place).  Every benchmark uses the same
+    space so controllers are interchangeable in the executor.
+    """
+
+    FORWARD = 0
+    BACK = 1
+    LEFT = 2
+    RIGHT = 3
+    JUMP = 4
+    ATTACK = 5
+    USE = 6
+    CRAFT = 7
+    PLACE = 8
+    GRASP = 9
+    SNEAK = 10
+    SPRINT = 11
+
+
+NUM_ACTIONS = len(Action)
+
+#: Actions that move the agent (acceptable during exploration phases).
+MOVEMENT_ACTIONS = (Action.FORWARD, Action.BACK, Action.LEFT, Action.RIGHT, Action.JUMP)
+
+#: Actions that manipulate the environment (required during execution phases).
+INTERACTION_ACTIONS = (Action.ATTACK, Action.USE, Action.CRAFT, Action.PLACE, Action.GRASP)

@@ -1,0 +1,119 @@
+"""Observation encodings: feature vectors for the controller, images for the predictor."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .actions import MOVEMENT_ACTIONS, NUM_ACTIONS, Action
+from .subtasks import SubtaskKind, SubtaskSpec
+
+__all__ = ["OBSERVATION_DIM", "IMAGE_SHAPE", "encode_observation", "render_observation_image"]
+
+#: Length of the flat observation vector fed to the controller.
+OBSERVATION_DIM = 2 + 1 + 1 + len(MOVEMENT_ACTIONS) + NUM_ACTIONS + 3 + 1 + 4 + 2
+
+#: Shape of the synthetic camera frame fed to the entropy predictor (C, H, W).
+IMAGE_SHAPE = (3, 24, 24)
+
+_KIND_ORDER = (SubtaskKind.SEQUENTIAL, SubtaskKind.STOCHASTIC, SubtaskKind.CRAFT)
+
+
+def encode_observation(spec: SubtaskSpec, in_execution: bool, distance: int,
+                       progress: int, units_remaining: int,
+                       preferred_direction: Action, biome: np.ndarray,
+                       rng: np.random.Generator,
+                       noise_scale: float = 0.05) -> np.ndarray:
+    """Build the controller's flat observation vector.
+
+    The encoding exposes everything the oracle policy uses (phase, remaining
+    distance / progress, the currently required action during execution, the
+    preferred heading during exploration), so an imitation-trained controller
+    can approach oracle behaviour; plus benign distractors (biome features,
+    observation noise) so the learned policy is not a trivial lookup.
+    """
+    obs = np.zeros(OBSERVATION_DIM, dtype=np.float64)
+    cursor = 0
+
+    # Phase one-hot.
+    obs[cursor + (1 if in_execution else 0)] = 1.0
+    cursor += 2
+
+    # Normalized remaining distance and progress.
+    obs[cursor] = min(distance, 16) / 16.0
+    cursor += 1
+    obs[cursor] = progress / max(spec.execution_length, 1)
+    cursor += 1
+
+    # Preferred heading (exploration only).
+    if not in_execution:
+        obs[cursor + MOVEMENT_ACTIONS.index(preferred_direction)] = 1.0
+    cursor += len(MOVEMENT_ACTIONS)
+
+    # Required action (execution only).
+    if in_execution:
+        obs[cursor + int(spec.execution_action)] = 1.0
+    cursor += NUM_ACTIONS
+
+    # Subtask kind one-hot.
+    obs[cursor + _KIND_ORDER.index(spec.kind)] = 1.0
+    cursor += 3
+
+    # Units remaining.
+    obs[cursor] = units_remaining / max(spec.quantity, 1)
+    cursor += 1
+
+    # Biome features (constant per episode).
+    obs[cursor:cursor + 4] = biome
+    cursor += 4
+
+    # Observation noise.
+    obs[cursor:cursor + 2] = rng.normal(0.0, noise_scale, size=2)
+    return obs
+
+
+def render_observation_image(spec: SubtaskSpec, in_execution: bool, distance: int,
+                             progress: int, biome: np.ndarray,
+                             rng: np.random.Generator,
+                             noise_scale: float = 0.08) -> np.ndarray:
+    """Render a small synthetic camera frame for the entropy predictor.
+
+    The frame is a stylized first-person view: the biome colours the
+    background, the target object grows as the agent approaches it (and fills
+    much of the frame during execution), and a progress bar plus an action
+    glyph encode the fine-grained execution state.  The entropy predictor must
+    recover step criticality from this image alone, as in the paper.
+    """
+    channels, height, width = IMAGE_SHAPE
+    image = np.empty(IMAGE_SHAPE, dtype=np.float64)
+    for channel in range(channels):
+        image[channel].fill(0.15 + 0.5 * biome[channel % biome.size])
+
+    # Target object: a centred square whose size grows as distance shrinks.
+    if in_execution:
+        half = 8
+        brightness = 0.95
+    else:
+        half = max(1, 7 - min(distance, 12) // 2)
+        brightness = 0.55
+    centre = height // 2
+    image[0, centre - half:centre + half, centre - half:centre + half] = brightness
+    image[1, centre - half:centre + half, centre - half:centre + half] = brightness * 0.6
+
+    # Progress bar along the bottom row(s).
+    filled = int(round(width * progress / max(spec.execution_length, 1)))
+    if filled > 0:
+        image[2, height - 3:height - 1, :filled] = 1.0
+
+    # Action glyph: a bright column at an x-position indexed by the execution action.
+    if in_execution:
+        column = 1 + int(spec.execution_action) * (width - 3) // max(NUM_ACTIONS - 1, 1)
+        image[1, 1:5, column:column + 2] = 1.0
+
+    # Stochastic-subtask marker (animals move: scatter a few bright pixels).
+    if spec.kind is SubtaskKind.STOCHASTIC:
+        ys = rng.integers(0, height, size=6)
+        xs = rng.integers(0, width, size=6)
+        image[0, ys, xs] = 1.0
+
+    image += rng.normal(0.0, noise_scale, size=IMAGE_SHAPE)
+    return np.clip(image, 0.0, 1.0)

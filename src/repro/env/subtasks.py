@@ -1,0 +1,185 @@
+"""Subtask specifications: the vocabulary the planner emits and the controller executes.
+
+A subtask is one unit of low-level work ("mine logs", "craft stone pickaxe",
+"pull the drawer handle").  Every subtask alternates between an *exploration*
+phase (find the resource / approach the object; non-critical, many actions are
+acceptable) and an *execution* phase (a short precise action sequence;
+critical, a wrong action loses progress).  This two-phase structure is what
+produces the stage-specific resilience of paper Sec. 4.2 / Fig. 7 and the
+entropy signal exploited by autonomy-adaptive voltage scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .actions import Action
+
+__all__ = ["SubtaskKind", "SubtaskSpec", "SubtaskRegistry", "MINECRAFT_SUBTASKS",
+           "MANIPULATION_SUBTASKS", "ALL_SUBTASKS"]
+
+
+class SubtaskKind(Enum):
+    """Structural class of a subtask (drives its error resilience).
+
+    SEQUENTIAL subtasks (tree chopping, mining) have deterministic action
+    dependencies — a single wrong action breaks the chain.  STOCHASTIC
+    subtasks (animal interaction, shearing) tolerate variability: several
+    actions make progress.  CRAFT subtasks are short menu interactions.
+    """
+
+    SEQUENTIAL = "sequential"
+    STOCHASTIC = "stochastic"
+    CRAFT = "craft"
+
+
+@dataclass(frozen=True)
+class SubtaskSpec:
+    """Static description of one subtask."""
+
+    name: str
+    kind: SubtaskKind
+    #: Action that makes progress during the execution phase.
+    execution_action: Action
+    #: Length of one execution chain (e.g. number of strikes to fell a tree).
+    execution_length: int
+    #: Number of execution chains to finish (e.g. number of logs to collect).
+    quantity: int
+    #: Mean exploration distance (steps of correct movement to reach the target).
+    exploration_distance: int
+    #: Additional actions that also make progress during execution
+    #: (non-empty only for stochastic subtasks).
+    alternate_actions: tuple[Action, ...] = ()
+    #: Environmental randomness of the exploration phase (0 = fixed distance).
+    exploration_jitter: int = 2
+
+    def __post_init__(self):
+        if self.execution_length <= 0 or self.quantity <= 0:
+            raise ValueError("execution_length and quantity must be positive")
+        if self.exploration_distance < 0:
+            raise ValueError("exploration_distance must be non-negative")
+
+    @property
+    def accepts(self) -> tuple[Action, ...]:
+        """All actions that advance the execution phase."""
+        return (self.execution_action,) + self.alternate_actions
+
+    @property
+    def nominal_steps(self) -> int:
+        """Rough number of steps an oracle needs to finish the subtask."""
+        return self.quantity * (self.exploration_distance + self.execution_length)
+
+
+class SubtaskRegistry:
+    """Name -> spec lookup plus a stable token id for the planner vocabulary."""
+
+    def __init__(self, specs: list[SubtaskSpec]):
+        self._specs: dict[str, SubtaskSpec] = {}
+        for spec in specs:
+            if spec.name in self._specs:
+                raise ValueError(f"duplicate subtask name {spec.name!r}")
+            self._specs[spec.name] = spec
+        self._ids = {name: index for index, name in enumerate(sorted(self._specs))}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._specs)
+
+    def get(self, name: str) -> SubtaskSpec:
+        if name not in self._specs:
+            raise KeyError(f"unknown subtask {name!r}")
+        return self._specs[name]
+
+    def token_id(self, name: str) -> int:
+        if name not in self._ids:
+            raise KeyError(f"unknown subtask {name!r}")
+        return self._ids[name]
+
+    def name_for_token(self, token: int) -> str | None:
+        for name, index in self._ids.items():
+            if index == token:
+                return name
+        return None
+
+    def merged_with(self, other: "SubtaskRegistry") -> "SubtaskRegistry":
+        return SubtaskRegistry(list(self._specs.values()) + [other.get(n) for n in other.names])
+
+
+# ----------------------------------------------------------------------
+# Minecraft-style subtasks (JARVIS-1 benchmark)
+# ----------------------------------------------------------------------
+MINECRAFT_SUBTASKS = SubtaskRegistry([
+    SubtaskSpec("mine_logs", SubtaskKind.SEQUENTIAL, Action.ATTACK,
+                execution_length=4, quantity=3, exploration_distance=6),
+    SubtaskSpec("craft_planks", SubtaskKind.CRAFT, Action.CRAFT,
+                execution_length=2, quantity=1, exploration_distance=0),
+    SubtaskSpec("craft_sticks", SubtaskKind.CRAFT, Action.CRAFT,
+                execution_length=2, quantity=1, exploration_distance=0),
+    SubtaskSpec("craft_crafting_table", SubtaskKind.CRAFT, Action.CRAFT,
+                execution_length=2, quantity=1, exploration_distance=0),
+    SubtaskSpec("craft_wooden_pickaxe", SubtaskKind.CRAFT, Action.CRAFT,
+                execution_length=3, quantity=1, exploration_distance=0),
+    SubtaskSpec("mine_stone", SubtaskKind.SEQUENTIAL, Action.ATTACK,
+                execution_length=5, quantity=3, exploration_distance=5),
+    SubtaskSpec("craft_stone_pickaxe", SubtaskKind.CRAFT, Action.CRAFT,
+                execution_length=3, quantity=1, exploration_distance=0),
+    SubtaskSpec("mine_coal", SubtaskKind.SEQUENTIAL, Action.ATTACK,
+                execution_length=5, quantity=2, exploration_distance=8),
+    SubtaskSpec("mine_iron_ore", SubtaskKind.SEQUENTIAL, Action.ATTACK,
+                execution_length=6, quantity=2, exploration_distance=9),
+    SubtaskSpec("craft_furnace", SubtaskKind.CRAFT, Action.CRAFT,
+                execution_length=3, quantity=1, exploration_distance=0),
+    SubtaskSpec("smelt_iron_ingot", SubtaskKind.SEQUENTIAL, Action.USE,
+                execution_length=4, quantity=2, exploration_distance=1),
+    SubtaskSpec("smelt_charcoal", SubtaskKind.SEQUENTIAL, Action.USE,
+                execution_length=4, quantity=1, exploration_distance=1),
+    SubtaskSpec("craft_iron_sword", SubtaskKind.CRAFT, Action.CRAFT,
+                execution_length=3, quantity=1, exploration_distance=0),
+    SubtaskSpec("hunt_chicken", SubtaskKind.STOCHASTIC, Action.ATTACK,
+                execution_length=3, quantity=2, exploration_distance=7,
+                alternate_actions=(Action.USE, Action.SPRINT)),
+    SubtaskSpec("cook_chicken", SubtaskKind.SEQUENTIAL, Action.USE,
+                execution_length=4, quantity=1, exploration_distance=1),
+    SubtaskSpec("shear_sheep", SubtaskKind.STOCHASTIC, Action.USE,
+                execution_length=3, quantity=5, exploration_distance=5,
+                alternate_actions=(Action.ATTACK, Action.GRASP)),
+    SubtaskSpec("harvest_grass", SubtaskKind.STOCHASTIC, Action.ATTACK,
+                execution_length=2, quantity=6, exploration_distance=3,
+                alternate_actions=(Action.USE,)),
+])
+
+# ----------------------------------------------------------------------
+# Manipulation-style subtasks (LIBERO / CALVIN / OXE benchmarks)
+# ----------------------------------------------------------------------
+MANIPULATION_SUBTASKS = SubtaskRegistry([
+    SubtaskSpec("locate_object", SubtaskKind.SEQUENTIAL, Action.FORWARD,
+                execution_length=2, quantity=1, exploration_distance=5),
+    SubtaskSpec("grasp_object", SubtaskKind.SEQUENTIAL, Action.GRASP,
+                execution_length=4, quantity=1, exploration_distance=2),
+    SubtaskSpec("place_object", SubtaskKind.SEQUENTIAL, Action.PLACE,
+                execution_length=4, quantity=1, exploration_distance=3),
+    SubtaskSpec("open_drawer", SubtaskKind.SEQUENTIAL, Action.USE,
+                execution_length=5, quantity=1, exploration_distance=3),
+    SubtaskSpec("close_drawer", SubtaskKind.SEQUENTIAL, Action.USE,
+                execution_length=4, quantity=1, exploration_distance=2),
+    SubtaskSpec("press_button", SubtaskKind.STOCHASTIC, Action.USE,
+                execution_length=2, quantity=1, exploration_distance=3,
+                alternate_actions=(Action.GRASP,)),
+    SubtaskSpec("slide_block", SubtaskKind.SEQUENTIAL, Action.FORWARD,
+                execution_length=4, quantity=1, exploration_distance=3),
+    SubtaskSpec("pull_handle", SubtaskKind.SEQUENTIAL, Action.GRASP,
+                execution_length=5, quantity=1, exploration_distance=3),
+    SubtaskSpec("approach_target", SubtaskKind.STOCHASTIC, Action.FORWARD,
+                execution_length=2, quantity=1, exploration_distance=6,
+                alternate_actions=(Action.LEFT, Action.RIGHT)),
+])
+
+#: Union registry used to build a single planner vocabulary across benchmarks.
+ALL_SUBTASKS = MINECRAFT_SUBTASKS.merged_with(MANIPULATION_SUBTASKS)

@@ -1,0 +1,303 @@
+"""The embodied-world simulator all benchmarks run on.
+
+The world executes one :class:`~repro.env.tasks.TaskSpec` at a time.  The
+*executor* (not the world) decides which subtask the controller is currently
+pursuing — that is the planner's job — and the world only lets a subtask
+complete when its prerequisites (its predecessors in the ground-truth recipe)
+have already been completed.  Wrong plans therefore waste steps rather than
+crashing, exactly the graceful degradation the paper measures as "average
+steps" growth.
+
+Within a subtask the world alternates exploration and execution phases (see
+:mod:`repro.env.subtasks`); the oracle action distribution it exposes is what
+the controller is trained to imitate and what defines ground-truth entropy for
+autonomy-adaptive voltage scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .actions import MOVEMENT_ACTIONS, NUM_ACTIONS, Action
+from .observations import encode_observation, render_observation_image
+from .subtasks import SubtaskKind, SubtaskRegistry, SubtaskSpec
+from .tasks import TaskSpec
+
+__all__ = ["WorldConfig", "StepResult", "EmbodiedWorld"]
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Simulation limits and noise levels.
+
+    The step limits are scaled-down versions of JARVIS-1's (600-step subtask
+    retry, 12 000-step task failure): our subtasks are roughly 20x shorter, so
+    the defaults keep the same ratio.
+    """
+
+    subtask_step_limit: int = 120
+    task_step_limit: int = 900
+    observation_noise: float = 0.05
+    image_noise: float = 0.08
+    #: Probability that a non-preferred movement still makes exploration progress.
+    exploration_tolerance: float = 0.5
+
+    def __post_init__(self):
+        if self.subtask_step_limit <= 0 or self.task_step_limit <= 0:
+            raise ValueError("step limits must be positive")
+
+
+@dataclass
+class StepResult:
+    """Outcome of one environment step."""
+
+    progressed: bool
+    subtask_completed: bool
+    task_completed: bool
+    wasted: bool = False
+
+
+@dataclass
+class _SubtaskState:
+    """Mutable progress of the currently commanded subtask."""
+
+    spec: SubtaskSpec
+    blocked: bool
+    in_execution: bool = False
+    distance: int = 0
+    progress: int = 0
+    units_collected: int = 0
+    preferred_direction: Action = Action.FORWARD
+    steps: int = 0
+
+
+class EmbodiedWorld:
+    """Simulates one task attempt."""
+
+    def __init__(self, task: TaskSpec, registry: SubtaskRegistry,
+                 config: WorldConfig | None = None,
+                 rng: np.random.Generator | None = None):
+        self.task = task
+        self.registry = registry
+        self.config = config or WorldConfig()
+        self._rng = rng or np.random.default_rng(0)
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # Episode lifecycle
+    # ------------------------------------------------------------------
+    def reset(self, rng: np.random.Generator | None = None) -> None:
+        if rng is not None:
+            self._rng = rng
+        self.inventory: set[str] = set()
+        self.steps_taken = 0
+        self.task_completed = False
+        self.biome = self._rng.uniform(0.0, 1.0, size=4)
+        self._state: _SubtaskState | None = None
+
+    # ------------------------------------------------------------------
+    # Subtask control (driven by the executor / planner)
+    # ------------------------------------------------------------------
+    @property
+    def current_subtask(self) -> str | None:
+        return self._state.spec.name if self._state is not None else None
+
+    @property
+    def subtask_steps(self) -> int:
+        return self._state.steps if self._state is not None else 0
+
+    def prerequisites_met(self, subtask: str) -> bool:
+        """Whether all recipe predecessors of ``subtask`` are in the inventory."""
+        if subtask not in self.task.plan:
+            return False
+        index = self.task.plan.index(subtask)
+        return all(dep in self.inventory for dep in self.task.plan[:index])
+
+    def useful_subtasks(self) -> list[str]:
+        """Subtasks that could currently make progress toward the task."""
+        return [name for name in self.task.plan
+                if name not in self.inventory and self.prerequisites_met(name)]
+
+    def set_subtask(self, name: str) -> bool:
+        """Command a new subtask.  Returns False for names outside the registry."""
+        if name not in self.registry:
+            self._state = None
+            return False
+        spec = self.registry.get(name)
+        blocked = name in self.inventory or not self.prerequisites_met(name)
+        state = _SubtaskState(spec=spec, blocked=blocked)
+        self._begin_unit(state)
+        self._state = state
+        return True
+
+    def _begin_unit(self, state: _SubtaskState) -> None:
+        """Start one exploration+execution cycle for the current subtask."""
+        spec = state.spec
+        if spec.exploration_distance > 0 and spec.exploration_jitter > 0:
+            jitter = int(self._rng.integers(-spec.exploration_jitter,
+                                            spec.exploration_jitter + 1))
+        else:
+            jitter = 0
+        state.distance = max(0, spec.exploration_distance + jitter)
+        if spec.exploration_distance > 0:
+            state.distance = max(1, state.distance)
+        if state.blocked:
+            # A useless subtask never finds its target: keep the agent exploring.
+            state.distance = max(state.distance, 8)
+        state.progress = 0
+        state.in_execution = state.distance == 0
+        state.preferred_direction = Action(
+            MOVEMENT_ACTIONS[self._rng.integers(0, len(MOVEMENT_ACTIONS))])
+
+    # ------------------------------------------------------------------
+    # Observation interfaces
+    # ------------------------------------------------------------------
+    def _require_state(self) -> _SubtaskState:
+        if self._state is None:
+            raise RuntimeError("no subtask commanded; call set_subtask() first")
+        return self._state
+
+    def observation(self) -> np.ndarray:
+        state = self._require_state()
+        return encode_observation(
+            spec=state.spec,
+            in_execution=state.in_execution,
+            distance=state.distance,
+            progress=state.progress,
+            units_remaining=state.spec.quantity - state.units_collected,
+            preferred_direction=state.preferred_direction,
+            biome=self.biome,
+            rng=self._rng,
+            noise_scale=self.config.observation_noise,
+        )
+
+    def observation_image(self) -> np.ndarray:
+        state = self._require_state()
+        return render_observation_image(
+            spec=state.spec,
+            in_execution=state.in_execution,
+            distance=state.distance,
+            progress=state.progress,
+            biome=self.biome[:3],
+            rng=self._rng,
+            noise_scale=self.config.image_noise,
+        )
+
+    def oracle_distribution(self) -> np.ndarray:
+        """Ground-truth action distribution of an expert at the current step."""
+        state = self._require_state()
+        probs = np.full(NUM_ACTIONS, 0.01, dtype=np.float64)
+        if not state.in_execution:
+            # Exploration: heading is preferred but any movement is acceptable.
+            for action in MOVEMENT_ACTIONS:
+                probs[int(action)] = 0.09
+            probs[int(state.preferred_direction)] = 0.45
+        elif state.spec.kind is SubtaskKind.STOCHASTIC:
+            # Stochastic interaction: several actions work.
+            accepted = state.spec.accepts
+            for action in accepted:
+                probs[int(action)] = 0.8 / len(accepted)
+            probs[int(state.spec.execution_action)] += 0.1
+        else:
+            # Critical execution: one precise action.
+            probs[int(state.spec.execution_action)] = 0.92
+        return probs / probs.sum()
+
+    def oracle_entropy(self) -> float:
+        probs = self.oracle_distribution()
+        return float(-(probs * np.log(probs)).sum())
+
+    def is_critical_step(self) -> bool:
+        """Critical = execution phase of a deterministic (sequential/craft) subtask."""
+        state = self._require_state()
+        return state.in_execution and state.spec.kind is not SubtaskKind.STOCHASTIC
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+    def step(self, action: int | Action) -> StepResult:
+        state = self._require_state()
+        if self.task_completed:
+            raise RuntimeError("task already completed; reset the world")
+        action = Action(int(action))
+        self.steps_taken += 1
+        state.steps += 1
+
+        progressed = False
+        subtask_completed = False
+
+        if not state.in_execution:
+            progressed = self._step_exploration(state, action)
+        else:
+            progressed, unit_done = self._step_execution(state, action)
+            if unit_done:
+                state.units_collected += 1
+                if state.units_collected >= state.spec.quantity and not state.blocked:
+                    subtask_completed = True
+                    self.inventory.add(state.spec.name)
+                else:
+                    self._begin_unit(state)
+
+        task_completed = False
+        if subtask_completed and state.spec.name == self.task.target:
+            task_completed = True
+            self.task_completed = True
+
+        return StepResult(
+            progressed=progressed,
+            subtask_completed=subtask_completed,
+            task_completed=task_completed,
+            wasted=state.blocked,
+        )
+
+    def _step_exploration(self, state: _SubtaskState, action: Action) -> bool:
+        if state.blocked:
+            # Blocked subtasks wander forever; movement feels productive but is not.
+            return False
+        progressed = False
+        if action == state.preferred_direction:
+            state.distance -= 1
+            progressed = True
+        elif action in MOVEMENT_ACTIONS:
+            if self._rng.random() < self.config.exploration_tolerance:
+                state.distance -= 1
+                progressed = True
+        if state.distance <= 0:
+            state.distance = 0
+            state.in_execution = True
+        return progressed
+
+    def _step_execution(self, state: _SubtaskState, action: Action) -> tuple[bool, bool]:
+        spec = state.spec
+        if state.blocked:
+            return False, False
+        if action in spec.accepts:
+            state.progress += 1
+            if state.progress >= spec.execution_length:
+                return True, True
+            return True, False
+        # Wrong action: deterministic chains break, stochastic ones merely stall.
+        if spec.kind is not SubtaskKind.STOCHASTIC:
+            state.progress = 0
+        return False, False
+
+    def waste_steps(self, count: int) -> None:
+        """Charge steps without any progress (e.g. a planner emitted garbage).
+
+        Used by the executor when the plan contains a token that does not map
+        to any known subtask: the agent spends time doing nothing useful.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.steps_taken += count
+
+    # ------------------------------------------------------------------
+    # Budgets
+    # ------------------------------------------------------------------
+    def subtask_budget_exhausted(self) -> bool:
+        return self.subtask_steps >= self.config.subtask_step_limit
+
+    def task_budget_exhausted(self) -> bool:
+        return self.steps_taken >= self.config.task_step_limit

@@ -1,0 +1,35 @@
+"""Evaluation harness: metrics, resilience sweeps, experiment runners, reporting."""
+
+from .metrics import TrialSummary, confidence_interval, energy_savings_percent, summarize_trials
+from .resilience import (
+    PLANNER_CHARACTERIZATION_EXPOSURE,
+    SweepPoint,
+    SweepResult,
+    activation_study,
+    ber_sweep,
+    component_sweep,
+    stage_entropy_profile,
+    subtask_sweep,
+)
+from .reporting import banner, format_series, format_sweep, format_table
+from . import experiments
+
+__all__ = [
+    "TrialSummary",
+    "confidence_interval",
+    "energy_savings_percent",
+    "summarize_trials",
+    "PLANNER_CHARACTERIZATION_EXPOSURE",
+    "SweepPoint",
+    "SweepResult",
+    "ber_sweep",
+    "component_sweep",
+    "subtask_sweep",
+    "activation_study",
+    "stage_entropy_profile",
+    "banner",
+    "format_table",
+    "format_series",
+    "format_sweep",
+    "experiments",
+]

@@ -1,0 +1,629 @@
+"""Per-figure / per-table experiment runners (paper Sec. 6).
+
+Every public function here regenerates the data behind one table or figure of
+the paper; the ``benchmarks/`` directory wraps them in pytest-benchmark
+targets and prints the rows/series.  Trial counts are parameters so tests can
+run tiny versions of each experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..agents.executor import MissionExecutor
+from ..agents.jarvis import EmbodiedSystem
+from ..agents import platforms
+from ..core.baselines import AbftModel, DmrModel, ThUnderVoltInjector
+from ..core.create import CreateConfig, ProtectionConfig
+from ..core.policies import ConstantVoltagePolicy, REFERENCE_POLICIES, VoltagePolicy, pareto_front
+from ..core.voltage_scaling import VoltageScalingConfig
+from ..faults.models import UniformErrorModel, VoltageErrorModel
+from ..hardware.accelerator import Accelerator
+from ..hardware.energy import BatteryModel, EnergyModel
+from ..hardware.timing import NOMINAL_VOLTAGE, TimingErrorModel
+from ..quant import INT4, INT8, QuantSpec
+from .metrics import TrialSummary, energy_savings_percent, summarize_trials
+from .resilience import SweepResult, ber_sweep
+
+__all__ = [
+    "motivation_curves",
+    "timing_error_table",
+    "gemm_output_profile",
+    "rotation_study",
+    "ad_evaluation",
+    "wr_evaluation",
+    "PolicyEvaluation",
+    "vs_evaluation",
+    "interval_sweep",
+    "OverallResult",
+    "overall_evaluation",
+    "minimum_voltage_search",
+    "cross_platform_planner_eval",
+    "cross_platform_controller_eval",
+    "chip_energy_breakdown",
+    "error_model_comparison",
+    "baseline_comparison",
+    "repetition_study",
+    "quantization_study",
+    "hardware_report",
+    "model_table",
+]
+
+
+# ----------------------------------------------------------------------
+# Fig. 1 / Fig. 4: motivation and timing-error model
+# ----------------------------------------------------------------------
+def motivation_curves(voltages: list[float] | None = None,
+                      timing_model: TimingErrorModel | None = None) -> dict[str, np.ndarray]:
+    """Voltage vs. aggregate BER and vs. relative dynamic energy (Fig. 1b/1d)."""
+    model = timing_model or TimingErrorModel()
+    energy = EnergyModel()
+    voltages = voltages or [round(v, 3) for v in np.arange(0.60, 0.91, 0.025)]
+    bers = np.array([model.mean_bit_error_rate(v) for v in voltages])
+    energy_scale = np.array([energy.voltage_scale(v) for v in voltages])
+    return {"voltages": np.asarray(voltages), "mean_ber": bers,
+            "dynamic_energy_scale": energy_scale}
+
+
+def timing_error_table(voltages: list[float] | None = None,
+                       timing_model: TimingErrorModel | None = None) -> dict[float, np.ndarray]:
+    """Per-bit error-rate lookup table (Fig. 4a)."""
+    model = timing_model or TimingErrorModel()
+    voltages = voltages or [0.9, 0.875, 0.85, 0.825, 0.8, 0.775, 0.75, 0.7, 0.65, 0.6]
+    return {v: model.bit_error_rates(v) for v in voltages}
+
+
+# ----------------------------------------------------------------------
+# Fig. 8a: runtime GEMM output profile (anomaly bound)
+# ----------------------------------------------------------------------
+def gemm_output_profile(system: EmbodiedSystem) -> dict[str, float]:
+    """Summary of profiled GEMM output magnitudes of the planner and controller."""
+    out: dict[str, float] = {}
+    if system.planner is not None:
+        bounds = system.planner.output_bounds()
+        out["planner_max_bound"] = max(bounds.values())
+        out["planner_median_bound"] = float(np.median(list(bounds.values())))
+    bounds_c = system.controller.output_bounds()
+    out["controller_max_bound"] = max(bounds_c.values())
+    out["controller_median_bound"] = float(np.median(list(bounds_c.values())))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 9b: weight rotation effect on activations / anomaly bounds
+# ----------------------------------------------------------------------
+def rotation_study(plain_system: EmbodiedSystem, rotated_system: EmbodiedSystem,
+                   task: str = "wooden") -> dict[str, float]:
+    """Outlier ratio and anomaly-bound tightening achieved by weight rotation."""
+    if plain_system.planner is None or rotated_system.planner is None:
+        raise ValueError("both systems need planners")
+    plain_acts = plain_system.planner.capture_activations(task, 0, quantized=False)
+    rot_acts = rotated_system.planner.capture_activations(task, 0, quantized=False)
+    key = sorted(plain_acts)[0]
+    plain = plain_acts[key]
+    rotated = rot_acts[key]
+    plain_bounds = plain_system.planner.output_bounds()
+    rot_bounds = rotated_system.planner.output_bounds()
+    writer_names = [n for n in plain_bounds if n.endswith(".o") or n.endswith(".down")]
+    plain_bound = float(np.mean([plain_bounds[n] for n in writer_names]))
+    rot_bound = float(np.mean([rot_bounds[n] for n in writer_names]))
+    return {
+        "outlier_ratio_before": float(np.abs(plain).max() / np.abs(plain).mean()),
+        "outlier_ratio_after": float(np.abs(rotated).max() / np.abs(rotated).mean()),
+        "mean_writer_bound_before": plain_bound,
+        "mean_writer_bound_after": rot_bound,
+        "bound_tightening": plain_bound / max(rot_bound, 1e-12),
+    }
+
+
+# ----------------------------------------------------------------------
+# Fig. 13a-c: AD and WR evaluation
+# ----------------------------------------------------------------------
+def ad_evaluation(executor: MissionExecutor, task: str, bers: list[float],
+                  target: str, num_trials: int = 16, seed: int = 0,
+                  exposure_scale: float = 1.0) -> dict[str, SweepResult]:
+    """Success/steps vs. BER with and without anomaly detection (Fig. 13a/b)."""
+    return {
+        "without_ad": ber_sweep(executor, task, bers, target=target, num_trials=num_trials,
+                                seed=seed, anomaly_detection=False,
+                                exposure_scale=exposure_scale, label="without AD"),
+        "with_ad": ber_sweep(executor, task, bers, target=target, num_trials=num_trials,
+                             seed=seed, anomaly_detection=True,
+                             exposure_scale=exposure_scale, label="with AD"),
+    }
+
+
+def wr_evaluation(plain_executor: MissionExecutor, rotated_executor: MissionExecutor,
+                  task: str, bers: list[float], num_trials: int = 16, seed: int = 0,
+                  anomaly_detection: bool = False,
+                  exposure_scale: float = 1.0) -> dict[str, SweepResult]:
+    """Planner success vs. BER with and without weight rotation (Fig. 13c/e)."""
+    return {
+        "without_wr": ber_sweep(plain_executor, task, bers, target="planner",
+                                num_trials=num_trials, seed=seed,
+                                anomaly_detection=anomaly_detection,
+                                exposure_scale=exposure_scale, label="without WR"),
+        "with_wr": ber_sweep(rotated_executor, task, bers, target="planner",
+                             num_trials=num_trials, seed=seed,
+                             anomaly_detection=anomaly_detection,
+                             exposure_scale=exposure_scale, label="with WR"),
+    }
+
+
+# ----------------------------------------------------------------------
+# Fig. 13d/f, Fig. 15, Fig. 21: voltage-scaling policies
+# ----------------------------------------------------------------------
+@dataclass
+class PolicyEvaluation:
+    """Task quality and efficiency of one voltage policy."""
+
+    policy: VoltagePolicy
+    summary: TrialSummary
+
+    @property
+    def success_rate(self) -> float:
+        return self.summary.success_rate
+
+    @property
+    def effective_voltage(self) -> float:
+        return self.summary.effective_voltage
+
+
+def vs_evaluation(system: EmbodiedSystem, task: str,
+                  policies: list[VoltagePolicy] | None = None,
+                  constant_voltages: list[float] | None = None,
+                  num_trials: int = 12, seed: int = 0,
+                  anomaly_detection: bool = True,
+                  update_interval: int = 5,
+                  entropy_source: str = "predictor") -> list[PolicyEvaluation]:
+    """Evaluate adaptive policies against constant-voltage baselines (Fig. 13d/f)."""
+    executor = system.executor()
+    policies = policies if policies is not None else list(REFERENCE_POLICIES.values())
+    constant_voltages = constant_voltages if constant_voltages is not None \
+        else [0.82, 0.80, 0.78, 0.76, 0.74]
+    evaluations: list[PolicyEvaluation] = []
+    all_policies = [ConstantVoltagePolicy(v) for v in constant_voltages] + list(policies)
+    for policy in all_policies:
+        if isinstance(policy, ConstantVoltagePolicy):
+            protection = ProtectionConfig(voltage=policy.voltages[0],
+                                          anomaly_detection=anomaly_detection)
+        else:
+            source = entropy_source if system.predictor is not None else "oracle"
+            protection = ProtectionConfig(
+                anomaly_detection=anomaly_detection,
+                voltage_scaling=VoltageScalingConfig(policy=policy,
+                                                     update_interval=update_interval,
+                                                     entropy_source=source))
+        trials = executor.run_trials(task, num_trials, seed=seed,
+                                     controller_protection=protection)
+        evaluations.append(PolicyEvaluation(policy=policy, summary=summarize_trials(trials)))
+    return evaluations
+
+
+def interval_sweep(system: EmbodiedSystem, task: str, intervals: list[int] | None = None,
+                   policy: VoltagePolicy | None = None, num_trials: int = 10,
+                   seed: int = 0) -> dict[int, TrialSummary]:
+    """Voltage-update-interval sensitivity (Fig. 15)."""
+    executor = system.executor()
+    intervals = intervals or [1, 5, 10, 20]
+    policy = policy or REFERENCE_POLICIES["C"]
+    out: dict[int, TrialSummary] = {}
+    for interval in intervals:
+        source = "predictor" if system.predictor is not None else "oracle"
+        protection = ProtectionConfig(
+            anomaly_detection=True,
+            voltage_scaling=VoltageScalingConfig(policy=policy, update_interval=interval,
+                                                 entropy_source=source))
+        trials = executor.run_trials(task, num_trials, seed=seed,
+                                     controller_protection=protection)
+        out[interval] = summarize_trials(trials)
+    return out
+
+
+def policy_search_evaluation(system: EmbodiedSystem, task: str,
+                             candidates: list[VoltagePolicy],
+                             num_trials: int = 6, seed: int = 0) -> list[int]:
+    """Evaluate candidate policies and return the indices on the Pareto front."""
+    evaluations = vs_evaluation(system, task, policies=candidates, constant_voltages=[],
+                                num_trials=num_trials, seed=seed)
+    success = np.array([e.success_rate for e in evaluations])
+    voltage = np.array([e.effective_voltage for e in evaluations])
+    return pareto_front(success, voltage)
+
+
+# ----------------------------------------------------------------------
+# Fig. 16: overall evaluation across tasks
+# ----------------------------------------------------------------------
+@dataclass
+class OverallResult:
+    """Per-task summaries of one CREATE configuration."""
+
+    label: str
+    per_task: dict[str, TrialSummary] = field(default_factory=dict)
+
+    def mean_success(self) -> float:
+        return float(np.mean([s.success_rate for s in self.per_task.values()]))
+
+    def mean_energy(self) -> float:
+        return float(np.mean([s.mean_energy_j for s in self.per_task.values()]))
+
+
+def _config_protections(system: EmbodiedSystem, config: CreateConfig
+                        ) -> tuple[ProtectionConfig, ProtectionConfig]:
+    planner_prot = config.planner_protection()
+    controller_prot = config.controller_protection()
+    if controller_prot.voltage_scaling is not None and system.predictor is None:
+        controller_prot = ProtectionConfig(
+            voltage=controller_prot.voltage,
+            anomaly_detection=controller_prot.anomaly_detection,
+            voltage_scaling=VoltageScalingConfig(
+                policy=controller_prot.voltage_scaling.policy,
+                update_interval=controller_prot.voltage_scaling.update_interval,
+                entropy_source="oracle"),
+            exposure_scale=controller_prot.exposure_scale)
+    return planner_prot, controller_prot
+
+
+def overall_evaluation(systems: dict[str, EmbodiedSystem], tasks: list[str],
+                       configs: dict[str, CreateConfig], num_trials: int = 10,
+                       seed: int = 0) -> dict[str, OverallResult]:
+    """Success rate and energy per task for several CREATE configurations (Fig. 16a).
+
+    ``systems`` maps a configuration label to the system it runs on (the WR
+    configurations need the rotated planner); ``configs`` maps the same labels
+    to the CREATE configuration.
+    """
+    results: dict[str, OverallResult] = {}
+    for label, config in configs.items():
+        system = systems[label]
+        executor = system.executor()
+        planner_prot, controller_prot = _config_protections(system, config)
+        overall = OverallResult(label=label)
+        for task in tasks:
+            trials = executor.run_trials(task, num_trials, seed=seed,
+                                         planner_protection=planner_prot,
+                                         controller_protection=controller_prot)
+            overall.per_task[task] = summarize_trials(trials)
+        results[label] = overall
+    return results
+
+
+def minimum_voltage_search(system: EmbodiedSystem, task: str, config: CreateConfig,
+                           voltages: list[float] | None = None,
+                           success_threshold: float = 0.85, num_trials: int = 8,
+                           seed: int = 0) -> tuple[float, dict[float, TrialSummary]]:
+    """Lowest operating voltage that sustains acceptable success (Fig. 16b).
+
+    Both the planner and the controller run at the candidate voltage (unless
+    the configuration uses VS for the controller, in which case only the
+    planner voltage is swept and the VS policy handles the controller).
+    """
+    executor = system.executor()
+    voltages = voltages or [0.84, 0.82, 0.80, 0.78, 0.76, 0.74, 0.72]
+    summaries: dict[float, TrialSummary] = {}
+    best = NOMINAL_VOLTAGE
+    found = False
+    for voltage in sorted(voltages, reverse=True):
+        candidate = CreateConfig(
+            ad=config.ad, wr=config.wr, vs_policy=config.vs_policy,
+            vs_update_interval=config.vs_update_interval,
+            vs_entropy_source=config.vs_entropy_source,
+            planner_voltage=voltage,
+            controller_voltage=None if config.vs_policy is not None else voltage,
+            exposure_scale=config.exposure_scale)
+        planner_prot, controller_prot = _config_protections(system, candidate)
+        trials = executor.run_trials(task, num_trials, seed=seed,
+                                     planner_protection=planner_prot,
+                                     controller_protection=controller_prot)
+        summary = summarize_trials(trials)
+        summaries[voltage] = summary
+        if summary.success_rate >= success_threshold:
+            best = voltage
+            found = True
+        else:
+            break
+    return (best if found else NOMINAL_VOLTAGE), summaries
+
+
+# ----------------------------------------------------------------------
+# Fig. 17: cross-platform generality
+# ----------------------------------------------------------------------
+def cross_platform_planner_eval(system: EmbodiedSystem, rotated_system: EmbodiedSystem,
+                                tasks: list[str], voltage: float = 0.78,
+                                num_trials: int = 8, seed: int = 0) -> dict[str, dict[str, float]]:
+    """AD+WR planner energy savings on one platform (Fig. 17a).
+
+    Baseline: the planner must run at nominal voltage to preserve quality;
+    with AD+WR it runs at ``voltage``.  Savings are computed per task from the
+    planner's computational energy.
+    """
+    energy_model = EnergyModel()
+    out: dict[str, dict[str, float]] = {}
+    executor = rotated_system.executor()
+    baseline_exec = system.executor()
+    for task in tasks:
+        base_trials = baseline_exec.run_trials(task, num_trials, seed=seed)
+        prot = ProtectionConfig(voltage=voltage, anomaly_detection=True)
+        wr_trials = executor.run_trials(task, num_trials, seed=seed,
+                                        planner_protection=prot)
+        base_energy = float(np.mean([
+            energy_model.compute_energy_j(t.planner_macs_by_voltage) for t in base_trials]))
+        wr_energy = float(np.mean([
+            energy_model.compute_energy_j(t.planner_macs_by_voltage) for t in wr_trials]))
+        out[task] = {
+            "baseline_success": summarize_trials(base_trials).success_rate,
+            "protected_success": summarize_trials(wr_trials).success_rate,
+            "planner_energy_savings_percent": energy_savings_percent(base_energy, wr_energy),
+        }
+    return out
+
+
+def cross_platform_controller_eval(system: EmbodiedSystem, tasks: list[str],
+                                   policy: VoltagePolicy | None = None,
+                                   num_trials: int = 8, seed: int = 0
+                                   ) -> dict[str, dict[str, float]]:
+    """AD+VS controller energy savings on one platform (Fig. 17b)."""
+    energy_model = EnergyModel()
+    policy = policy or REFERENCE_POLICIES["C"]
+    executor = system.executor()
+    out: dict[str, dict[str, float]] = {}
+    for task in tasks:
+        base_trials = executor.run_trials(task, num_trials, seed=seed)
+        source = "predictor" if system.predictor is not None else "oracle"
+        prot = ProtectionConfig(anomaly_detection=True,
+                                voltage_scaling=VoltageScalingConfig(policy=policy,
+                                                                     entropy_source=source))
+        vs_trials = executor.run_trials(task, num_trials, seed=seed,
+                                        controller_protection=prot)
+        base_energy = float(np.mean([
+            energy_model.compute_energy_j(t.controller_macs_by_voltage) for t in base_trials]))
+        vs_energy = float(np.mean([
+            energy_model.compute_energy_j(t.controller_macs_by_voltage) for t in vs_trials]))
+        out[task] = {
+            "baseline_success": summarize_trials(base_trials).success_rate,
+            "protected_success": summarize_trials(vs_trials).success_rate,
+            "controller_energy_savings_percent": energy_savings_percent(base_energy, vs_energy),
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 18: chip-level energy breakdown (paper-scale models)
+# ----------------------------------------------------------------------
+def chip_energy_breakdown(compute_savings_percent: dict[str, float] | None = None
+                          ) -> dict[str, dict[str, float]]:
+    """Compute/memory energy split and chip-level savings per paper-scale model.
+
+    ``compute_savings_percent`` maps model keys to the computational-energy
+    savings achieved by CREATE (defaults to the paper's reported per-technique
+    numbers when not supplied by a live experiment).
+    """
+    accelerator = Accelerator()
+    energy = EnergyModel()
+    battery = BatteryModel()
+    savings = compute_savings_percent or {
+        "jarvis_planner": 50.7, "openvla_planner": 50.7, "roboflamingo_planner": 50.7,
+        "jarvis_controller": 39.3, "rt1_controller": 39.3, "octo_controller": 39.3,
+    }
+    networks = {
+        "jarvis_planner": platforms.planner_inference_workloads("jarvis"),
+        "openvla_planner": platforms.planner_inference_workloads("openvla"),
+        "roboflamingo_planner": platforms.planner_inference_workloads("roboflamingo"),
+        "jarvis_controller": platforms.controller_inference_workloads("jarvis"),
+        "rt1_controller": platforms.controller_inference_workloads("rt1"),
+        "octo_controller": platforms.controller_inference_workloads("octo"),
+    }
+    out: dict[str, dict[str, float]] = {}
+    for key, workloads in networks.items():
+        invocations = 1 if key.endswith("planner") else 100
+        traffic = accelerator.simulate_network(key, workloads, invocations=invocations)
+        breakdown = energy.breakdown({NOMINAL_VOLTAGE: traffic.macs},
+                                     traffic.total_sram_bytes, traffic.total_dram_bytes)
+        compute_fraction = breakdown.compute_fraction()
+        compute_saving = savings.get(key, 0.0) / 100.0
+        chip_saving = compute_fraction * compute_saving
+        out[key] = {
+            "compute_fraction": compute_fraction,
+            "memory_fraction": 1.0 - compute_fraction,
+            "compute_savings_percent": compute_saving * 100.0,
+            "chip_level_savings_percent": chip_saving * 100.0,
+            "battery_life_extension_percent": battery.life_extension_percent(
+                1.0 - chip_saving),
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 19: uniform vs. hardware-specific error models
+# ----------------------------------------------------------------------
+def error_model_comparison(executor: MissionExecutor, task: str, target: str,
+                           voltages: list[float] | None = None, num_trials: int = 12,
+                           seed: int = 0) -> dict[str, dict[float, float]]:
+    """Success under the voltage-LUT model vs. a uniform model of equal mean BER."""
+    timing = TimingErrorModel()
+    voltages = voltages or [0.80, 0.775, 0.75, 0.725]
+    uniform: dict[float, float] = {}
+    hardware: dict[float, float] = {}
+    for voltage in voltages:
+        mean_ber = timing.mean_bit_error_rate(voltage)
+        protections = {
+            "uniform": ProtectionConfig(error_model=UniformErrorModel(mean_ber)),
+            "hardware": ProtectionConfig(error_model=VoltageErrorModel(voltage, timing)),
+        }
+        for label, protection in protections.items():
+            kwargs = {"planner_protection": protection} if target == "planner" \
+                else {"controller_protection": protection}
+            trials = executor.run_trials(task, num_trials, seed=seed, **kwargs)
+            rate = summarize_trials(trials).success_rate
+            if label == "uniform":
+                uniform[voltage] = rate
+            else:
+                hardware[voltage] = rate
+    return {"uniform": uniform, "hardware": hardware}
+
+
+# ----------------------------------------------------------------------
+# Fig. 20: comparison with existing techniques
+# ----------------------------------------------------------------------
+def baseline_comparison(plain_system: EmbodiedSystem, rotated_system: EmbodiedSystem,
+                        task: str, voltages: list[float] | None = None,
+                        num_trials: int = 8, seed: int = 0) -> dict[str, dict[float, dict]]:
+    """CREATE vs. DMR / ThUnderVolt / ABFT: success and energy across voltages."""
+    voltages = voltages or [0.85, 0.80, 0.775, 0.75]
+    timing = TimingErrorModel()
+    energy_model = EnergyModel()
+    dmr, abft = DmrModel(), AbftModel()
+    results: dict[str, dict[float, dict]] = {"create": {}, "dmr": {}, "thundervolt": {}, "abft": {}}
+
+    clean_exec = plain_system.executor()
+    clean_summary = summarize_trials(clean_exec.run_trials(task, num_trials, seed=seed))
+
+    create_exec = rotated_system.executor()
+    for voltage in voltages:
+        rates = timing.bit_error_rates(voltage)
+        element_rate = float(1.0 - np.prod(1.0 - rates))
+
+        # CREATE: AD+WR planner, AD controller, both at the candidate voltage.
+        protection = ProtectionConfig(voltage=voltage, anomaly_detection=True)
+        trials = create_exec.run_trials(task, num_trials, seed=seed,
+                                        planner_protection=protection,
+                                        controller_protection=protection)
+        summary = summarize_trials(trials)
+        results["create"][voltage] = {
+            "success_rate": summary.success_rate,
+            "energy_j": summary.mean_energy_j * 1.0024,
+        }
+
+        # DMR / ABFT: reliability preserved (errors corrected), energy multiplied.
+        base_energy = clean_summary.mean_energy_j * energy_model.voltage_scale(voltage) \
+            / energy_model.voltage_scale(NOMINAL_VOLTAGE)
+        results["dmr"][voltage] = {
+            "success_rate": clean_summary.success_rate,
+            "energy_j": base_energy * dmr.energy_multiplier(element_rate),
+        }
+        abft_success = clean_summary.success_rate if abft.corrects_errors(element_rate) \
+            else 0.0
+        results["abft"][voltage] = {
+            "success_rate": abft_success,
+            "energy_j": base_energy * abft.energy_multiplier(element_rate),
+        }
+
+        # ThUnderVolt: skip-on-error behaviour simulated with its injector.
+        tv_exec = plain_system.executor()
+        tv_protection = ProtectionConfig(voltage=voltage, injector_kind="thundervolt")
+        tv_trials = tv_exec.run_trials(task, num_trials, seed=seed,
+                                       planner_protection=tv_protection,
+                                       controller_protection=tv_protection)
+        tv_summary = summarize_trials(tv_trials)
+        results["thundervolt"][voltage] = {
+            "success_rate": tv_summary.success_rate,
+            "energy_j": tv_summary.mean_energy_j * 1.05,
+        }
+    return results
+
+
+# ----------------------------------------------------------------------
+# Table 5 / Table 6
+# ----------------------------------------------------------------------
+def repetition_study(executor: MissionExecutor, task: str, ber: float,
+                     repetition_counts: list[int] | None = None,
+                     seed: int = 0) -> dict[int, float]:
+    """Measured success rate as the number of repetitions grows (Table 5)."""
+    repetition_counts = repetition_counts or [20, 40, 60, 80, 100]
+    max_count = max(repetition_counts)
+    protection = ProtectionConfig(error_model=UniformErrorModel(ber))
+    trials = executor.run_trials(task, max_count, seed=seed,
+                                 controller_protection=protection)
+    return {count: float(np.mean([t.success for t in trials[:count]]))
+            for count in repetition_counts}
+
+
+def quantization_study(build_system, task: str, bers: list[float],
+                       num_trials: int = 10, seed: int = 0) -> dict[str, dict[float, float]]:
+    """AD+WR planner success under INT8 vs. INT4 quantization (Table 6).
+
+    ``build_system(spec)`` constructs a rotated system deployed at the given
+    :class:`~repro.quant.QuantSpec`.
+    """
+    out: dict[str, dict[float, float]] = {}
+    for spec in (INT8, INT4):
+        system = build_system(spec)
+        executor = system.executor()
+        per_ber: dict[float, float] = {}
+        for ber in bers:
+            protection = ProtectionConfig(error_model=UniformErrorModel(ber),
+                                          anomaly_detection=True)
+            trials = executor.run_trials(task, num_trials, seed=seed,
+                                         planner_protection=protection)
+            per_ber[ber] = summarize_trials(trials).success_rate
+        out[str(spec)] = per_ber
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 12 / Tables 2-4: hardware platform
+# ----------------------------------------------------------------------
+def hardware_report() -> dict:
+    """Accelerator summary: area/power blocks, overheads, latencies (Fig. 12, Table 3)."""
+    accelerator = Accelerator()
+    networks = {
+        "planner": platforms.planner_inference_workloads("jarvis"),
+        "controller": platforms.controller_inference_workloads("jarvis"),
+        "predictor": platforms.predictor_inference_workloads(),
+    }
+    report = accelerator.report(networks)
+    return {
+        "peak_tops": report.peak_tops,
+        "blocks": {b.name: {"area_mm2": b.area_mm2, "power_w": b.power_w}
+                   for b in report.blocks},
+        "total_area_mm2": report.total_area_mm2,
+        "ad_area_overhead": report.ad_area_overhead,
+        "ad_power_overhead": report.ad_power_overhead,
+        "ldo_area_overhead": report.ldo_area_overhead,
+        "ldo_power_overhead": report.ldo_power_overhead,
+        "latencies_ms": report.latencies_ms,
+        "macs": report.macs,
+        "voltage_switch_latency_ns": report.voltage_switch_latency_ns,
+        "ldo_spec": {
+            "v_min": accelerator.config.ldo.v_min,
+            "v_max": accelerator.config.ldo.v_max,
+            "step_v": accelerator.config.ldo.step_v,
+            "response_ns_per_50mv": accelerator.config.ldo.response_ns_per_50mv,
+            "peak_current_efficiency": accelerator.config.ldo.peak_current_efficiency,
+        },
+    }
+
+
+def model_table() -> dict[str, dict[str, float]]:
+    """Model parameters and computational requirements (Table 4)."""
+    out: dict[str, dict[str, float]] = {}
+    arch_map = {
+        "jarvis_planner": platforms.PAPER_PLANNER_ARCHS["jarvis"],
+        "openvla_planner": platforms.PAPER_PLANNER_ARCHS["openvla"],
+        "roboflamingo_planner": platforms.PAPER_PLANNER_ARCHS["roboflamingo"],
+        "jarvis_controller": platforms.PAPER_CONTROLLER_ARCHS["jarvis"],
+        "rt1_controller": platforms.PAPER_CONTROLLER_ARCHS["rt1"],
+        "octo_controller": platforms.PAPER_CONTROLLER_ARCHS["octo"],
+    }
+    for key, arch in arch_map.items():
+        stats = platforms.paper_stats(key)
+        if key.endswith("planner"):
+            workloads = platforms.planner_inference_workloads(key.removesuffix("_planner"))
+        else:
+            workloads = platforms.controller_inference_workloads(key.removesuffix("_controller"))
+        gops = 2 * sum(w.macs for w in workloads) / 1e9
+        out[key] = {
+            "paper_params_millions": stats.params_millions,
+            "modelled_params_millions": arch.params_millions(),
+            "paper_gops": stats.gops_int8,
+            "modelled_gops": gops,
+        }
+    out["entropy_predictor"] = {
+        "paper_params_millions": platforms.paper_stats("entropy_predictor").params_millions,
+        "modelled_params_millions": 0.055,
+        "paper_gops": platforms.paper_stats("entropy_predictor").gops_int8,
+        "modelled_gops": 2 * sum(w.macs for w in platforms.predictor_inference_workloads()) / 1e9,
+    }
+    return out

@@ -1,0 +1,89 @@
+"""Task-quality and efficiency metrics aggregated over repeated trials."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from ..agents.executor import TrialResult
+from ..hardware.energy import EnergyModel
+
+__all__ = ["TrialSummary", "summarize_trials", "confidence_interval", "energy_savings_percent"]
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Aggregate of a batch of repeated trials (one experimental condition)."""
+
+    num_trials: int
+    success_rate: float
+    success_ci: float
+    average_steps: float
+    average_steps_successful: float
+    mean_energy_j: float
+    effective_voltage: float
+    mean_planner_invocations: float
+    mean_entropy: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "num_trials": self.num_trials,
+            "success_rate": self.success_rate,
+            "success_ci": self.success_ci,
+            "average_steps": self.average_steps,
+            "average_steps_successful": self.average_steps_successful,
+            "mean_energy_j": self.mean_energy_j,
+            "effective_voltage": self.effective_voltage,
+            "mean_planner_invocations": self.mean_planner_invocations,
+            "mean_entropy": self.mean_entropy,
+        }
+
+
+def confidence_interval(successes: int, trials: int, confidence: float = 0.95) -> float:
+    """Half-width of the normal-approximation CI of a success rate."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    rate = successes / trials
+    z = scipy_stats.norm.ppf(0.5 + confidence / 2.0)
+    return float(z * np.sqrt(max(rate * (1.0 - rate), 1e-12) / trials))
+
+
+def summarize_trials(results: list[TrialResult],
+                     energy_model: EnergyModel | None = None) -> TrialSummary:
+    """Collapse repeated trials into the metrics the paper reports.
+
+    Success rate counts completed trials; average steps follows the paper's
+    convention of averaging over *successful* trials (with the all-trials
+    average also reported); energy includes failed trials at full execution.
+    """
+    if not results:
+        raise ValueError("cannot summarize an empty result list")
+    model = energy_model or EnergyModel()
+    successes = [r for r in results if r.success]
+    energies = [r.computational_energy_j(model) for r in results]
+    merged_macs: dict[float, float] = {}
+    for result in results:
+        for voltage, macs in result.macs_by_voltage().items():
+            merged_macs[voltage] = merged_macs.get(voltage, 0.0) + macs
+    entropies = [r.entropy_trace.mean_entropy() for r in results if len(r.entropy_trace)]
+    return TrialSummary(
+        num_trials=len(results),
+        success_rate=len(successes) / len(results),
+        success_ci=confidence_interval(len(successes), len(results)),
+        average_steps=float(np.mean([r.steps for r in results])),
+        average_steps_successful=float(np.mean([r.steps for r in successes]))
+        if successes else float("nan"),
+        mean_energy_j=float(np.mean(energies)),
+        effective_voltage=model.effective_voltage(merged_macs),
+        mean_planner_invocations=float(np.mean([r.planner_invocations for r in results])),
+        mean_entropy=float(np.mean(entropies)) if entropies else float("nan"),
+    )
+
+
+def energy_savings_percent(baseline_energy_j: float, improved_energy_j: float) -> float:
+    """Relative energy saving of an improved configuration over a baseline."""
+    if baseline_energy_j <= 0:
+        raise ValueError("baseline energy must be positive")
+    return (1.0 - improved_energy_j / baseline_energy_j) * 100.0

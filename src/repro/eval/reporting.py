@@ -1,0 +1,67 @@
+"""Plain-text table / series formatting for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "format_sweep", "banner"]
+
+
+def banner(title: str, width: int = 78) -> str:
+    """A section banner printed above each reproduced figure/table."""
+    bar = "=" * width
+    return f"{bar}\n{title}\n{bar}"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e5):
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: list[str], rows: Iterable[Iterable], title: str | None = None) -> str:
+    """Fixed-width text table."""
+    rows = [[_format_value(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(x_label: str, y_label: str, x_values, y_values,
+                  title: str | None = None) -> str:
+    """Two-column series (one figure line)."""
+    rows = list(zip(np.asarray(x_values).tolist(), np.asarray(y_values).tolist()))
+    return format_table([x_label, y_label], rows, title=title)
+
+
+def format_sweep(sweeps: dict, metric: str = "success_rate",
+                 title: str | None = None) -> str:
+    """Format a dict of label -> SweepResult as one table (columns = labels)."""
+    labels = list(sweeps)
+    if not labels:
+        return title or ""
+    bers = sweeps[labels[0]].bers()
+    headers = ["BER"] + labels
+    rows = []
+    for index, ber in enumerate(bers):
+        row = [f"{ber:.1e}"]
+        for label in labels:
+            points = sweeps[label].points
+            value = getattr(points[index].summary, metric) if index < len(points) else float("nan")
+            row.append(value)
+        rows.append(row)
+    return format_table(headers, rows, title=title)

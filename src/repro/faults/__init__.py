@@ -1,0 +1,20 @@
+"""Fault models and runtime error injection for voltage-underscaled inference."""
+
+from .bitflip import flip_bit, flip_bits, to_signed, to_unsigned, wrap_to_accumulator
+from .models import ErrorModel, SingleBitErrorModel, UniformErrorModel, VoltageErrorModel
+from .injector import ErrorInjector, InjectionStats, PassthroughInjector
+
+__all__ = [
+    "flip_bit",
+    "flip_bits",
+    "to_signed",
+    "to_unsigned",
+    "wrap_to_accumulator",
+    "ErrorModel",
+    "UniformErrorModel",
+    "VoltageErrorModel",
+    "SingleBitErrorModel",
+    "ErrorInjector",
+    "InjectionStats",
+    "PassthroughInjector",
+]

@@ -1,0 +1,63 @@
+"""Low-level bit-flip primitives on two's-complement accumulator values."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..quant.qtypes import ACCUMULATOR_BITS
+
+__all__ = ["to_unsigned", "to_signed", "flip_bit", "flip_bits", "wrap_to_accumulator"]
+
+
+def to_unsigned(values: np.ndarray, bits: int = ACCUMULATOR_BITS) -> np.ndarray:
+    """Reinterpret signed integers as their unsigned two's-complement pattern."""
+    mask = (1 << bits) - 1
+    return np.asarray(values, dtype=np.int64) & mask
+
+
+def to_signed(values: np.ndarray, bits: int = ACCUMULATOR_BITS) -> np.ndarray:
+    """Reinterpret unsigned bit patterns as signed two's-complement integers."""
+    values = np.asarray(values, dtype=np.int64)
+    sign_bit = 1 << (bits - 1)
+    mask = (1 << bits) - 1
+    values = values & mask
+    return np.where(values >= sign_bit, values - (1 << bits), values)
+
+
+def wrap_to_accumulator(values: np.ndarray, bits: int = ACCUMULATOR_BITS) -> np.ndarray:
+    """Wrap arbitrary integers into the signed range of a ``bits``-wide accumulator."""
+    return to_signed(to_unsigned(values, bits), bits)
+
+
+def flip_bit(values: np.ndarray, bit: int, bits: int = ACCUMULATOR_BITS) -> np.ndarray:
+    """Flip ``bit`` in every element of ``values`` (returns a new array)."""
+    if not 0 <= bit < bits:
+        raise ValueError(f"bit {bit} outside accumulator width {bits}")
+    unsigned = to_unsigned(values, bits)
+    return to_signed(unsigned ^ (1 << bit), bits)
+
+
+def flip_bits(values: np.ndarray, flat_indices: np.ndarray, bit_positions: np.ndarray,
+              bits: int = ACCUMULATOR_BITS) -> np.ndarray:
+    """Flip specific bits of specific elements.
+
+    ``flat_indices`` addresses elements of ``values`` viewed as a flat array;
+    ``bit_positions`` gives the bit flipped in the corresponding element.  The
+    same element may appear multiple times (multiple flipped bits); XOR makes
+    the operation order-independent.
+    """
+    flat_indices = np.asarray(flat_indices, dtype=np.int64)
+    bit_positions = np.asarray(bit_positions, dtype=np.int64)
+    if flat_indices.shape != bit_positions.shape:
+        raise ValueError("flat_indices and bit_positions must have the same shape")
+    if flat_indices.size == 0:
+        return np.asarray(values, dtype=np.int64).copy()
+    if np.any(bit_positions < 0) or np.any(bit_positions >= bits):
+        raise ValueError("bit position outside accumulator width")
+
+    out = to_unsigned(values, bits).ravel().copy()
+    if np.any(flat_indices < 0) or np.any(flat_indices >= out.size):
+        raise IndexError("element index out of range")
+    # XOR-accumulate the masks per element so repeated elements compose.
+    np.bitwise_xor.at(out, flat_indices, np.int64(1) << bit_positions)
+    return to_signed(out, bits).reshape(np.asarray(values).shape)

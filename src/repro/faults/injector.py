@@ -1,0 +1,149 @@
+"""Runtime fault injector attached to the quantized GEMM pipeline.
+
+Errors are injected into GEMM accumulator outputs exactly as the paper does:
+each 24-bit accumulator result can have any of its bits flipped, independently,
+with per-bit probabilities given by an :class:`~repro.faults.models.ErrorModel`.
+
+Fault-exposure scaling
+----------------------
+The paper characterizes 8 B-parameter planners whose single inference produces
+billions of accumulator results, so even a BER of 1e-8 corrupts several
+elements per invocation.  Our surrogates are orders of magnitude smaller.  To
+keep the *expected number of corrupted elements per invocation* — the quantity
+the resilience curves respond to — comparable, the injector accepts an
+``exposure_scale`` that multiplies the per-bit rates.  Benchmarks that quote
+paper BER values set it to the ratio of paper-model to surrogate GEMM output
+counts (see EXPERIMENTS.md); unit tests use the default of 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+
+import numpy as np
+
+from ..quant.qtypes import QuantSpec
+from .bitflip import flip_bits
+from .models import ErrorModel
+
+__all__ = ["InjectionStats", "ErrorInjector", "PassthroughInjector"]
+
+
+@dataclass
+class InjectionStats:
+    """Counters describing what an injector did."""
+
+    gemm_calls: int = 0
+    elements_seen: int = 0
+    bits_flipped: int = 0
+    elements_corrupted: int = 0
+    flips_per_component: dict[str, int] = field(default_factory=dict)
+
+    def reset(self) -> None:
+        self.gemm_calls = 0
+        self.elements_seen = 0
+        self.bits_flipped = 0
+        self.elements_corrupted = 0
+        self.flips_per_component.clear()
+
+    @property
+    def observed_element_error_rate(self) -> float:
+        if self.elements_seen == 0:
+            return 0.0
+        return self.elements_corrupted / self.elements_seen
+
+
+class ErrorInjector:
+    """Flips bits in accumulator tensors according to an error model.
+
+    Parameters
+    ----------
+    model:
+        Error model providing per-bit flip probabilities.
+    rng:
+        Random generator; every experiment passes its own seeded generator.
+    exposure_scale:
+        Multiplier applied to per-bit rates (see module docstring).
+    target_components:
+        Optional iterable of glob patterns; injection only happens for GEMM
+        calls whose component name matches one of the patterns (used by the
+        per-component resilience study, Fig. 5e-h).
+    enabled:
+        Master switch; a disabled injector is a no-op.
+    """
+
+    def __init__(self, model: ErrorModel, rng: np.random.Generator | None = None,
+                 exposure_scale: float = 1.0,
+                 target_components: list[str] | None = None,
+                 enabled: bool = True):
+        if exposure_scale < 0:
+            raise ValueError("exposure_scale must be non-negative")
+        self.model = model
+        self.rng = rng or np.random.default_rng(0)
+        self.exposure_scale = exposure_scale
+        self.target_components = list(target_components) if target_components else None
+        self.enabled = enabled
+        self.stats = InjectionStats()
+
+    # ------------------------------------------------------------------
+    def targets(self, component: str | None) -> bool:
+        """Whether this injector applies to the given component name."""
+        if not self.enabled:
+            return False
+        if self.target_components is None or component is None:
+            return self.target_components is None
+        return any(fnmatch(component, pattern) for pattern in self.target_components)
+
+    def effective_rates(self, spec: QuantSpec) -> np.ndarray:
+        rates = self.model.bit_rates(spec.accumulator_bits) * self.exposure_scale
+        return np.clip(rates, 0.0, 1.0)
+
+    def inject(self, accumulators: np.ndarray, spec: QuantSpec,
+               component: str | None = None) -> np.ndarray:
+        """Return a (possibly) corrupted copy of the accumulator tensor."""
+        self.stats.gemm_calls += 1
+        self.stats.elements_seen += int(accumulators.size)
+        if not self.targets(component):
+            return accumulators
+
+        rates = self.effective_rates(spec)
+        n_elements = accumulators.size
+        # Sample the number of flips per bit position; skip work when nothing flips.
+        flip_counts = self.rng.binomial(n_elements, rates)
+        total_flips = int(flip_counts.sum())
+        if total_flips == 0:
+            return accumulators
+
+        indices = np.concatenate([
+            self.rng.integers(0, n_elements, size=count)
+            for count in flip_counts if count > 0
+        ])
+        bits = np.concatenate([
+            np.full(count, bit, dtype=np.int64)
+            for bit, count in enumerate(flip_counts) if count > 0
+        ])
+        corrupted = flip_bits(accumulators, indices, bits, bits=spec.accumulator_bits)
+
+        self.stats.bits_flipped += total_flips
+        self.stats.elements_corrupted += int(np.unique(indices).size)
+        if component is not None:
+            self.stats.flips_per_component[component] = (
+                self.stats.flips_per_component.get(component, 0) + total_flips
+            )
+        return corrupted
+
+
+class PassthroughInjector(ErrorInjector):
+    """An injector that never corrupts anything (clean baseline runs)."""
+
+    def __init__(self):
+        from .models import UniformErrorModel
+
+        super().__init__(UniformErrorModel(0.0), enabled=False)
+
+    def inject(self, accumulators: np.ndarray, spec: QuantSpec,
+               component: str | None = None) -> np.ndarray:
+        self.stats.gemm_calls += 1
+        self.stats.elements_seen += int(accumulators.size)
+        return accumulators

@@ -1,0 +1,98 @@
+"""Error models: per-bit corruption probabilities for GEMM accumulator outputs.
+
+Two abstractions are provided, mirroring the paper's methodology:
+
+* :class:`UniformErrorModel` — every accumulator bit flips independently with
+  the same probability (the BER).  Used for the resilience characterization
+  (Sec. 4) to keep conclusions hardware-agnostic.
+* :class:`VoltageErrorModel` — per-bit flip probabilities looked up from the
+  synthesized timing model (Fig. 4a) at a given supply voltage.  Used for the
+  end-to-end evaluation (Sec. 6) where energy is measured against voltage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hardware.timing import TimingErrorModel
+from ..quant.qtypes import ACCUMULATOR_BITS
+
+__all__ = ["ErrorModel", "UniformErrorModel", "VoltageErrorModel", "SingleBitErrorModel"]
+
+
+class ErrorModel:
+    """Base class: exposes per-bit flip probabilities."""
+
+    def bit_rates(self, accumulator_bits: int = ACCUMULATOR_BITS) -> np.ndarray:
+        raise NotImplementedError
+
+    def mean_rate(self, accumulator_bits: int = ACCUMULATOR_BITS) -> float:
+        return float(self.bit_rates(accumulator_bits).mean())
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class UniformErrorModel(ErrorModel):
+    """All accumulator bits flip independently with probability ``ber``."""
+
+    ber: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.ber <= 1.0:
+            raise ValueError("ber must be in [0, 1]")
+
+    def bit_rates(self, accumulator_bits: int = ACCUMULATOR_BITS) -> np.ndarray:
+        return np.full(accumulator_bits, self.ber, dtype=np.float64)
+
+    def describe(self) -> str:
+        return f"uniform(ber={self.ber:.3g})"
+
+
+class VoltageErrorModel(ErrorModel):
+    """Per-bit rates from the voltage-dependent timing model."""
+
+    def __init__(self, voltage: float, timing_model: TimingErrorModel | None = None):
+        self.voltage = float(voltage)
+        self.timing_model = timing_model or TimingErrorModel()
+        self._cache: dict[int, np.ndarray] = {}
+
+    def bit_rates(self, accumulator_bits: int = ACCUMULATOR_BITS) -> np.ndarray:
+        if accumulator_bits not in self._cache:
+            rates = self.timing_model.bit_error_rates(self.voltage)
+            if accumulator_bits <= rates.size:
+                rates = rates[:accumulator_bits]
+            else:
+                rates = np.pad(rates, (0, accumulator_bits - rates.size), mode="edge")
+            self._cache[accumulator_bits] = rates
+        return self._cache[accumulator_bits]
+
+    def describe(self) -> str:
+        return f"voltage({self.voltage:.3f}V)"
+
+
+@dataclass(frozen=True)
+class SingleBitErrorModel(ErrorModel):
+    """Only one bit position flips (useful for targeted sensitivity studies)."""
+
+    bit: int
+    rate: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        if self.bit < 0:
+            raise ValueError("bit must be non-negative")
+
+    def bit_rates(self, accumulator_bits: int = ACCUMULATOR_BITS) -> np.ndarray:
+        if self.bit >= accumulator_bits:
+            raise ValueError("bit outside accumulator width")
+        rates = np.zeros(accumulator_bits, dtype=np.float64)
+        rates[self.bit] = self.rate
+        return rates
+
+    def describe(self) -> str:
+        return f"single(bit={self.bit}, rate={self.rate:.3g})"

@@ -1,0 +1,36 @@
+"""Circuit- and chip-level substrate: timing errors, systolic array, energy, LDO."""
+
+from .timing import MIN_VOLTAGE, NOMINAL_VOLTAGE, TimingErrorModel, TimingModelConfig
+from .systolic import GemmWorkload, SystolicArray, SystolicArrayConfig, TileSchedule
+from .scalesim import MemoryConfig, ScaleSimModel, TrafficReport
+from .energy import BatteryModel, EnergyBreakdown, EnergyConfig, EnergyModel
+from .ldo import DigitalLDO, LdoSpec, VoltageTransition
+from .anomaly_unit import AnomalyDetectionRow, AnomalyUnitSpec
+from .accelerator import Accelerator, AcceleratorConfig, AcceleratorReport, BlockBudget
+
+__all__ = [
+    "MIN_VOLTAGE",
+    "NOMINAL_VOLTAGE",
+    "TimingErrorModel",
+    "TimingModelConfig",
+    "GemmWorkload",
+    "SystolicArray",
+    "SystolicArrayConfig",
+    "TileSchedule",
+    "MemoryConfig",
+    "ScaleSimModel",
+    "TrafficReport",
+    "BatteryModel",
+    "EnergyBreakdown",
+    "EnergyConfig",
+    "EnergyModel",
+    "DigitalLDO",
+    "LdoSpec",
+    "VoltageTransition",
+    "AnomalyDetectionRow",
+    "AnomalyUnitSpec",
+    "Accelerator",
+    "AcceleratorConfig",
+    "AcceleratorReport",
+    "BlockBudget",
+]

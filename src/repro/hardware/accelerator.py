@@ -1,0 +1,138 @@
+"""Full-accelerator integration: area/power breakdown, peak performance, latency.
+
+Reproduces the hardware-platform numbers of the paper (Fig. 12c, Tables 2-3)
+for the unified accelerator that runs planner, controller and entropy
+predictor: a 128x128 INT8 systolic array with anomaly-detection units,
+distributed digital LDOs, and 71 MB of on-chip SRAM backed by HBM2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .anomaly_unit import AnomalyDetectionRow, AnomalyUnitSpec
+from .energy import EnergyConfig, EnergyModel
+from .ldo import DigitalLDO, LdoSpec
+from .scalesim import MemoryConfig, ScaleSimModel, TrafficReport
+from .systolic import GemmWorkload, SystolicArrayConfig
+from .timing import TimingErrorModel, TimingModelConfig
+
+__all__ = ["BlockBudget", "AcceleratorConfig", "AcceleratorReport", "Accelerator"]
+
+
+@dataclass(frozen=True)
+class BlockBudget:
+    """Area/power of one block of the chip (post-layout style numbers)."""
+
+    name: str
+    area_mm2: float
+    power_w: float
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Top-level configuration of the embodied-AI accelerator."""
+
+    array: SystolicArrayConfig = field(default_factory=SystolicArrayConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    ldo: LdoSpec = field(default_factory=LdoSpec)
+    anomaly: AnomalyUnitSpec = field(default_factory=AnomalyUnitSpec)
+    energy: EnergyConfig = field(default_factory=EnergyConfig)
+    timing: TimingModelConfig = field(default_factory=TimingModelConfig)
+    num_ldos: int = 9
+    #: Number of 128x128 PE arrays tiled on the chip (the paper's 144 TOPS
+    #: full accelerator corresponds to nine arrays).
+    num_arrays: int = 9
+    #: Reference post-layout budgets for the big blocks (area mm^2, power W).
+    pe_array_area_mm2: float = 195.5
+    pe_array_power_w: float = 12.0
+    sram_area_mm2: float = 86.0
+    sram_power_w: float = 0.84
+
+
+@dataclass
+class AcceleratorReport:
+    """Summary the benchmarks print (mirrors Fig. 12c and Table 3)."""
+
+    peak_tops: float
+    blocks: list[BlockBudget]
+    latencies_ms: dict[str, float]
+    macs: dict[str, float]
+    ad_area_overhead: float
+    ad_power_overhead: float
+    ldo_area_overhead: float
+    ldo_power_overhead: float
+    voltage_switch_latency_ns: float
+
+    @property
+    def total_area_mm2(self) -> float:
+        return sum(block.area_mm2 for block in self.blocks)
+
+    @property
+    def total_power_w(self) -> float:
+        return sum(block.power_w for block in self.blocks)
+
+
+class Accelerator:
+    """Combines the circuit-level models into one deployable platform."""
+
+    def __init__(self, config: AcceleratorConfig | None = None):
+        self.config = config or AcceleratorConfig()
+        self.scalesim = ScaleSimModel(self.config.array, self.config.memory)
+        self.energy_model = EnergyModel(self.config.energy)
+        self.timing_model = TimingErrorModel(self.config.timing)
+        self.ldo = DigitalLDO(self.config.ldo)
+        self.anomaly_row = AnomalyDetectionRow(self.config.array.cols, self.config.anomaly)
+
+    # ------------------------------------------------------------------
+    @property
+    def peak_tops(self) -> float:
+        return self.config.num_arrays * self.config.array.peak_ops_per_second / 1e12
+
+    def simulate_network(self, name: str, workloads: list[GemmWorkload],
+                         invocations: int = 1) -> TrafficReport:
+        return self.scalesim.simulate(name, workloads, invocations=invocations)
+
+    def network_latency_ms(self, workloads: list[GemmWorkload]) -> float:
+        report = self.scalesim.simulate("latency", workloads)
+        return self.scalesim.latency_ms(report) / self.config.num_arrays
+
+    # ------------------------------------------------------------------
+    def block_budgets(self) -> list[BlockBudget]:
+        cfg = self.config
+        ad_power = self.anomaly_row.power_w * cfg.array.rows  # one unit row per tile column bank
+        return [
+            BlockBudget("LDO", cfg.ldo.area_mm2 * cfg.num_ldos,
+                        0.03 * cfg.num_ldos / 9.0),
+            BlockBudget("AD Unit", self.anomaly_row.area_mm2 * cfg.array.rows, ad_power),
+            BlockBudget("PE Array", cfg.pe_array_area_mm2, cfg.pe_array_power_w),
+            BlockBudget("SRAM", cfg.sram_area_mm2, cfg.sram_power_w),
+        ]
+
+    def report(self, networks: dict[str, list[GemmWorkload]] | None = None) -> AcceleratorReport:
+        """Produce the hardware summary, optionally with per-network latencies."""
+        cfg = self.config
+        blocks = self.block_budgets()
+        pe_area, pe_power = cfg.pe_array_area_mm2, cfg.pe_array_power_w
+        ad_area, ad_power = next((b.area_mm2, b.power_w) for b in blocks if b.name == "AD Unit")
+        ldo_area, ldo_power = next((b.area_mm2, b.power_w) for b in blocks if b.name == "LDO")
+
+        latencies: dict[str, float] = {}
+        macs: dict[str, float] = {}
+        for name, workloads in (networks or {}).items():
+            traffic = self.simulate_network(name, workloads)
+            # GEMM tiles distribute across the tiled PE arrays.
+            latencies[name] = self.scalesim.latency_ms(traffic) / cfg.num_arrays
+            macs[name] = float(traffic.macs)
+
+        return AcceleratorReport(
+            peak_tops=self.peak_tops,
+            blocks=blocks,
+            latencies_ms=latencies,
+            macs=macs,
+            ad_area_overhead=ad_area / pe_area,
+            ad_power_overhead=ad_power / pe_power,
+            ldo_area_overhead=ldo_area / pe_area,
+            ldo_power_overhead=ldo_power / pe_power,
+            voltage_switch_latency_ns=self.ldo.worst_case_latency_ns,
+        )

@@ -1,0 +1,53 @@
+"""Hardware cost model of the anomaly-detection row appended to the PE array.
+
+The algorithmic behaviour of anomaly detection and clearance lives in
+:mod:`repro.core.anomaly`; this module models the *circuit* that implements
+it: one comparator + multiplexer per output column (paper Fig. 8b), with the
+area/power overheads reported in Sec. 6.2 (0.08 % area, 0.10 % power of the
+PE array — negligible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AnomalyUnitSpec", "AnomalyDetectionRow"]
+
+
+@dataclass(frozen=True)
+class AnomalyUnitSpec:
+    """Per-column comparator + mux cost (22 nm post-layout estimates)."""
+
+    area_um2_per_column: float = 15.3
+    power_uw_per_column: float = 1.2
+    latency_cycles: int = 1
+
+
+class AnomalyDetectionRow:
+    """A row of anomaly-detection units across the array columns."""
+
+    def __init__(self, num_columns: int, spec: AnomalyUnitSpec | None = None):
+        if num_columns <= 0:
+            raise ValueError("num_columns must be positive")
+        self.num_columns = num_columns
+        self.spec = spec or AnomalyUnitSpec()
+
+    @property
+    def area_mm2(self) -> float:
+        return self.num_columns * self.spec.area_um2_per_column * 1e-6
+
+    @property
+    def power_w(self) -> float:
+        return self.num_columns * self.spec.power_uw_per_column * 1e-6
+
+    @property
+    def latency_cycles(self) -> int:
+        """Extra pipeline stages added to every GEMM tile."""
+        return self.spec.latency_cycles
+
+    def overhead_fractions(self, pe_array_area_mm2: float,
+                           pe_array_power_w: float) -> tuple[float, float]:
+        """(area fraction, power fraction) relative to the PE array."""
+        if pe_array_area_mm2 <= 0 or pe_array_power_w <= 0:
+            raise ValueError("PE array area and power must be positive")
+        return self.area_mm2 / pe_array_area_mm2, self.power_w / pe_array_power_w

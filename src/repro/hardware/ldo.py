@@ -1,0 +1,120 @@
+"""Behavioural model of the distributed digital LDO used for voltage scaling.
+
+Specifications follow Table 2 of the paper: 0.6-0.9 V output range, 10 mV
+steps, 90 ns / 50 mV transient response, 99.8 % peak current efficiency,
+0.43 mm^2 area.  The model quantizes requested voltages to the step size,
+tracks the transition latency of every change, and accumulates a voltage
+trace so experiments can audit the schedule the controller actually ran at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .timing import MIN_VOLTAGE, NOMINAL_VOLTAGE
+
+__all__ = ["LdoSpec", "VoltageTransition", "DigitalLDO"]
+
+
+@dataclass(frozen=True)
+class LdoSpec:
+    """Static specifications of the digital LDO (paper Table 2)."""
+
+    v_min: float = MIN_VOLTAGE
+    v_max: float = NOMINAL_VOLTAGE
+    step_v: float = 0.010
+    response_ns_per_50mv: float = 90.0
+    peak_current_efficiency: float = 0.998
+    max_load_current_a: float = 15.2
+    area_mm2: float = 0.43
+    current_density_a_per_mm2: float = 35.0
+
+    def __post_init__(self):
+        if self.v_min >= self.v_max:
+            raise ValueError("v_min must be below v_max")
+        if self.step_v <= 0:
+            raise ValueError("step_v must be positive")
+
+
+@dataclass(frozen=True)
+class VoltageTransition:
+    """One voltage change event."""
+
+    from_v: float
+    to_v: float
+    latency_ns: float
+
+
+class DigitalLDO:
+    """Stateful LDO: tracks the current output voltage and transition history."""
+
+    def __init__(self, spec: LdoSpec | None = None, initial_voltage: float | None = None):
+        self.spec = spec or LdoSpec()
+        initial = self.spec.v_max if initial_voltage is None else initial_voltage
+        self._voltage = self.quantize(initial)
+        self.transitions: list[VoltageTransition] = []
+        self._trace: list[float] = [self._voltage]
+
+    # ------------------------------------------------------------------
+    @property
+    def voltage(self) -> float:
+        return self._voltage
+
+    @property
+    def trace(self) -> list[float]:
+        """Voltage after every ``set_voltage`` call (including no-op calls)."""
+        return list(self._trace)
+
+    def quantize(self, voltage: float) -> float:
+        """Clamp to the output range and snap to the 10 mV step grid."""
+        clamped = float(np.clip(voltage, self.spec.v_min, self.spec.v_max))
+        steps = round((clamped - self.spec.v_min) / self.spec.step_v)
+        return round(self.spec.v_min + steps * self.spec.step_v, 4)
+
+    def transition_latency_ns(self, from_v: float, to_v: float) -> float:
+        """Settling latency of a voltage change (linear in the step size)."""
+        delta_mv = abs(to_v - from_v) * 1000.0
+        return delta_mv / 50.0 * self.spec.response_ns_per_50mv
+
+    def set_voltage(self, voltage: float) -> VoltageTransition:
+        """Request a new output voltage; returns the transition event."""
+        target = self.quantize(voltage)
+        latency = self.transition_latency_ns(self._voltage, target)
+        transition = VoltageTransition(from_v=self._voltage, to_v=target, latency_ns=latency)
+        if target != self._voltage:
+            self.transitions.append(transition)
+        self._voltage = target
+        self._trace.append(target)
+        return transition
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics
+    # ------------------------------------------------------------------
+    @property
+    def num_switches(self) -> int:
+        return len(self.transitions)
+
+    @property
+    def total_switching_latency_ns(self) -> float:
+        return sum(t.latency_ns for t in self.transitions)
+
+    @property
+    def worst_case_latency_ns(self) -> float:
+        """Full-swing transition latency (paper: bounded below 540 ns)."""
+        return self.transition_latency_ns(self.spec.v_min, self.spec.v_max)
+
+    def regulation_efficiency(self, load_current_a: float) -> float:
+        """Current efficiency at a given load (peaks at the maximum load)."""
+        if load_current_a <= 0:
+            raise ValueError("load current must be positive")
+        load = min(load_current_a, self.spec.max_load_current_a)
+        # Quiescent current is fixed, so efficiency degrades at light load.
+        quiescent = self.spec.max_load_current_a * (1.0 - self.spec.peak_current_efficiency)
+        return load / (load + quiescent)
+
+    def reset(self, voltage: float | None = None) -> None:
+        self._voltage = self.quantize(self.spec.v_max if voltage is None else voltage)
+        self.transitions.clear()
+        self._trace = [self._voltage]

@@ -1,0 +1,128 @@
+"""SCALE-Sim-style cycle and memory-traffic model.
+
+The paper models cycle-level behaviour (inference latency and memory accesses)
+with SCALE-Sim.  This module provides the equivalent functionality for the
+accelerator described in Sec. 6.1: given the GEMM workloads of a network and
+the on-chip SRAM capacity, it reports compute cycles, SRAM traffic, and DRAM
+(HBM2) traffic, distinguishing networks whose weights fit entirely on chip
+(the controller) from those that must stream weights per inference (the
+planner).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .systolic import GemmWorkload, SystolicArray, SystolicArrayConfig
+
+__all__ = ["MemoryConfig", "TrafficReport", "ScaleSimModel"]
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """On-chip and off-chip memory parameters (paper Sec. 6.1)."""
+
+    sram_bytes: int = 142 * 512 * 1024  # 142 banks x 512 KB = ~71 MB
+    operand_bytes: int = 1              # INT8 operands
+    accumulator_bytes: int = 4          # spill format for partial sums / outputs
+    dram_bandwidth_gbps: float = 307.0  # one HBM2 stack
+
+    def __post_init__(self):
+        if self.sram_bytes <= 0:
+            raise ValueError("SRAM capacity must be positive")
+
+
+@dataclass
+class TrafficReport:
+    """Aggregate compute/memory behaviour of one network inference."""
+
+    name: str
+    compute_cycles: int = 0
+    macs: int = 0
+    weight_bytes: int = 0
+    activation_bytes: int = 0
+    sram_read_bytes: int = 0
+    sram_write_bytes: int = 0
+    dram_read_bytes: int = 0
+    dram_write_bytes: int = 0
+    weights_fit_on_chip: bool = True
+    per_layer_cycles: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_sram_bytes(self) -> int:
+        return self.sram_read_bytes + self.sram_write_bytes
+
+    @property
+    def total_dram_bytes(self) -> int:
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    def latency_ms(self, clock_period_ns: float, dram_bandwidth_gbps: float) -> float:
+        """Latency assuming compute and DRAM transfers overlap imperfectly.
+
+        Compute and memory are pipelined, so the latency is the maximum of the
+        compute time and the DRAM streaming time (double buffering), which is
+        the standard SCALE-Sim approximation.
+        """
+        compute_ms = self.compute_cycles * clock_period_ns * 1e-6
+        dram_ms = self.total_dram_bytes / (dram_bandwidth_gbps * 1e9) * 1e3
+        return max(compute_ms, dram_ms)
+
+
+class ScaleSimModel:
+    """Cycle/traffic estimation for a network expressed as GEMM workloads."""
+
+    def __init__(self, array_config: SystolicArrayConfig | None = None,
+                 memory_config: MemoryConfig | None = None):
+        self.array = SystolicArray(array_config)
+        self.memory = memory_config or MemoryConfig()
+
+    def simulate(self, name: str, workloads: list[GemmWorkload],
+                 invocations: int = 1) -> TrafficReport:
+        """Estimate one network inference repeated ``invocations`` times.
+
+        Weight reuse policy:
+
+        * if all weights fit in SRAM, they are loaded from DRAM once (the
+          first invocation) and reused afterwards;
+        * otherwise every invocation streams the full weight footprint from
+          DRAM (the planner case).
+        """
+        if invocations <= 0:
+            raise ValueError("invocations must be positive")
+        report = TrafficReport(name=name)
+        weight_bytes = 0
+        activation_bytes = 0
+        for workload in workloads:
+            schedule = self.array.schedule(workload)
+            report.compute_cycles += schedule.cycles
+            report.per_layer_cycles[workload.name] = schedule.cycles
+            report.macs += workload.macs
+            weight_bytes += workload.k * workload.n * self.memory.operand_bytes
+            activation_bytes += (
+                workload.m * workload.k * self.memory.operand_bytes
+                + workload.m * workload.n * self.memory.accumulator_bytes
+            )
+
+        report.weight_bytes = weight_bytes
+        report.activation_bytes = activation_bytes
+        report.weights_fit_on_chip = weight_bytes <= self.memory.sram_bytes
+
+        # Per-invocation SRAM traffic: weights are read from SRAM into the PEs
+        # and activations are read/written once each.
+        report.sram_read_bytes = invocations * (weight_bytes + activation_bytes)
+        report.sram_write_bytes = invocations * activation_bytes
+
+        if report.weights_fit_on_chip:
+            dram_weight_loads = 1
+        else:
+            dram_weight_loads = invocations
+        report.dram_read_bytes = dram_weight_loads * weight_bytes
+        report.dram_write_bytes = 0
+
+        report.compute_cycles *= invocations
+        report.macs *= invocations
+        return report
+
+    def latency_ms(self, report: TrafficReport) -> float:
+        return report.latency_ms(self.array.config.clock_period_ns,
+                                 self.memory.dram_bandwidth_gbps)

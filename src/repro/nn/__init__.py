@@ -1,0 +1,70 @@
+"""Pure-numpy neural-network substrate (autograd, layers, transformers)."""
+
+from .autograd import Tensor, no_grad, is_grad_enabled
+from .module import Module, ModuleList, Parameter, Sequential
+from .layers import (
+    Dropout,
+    Embedding,
+    Flatten,
+    GELU,
+    LayerNorm,
+    Linear,
+    ReLU,
+    RMSNorm,
+    Sigmoid,
+    SiLU,
+    Softmax,
+    Tanh,
+)
+from .conv import AvgPool2d, Conv2d, GlobalAvgPool2d, MaxPool2d, conv_output_size
+from .attention import MultiHeadAttention, causal_mask
+from .transformer import (
+    CONTROLLER_COMPONENTS,
+    GptBlock,
+    GptMLP,
+    GptTransformer,
+    LlamaBlock,
+    LlamaMLP,
+    LlamaTransformer,
+    PLANNER_COMPONENTS,
+)
+from . import functional, init
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "RMSNorm",
+    "Dropout",
+    "ReLU",
+    "SiLU",
+    "GELU",
+    "Tanh",
+    "Sigmoid",
+    "Softmax",
+    "Flatten",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "conv_output_size",
+    "MultiHeadAttention",
+    "causal_mask",
+    "LlamaBlock",
+    "LlamaMLP",
+    "LlamaTransformer",
+    "GptBlock",
+    "GptMLP",
+    "GptTransformer",
+    "PLANNER_COMPONENTS",
+    "CONTROLLER_COMPONENTS",
+    "functional",
+    "init",
+]

@@ -1,0 +1,118 @@
+"""Convolution and pooling layers (NCHW layout) built on the autograd engine.
+
+Convolution is implemented with an im2col / GEMM lowering, which matches how
+the systolic-array accelerator in :mod:`repro.hardware` executes convolutions
+(the paper quantizes "GEMM and convolution layers" identically).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .autograd import Tensor
+from .module import Module, Parameter
+
+__all__ = ["Conv2d", "MaxPool2d", "AvgPool2d", "GlobalAvgPool2d", "conv_output_size"]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def _im2col_indices(height: int, width: int, kernel: int, stride: int,
+                    out_h: int, out_w: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return row/col gather indices of shape (out_h*out_w, kernel*kernel)."""
+    base_r = np.repeat(np.arange(kernel), kernel)
+    base_c = np.tile(np.arange(kernel), kernel)
+    start_r = stride * np.repeat(np.arange(out_h), out_w)
+    start_c = stride * np.tile(np.arange(out_w), out_h)
+    rows = start_r[:, None] + base_r[None, :]
+    cols = start_c[:, None] + base_c[None, :]
+    return rows, cols
+
+
+class Conv2d(Module):
+    """2-D convolution over NCHW inputs."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int = 3,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        weight_shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_uniform(weight_shape, rng))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, channels, height, width = x.shape
+        if channels != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} input channels, got {channels}")
+        k, s, p = self.kernel_size, self.stride, self.padding
+        out_h = conv_output_size(height, k, s, p)
+        out_w = conv_output_size(width, k, s, p)
+        if out_h <= 0 or out_w <= 0:
+            raise ValueError("convolution output size would be non-positive")
+
+        padded = x.pad2d(p)
+        rows, cols = _im2col_indices(height + 2 * p, width + 2 * p, k, s, out_h, out_w)
+        # Gather patches: (batch, channels, positions, k*k)
+        patches = padded[:, :, rows, cols]
+        # -> (batch, positions, channels*k*k)
+        patches = patches.transpose(1, 2).reshape(batch, out_h * out_w, channels * k * k)
+        kernel = self.weight.reshape(self.out_channels, channels * k * k).transpose(0, 1)
+        out = patches @ kernel  # (batch, positions, out_channels)
+        if self.bias is not None:
+            out = out + self.bias
+        out = out.transpose(-1, -2).reshape(batch, self.out_channels, out_h, out_w)
+        return out
+
+
+class MaxPool2d(Module):
+    """Max pooling with ``kernel_size == stride`` (non-overlapping windows)."""
+
+    def __init__(self, kernel_size: int = 2):
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, channels, height, width = x.shape
+        k = self.kernel_size
+        out_h, out_w = height // k, width // k
+        if out_h == 0 or out_w == 0:
+            raise ValueError("input smaller than pooling window")
+        trimmed = x[:, :, : out_h * k, : out_w * k]
+        reshaped = trimmed.reshape(batch, channels, out_h, k, out_w, k)
+        return reshaped.max(axis=5).max(axis=3)
+
+
+class AvgPool2d(Module):
+    """Average pooling with ``kernel_size == stride``."""
+
+    def __init__(self, kernel_size: int = 2):
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, channels, height, width = x.shape
+        k = self.kernel_size
+        out_h, out_w = height // k, width // k
+        if out_h == 0 or out_w == 0:
+            raise ValueError("input smaller than pooling window")
+        trimmed = x[:, :, : out_h * k, : out_w * k]
+        reshaped = trimmed.reshape(batch, channels, out_h, k, out_w, k)
+        return reshaped.mean(axis=5).mean(axis=3)
+
+
+class GlobalAvgPool2d(Module):
+    """Adaptive average pooling to a 1x1 spatial output, then squeezed."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, channels = x.shape[0], x.shape[1]
+        return x.reshape(batch, channels, -1).mean(axis=-1)

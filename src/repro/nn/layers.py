@@ -1,0 +1,155 @@
+"""Core trainable layers: linear, embedding, normalization, dropout, activations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .autograd import Tensor
+from .module import Module, Parameter
+
+__all__ = [
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "RMSNorm",
+    "Dropout",
+    "ReLU",
+    "SiLU",
+    "GELU",
+    "Tanh",
+    "Sigmoid",
+    "Softmax",
+    "Flatten",
+]
+
+
+class Linear(Module):
+    """Affine transform ``y = x W + b`` with weights stored as (in, out)."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table mapping integer token ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.normal((num_embeddings, embedding_dim), rng, std=0.05))
+
+    def forward(self, token_ids) -> Tensor:
+        ids = np.asarray(token_ids, dtype=np.int64)
+        if np.any(ids < 0) or np.any(ids >= self.num_embeddings):
+            raise IndexError("token id out of range for embedding table")
+        return self.weight[ids]
+
+
+class LayerNorm(Module):
+    """Standard layer normalization over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(init.ones((dim,)))
+        self.beta = Parameter(init.zeros((dim,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered * (var + self.eps) ** -0.5
+        return normed * self.gamma + self.beta
+
+
+class RMSNorm(Module):
+    """Root-mean-square normalization (as used by LLaMA-family planners)."""
+
+    def __init__(self, dim: int, eps: float = 1e-6):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(init.ones((dim,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean_square = (x * x).mean(axis=-1, keepdims=True)
+        return x * (mean_square + self.eps) ** -0.5 * self.gamma
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in eval mode."""
+
+    def __init__(self, p: float = 0.1, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = rng or np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        mask = (self._rng.random(x.shape) >= self.p) / (1.0 - self.p)
+        return x * Tensor(mask)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class SiLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.silu()
+
+
+class GELU(Module):
+    """Tanh approximation of the Gaussian error linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        inner = (x + x * x * x * 0.044715) * 0.7978845608028654
+        return x * 0.5 * (inner.tanh() + 1.0)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Softmax(Module):
+    def __init__(self, axis: int = -1):
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.softmax(axis=self.axis)
+
+
+class Flatten(Module):
+    """Flatten all dimensions except the leading batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch = x.shape[0]
+        return x.reshape(batch, int(np.prod(x.shape[1:])))

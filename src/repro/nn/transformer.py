@@ -1,0 +1,135 @@
+"""Transformer blocks for the planner (LLaMA-style) and controller (GPT-style).
+
+The two block families mirror Fig. 3 of the paper:
+
+* the planner stacks pre-RMSNorm blocks with a SiLU-gated MLP
+  (``gate`` / ``up`` / ``down`` projections), the architecture family of
+  LLaMA / Vicuna / LLaVA planners, and
+* the controller stacks pre-LayerNorm blocks with a ReLU MLP
+  (``fc1`` / ``fc2``), the architecture family of STEVE-1 / RT-1 / Octo
+  controllers.
+
+Each named component (Q, K, V, O, Gate, Up, Down, FC1, FC2) is an individual
+:class:`~repro.nn.layers.Linear`, so the characterization code can target any
+one of them for fault injection, and the weight-rotation pass in
+:mod:`repro.core.rotation` can rewrite them in place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .attention import MultiHeadAttention
+from .autograd import Tensor
+from .layers import LayerNorm, Linear, RMSNorm
+from .module import Module, ModuleList
+
+__all__ = [
+    "LlamaMLP",
+    "GptMLP",
+    "LlamaBlock",
+    "GptBlock",
+    "LlamaTransformer",
+    "GptTransformer",
+    "PLANNER_COMPONENTS",
+    "CONTROLLER_COMPONENTS",
+]
+
+#: Component names that can be targeted by fault injection in the planner.
+PLANNER_COMPONENTS = ("q", "k", "v", "o", "gate", "up", "down")
+
+#: Component names that can be targeted by fault injection in the controller.
+CONTROLLER_COMPONENTS = ("q", "k", "v", "o", "fc1", "fc2")
+
+
+class LlamaMLP(Module):
+    """SiLU-gated MLP: ``down(silu(gate(x)) * up(x))``."""
+
+    def __init__(self, dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.gate = Linear(dim, hidden_dim, bias=False, rng=rng)
+        self.up = Linear(dim, hidden_dim, bias=False, rng=rng)
+        self.down = Linear(hidden_dim, dim, bias=False, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.down(self.gate(x).silu() * self.up(x))
+
+
+class GptMLP(Module):
+    """Two-layer ReLU MLP: ``fc2(relu(fc1(x)))``."""
+
+    def __init__(self, dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.fc1 = Linear(dim, hidden_dim, rng=rng)
+        self.fc2 = Linear(hidden_dim, dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(self.fc1(x).relu())
+
+
+class LlamaBlock(Module):
+    """Pre-RMSNorm Transformer block (planner family)."""
+
+    def __init__(self, dim: int, num_heads: int, mlp_dim: int,
+                 rng: np.random.Generator, causal: bool = True):
+        super().__init__()
+        self.attn_norm = RMSNorm(dim)
+        self.attn = MultiHeadAttention(dim, num_heads, rng=rng, causal=causal)
+        self.mlp_norm = RMSNorm(dim)
+        self.mlp = LlamaMLP(dim, mlp_dim, rng)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        x = x + self.attn(self.attn_norm(x), mask=mask)
+        x = x + self.mlp(self.mlp_norm(x))
+        return x
+
+
+class GptBlock(Module):
+    """Pre-LayerNorm Transformer block (controller family)."""
+
+    def __init__(self, dim: int, num_heads: int, mlp_dim: int,
+                 rng: np.random.Generator, causal: bool = False):
+        super().__init__()
+        self.attn_norm = LayerNorm(dim)
+        self.attn = MultiHeadAttention(dim, num_heads, rng=rng, causal=causal)
+        self.mlp_norm = LayerNorm(dim)
+        self.mlp = GptMLP(dim, mlp_dim, rng)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        x = x + self.attn(self.attn_norm(x), mask=mask)
+        x = x + self.mlp(self.mlp_norm(x))
+        return x
+
+
+class LlamaTransformer(Module):
+    """Stack of :class:`LlamaBlock` with a final RMSNorm."""
+
+    def __init__(self, num_layers: int, dim: int, num_heads: int, mlp_dim: int,
+                 rng: np.random.Generator, causal: bool = True):
+        super().__init__()
+        self.blocks = ModuleList(
+            [LlamaBlock(dim, num_heads, mlp_dim, rng, causal=causal) for _ in range(num_layers)]
+        )
+        self.final_norm = RMSNorm(dim)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        for block in self.blocks:
+            x = block(x, mask=mask)
+        return self.final_norm(x)
+
+
+class GptTransformer(Module):
+    """Stack of :class:`GptBlock` with a final LayerNorm."""
+
+    def __init__(self, num_layers: int, dim: int, num_heads: int, mlp_dim: int,
+                 rng: np.random.Generator, causal: bool = False):
+        super().__init__()
+        self.blocks = ModuleList(
+            [GptBlock(dim, num_heads, mlp_dim, rng, causal=causal) for _ in range(num_layers)]
+        )
+        self.final_norm = LayerNorm(dim)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        for block in self.blocks:
+            x = block(x, mask=mask)
+        return self.final_norm(x)

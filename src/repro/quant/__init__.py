@@ -1,0 +1,21 @@
+"""INT8/INT4 quantization and the quantized GEMM deployment pipeline."""
+
+from .qtypes import ACCUMULATOR_BITS, INT4, INT8, QuantSpec
+from .quantizer import Calibrator, QuantParams, compute_scale, dequantize, quantize
+from .qgemm import GemmHooks, GemmStats, QuantizedLinear, quantized_matmul
+
+__all__ = [
+    "ACCUMULATOR_BITS",
+    "INT4",
+    "INT8",
+    "QuantSpec",
+    "QuantParams",
+    "Calibrator",
+    "compute_scale",
+    "quantize",
+    "dequantize",
+    "GemmHooks",
+    "GemmStats",
+    "QuantizedLinear",
+    "quantized_matmul",
+]

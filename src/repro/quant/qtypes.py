@@ -1,0 +1,61 @@
+"""Quantization format descriptors (INT8 / INT4, 24-bit accumulators)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["QuantSpec", "INT8", "INT4", "ACCUMULATOR_BITS"]
+
+#: Width of the systolic-array accumulator modelled throughout the repository
+#: (the paper synthesizes an 8-bit multiplier / 24-bit accumulator PE).
+ACCUMULATOR_BITS = 24
+
+
+@dataclass(frozen=True)
+class QuantSpec:
+    """Symmetric integer quantization format.
+
+    Attributes
+    ----------
+    bits:
+        Number of bits of the operand format (8 for INT8, 4 for INT4).
+    accumulator_bits:
+        Width of the accumulator that receives the integer dot products.
+    """
+
+    bits: int
+    accumulator_bits: int = ACCUMULATOR_BITS
+
+    def __post_init__(self):
+        if self.bits < 2 or self.bits > 16:
+            raise ValueError("operand width must be between 2 and 16 bits")
+        if self.accumulator_bits <= self.bits:
+            raise ValueError("accumulator must be wider than the operands")
+
+    @property
+    def qmax(self) -> int:
+        """Largest representable magnitude (symmetric range)."""
+        return (1 << (self.bits - 1)) - 1
+
+    @property
+    def qmin(self) -> int:
+        return -self.qmax
+
+    @property
+    def accumulator_max(self) -> int:
+        return (1 << (self.accumulator_bits - 1)) - 1
+
+    @property
+    def accumulator_min(self) -> int:
+        return -(1 << (self.accumulator_bits - 1))
+
+    @property
+    def accumulator_mask(self) -> int:
+        return (1 << self.accumulator_bits) - 1
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"INT{self.bits}"
+
+
+INT8 = QuantSpec(bits=8)
+INT4 = QuantSpec(bits=4)

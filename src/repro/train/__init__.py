@@ -1,0 +1,23 @@
+"""Training substrate: optimizers, losses, datasets and a trainer loop."""
+
+from .data import ArrayDataset, DataLoader, train_test_split
+from .losses import binary_cross_entropy, cross_entropy_loss, huber_loss, mse_loss
+from .optim import SGD, Adam, AdamW, Optimizer, clip_grad_norm
+from .trainer import Trainer, TrainingResult
+
+__all__ = [
+    "ArrayDataset",
+    "DataLoader",
+    "train_test_split",
+    "mse_loss",
+    "cross_entropy_loss",
+    "huber_loss",
+    "binary_cross_entropy",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "clip_grad_norm",
+    "Trainer",
+    "TrainingResult",
+]

@@ -1,0 +1,73 @@
+"""Tiny dataset / data-loader abstractions for training the surrogates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["ArrayDataset", "DataLoader", "train_test_split"]
+
+
+@dataclass
+class ArrayDataset:
+    """A dataset backed by parallel numpy arrays (first axis = examples)."""
+
+    arrays: tuple[np.ndarray, ...]
+
+    def __init__(self, *arrays: np.ndarray):
+        arrays = tuple(np.asarray(a) for a in arrays)
+        if not arrays:
+            raise ValueError("ArrayDataset requires at least one array")
+        length = len(arrays[0])
+        for array in arrays:
+            if len(array) != length:
+                raise ValueError("all arrays must have the same leading dimension")
+        object.__setattr__(self, "arrays", arrays)
+
+    def __len__(self) -> int:
+        return len(self.arrays[0])
+
+    def __getitem__(self, index) -> tuple[np.ndarray, ...]:
+        return tuple(array[index] for array in self.arrays)
+
+
+@dataclass
+class DataLoader:
+    """Mini-batch iterator with optional shuffling."""
+
+    dataset: ArrayDataset
+    batch_size: int = 32
+    shuffle: bool = True
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+
+    def __post_init__(self):
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+
+    def __len__(self) -> int:
+        return (len(self.dataset) + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, ...]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self.rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch = indices[start:start + self.batch_size]
+            yield self.dataset[batch]
+
+
+def train_test_split(dataset: ArrayDataset, test_fraction: float = 0.2,
+                     rng: np.random.Generator | None = None) -> tuple[ArrayDataset, ArrayDataset]:
+    """Randomly split a dataset into train and test subsets."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = rng or np.random.default_rng(0)
+    indices = np.arange(len(dataset))
+    rng.shuffle(indices)
+    n_test = max(1, int(round(test_fraction * len(dataset))))
+    test_idx, train_idx = indices[:n_test], indices[n_test:]
+    train = ArrayDataset(*[array[train_idx] for array in dataset.arrays])
+    test = ArrayDataset(*[array[test_idx] for array in dataset.arrays])
+    return train, test

@@ -1,0 +1,62 @@
+"""Loss functions operating on autograd tensors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.autograd import Tensor
+
+__all__ = ["mse_loss", "cross_entropy_loss", "huber_loss", "binary_cross_entropy"]
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    """Mean squared error (the entropy predictor training objective)."""
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target_t
+    return (diff * diff).mean()
+
+
+def huber_loss(prediction: Tensor, target, delta: float = 1.0) -> Tensor:
+    """Smooth L1 / Huber loss, occasionally useful for regression heads."""
+    target_arr = target.data if isinstance(target, Tensor) else np.asarray(target, dtype=np.float64)
+    diff = prediction - Tensor(target_arr)
+    abs_diff = np.abs(diff.data)
+    quadratic_mask = (abs_diff <= delta).astype(np.float64)
+    quadratic = diff * diff * 0.5
+    linear = (diff * diff + 1e-12) ** 0.5 * delta - 0.5 * delta * delta
+    combined = quadratic * Tensor(quadratic_mask) + linear * Tensor(1.0 - quadratic_mask)
+    return combined.mean()
+
+
+def cross_entropy_loss(logits: Tensor, target_indices) -> Tensor:
+    """Cross entropy over the last axis given integer class targets.
+
+    ``logits`` has shape (..., num_classes); ``target_indices`` has the shape
+    of the leading axes.
+    """
+    targets = np.asarray(target_indices, dtype=np.int64)
+    num_classes = logits.shape[-1]
+    if targets.shape != logits.shape[:-1]:
+        raise ValueError(
+            f"target shape {targets.shape} does not match logits leading shape {logits.shape[:-1]}"
+        )
+    one_hot = np.zeros(logits.shape, dtype=np.float64)
+    np.put_along_axis(one_hot.reshape(-1, num_classes),
+                      targets.reshape(-1, 1), 1.0, axis=-1)
+    log_probs = _log_softmax(logits)
+    picked = log_probs * Tensor(one_hot)
+    return picked.sum() * (-1.0 / max(targets.size, 1))
+
+
+def binary_cross_entropy(probabilities: Tensor, target, eps: float = 1e-9) -> Tensor:
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    clipped = probabilities * (1.0 - 2.0 * eps) + eps
+    loss = target_t * clipped.log() + (1.0 - target_t) * (1.0 - clipped).log()
+    return loss.mean() * -1.0
+
+
+def _log_softmax(logits: Tensor) -> Tensor:
+    max_vals = Tensor(logits.data.max(axis=-1, keepdims=True))
+    shifted = logits - max_vals
+    log_norm = shifted.exp().sum(axis=-1, keepdims=True).log()
+    return shifted - log_norm

@@ -1,0 +1,114 @@
+"""Gradient-descent optimizers (SGD, Adam, AdamW).
+
+The entropy predictor in the paper is trained with AdamW (weight decay 1e-2,
+learning rate 1e-4); the planner and controller surrogates in this repository
+are trained with Adam/AdamW as well.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters, max_norm: float) -> float:
+    """Clip the global L2 norm of all gradients in place; return the pre-clip norm."""
+    params = [p for p in parameters if p.grad is not None]
+    if not params:
+        return 0.0
+    total = float(np.sqrt(sum(float(np.sum(p.grad ** 2)) for p in params)))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for p in params:
+            p.grad = p.grad * scale
+    return total
+
+
+class Optimizer:
+    """Base optimizer: holds parameter references and zeroes gradients."""
+
+    def __init__(self, parameters, lr: float):
+        self.parameters: list[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0.0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters, lr: float = 1e-2, momentum: float = 0.0):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            if self.momentum > 0.0:
+                velocity *= self.momentum
+                velocity += param.grad
+                update = velocity
+            else:
+                update = param.grad
+            param.data = param.data - self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimizer with bias correction."""
+
+    def __init__(self, parameters, lr: float = 1e-3, betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8):
+        super().__init__(parameters, lr)
+        self.betas = betas
+        self.eps = eps
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _update(self, param: Parameter, m: np.ndarray, v: np.ndarray) -> np.ndarray:
+        beta1, beta2 = self.betas
+        m *= beta1
+        m += (1.0 - beta1) * param.grad
+        v *= beta2
+        v += (1.0 - beta2) * param.grad ** 2
+        m_hat = m / (1.0 - beta1 ** self._step)
+        v_hat = v / (1.0 - beta2 ** self._step)
+        return m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def step(self) -> None:
+        self._step += 1
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            param.data = param.data - self.lr * self._update(param, m, v)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter)."""
+
+    def __init__(self, parameters, lr: float = 1e-3, betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 1e-2):
+        super().__init__(parameters, lr, betas, eps)
+        self.weight_decay = weight_decay
+
+    def step(self) -> None:
+        self._step += 1
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            update = self._update(param, m, v)
+            param.data = param.data - self.lr * (update + self.weight_decay * param.data)

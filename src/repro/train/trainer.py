@@ -1,0 +1,85 @@
+"""A small supervised-training loop shared by all surrogate models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.autograd import Tensor
+from ..nn.module import Module
+from .data import DataLoader
+from .optim import Optimizer, clip_grad_norm
+
+__all__ = ["TrainingResult", "Trainer"]
+
+
+@dataclass
+class TrainingResult:
+    """Loss history produced by :meth:`Trainer.fit`."""
+
+    epoch_losses: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        if not self.epoch_losses:
+            raise ValueError("no epochs were run")
+        return self.epoch_losses[-1]
+
+    def converged(self, threshold: float) -> bool:
+        return self.final_loss <= threshold
+
+
+class Trainer:
+    """Runs epochs of mini-batch gradient descent.
+
+    The loss function receives ``(model_output, *targets)`` where targets are
+    the remaining arrays in each batch; the first array in each batch is the
+    model input (or a tuple of inputs if ``n_inputs > 1``).
+    """
+
+    def __init__(self, model: Module, optimizer: Optimizer, loss_fn,
+                 n_inputs: int = 1, grad_clip: float | None = 1.0):
+        self.model = model
+        self.optimizer = optimizer
+        self.loss_fn = loss_fn
+        self.n_inputs = n_inputs
+        self.grad_clip = grad_clip
+
+    def _step(self, batch: tuple[np.ndarray, ...]) -> float:
+        inputs = [Tensor(arr) for arr in batch[: self.n_inputs]]
+        targets = batch[self.n_inputs:]
+        self.optimizer.zero_grad()
+        output = self.model(*inputs)
+        loss = self.loss_fn(output, *targets)
+        loss.backward()
+        if self.grad_clip is not None:
+            clip_grad_norm(self.model.parameters(), self.grad_clip)
+        self.optimizer.step()
+        return float(loss.item())
+
+    def fit(self, loader: DataLoader, epochs: int = 10,
+            verbose: bool = False) -> TrainingResult:
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        result = TrainingResult()
+        self.model.train()
+        for epoch in range(epochs):
+            losses = [self._step(batch) for batch in loader]
+            mean_loss = float(np.mean(losses)) if losses else float("nan")
+            result.epoch_losses.append(mean_loss)
+            if verbose:  # pragma: no cover - logging only
+                print(f"epoch {epoch + 1}/{epochs}: loss={mean_loss:.5f}")
+        self.model.eval()
+        return result
+
+    def evaluate(self, loader: DataLoader) -> float:
+        """Mean loss over a loader without updating parameters."""
+        self.model.eval()
+        losses = []
+        for batch in loader:
+            inputs = [Tensor(arr) for arr in batch[: self.n_inputs]]
+            targets = batch[self.n_inputs:]
+            output = self.model(*inputs)
+            losses.append(float(self.loss_fn(output, *targets).item()))
+        return float(np.mean(losses)) if losses else float("nan")

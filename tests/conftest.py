@@ -1,0 +1,48 @@
+"""Shared fixtures: trained systems are built once per session (and cached on disk)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents import build_jarvis_system
+from repro.env import MINECRAFT_SUBTASKS, MINECRAFT_SUITE, EmbodiedWorld, WorldConfig
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def jarvis_system():
+    """JARVIS-1-style system without weight rotation (planner outliers intact)."""
+    return build_jarvis_system(rotate_planner=False, with_predictor=True)
+
+
+@pytest.fixture(scope="session")
+def jarvis_system_rotated():
+    """JARVIS-1-style system with weight-rotation-enhanced planning."""
+    return build_jarvis_system(rotate_planner=True, with_predictor=True)
+
+
+@pytest.fixture(scope="session")
+def jarvis_executor(jarvis_system):
+    return jarvis_system.executor()
+
+
+@pytest.fixture(scope="session")
+def deployed_planner(jarvis_system):
+    return jarvis_system.planner
+
+
+@pytest.fixture(scope="session")
+def deployed_controller(jarvis_system):
+    return jarvis_system.controller
+
+
+@pytest.fixture()
+def wooden_world(rng) -> EmbodiedWorld:
+    """A fresh world running the ``wooden`` task."""
+    return EmbodiedWorld(MINECRAFT_SUITE.get("wooden"), MINECRAFT_SUBTASKS,
+                         WorldConfig(), rng)

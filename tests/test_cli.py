@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_mission_defaults(self):
+        args = build_parser().parse_args(["mission"])
+        assert args.task == "wooden"
+        assert args.trials == 10
+        assert not args.ad and not args.wr and not args.vs
+
+    def test_mission_flags(self):
+        args = build_parser().parse_args(
+            ["mission", "--task", "stone", "--trials", "3", "--ad", "--wr", "--vs",
+             "--planner-voltage", "0.78"])
+        assert args.task == "stone" and args.trials == 3
+        assert args.ad and args.wr and args.vs
+        assert args.planner_voltage == pytest.approx(0.78)
+
+    def test_characterize_defaults(self):
+        args = build_parser().parse_args(["characterize"])
+        assert args.target == "controller"
+        assert len(args.bers) == 4
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["characterize", "--target", "nobody"])
+
+
+class TestCommands:
+    def test_policies_command(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        assert "default policy: C" in out
+        assert out.count("->") >= 6
+
+    def test_hardware_command(self, capsys):
+        assert main(["hardware"]) == 0
+        out = capsys.readouterr().out
+        assert "peak TOPS" in out
+        assert "jarvis_planner" in out
+
+    def test_mission_command_clean(self, jarvis_system, capsys):
+        assert main(["mission", "--task", "wooden", "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "success_rate" in out
+
+    def test_mission_command_full_create(self, jarvis_system_rotated, capsys):
+        code = main(["mission", "--task", "wooden", "--trials", "2", "--ad", "--wr", "--vs",
+                     "--planner-voltage", "0.78"])
+        assert code == 0
+        assert "AD+WR+VS(C)" in capsys.readouterr().out
+
+    def test_characterize_command(self, jarvis_system, capsys):
+        code = main(["characterize", "--target", "controller", "--task", "wooden",
+                     "--trials", "2", "--bers", "1e-5", "1e-2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "success rate vs. BER" in out

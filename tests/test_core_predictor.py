@@ -1,0 +1,75 @@
+"""Tests for the entropy predictor (training, accuracy, deployment wrapper)."""
+
+import numpy as np
+import pytest
+
+from repro.agents import get_predictor_network
+from repro.core import (
+    EntropyPredictor,
+    EntropyPredictorNetwork,
+    PredictorConfig,
+    build_predictor_dataset,
+    evaluate_predictor,
+)
+from repro.env import IMAGE_SHAPE, MINECRAFT_SUBTASKS, MINECRAFT_SUITE
+from repro.nn import no_grad
+
+
+class TestPredictorNetwork:
+    def test_forward_shape(self, rng):
+        network = EntropyPredictorNetwork(PredictorConfig())
+        images = rng.random((3, *IMAGE_SHAPE))
+        prompts = np.zeros((3, PredictorConfig().prompt_dim))
+        with no_grad():
+            out = network(images, prompts)
+        assert out.shape == (3, 1)
+
+    def test_num_macs_positive(self):
+        assert EntropyPredictorNetwork().num_macs() > 1000
+
+
+class TestPredictorData:
+    def test_dataset_targets_are_entropies(self, deployed_controller):
+        images, prompts, targets = build_predictor_dataset(
+            deployed_controller, MINECRAFT_SUITE, MINECRAFT_SUBTASKS, num_episodes=1, seed=3)
+        assert images.shape[1:] == IMAGE_SHAPE
+        assert prompts.shape[1] == PredictorConfig().prompt_dim
+        assert targets.min() >= 0.0
+        assert targets.max() <= np.log(12) + 1e-6
+        # one-hot prompts
+        np.testing.assert_allclose(prompts.sum(axis=1), 1.0)
+
+
+class TestTrainedPredictor:
+    def test_cached_predictor_correlates_with_truth(self, deployed_controller, jarvis_system):
+        network = get_predictor_network("jarvis")
+        images, prompts, targets = build_predictor_dataset(
+            deployed_controller, MINECRAFT_SUITE, MINECRAFT_SUBTASKS, num_episodes=2, seed=51)
+        metrics = evaluate_predictor(network, images, prompts, targets)
+        assert metrics["r2"] > 0.5
+        assert metrics["mse"] < 0.5
+
+    def test_predictor_wrapper_scalar_output(self, jarvis_system, wooden_world):
+        predictor = jarvis_system.predictor
+        wooden_world.set_subtask("mine_logs")
+        value = predictor.predict(wooden_world.observation_image(), 0)
+        assert np.isfinite(value)
+        assert predictor.macs_per_call > 0
+
+    def test_predictor_separates_phases(self, jarvis_system):
+        """Predicted entropy should be lower for critical (execution) frames."""
+        from repro.env import EmbodiedWorld, WorldConfig
+
+        predictor = jarvis_system.predictor
+        world = EmbodiedWorld(MINECRAFT_SUITE.get("wooden"), MINECRAFT_SUBTASKS,
+                              WorldConfig(), np.random.default_rng(4))
+        world.set_subtask("mine_logs")
+        from repro.env import ALL_SUBTASKS
+
+        exploration = predictor.predict(world.observation_image(),
+                                        ALL_SUBTASKS.token_id("mine_logs"))
+        world.inventory.add("mine_logs")
+        world.set_subtask("craft_planks")
+        execution = predictor.predict(world.observation_image(),
+                                      ALL_SUBTASKS.token_id("craft_planks"))
+        assert execution < exploration

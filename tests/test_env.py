@@ -1,0 +1,281 @@
+"""Tests for the embodied environment: subtasks, tasks, world dynamics, observations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.env import (
+    ALL_SUBTASKS,
+    Action,
+    CALVIN_SUITE,
+    EmbodiedWorld,
+    IMAGE_SHAPE,
+    LIBERO_SUITE,
+    MANIPULATION_SUBTASKS,
+    MANIPULATION_SUITE,
+    MINECRAFT_SUBTASKS,
+    MINECRAFT_SUITE,
+    MOVEMENT_ACTIONS,
+    NUM_ACTIONS,
+    OBSERVATION_DIM,
+    OXE_SUITE,
+    SubtaskKind,
+    SUITES,
+    WorldConfig,
+    get_task,
+)
+
+
+class TestSubtasks:
+    def test_registry_lookup(self):
+        spec = MINECRAFT_SUBTASKS.get("mine_logs")
+        assert spec.kind is SubtaskKind.SEQUENTIAL
+        assert spec.execution_action == Action.ATTACK
+        assert "mine_logs" in MINECRAFT_SUBTASKS
+
+    def test_unknown_subtask_raises(self):
+        with pytest.raises(KeyError):
+            MINECRAFT_SUBTASKS.get("fly_to_moon")
+
+    def test_token_ids_are_unique_and_stable(self):
+        ids = [ALL_SUBTASKS.token_id(name) for name in ALL_SUBTASKS.names]
+        assert len(set(ids)) == len(ids)
+        assert ALL_SUBTASKS.name_for_token(ids[0]) == ALL_SUBTASKS.names[0]
+
+    def test_stochastic_subtasks_accept_alternates(self):
+        spec = MINECRAFT_SUBTASKS.get("hunt_chicken")
+        assert len(spec.accepts) > 1
+        assert spec.execution_action in spec.accepts
+
+    def test_nominal_steps_positive(self):
+        for name in MINECRAFT_SUBTASKS.names:
+            assert MINECRAFT_SUBTASKS.get(name).nominal_steps > 0
+
+    def test_merged_registry_contains_both(self):
+        assert "mine_logs" in ALL_SUBTASKS and "grasp_object" in ALL_SUBTASKS
+
+
+class TestTasks:
+    def test_minecraft_suite_has_nine_tasks(self):
+        assert len(MINECRAFT_SUITE) == 9
+        assert set(MINECRAFT_SUITE.task_names) >= {
+            "wooden", "stone", "charcoal", "chicken", "coal", "iron", "wool", "seed", "log"}
+
+    def test_cross_platform_suites_match_paper_table10(self):
+        assert set(LIBERO_SUITE.task_names) == {"wine", "alphabet", "bbq"}
+        assert set(CALVIN_SUITE.task_names) == {"button", "block", "handle"}
+        assert set(OXE_SUITE.task_names) == {"eggplant", "coke", "carrot", "open", "move", "place"}
+
+    def test_total_21_tasks(self):
+        total = len(MINECRAFT_SUITE) + len(LIBERO_SUITE) + len(CALVIN_SUITE) + len(OXE_SUITE)
+        assert total == 21
+
+    def test_manipulation_suite_is_union(self):
+        assert len(MANIPULATION_SUITE) == len(LIBERO_SUITE) + len(CALVIN_SUITE) + len(OXE_SUITE)
+
+    def test_plans_reference_known_subtasks(self):
+        for suite in SUITES.values():
+            for task in suite.tasks():
+                for subtask in task.plan:
+                    assert subtask in suite.registry
+
+    def test_target_is_last_subtask(self):
+        task = MINECRAFT_SUITE.get("wooden")
+        assert task.target == task.plan[-1]
+
+    def test_prerequisite_graph_is_a_chain(self):
+        graph = MINECRAFT_SUITE.get("iron").prerequisite_graph()
+        assert graph.number_of_edges() == len(MINECRAFT_SUITE.get("iron").plan) - 1
+
+    def test_get_task_lookup(self):
+        assert get_task("wooden").benchmark == "minecraft"
+        assert get_task("wine", benchmark="libero").name == "wine"
+        with pytest.raises(KeyError):
+            get_task("nonexistent")
+
+
+class TestWorldDynamics:
+    def _world(self, task="wooden", seed=0):
+        return EmbodiedWorld(MINECRAFT_SUITE.get(task), MINECRAFT_SUBTASKS,
+                             WorldConfig(), np.random.default_rng(seed))
+
+    def test_requires_subtask_before_stepping(self):
+        world = self._world()
+        with pytest.raises(RuntimeError):
+            world.step(Action.FORWARD)
+        with pytest.raises(RuntimeError):
+            world.observation()
+
+    def test_oracle_completes_task(self):
+        world = self._world()
+        rng = np.random.default_rng(1)
+        for subtask in world.task.plan:
+            world.set_subtask(subtask)
+            for _ in range(world.config.subtask_step_limit):
+                probs = world.oracle_distribution()
+                result = world.step(rng.choice(NUM_ACTIONS, p=probs))
+                if result.subtask_completed:
+                    break
+        assert world.task_completed
+
+    def test_prerequisites_block_completion(self):
+        world = self._world()
+        assert not world.prerequisites_met("craft_wooden_pickaxe")
+        world.set_subtask("craft_wooden_pickaxe")
+        for _ in range(60):
+            world.step(Action.CRAFT)
+        assert "craft_wooden_pickaxe" not in world.inventory
+
+    def test_useful_subtasks_follow_plan_order(self):
+        world = self._world()
+        assert world.useful_subtasks() == ["mine_logs"]
+        world.inventory.add("mine_logs")
+        assert "craft_planks" in world.useful_subtasks()
+
+    def test_unknown_subtask_rejected(self):
+        world = self._world()
+        assert not world.set_subtask("<invalid:99>")
+        assert world.current_subtask is None
+
+    def test_craft_subtask_skips_exploration(self):
+        world = self._world()
+        world.inventory.add("mine_logs")
+        world.set_subtask("craft_planks")
+        assert world.is_critical_step()  # directly in execution phase
+
+    def test_sequential_execution_resets_on_wrong_action(self):
+        world = self._world()
+        world.inventory.add("mine_logs")
+        world.set_subtask("craft_planks")
+        world.step(Action.CRAFT)
+        state = world._state
+        assert state.progress == 1
+        world.step(Action.JUMP)
+        assert state.progress == 0
+
+    def test_stochastic_execution_does_not_reset(self):
+        world = self._world("wool", seed=3)
+        world.inventory.update(["mine_logs", "craft_planks"])
+        world.set_subtask("shear_sheep")
+        state = world._state
+        # Walk to the sheep first.
+        for _ in range(200):
+            if state.in_execution:
+                break
+            world.step(state.preferred_direction)
+        world.step(Action.USE)
+        progress = state.progress
+        world.step(Action.JUMP)
+        assert state.progress == progress
+
+    def test_task_completion_flag(self):
+        world = self._world("log")
+        rng = np.random.default_rng(2)
+        world.set_subtask("mine_logs")
+        for _ in range(world.config.task_step_limit):
+            probs = world.oracle_distribution()
+            result = world.step(rng.choice(NUM_ACTIONS, p=probs))
+            if result.task_completed:
+                break
+        assert world.task_completed
+        with pytest.raises(RuntimeError):
+            world.step(Action.FORWARD)
+
+    def test_budgets(self):
+        config = WorldConfig(subtask_step_limit=5, task_step_limit=10)
+        world = EmbodiedWorld(MINECRAFT_SUITE.get("wooden"), MINECRAFT_SUBTASKS, config,
+                              np.random.default_rng(0))
+        world.set_subtask("mine_logs")
+        for _ in range(5):
+            world.step(Action.JUMP)
+        assert world.subtask_budget_exhausted()
+        assert not world.task_budget_exhausted()
+        world.set_subtask("mine_logs")
+        for _ in range(5):
+            world.step(Action.JUMP)
+        assert world.task_budget_exhausted()
+
+    def test_waste_steps(self):
+        world = self._world()
+        world.waste_steps(7)
+        assert world.steps_taken == 7
+        with pytest.raises(ValueError):
+            world.waste_steps(-1)
+
+    def test_invalid_world_config(self):
+        with pytest.raises(ValueError):
+            WorldConfig(subtask_step_limit=0)
+
+    def test_reset_clears_state(self):
+        world = self._world()
+        world.set_subtask("mine_logs")
+        world.step(Action.FORWARD)
+        world.reset()
+        assert world.steps_taken == 0
+        assert world.inventory == set()
+        assert world.current_subtask is None
+
+
+class TestOracleAndObservations:
+    def _execution_world(self):
+        world = EmbodiedWorld(MINECRAFT_SUITE.get("wooden"), MINECRAFT_SUBTASKS,
+                              WorldConfig(), np.random.default_rng(5))
+        world.inventory.add("mine_logs")
+        world.set_subtask("craft_planks")
+        return world
+
+    def test_oracle_distribution_is_normalized(self, wooden_world):
+        wooden_world.set_subtask("mine_logs")
+        probs = wooden_world.oracle_distribution()
+        assert probs.shape == (NUM_ACTIONS,)
+        assert probs.sum() == pytest.approx(1.0)
+        assert (probs > 0).all()
+
+    def test_critical_steps_have_lower_entropy(self, wooden_world):
+        wooden_world.set_subtask("mine_logs")
+        exploration_entropy = wooden_world.oracle_entropy()
+        execution_world = self._execution_world()
+        execution_entropy = execution_world.oracle_entropy()
+        assert execution_entropy < exploration_entropy
+
+    def test_is_critical_matches_phase(self, wooden_world):
+        wooden_world.set_subtask("mine_logs")
+        assert not wooden_world.is_critical_step()
+        assert self._execution_world().is_critical_step()
+
+    def test_observation_shape_and_range(self, wooden_world):
+        wooden_world.set_subtask("mine_logs")
+        obs = wooden_world.observation()
+        assert obs.shape == (OBSERVATION_DIM,)
+        assert np.isfinite(obs).all()
+
+    def test_observation_encodes_phase(self):
+        world = self._execution_world()
+        obs = world.observation()
+        assert obs[1] == 1.0 and obs[0] == 0.0
+
+    def test_observation_image_shape_and_range(self, wooden_world):
+        wooden_world.set_subtask("mine_logs")
+        image = wooden_world.observation_image()
+        assert image.shape == IMAGE_SHAPE
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_execution_image_differs_from_exploration(self):
+        exploration = EmbodiedWorld(MINECRAFT_SUITE.get("wooden"), MINECRAFT_SUBTASKS,
+                                    WorldConfig(), np.random.default_rng(5))
+        exploration.set_subtask("mine_logs")
+        execution = self._execution_world()
+        diff = np.abs(exploration.observation_image() - execution.observation_image()).mean()
+        assert diff > 0.01
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_exploration_distance_never_negative(self, seed):
+        world = EmbodiedWorld(MINECRAFT_SUITE.get("log"), MINECRAFT_SUBTASKS,
+                              WorldConfig(), np.random.default_rng(seed))
+        world.set_subtask("mine_logs")
+        rng = np.random.default_rng(seed + 1)
+        for _ in range(50):
+            world.step(Action(int(rng.integers(0, NUM_ACTIONS))))
+            assert world._state.distance >= 0
+            assert 0 <= world._state.progress <= world._state.spec.execution_length

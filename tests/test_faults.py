@@ -1,0 +1,177 @@
+"""Tests for bit-flip primitives, error models and the runtime injector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import (
+    ErrorInjector,
+    PassthroughInjector,
+    SingleBitErrorModel,
+    UniformErrorModel,
+    VoltageErrorModel,
+    flip_bit,
+    flip_bits,
+    to_signed,
+    to_unsigned,
+    wrap_to_accumulator,
+)
+from repro.hardware import TimingErrorModel
+from repro.quant import INT8
+
+
+class TestBitflipPrimitives:
+    def test_roundtrip_signed_unsigned(self):
+        values = np.array([-5, 0, 7, -(2 ** 22), 2 ** 22])
+        np.testing.assert_array_equal(to_signed(to_unsigned(values)), values)
+
+    def test_flip_bit_lsb(self):
+        np.testing.assert_array_equal(flip_bit(np.array([0, 1]), 0), [1, 0])
+
+    def test_flip_sign_bit(self):
+        flipped = flip_bit(np.array([0]), 23)
+        assert flipped[0] == -(2 ** 23)
+
+    def test_flip_bits_specific_elements(self):
+        values = np.zeros(5, dtype=np.int64)
+        out = flip_bits(values, np.array([1, 3]), np.array([2, 4]))
+        assert out[1] == 4 and out[3] == 16
+        assert out[0] == 0
+
+    def test_flip_bits_same_element_composes(self):
+        values = np.zeros(3, dtype=np.int64)
+        out = flip_bits(values, np.array([0, 0]), np.array([1, 2]))
+        assert out[0] == 6
+
+    def test_flip_twice_is_identity(self):
+        values = np.array([17, -42, 1000])
+        once = flip_bits(values, np.array([0, 1, 2]), np.array([5, 10, 20]))
+        twice = flip_bits(once, np.array([0, 1, 2]), np.array([5, 10, 20]))
+        np.testing.assert_array_equal(twice, values)
+
+    def test_out_of_range_checks(self):
+        with pytest.raises(ValueError):
+            flip_bit(np.array([0]), 30)
+        with pytest.raises(ValueError):
+            flip_bits(np.zeros(2, dtype=np.int64), np.array([0]), np.array([40]))
+        with pytest.raises(IndexError):
+            flip_bits(np.zeros(2, dtype=np.int64), np.array([5]), np.array([0]))
+        with pytest.raises(ValueError):
+            flip_bits(np.zeros(2, dtype=np.int64), np.array([0, 1]), np.array([0]))
+
+    def test_wrap_to_accumulator(self):
+        assert wrap_to_accumulator(np.array([2 ** 23]))[0] == -(2 ** 23)
+        assert wrap_to_accumulator(np.array([2 ** 23 - 1]))[0] == 2 ** 23 - 1
+
+    @given(st.lists(st.integers(min_value=-(2 ** 23), max_value=2 ** 23 - 1),
+                    min_size=1, max_size=30),
+           st.integers(min_value=0, max_value=23))
+    @settings(max_examples=60, deadline=None)
+    def test_flip_is_involution_property(self, values, bit):
+        values = np.asarray(values, dtype=np.int64)
+        np.testing.assert_array_equal(flip_bit(flip_bit(values, bit), bit), values)
+
+    @given(st.integers(min_value=-(2 ** 23), max_value=2 ** 23 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_signed_unsigned_roundtrip_property(self, value):
+        assert to_signed(to_unsigned(np.array([value])))[0] == value
+
+
+class TestErrorModels:
+    def test_uniform_rates(self):
+        model = UniformErrorModel(1e-3)
+        rates = model.bit_rates()
+        assert rates.shape == (24,)
+        assert np.all(rates == 1e-3)
+        assert model.mean_rate() == pytest.approx(1e-3)
+
+    def test_uniform_invalid(self):
+        with pytest.raises(ValueError):
+            UniformErrorModel(1.5)
+
+    def test_single_bit_model(self):
+        model = SingleBitErrorModel(bit=5, rate=0.1)
+        rates = model.bit_rates()
+        assert rates[5] == 0.1 and rates.sum() == pytest.approx(0.1)
+
+    def test_single_bit_outside_accumulator(self):
+        with pytest.raises(ValueError):
+            SingleBitErrorModel(bit=40, rate=0.1).bit_rates()
+
+    def test_voltage_model_monotone(self):
+        timing = TimingErrorModel()
+        low = VoltageErrorModel(0.7, timing).mean_rate()
+        high = VoltageErrorModel(0.85, timing).mean_rate()
+        assert low > high
+
+    def test_voltage_model_high_bits_worse(self):
+        rates = VoltageErrorModel(0.75).bit_rates()
+        assert rates[23] > rates[4]
+
+    def test_describe_strings(self):
+        assert "uniform" in UniformErrorModel(1e-4).describe()
+        assert "voltage" in VoltageErrorModel(0.8).describe()
+        assert "single" in SingleBitErrorModel(3, 0.1).describe()
+
+
+class TestErrorInjector:
+    def test_zero_ber_is_noop(self, rng):
+        injector = ErrorInjector(UniformErrorModel(0.0), rng=rng)
+        acc = rng.integers(-1000, 1000, size=(50, 50))
+        np.testing.assert_array_equal(injector.inject(acc, INT8), acc)
+
+    def test_injection_rate_matches_expectation(self):
+        injector = ErrorInjector(UniformErrorModel(1e-3), rng=np.random.default_rng(0))
+        acc = np.zeros((200, 200), dtype=np.int64)
+        injector.inject(acc, INT8)
+        expected = 200 * 200 * 24 * 1e-3
+        assert injector.stats.bits_flipped == pytest.approx(expected, rel=0.3)
+
+    def test_exposure_scale_multiplies_rates(self):
+        base = ErrorInjector(UniformErrorModel(1e-4), rng=np.random.default_rng(1))
+        scaled = ErrorInjector(UniformErrorModel(1e-4), rng=np.random.default_rng(1),
+                               exposure_scale=10.0)
+        acc = np.zeros((100, 100), dtype=np.int64)
+        base.inject(acc, INT8)
+        scaled.inject(acc, INT8)
+        assert scaled.stats.bits_flipped > base.stats.bits_flipped
+
+    def test_negative_exposure_raises(self):
+        with pytest.raises(ValueError):
+            ErrorInjector(UniformErrorModel(1e-4), exposure_scale=-1.0)
+
+    def test_component_targeting(self, rng):
+        injector = ErrorInjector(UniformErrorModel(0.5), rng=rng,
+                                 target_components=["*.k"])
+        assert injector.targets("layer0.k")
+        assert not injector.targets("layer0.o")
+        acc = np.zeros(100, dtype=np.int64)
+        untouched = injector.inject(acc, INT8, component="layer1.down")
+        np.testing.assert_array_equal(untouched, acc)
+        touched = injector.inject(acc, INT8, component="layer1.k")
+        assert np.any(touched != 0)
+
+    def test_disabled_injector(self, rng):
+        injector = ErrorInjector(UniformErrorModel(0.5), rng=rng, enabled=False)
+        acc = np.zeros(100, dtype=np.int64)
+        np.testing.assert_array_equal(injector.inject(acc, INT8), acc)
+
+    def test_stats_observed_rate(self):
+        injector = ErrorInjector(UniformErrorModel(0.01), rng=np.random.default_rng(2))
+        injector.inject(np.zeros(10_000, dtype=np.int64), INT8)
+        assert 0 < injector.stats.observed_element_error_rate < 1
+        injector.stats.reset()
+        assert injector.stats.observed_element_error_rate == 0.0
+
+    def test_original_array_not_modified(self, rng):
+        injector = ErrorInjector(UniformErrorModel(0.5), rng=rng)
+        acc = np.zeros(100, dtype=np.int64)
+        injector.inject(acc, INT8)
+        assert np.all(acc == 0)
+
+    def test_passthrough_injector(self, rng):
+        injector = PassthroughInjector()
+        acc = rng.integers(-100, 100, size=50)
+        np.testing.assert_array_equal(injector.inject(acc, INT8), acc)
+        assert injector.stats.gemm_calls == 1
+        assert injector.stats.bits_flipped == 0

@@ -1,0 +1,215 @@
+"""Unit and gradient-check tests for the autograd engine."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, is_grad_enabled, no_grad
+
+
+def numeric_gradient(fn, value: np.ndarray, epsilon: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued function."""
+    grad = np.zeros_like(value)
+    flat = value.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        upper = fn(value)
+        flat[index] = original - epsilon
+        lower = fn(value)
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2.0 * epsilon)
+    return grad
+
+
+def check_gradient(op, shape, rtol=1e-5, atol=1e-6, positive=False):
+    rng = np.random.default_rng(0)
+    values = rng.normal(size=shape)
+    if positive:
+        values = np.abs(values) + 0.5
+    tensor = Tensor(values.copy(), requires_grad=True)
+    out = op(tensor)
+    loss = (out * out).sum()
+    loss.backward()
+    numeric = numeric_gradient(lambda v: float((op(Tensor(v)).data ** 2).sum()), values.copy())
+    np.testing.assert_allclose(tensor.grad, numeric, rtol=rtol, atol=atol)
+
+
+class TestElementwiseGradients:
+    def test_add(self):
+        check_gradient(lambda t: t + 3.0, (4, 5))
+
+    def test_mul(self):
+        check_gradient(lambda t: t * 2.5, (3, 4))
+
+    def test_sub(self):
+        check_gradient(lambda t: t - 1.5, (6,))
+
+    def test_div(self):
+        check_gradient(lambda t: t / 4.0, (2, 3))
+
+    def test_pow(self):
+        check_gradient(lambda t: t ** 3.0, (5,))
+
+    def test_exp(self):
+        check_gradient(lambda t: t.exp(), (4, 3))
+
+    def test_log(self):
+        check_gradient(lambda t: t.log(), (7,), positive=True)
+
+    def test_sqrt(self):
+        check_gradient(lambda t: t.sqrt(), (5,), positive=True)
+
+    def test_relu(self):
+        check_gradient(lambda t: t.relu(), (4, 4), atol=1e-4)
+
+    def test_sigmoid(self):
+        check_gradient(lambda t: t.sigmoid(), (3, 3))
+
+    def test_tanh(self):
+        check_gradient(lambda t: t.tanh(), (3, 3))
+
+    def test_silu(self):
+        check_gradient(lambda t: t.silu(), (6,))
+
+    def test_softmax(self):
+        check_gradient(lambda t: t.softmax(axis=-1), (3, 5))
+
+    def test_neg(self):
+        check_gradient(lambda t: -t, (4,))
+
+
+class TestMatmulAndShapes:
+    def test_matmul_gradient(self):
+        rng = np.random.default_rng(1)
+        a = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 5)), requires_grad=True)
+        out = (a @ b).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, np.ones((4, 5)) @ b.data.T)
+        np.testing.assert_allclose(b.grad, a.data.T @ np.ones((4, 5)))
+
+    def test_batched_matmul_shapes(self):
+        rng = np.random.default_rng(2)
+        a = Tensor(rng.normal(size=(2, 4, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 3, 6)), requires_grad=True)
+        out = a @ b
+        assert out.shape == (2, 4, 6)
+        out.sum().backward()
+        assert a.grad.shape == (2, 4, 3)
+        assert b.grad.shape == (2, 3, 6)
+
+    def test_transpose(self):
+        check_gradient(lambda t: t.transpose(-1, -2), (3, 4))
+
+    def test_reshape(self):
+        check_gradient(lambda t: t.reshape(2, 6), (3, 4))
+
+    def test_getitem(self):
+        check_gradient(lambda t: t[1:3], (5, 2))
+
+    def test_concatenate(self):
+        rng = np.random.default_rng(3)
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        out = Tensor.concatenate([a, b], axis=-1)
+        assert out.shape == (2, 7)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+        np.testing.assert_allclose(b.grad, np.ones((2, 4)))
+
+    def test_stack(self):
+        a = Tensor(np.ones((3,)), requires_grad=True)
+        b = Tensor(np.zeros((3,)), requires_grad=True)
+        out = Tensor.stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+
+    def test_pad2d(self):
+        check_gradient(lambda t: t.pad2d(1), (1, 1, 3, 3))
+
+
+class TestReductions:
+    def test_sum_all(self):
+        check_gradient(lambda t: t.sum(), (3, 4))
+
+    def test_sum_axis(self):
+        check_gradient(lambda t: t.sum(axis=0), (3, 4))
+
+    def test_sum_keepdims(self):
+        check_gradient(lambda t: t.sum(axis=1, keepdims=True), (3, 4))
+
+    def test_mean(self):
+        check_gradient(lambda t: t.mean(axis=-1), (2, 5))
+
+    def test_max(self):
+        rng = np.random.default_rng(4)
+        values = rng.normal(size=(3, 4))
+        t = Tensor(values, requires_grad=True)
+        t.max(axis=1).sum().backward()
+        expected = np.zeros_like(values)
+        expected[np.arange(3), values.argmax(axis=1)] = 1.0
+        np.testing.assert_allclose(t.grad, expected)
+
+
+class TestBroadcasting:
+    def test_broadcast_add_gradient(self):
+        a = Tensor(np.ones((4, 3)), requires_grad=True)
+        b = Tensor(np.ones((3,)), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((4, 3)))
+        np.testing.assert_allclose(b.grad, np.full((3,), 4.0))
+
+    def test_broadcast_mul_gradient(self):
+        a = Tensor(np.full((2, 3), 2.0), requires_grad=True)
+        b = Tensor(np.full((1, 3), 3.0), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 3), 3.0))
+        np.testing.assert_allclose(b.grad, np.full((1, 3), 4.0))
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_over_reuse(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3.0 + x * 4.0
+        y.backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_backward_requires_scalar_or_grad(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2.0).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            y = x * 2.0
+        assert is_grad_enabled()
+        assert not y.requires_grad
+
+    def test_detach(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        d = x.detach()
+        assert not d.requires_grad
+        d.data[0] = 5.0
+        assert x.data[0] == 1.0
+
+    def test_item_and_numpy(self):
+        x = Tensor(np.array([3.5]))
+        assert x.item() == pytest.approx(3.5)
+        assert isinstance(x.numpy(), np.ndarray)
+
+    def test_deep_chain_does_not_recurse(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(2000):
+            y = y + 1.0
+        y.backward()
+        np.testing.assert_allclose(x.grad, [1.0])

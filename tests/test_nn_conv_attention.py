@@ -1,0 +1,166 @@
+"""Tests for convolution, pooling, attention and the Transformer blocks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    GptTransformer,
+    LlamaTransformer,
+    MaxPool2d,
+    MultiHeadAttention,
+    Tensor,
+    causal_mask,
+    conv_output_size,
+    no_grad,
+)
+from repro.nn.transformer import CONTROLLER_COMPONENTS, GptBlock, LlamaBlock, PLANNER_COMPONENTS
+
+
+def reference_conv2d(x, weight, bias, stride, padding):
+    """Naive direct convolution used as a correctness oracle."""
+    batch, in_c, height, width = x.shape
+    out_c, _, k, _ = weight.shape
+    x_pad = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = conv_output_size(height, k, stride, padding)
+    out_w = conv_output_size(width, k, stride, padding)
+    out = np.zeros((batch, out_c, out_h, out_w))
+    for b in range(batch):
+        for oc in range(out_c):
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = x_pad[b, :, i * stride:i * stride + k, j * stride:j * stride + k]
+                    out[b, oc, i, j] = (patch * weight[oc]).sum() + bias[oc]
+    return out
+
+
+class TestConv2d:
+    def test_matches_reference(self, rng):
+        conv = Conv2d(2, 3, kernel_size=3, stride=2, padding=1, rng=rng)
+        x = rng.normal(size=(2, 2, 7, 7))
+        expected = reference_conv2d(x, conv.weight.data, conv.bias.data, 2, 1)
+        np.testing.assert_allclose(conv(Tensor(x)).data, expected, atol=1e-10)
+
+    def test_output_shape(self, rng):
+        conv = Conv2d(3, 8, kernel_size=3, stride=3, padding=1, rng=rng)
+        out = conv(Tensor(rng.normal(size=(1, 3, 24, 24))))
+        assert out.shape == (1, 8, 8, 8)
+
+    def test_channel_mismatch_raises(self, rng):
+        conv = Conv2d(3, 4, rng=rng)
+        with pytest.raises(ValueError):
+            conv(Tensor(rng.normal(size=(1, 2, 8, 8))))
+
+    def test_gradients_flow(self, rng):
+        conv = Conv2d(1, 2, kernel_size=3, padding=1, rng=rng)
+        x = Tensor(rng.normal(size=(1, 1, 5, 5)), requires_grad=True)
+        conv(x).sum().backward()
+        assert x.grad is not None
+        assert conv.weight.grad is not None
+        assert conv.weight.grad.shape == conv.weight.data.shape
+
+    def test_too_small_input_raises(self, rng):
+        conv = Conv2d(1, 1, kernel_size=5, rng=rng)
+        with pytest.raises(ValueError):
+            conv(Tensor(rng.normal(size=(1, 1, 3, 3))))
+
+
+class TestPooling:
+    def test_max_pool(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = MaxPool2d(2)(Tensor(x)).data
+        np.testing.assert_allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_avg_pool(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = AvgPool2d(2)(Tensor(x)).data
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(2, 3, 5, 5))
+        out = GlobalAvgPool2d()(Tensor(x)).data
+        np.testing.assert_allclose(out, x.mean(axis=(2, 3)), atol=1e-12)
+
+    def test_pool_too_small_raises(self, rng):
+        with pytest.raises(ValueError):
+            MaxPool2d(4)(Tensor(rng.normal(size=(1, 1, 2, 2))))
+
+
+class TestAttention:
+    def test_output_shape(self, rng):
+        attn = MultiHeadAttention(16, 4, rng=rng)
+        out = attn(Tensor(rng.normal(size=(2, 5, 16))))
+        assert out.shape == (2, 5, 16)
+
+    def test_invalid_heads(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(10, 3, rng=rng)
+
+    def test_causal_mask_blocks_future(self, rng):
+        attn = MultiHeadAttention(8, 2, rng=rng, causal=True)
+        x = rng.normal(size=(1, 6, 8))
+        base = attn(Tensor(x)).data
+        modified = x.copy()
+        modified[0, -1] += 10.0  # changing the future must not affect earlier positions
+        out = attn(Tensor(modified)).data
+        np.testing.assert_allclose(base[0, :-1], out[0, :-1], atol=1e-9)
+
+    def test_non_causal_attends_globally(self, rng):
+        attn = MultiHeadAttention(8, 2, rng=rng, causal=False)
+        x = rng.normal(size=(1, 4, 8))
+        base = attn(Tensor(x)).data
+        modified = x.copy()
+        modified[0, -1] += 5.0
+        out = attn(Tensor(modified)).data
+        assert not np.allclose(base[0, 0], out[0, 0])
+
+    def test_causal_mask_helper(self):
+        mask = causal_mask(4)
+        assert mask.shape == (4, 4)
+        assert (mask[np.triu_indices(4, k=1)] < 0).all()
+        assert (mask[np.tril_indices(4)] == 0).all()
+
+
+class TestTransformers:
+    def test_llama_stack(self, rng):
+        model = LlamaTransformer(2, 16, 4, 32, rng)
+        with no_grad():
+            out = model(Tensor(rng.normal(size=(2, 5, 16))))
+        assert out.shape == (2, 5, 16)
+
+    def test_gpt_stack(self, rng):
+        model = GptTransformer(2, 16, 4, 32, rng)
+        with no_grad():
+            out = model(Tensor(rng.normal(size=(2, 5, 16))))
+        assert out.shape == (2, 5, 16)
+
+    def test_llama_block_components_exist(self, rng):
+        block = LlamaBlock(16, 4, 32, rng)
+        names = dict(block.named_parameters())
+        assert "attn.q_proj.weight" in names
+        assert "mlp.down.weight" in names
+        assert set(PLANNER_COMPONENTS) == {"q", "k", "v", "o", "gate", "up", "down"}
+
+    def test_gpt_block_components_exist(self, rng):
+        block = GptBlock(16, 4, 32, rng)
+        names = dict(block.named_parameters())
+        assert "attn_norm.gamma" in names and "mlp.fc1.bias" in names
+        assert set(CONTROLLER_COMPONENTS) == {"q", "k", "v", "o", "fc1", "fc2"}
+
+    def test_transformer_trains(self, rng):
+        from repro.train import Adam, mse_loss
+
+        model = LlamaTransformer(1, 8, 2, 16, rng, causal=False)
+        optimizer = Adam(model.parameters(), lr=5e-3)
+        x = rng.normal(size=(4, 3, 8))
+        target = rng.normal(size=(4, 3, 8))
+        first = None
+        for _ in range(30):
+            optimizer.zero_grad()
+            loss = mse_loss(model(Tensor(x)), target)
+            loss.backward()
+            optimizer.step()
+            first = first if first is not None else loss.item()
+        assert loss.item() < first

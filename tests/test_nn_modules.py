@@ -1,0 +1,228 @@
+"""Tests for layers, containers and parameter management."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dropout,
+    Embedding,
+    Flatten,
+    GELU,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    ReLU,
+    RMSNorm,
+    Sequential,
+    Sigmoid,
+    SiLU,
+    Softmax,
+    Tanh,
+    Tensor,
+)
+from repro.nn import functional as F
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = Linear(6, 4, rng=rng)
+        out = layer(Tensor(rng.normal(size=(3, 6))))
+        assert out.shape == (3, 4)
+
+    def test_no_bias(self, rng):
+        layer = Linear(6, 4, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_matches_manual_computation(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(5, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+        np.testing.assert_allclose(out.data[0, 0], emb.weight.data[1])
+
+    def test_out_of_range_raises(self, rng):
+        emb = Embedding(5, 4, rng=rng)
+        with pytest.raises(IndexError):
+            emb(np.array([7]))
+
+    def test_gradient_flows_to_rows(self, rng):
+        emb = Embedding(6, 3, rng=rng)
+        out = emb(np.array([2, 2, 4]))
+        out.sum().backward()
+        assert emb.weight.grad[2].sum() == pytest.approx(6.0)
+        assert emb.weight.grad[4].sum() == pytest.approx(3.0)
+        assert emb.weight.grad[0].sum() == pytest.approx(0.0)
+
+
+class TestNorms:
+    def test_layer_norm_statistics(self, rng):
+        norm = LayerNorm(16)
+        out = norm(Tensor(rng.normal(size=(4, 16)) * 5.0 + 2.0)).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_rms_norm_unit_rms(self, rng):
+        norm = RMSNorm(8)
+        out = norm(Tensor(rng.normal(size=(5, 8)) * 3.0)).data
+        rms = np.sqrt((out ** 2).mean(axis=-1))
+        np.testing.assert_allclose(rms, 1.0, atol=1e-3)
+
+    def test_rms_norm_matches_functional(self, rng):
+        norm = RMSNorm(8)
+        x = rng.normal(size=(2, 8))
+        np.testing.assert_allclose(norm(Tensor(x)).data,
+                                   F.rms_norm(x, np.ones(8)), atol=1e-9)
+
+    def test_layer_norm_matches_functional(self, rng):
+        norm = LayerNorm(8)
+        x = rng.normal(size=(2, 8))
+        np.testing.assert_allclose(norm(Tensor(x)).data,
+                                   F.layer_norm(x, np.ones(8), np.zeros(8)), atol=1e-9)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("module,reference", [
+        (ReLU(), F.relu),
+        (SiLU(), F.silu),
+        (Sigmoid(), F.sigmoid),
+        (GELU(), F.gelu),
+    ])
+    def test_matches_functional(self, module, reference, rng):
+        x = rng.normal(size=(3, 7))
+        np.testing.assert_allclose(module(Tensor(x)).data, reference(x), atol=1e-9)
+
+    def test_tanh(self, rng):
+        x = rng.normal(size=(4,))
+        np.testing.assert_allclose(Tanh()(Tensor(x)).data, np.tanh(x))
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        out = Softmax()(Tensor(rng.normal(size=(5, 9)))).data
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        drop = Dropout(0.5, rng=rng)
+        drop.eval()
+        x = rng.normal(size=(10, 10))
+        np.testing.assert_allclose(drop(Tensor(x)).data, x)
+
+    def test_train_mode_zeroes_some(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        drop.train()
+        out = drop(Tensor(np.ones((50, 50)))).data
+        assert (out == 0).mean() == pytest.approx(0.5, abs=0.1)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestContainers:
+    def test_sequential_forward(self, rng):
+        net = Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+        assert net(Tensor(rng.normal(size=(3, 4)))).shape == (3, 2)
+        assert len(net) == 3
+
+    def test_sequential_indexing_and_append(self, rng):
+        net = Sequential(Linear(4, 4, rng=rng))
+        net.append(ReLU())
+        assert isinstance(net[1], ReLU)
+
+    def test_module_list(self, rng):
+        modules = ModuleList([Linear(2, 2, rng=rng) for _ in range(3)])
+        assert len(modules) == 3
+        assert len(list(modules[0].parameters())) == 2
+        with pytest.raises(RuntimeError):
+            modules(Tensor(np.ones((1, 2))))
+
+    def test_flatten(self, rng):
+        out = Flatten()(Tensor(rng.normal(size=(2, 3, 4))))
+        assert out.shape == (2, 12)
+
+
+class TestModuleBase:
+    def test_named_parameters_are_hierarchical(self, rng):
+        net = Sequential(Linear(2, 3, rng=rng), Linear(3, 1, rng=rng))
+        names = dict(net.named_parameters())
+        assert "0.weight" in names and "1.bias" in names
+
+    def test_num_parameters(self, rng):
+        layer = Linear(4, 5, rng=rng)
+        assert layer.num_parameters() == 4 * 5 + 5
+
+    def test_state_dict_roundtrip(self, rng):
+        a = Linear(4, 4, rng=np.random.default_rng(1))
+        b = Linear(4, 4, rng=np.random.default_rng(2))
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_state_dict_mismatch_raises(self, rng):
+        a = Linear(4, 4, rng=rng)
+        with pytest.raises(KeyError):
+            a.load_state_dict({"weight": np.zeros((4, 4))})
+        with pytest.raises(ValueError):
+            a.load_state_dict({"weight": np.zeros((2, 2)), "bias": np.zeros(4)})
+
+    def test_train_eval_propagates(self, rng):
+        net = Sequential(Dropout(0.3), Linear(2, 2, rng=rng))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad(self, rng):
+        layer = Linear(3, 3, rng=rng)
+        layer(Tensor(rng.normal(size=(2, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_custom_module_registration(self):
+        class Custom(Module):
+            def __init__(self):
+                super().__init__()
+                self.scale = Parameter(np.ones(3))
+
+            def forward(self, x):
+                return x * self.scale
+
+        module = Custom()
+        assert dict(module.named_parameters())["scale"].shape == (3,)
+
+
+class TestFunctional:
+    def test_softmax_stability(self):
+        out = F.softmax(np.array([1000.0, 1000.0, 1000.0]))
+        np.testing.assert_allclose(out, [1 / 3] * 3)
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = rng.normal(size=(4, 6))
+        np.testing.assert_allclose(F.log_softmax(x), np.log(F.softmax(x)), atol=1e-9)
+
+    def test_entropy_uniform_is_max(self):
+        probs = np.full(8, 1 / 8)
+        assert F.entropy(probs) == pytest.approx(np.log(8))
+
+    def test_entropy_deterministic_is_zero(self):
+        probs = np.zeros(8)
+        probs[0] = 1.0
+        assert F.entropy(probs) == pytest.approx(0.0, abs=1e-9)
+
+    def test_one_hot(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_cosine_similarity(self):
+        assert F.cosine_similarity(np.ones(4), np.ones(4)) == pytest.approx(1.0)
+        assert F.cosine_similarity(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(0.0)

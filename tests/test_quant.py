@@ -1,0 +1,194 @@
+"""Tests for quantization formats, calibration and the quantized GEMM pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AnomalyDetector
+from repro.faults import ErrorInjector, SingleBitErrorModel, UniformErrorModel
+from repro.quant import (
+    ACCUMULATOR_BITS,
+    Calibrator,
+    GemmHooks,
+    GemmStats,
+    INT4,
+    INT8,
+    QuantParams,
+    QuantSpec,
+    QuantizedLinear,
+    compute_scale,
+    dequantize,
+    quantize,
+    quantized_matmul,
+)
+
+
+class TestQuantSpec:
+    def test_int8_ranges(self):
+        assert INT8.qmax == 127 and INT8.qmin == -127
+        assert INT8.accumulator_max == 2 ** 23 - 1
+
+    def test_int4_ranges(self):
+        assert INT4.qmax == 7
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            QuantSpec(bits=1)
+        with pytest.raises(ValueError):
+            QuantSpec(bits=8, accumulator_bits=8)
+
+    def test_accumulator_mask(self):
+        assert INT8.accumulator_mask == (1 << ACCUMULATOR_BITS) - 1
+
+
+class TestQuantizer:
+    def test_scale_positive(self, rng):
+        params = compute_scale(rng.normal(size=100))
+        assert params.scale > 0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            compute_scale(np.array([]))
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            QuantParams(scale=0.0)
+
+    def test_roundtrip_error_bounded(self, rng):
+        values = rng.normal(size=1000) * 3.0
+        params = compute_scale(values)
+        recovered = dequantize(quantize(values, params), params)
+        assert np.abs(recovered - values).max() <= params.scale * 0.5 + 1e-12
+
+    def test_clipping_to_range(self):
+        params = QuantParams(scale=1.0)
+        q = quantize(np.array([1000.0, -1000.0]), params)
+        assert q.max() == 127 and q.min() == -127
+
+    def test_percentile_calibration_tighter(self, rng):
+        values = np.concatenate([rng.normal(size=1000), [100.0]])
+        full = compute_scale(values, percentile=100.0)
+        clipped = compute_scale(values, percentile=99.0)
+        assert clipped.scale < full.scale
+
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3,
+                              allow_nan=False), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_quantize_within_format_range(self, values):
+        values = np.asarray(values) + 1e-6
+        params = compute_scale(values)
+        q = quantize(values, params)
+        assert q.max() <= 127 and q.min() >= -127
+
+
+class TestCalibrator:
+    def test_observes_and_returns_params(self, rng):
+        calib = Calibrator()
+        calib.observe("layer", rng.normal(size=(4, 8)), rng.normal(size=(4, 8)) * 10)
+        assert calib.input_params("layer").scale > 0
+        assert calib.output_bound("layer") > 0
+        assert calib.layer_names == ["layer"]
+
+    def test_tracks_running_maximum(self):
+        calib = Calibrator()
+        calib.observe("l", np.array([1.0]), np.array([2.0]))
+        calib.observe("l", np.array([5.0]), np.array([1.0]))
+        assert calib.input_params("l").scale == pytest.approx(5.0 / 127)
+        assert calib.output_amax("l") == pytest.approx(2.0)
+
+    def test_unknown_layer_raises(self):
+        with pytest.raises(KeyError):
+            Calibrator().input_params("missing")
+
+
+class TestQuantizedMatmul:
+    def test_close_to_float(self, rng):
+        x = rng.normal(size=(6, 16))
+        w = rng.normal(size=(16, 8)) * 0.2
+        x_params = compute_scale(x)
+        w_params = compute_scale(w)
+        out = quantized_matmul(x, quantize(w, w_params), x_params, w_params)
+        error = np.abs(out - x @ w).max()
+        assert error < 0.1 * np.abs(x @ w).max() + 0.05
+
+    def test_stats_recorded(self, rng):
+        x = rng.normal(size=(3, 4))
+        w = rng.normal(size=(4, 5))
+        stats = GemmStats()
+        hooks = GemmHooks(stats=stats)
+        quantized_matmul(x, quantize(w, compute_scale(w)), compute_scale(x),
+                         compute_scale(w), hooks=hooks, component="probe")
+        assert stats.gemm_calls == 1
+        assert stats.macs == 3 * 4 * 5
+        assert stats.macs_per_component["probe"] == 60
+        stats.reset()
+        assert stats.macs == 0
+
+
+class TestQuantizedLinear:
+    def _layer(self, rng, spec=INT8, bound_factor=1.5):
+        w = rng.normal(size=(12, 6)) * 0.3
+        x = rng.normal(size=(20, 12))
+        bound = float(np.abs(x @ w).max()) * bound_factor
+        layer = QuantizedLinear("layer", w, None, compute_scale(x, spec), spec=spec,
+                                output_bound=bound)
+        return layer, x, w
+
+    def test_matches_float_reference(self, rng):
+        layer, x, w = self._layer(rng)
+        out = layer(x)
+        assert np.abs(out - x @ w).max() < 0.1 * np.abs(x @ w).max() + 0.05
+
+    def test_bias_applied(self, rng):
+        w = rng.normal(size=(4, 3)) * 0.1
+        bias = np.array([1.0, -2.0, 3.0])
+        x = rng.normal(size=(2, 4))
+        layer = QuantizedLinear("l", w, bias, compute_scale(x))
+        np.testing.assert_allclose(layer(x), x @ w + bias, atol=0.1)
+
+    def test_requires_2d_weight(self, rng):
+        with pytest.raises(ValueError):
+            QuantizedLinear("l", rng.normal(size=(3,)), None, QuantParams(scale=0.1))
+
+    def test_int4_is_coarser_than_int8(self, rng):
+        layer8, x, w = self._layer(rng, spec=INT8)
+        layer4, _, _ = self._layer(rng, spec=INT4)
+        err8 = np.abs(layer8(x) - x @ w).max()
+        err4 = np.abs(layer4(x) - x @ w).max()
+        assert err4 > err8
+
+    def test_injected_errors_change_output(self, rng):
+        layer, x, _ = self._layer(rng)
+        injector = ErrorInjector(SingleBitErrorModel(bit=20, rate=0.05),
+                                 rng=np.random.default_rng(3))
+        noisy = layer(x, hooks=GemmHooks(injector=injector))
+        assert not np.allclose(noisy, layer(x))
+        assert injector.stats.bits_flipped > 0
+
+    def test_anomaly_clamp_suppresses_large_errors(self, rng):
+        layer, x, w = self._layer(rng, bound_factor=1.2)
+        injector = ErrorInjector(SingleBitErrorModel(bit=22, rate=0.02),
+                                 rng=np.random.default_rng(5))
+        detector = AnomalyDetector()
+        clean = x @ w
+        protected = layer(x, hooks=GemmHooks(injector=injector, anomaly_clamp=detector))
+        unprotected = layer(x, hooks=GemmHooks(
+            injector=ErrorInjector(SingleBitErrorModel(bit=22, rate=0.02),
+                                   rng=np.random.default_rng(5))))
+        assert np.abs(protected - clean).max() < np.abs(unprotected - clean).max()
+        assert detector.stats.elements_clamped > 0
+
+    def test_replace_weight_requantizes(self, rng):
+        layer, x, w = self._layer(rng)
+        new_w = w * 2.0
+        layer.replace_weight(new_w, output_bound=float(np.abs(x @ new_w).max()))
+        assert np.abs(layer(x) - x @ new_w).max() < 0.2 * np.abs(x @ new_w).max() + 0.05
+
+    def test_replace_weight_shape_mismatch(self, rng):
+        layer, _, _ = self._layer(rng)
+        with pytest.raises(ValueError):
+            layer.replace_weight(np.zeros((2, 2)))
+
+    def test_weight_dequantized_close(self, rng):
+        layer, _, w = self._layer(rng)
+        assert np.abs(layer.weight_dequantized - w).max() <= layer.w_params.scale

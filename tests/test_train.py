@@ -1,0 +1,183 @@
+"""Tests for optimizers, losses, datasets and the trainer loop."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, ReLU, Sequential, Tensor
+from repro.nn.module import Parameter
+from repro.train import (
+    Adam,
+    AdamW,
+    ArrayDataset,
+    DataLoader,
+    SGD,
+    Trainer,
+    binary_cross_entropy,
+    clip_grad_norm,
+    cross_entropy_loss,
+    huber_loss,
+    mse_loss,
+    train_test_split,
+)
+
+
+class TestOptimizers:
+    def _quadratic_parameter(self):
+        return Parameter(np.array([4.0, -3.0]))
+
+    def _step_many(self, optimizer, param, steps=200):
+        for _ in range(steps):
+            optimizer.zero_grad()
+            param.grad = 2.0 * param.data  # gradient of ||x||^2
+            optimizer.step()
+        return np.abs(param.data).max()
+
+    def test_sgd_converges(self):
+        param = self._quadratic_parameter()
+        assert self._step_many(SGD([param], lr=0.1), param) < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        param = self._quadratic_parameter()
+        assert self._step_many(SGD([param], lr=0.05, momentum=0.9), param) < 1e-3
+
+    def test_adam_converges(self):
+        param = self._quadratic_parameter()
+        assert self._step_many(Adam([param], lr=0.1), param) < 1e-2
+
+    def test_adamw_decays_weights(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = AdamW([param], lr=1e-2, weight_decay=0.5)
+        for _ in range(50):
+            optimizer.zero_grad()
+            param.grad = np.zeros(1)
+            optimizer.step()
+        assert abs(param.data[0]) < 1.0
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.0)
+
+    def test_empty_parameters_raises(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=1e-3)
+
+    def test_skips_parameters_without_grad(self):
+        param = Parameter(np.ones(2))
+        optimizer = SGD([param], lr=0.1)
+        optimizer.step()  # no grad set; should not crash or move
+        np.testing.assert_allclose(param.data, np.ones(2))
+
+    def test_clip_grad_norm(self):
+        params = [Parameter(np.ones(3)) for _ in range(2)]
+        for p in params:
+            p.grad = np.full(3, 10.0)
+        norm = clip_grad_norm(params, max_norm=1.0)
+        assert norm > 1.0
+        total = np.sqrt(sum(float((p.grad ** 2).sum()) for p in params))
+        assert total == pytest.approx(1.0, rel=1e-6)
+
+
+class TestLosses:
+    def test_mse_zero_for_equal(self, rng):
+        x = rng.normal(size=(4, 3))
+        assert mse_loss(Tensor(x), x).item() == pytest.approx(0.0)
+
+    def test_mse_value(self):
+        loss = mse_loss(Tensor(np.array([2.0, 0.0])), np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.0)
+
+    def test_cross_entropy_prefers_correct_class(self):
+        good = cross_entropy_loss(Tensor(np.array([[5.0, 0.0, 0.0]])), np.array([0]))
+        bad = cross_entropy_loss(Tensor(np.array([[5.0, 0.0, 0.0]])), np.array([2]))
+        assert good.item() < bad.item()
+
+    def test_cross_entropy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cross_entropy_loss(Tensor(np.zeros((2, 3))), np.array([0, 1, 2]))
+
+    def test_cross_entropy_gradient_direction(self):
+        logits = Tensor(np.zeros((1, 3)), requires_grad=True)
+        cross_entropy_loss(logits, np.array([1])).backward()
+        assert logits.grad[0, 1] < 0
+        assert logits.grad[0, 0] > 0
+
+    def test_huber_small_residual_quadratic(self):
+        loss = huber_loss(Tensor(np.array([0.5])), np.array([0.0]))
+        assert loss.item() == pytest.approx(0.125, rel=1e-3)
+
+    def test_binary_cross_entropy_bounds(self):
+        probs = Tensor(np.array([0.9, 0.1]))
+        targets = np.array([1.0, 0.0])
+        assert binary_cross_entropy(probs, targets).item() < 0.2
+
+
+class TestData:
+    def test_dataset_length_and_indexing(self, rng):
+        ds = ArrayDataset(rng.normal(size=(10, 3)), np.arange(10))
+        assert len(ds) == 10
+        x, y = ds[np.array([1, 2])]
+        assert x.shape == (2, 3) and y.tolist() == [1, 2]
+
+    def test_dataset_mismatched_lengths(self, rng):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((5, 2)), np.zeros(4))
+
+    def test_dataset_empty_raises(self):
+        with pytest.raises(ValueError):
+            ArrayDataset()
+
+    def test_loader_covers_all_examples(self, rng):
+        ds = ArrayDataset(np.arange(10).reshape(10, 1))
+        loader = DataLoader(ds, batch_size=3, shuffle=True, rng=rng)
+        seen = sorted(int(v) for batch in loader for v in batch[0].ravel())
+        assert seen == list(range(10))
+        assert len(loader) == 4
+
+    def test_loader_invalid_batch_size(self, rng):
+        with pytest.raises(ValueError):
+            DataLoader(ArrayDataset(np.zeros((4, 1))), batch_size=0)
+
+    def test_train_test_split(self, rng):
+        ds = ArrayDataset(np.arange(20).reshape(20, 1))
+        train, test = train_test_split(ds, test_fraction=0.25, rng=rng)
+        assert len(train) == 15 and len(test) == 5
+
+    def test_train_test_split_invalid_fraction(self, rng):
+        with pytest.raises(ValueError):
+            train_test_split(ArrayDataset(np.zeros((4, 1))), test_fraction=1.5)
+
+
+class TestTrainer:
+    def _make_regression(self, rng, n=64):
+        x = rng.normal(size=(n, 4))
+        w = rng.normal(size=(4, 2))
+        y = x @ w
+        return x, y
+
+    def test_loss_decreases(self, rng):
+        x, y = self._make_regression(rng)
+        model = Sequential(Linear(4, 16, rng=rng), ReLU(), Linear(16, 2, rng=rng))
+        trainer = Trainer(model, Adam(model.parameters(), lr=1e-2), mse_loss)
+        result = trainer.fit(DataLoader(ArrayDataset(x, y), batch_size=16, rng=rng), epochs=15)
+        assert result.final_loss < result.epoch_losses[0]
+        assert result.converged(result.epoch_losses[0])
+
+    def test_evaluate_returns_mean_loss(self, rng):
+        x, y = self._make_regression(rng, n=32)
+        model = Linear(4, 2, rng=rng)
+        trainer = Trainer(model, SGD(model.parameters(), lr=1e-3), mse_loss)
+        loader = DataLoader(ArrayDataset(x, y), batch_size=8, rng=rng)
+        value = trainer.evaluate(loader)
+        assert np.isfinite(value) and value > 0
+
+    def test_invalid_epochs(self, rng):
+        model = Linear(2, 1, rng=rng)
+        trainer = Trainer(model, SGD(model.parameters(), lr=1e-3), mse_loss)
+        with pytest.raises(ValueError):
+            trainer.fit(DataLoader(ArrayDataset(np.zeros((4, 2)), np.zeros((4, 1)))), epochs=0)
+
+    def test_training_result_requires_epochs(self):
+        from repro.train import TrainingResult
+
+        with pytest.raises(ValueError):
+            TrainingResult().final_loss
