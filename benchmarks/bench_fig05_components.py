@@ -1,19 +1,18 @@
 """Fig. 5(e-h): per-component resilience inside the planner and controller."""
 
-from common import jarvis_plain, num_trials, run_once
+from common import JARVIS_PLAIN, num_jobs, num_trials, run_once
 
 from repro.eval import banner, format_sweep
 from repro.eval.resilience import component_sweep
 
 
 def test_fig05ef_planner_components(benchmark):
-    executor = jarvis_plain().executor()
     bers = [3e-4, 1e-3, 3e-3]
     groups = {"K": ("*.k",), "O": ("*.o",), "Down": ("*.down",)}
 
     def run():
-        return component_sweep(executor, "wooden", bers, groups, target="planner",
-                               num_trials=num_trials(), seed=0)
+        return component_sweep(JARVIS_PLAIN, "wooden", bers, groups, target="planner",
+                               num_trials=num_trials(), seed=0, jobs=num_jobs())
 
     sweeps = run_once(benchmark, run)
     print()
@@ -23,13 +22,12 @@ def test_fig05ef_planner_components(benchmark):
 
 
 def test_fig05gh_controller_components(benchmark):
-    executor = jarvis_plain().executor()
     bers = [1e-3, 3e-3]
     groups = {"K": ("*.k",), "O": ("*.o",), "FC2": ("*.fc2",)}
 
     def run():
-        return component_sweep(executor, "wooden", bers, groups, target="controller",
-                               num_trials=num_trials(), seed=0)
+        return component_sweep(JARVIS_PLAIN, "wooden", bers, groups, target="controller",
+                               num_trials=num_trials(), seed=0, jobs=num_jobs())
 
     sweeps = run_once(benchmark, run)
     print()

@@ -1,6 +1,6 @@
 """Fig. 5(a-d): planner vs. controller resilience characterization."""
 
-from common import jarvis_plain, num_trials, run_once
+from common import JARVIS_PLAIN, num_jobs, num_trials, run_once
 
 from repro.eval import banner, ber_sweep, format_sweep
 from repro.eval.resilience import PLANNER_CHARACTERIZATION_EXPOSURE
@@ -13,20 +13,19 @@ def test_fig05ab_planner_resilience(benchmark):
     planner fault-exposure factor (see EXPERIMENTS.md) so one surrogate
     invocation sees as many corrupted elements as one 8 B-parameter inference.
     """
-    executor = jarvis_plain().executor()
     bers = [1e-9, 1e-8, 3e-8, 1e-7, 3e-7, 1e-6]
     trials = num_trials()
 
     def run():
         return {
-            "wooden": ber_sweep(executor, "wooden", bers, target="planner",
+            "wooden": ber_sweep(JARVIS_PLAIN, "wooden", bers, target="planner",
                                 num_trials=trials, seed=0,
                                 exposure_scale=PLANNER_CHARACTERIZATION_EXPOSURE,
-                                label="wooden"),
-            "stone": ber_sweep(executor, "stone", bers, target="planner",
+                                label="wooden", jobs=num_jobs()),
+            "stone": ber_sweep(JARVIS_PLAIN, "stone", bers, target="planner",
                                num_trials=trials, seed=0,
                                exposure_scale=PLANNER_CHARACTERIZATION_EXPOSURE,
-                               label="stone"),
+                               label="stone", jobs=num_jobs()),
         }
 
     sweeps = run_once(benchmark, run)
@@ -37,16 +36,15 @@ def test_fig05ab_planner_resilience(benchmark):
 
 
 def test_fig05cd_controller_resilience(benchmark):
-    executor = jarvis_plain().executor()
     bers = [1e-6, 1e-5, 1e-4, 3e-4, 1e-3, 3e-3]
     trials = num_trials()
 
     def run():
         return {
-            "wooden": ber_sweep(executor, "wooden", bers, target="controller",
-                                num_trials=trials, seed=0, label="wooden"),
-            "stone": ber_sweep(executor, "stone", bers, target="controller",
-                               num_trials=trials, seed=0, label="stone"),
+            "wooden": ber_sweep(JARVIS_PLAIN, "wooden", bers, target="controller",
+                                num_trials=trials, seed=0, label="wooden", jobs=num_jobs()),
+            "stone": ber_sweep(JARVIS_PLAIN, "stone", bers, target="controller",
+                               num_trials=trials, seed=0, label="stone", jobs=num_jobs()),
         }
 
     sweeps = run_once(benchmark, run)

@@ -1,18 +1,18 @@
 """Fig. 6: different subtasks exhibit diverse resilience."""
 
-from common import jarvis_plain, num_trials, run_once
+from common import JARVIS_PLAIN, num_jobs, num_trials, run_once
 
 from repro.eval import banner, format_sweep
 from repro.eval.resilience import subtask_sweep
 
 
 def test_fig06_subtask_resilience_diversity(benchmark):
-    system = jarvis_plain()
     tasks = ["log", "stone", "coal", "wool", "chicken", "seed"]
     bers = [1e-4, 6e-4, 1.5e-3, 4e-3]
 
     def run():
-        return subtask_sweep(system, tasks, bers, num_trials=num_trials(10), seed=0)
+        return subtask_sweep(JARVIS_PLAIN, tasks, bers, num_trials=num_trials(10), seed=0,
+                             jobs=num_jobs())
 
     sweeps = run_once(benchmark, run)
     print()

@@ -1,29 +1,28 @@
 """Fig. 13(e-f): ablation studies — AD+WR on the planner, AD+VS on the controller."""
 
-from common import jarvis_plain, jarvis_rotated, num_trials, run_once
+from common import JARVIS_PLAIN, JARVIS_ROTATED, jarvis_plain, num_jobs, num_trials, run_once
 
 from repro.core import ProtectionConfig, REFERENCE_POLICIES, VoltageScalingConfig
 from repro.eval import banner, ber_sweep, format_sweep, format_table, summarize_trials
-from repro.eval.experiments import vs_evaluation
 
 
 def test_fig13e_planner_ablation_ad_wr(benchmark):
-    plain_exec = jarvis_plain().executor()
-    rotated_exec = jarvis_rotated().executor()
     bers = [1e-3, 3e-3, 1e-2, 3e-2]
     trials = num_trials()
 
     def run():
         return {
-            "unprotected": ber_sweep(plain_exec, "wooden", bers, target="planner",
-                                     num_trials=trials, seed=0, label="unprotected"),
-            "AD": ber_sweep(plain_exec, "wooden", bers, target="planner",
-                            num_trials=trials, seed=0, anomaly_detection=True, label="AD"),
-            "WR": ber_sweep(rotated_exec, "wooden", bers, target="planner",
-                            num_trials=trials, seed=0, label="WR"),
-            "AD+WR": ber_sweep(rotated_exec, "wooden", bers, target="planner",
+            "unprotected": ber_sweep(JARVIS_PLAIN, "wooden", bers, target="planner",
+                                     num_trials=trials, seed=0, label="unprotected",
+                                     jobs=num_jobs()),
+            "AD": ber_sweep(JARVIS_PLAIN, "wooden", bers, target="planner",
+                            num_trials=trials, seed=0, anomaly_detection=True, label="AD",
+                            jobs=num_jobs()),
+            "WR": ber_sweep(JARVIS_ROTATED, "wooden", bers, target="planner",
+                            num_trials=trials, seed=0, label="WR", jobs=num_jobs()),
+            "AD+WR": ber_sweep(JARVIS_ROTATED, "wooden", bers, target="planner",
                                num_trials=trials, seed=0, anomaly_detection=True,
-                               label="AD+WR"),
+                               label="AD+WR", jobs=num_jobs()),
         }
 
     sweeps = run_once(benchmark, run)

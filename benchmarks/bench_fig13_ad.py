@@ -1,20 +1,20 @@
 """Fig. 13(a-b): anomaly detection and clearance evaluation on planner and controller."""
 
-from common import jarvis_plain, num_trials, run_once
+from common import JARVIS_PLAIN, num_jobs, num_trials, run_once
 
 from repro.eval import banner, format_sweep
 from repro.eval.experiments import ad_evaluation
 
 
 def test_fig13a_ad_on_planner(benchmark):
-    executor = jarvis_plain().executor()
     bers = [3e-4, 1e-3, 3e-3, 1e-2]
 
     def run():
         results = {}
         for task in ("wooden", "stone"):
-            results[task] = ad_evaluation(executor, task, bers, target="planner",
-                                          num_trials=num_trials(), seed=0)
+            results[task] = ad_evaluation(JARVIS_PLAIN, task, bers, target="planner",
+                                          num_trials=num_trials(), seed=0,
+                                          jobs=num_jobs())
         return results
 
     results = run_once(benchmark, run)
@@ -28,14 +28,14 @@ def test_fig13a_ad_on_planner(benchmark):
 
 
 def test_fig13b_ad_on_controller(benchmark):
-    executor = jarvis_plain().executor()
     bers = [3e-4, 1e-3, 5e-3]
 
     def run():
         results = {}
         for task in ("wooden", "stone"):
-            results[task] = ad_evaluation(executor, task, bers, target="controller",
-                                          num_trials=num_trials(), seed=0)
+            results[task] = ad_evaluation(JARVIS_PLAIN, task, bers, target="controller",
+                                          num_trials=num_trials(), seed=0,
+                                          jobs=num_jobs())
         return results
 
     results = run_once(benchmark, run)

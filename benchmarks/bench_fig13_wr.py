@@ -1,22 +1,20 @@
 """Fig. 13(c): weight-rotation-enhanced planning evaluation."""
 
-from common import jarvis_plain, jarvis_rotated, num_trials, run_once
+from common import JARVIS_PLAIN, JARVIS_ROTATED, num_jobs, num_trials, run_once
 
 from repro.eval import banner, format_sweep
 from repro.eval.experiments import wr_evaluation
 
 
 def test_fig13c_weight_rotation_on_planner(benchmark):
-    plain_exec = jarvis_plain().executor()
-    rotated_exec = jarvis_rotated().executor()
     bers = [3e-4, 1e-3, 3e-3]
 
     def run():
         results = {}
         for task in ("wooden", "stone"):
-            results[task] = wr_evaluation(plain_exec, rotated_exec, task, bers,
+            results[task] = wr_evaluation(JARVIS_PLAIN, JARVIS_ROTATED, task, bers,
                                           num_trials=num_trials(), seed=0,
-                                          anomaly_detection=False)
+                                          anomaly_detection=False, jobs=num_jobs())
         return results
 
     results = run_once(benchmark, run)

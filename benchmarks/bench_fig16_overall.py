@@ -5,7 +5,7 @@
 """
 
 import numpy as np
-from common import jarvis_plain, jarvis_rotated, num_trials, run_once
+from common import JARVIS_PLAIN, JARVIS_ROTATED, num_jobs, num_trials, run_once
 
 from repro.core import CreateConfig, default_policy
 from repro.eval import banner, format_table
@@ -29,17 +29,18 @@ def _configs(voltage):
 
 
 def test_fig16a_reliability_at_075v(benchmark):
-    plain = jarvis_plain()
-    rotated = jarvis_rotated()
     configs = _configs(LOW_VOLTAGE)
-    systems = {"unprotected": plain, "AD": plain, "AD+WR": rotated, "AD+WR+VS": rotated}
+    systems = {"unprotected": JARVIS_PLAIN, "AD": JARVIS_PLAIN,
+               "AD+WR": JARVIS_ROTATED, "AD+WR+VS": JARVIS_ROTATED}
     trials = num_trials(8)
 
     def run():
-        baseline = overall_evaluation({"clean": plain}, TASKS,
+        baseline = overall_evaluation({"clean": JARVIS_PLAIN}, TASKS,
                                       {"clean": CreateConfig(ad=False, wr=False)},
-                                      num_trials=trials, seed=0)["clean"]
-        protected = overall_evaluation(systems, TASKS, configs, num_trials=trials, seed=0)
+                                      num_trials=trials, seed=0,
+                                      jobs=num_jobs())["clean"]
+        protected = overall_evaluation(systems, TASKS, configs, num_trials=trials, seed=0,
+                                       jobs=num_jobs())
         return baseline, protected
 
     baseline, protected = run_once(benchmark, run)
@@ -60,27 +61,27 @@ def test_fig16a_reliability_at_075v(benchmark):
 
 
 def test_fig16b_energy_savings_at_minimum_voltage(benchmark):
-    plain = jarvis_plain()
-    rotated = jarvis_rotated()
     trials = num_trials(6)
     tasks = ["wooden", "stone", "chicken", "seed"]
 
     def run():
-        baseline = overall_evaluation({"clean": plain}, tasks,
+        baseline = overall_evaluation({"clean": JARVIS_PLAIN}, tasks,
                                       {"clean": CreateConfig(ad=False, wr=False)},
-                                      num_trials=trials, seed=0)["clean"]
+                                      num_trials=trials, seed=0,
+                                      jobs=num_jobs())["clean"]
         rows = []
         configs = {
-            "AD": (plain, CreateConfig(ad=True, wr=False)),
-            "AD+WR": (rotated, CreateConfig(ad=True, wr=True)),
-            "AD+WR+VS": (rotated, CreateConfig(ad=True, wr=True, vs_policy=default_policy())),
+            "AD": (JARVIS_PLAIN, CreateConfig(ad=True, wr=False)),
+            "AD+WR": (JARVIS_ROTATED, CreateConfig(ad=True, wr=True)),
+            "AD+WR+VS": (JARVIS_ROTATED, CreateConfig(ad=True, wr=True, vs_policy=default_policy())),
         }
         for label, (system, config) in configs.items():
             savings = []
             for task in tasks:
                 voltage, summaries = minimum_voltage_search(
                     system, task, config, num_trials=trials, seed=0,
-                    voltages=[0.80, 0.77, 0.74], success_threshold=0.75)
+                    voltages=[0.80, 0.77, 0.74], success_threshold=0.75,
+                    jobs=num_jobs())
                 best = summaries.get(voltage)
                 if best is None:
                     continue

@@ -1,23 +1,24 @@
 """Fig. 19: uniform vs. hardware-specific error models give consistent trends."""
 
-from common import jarvis_plain, num_trials, run_once
+from common import JARVIS_PLAIN, num_jobs, num_trials, run_once
 
 from repro.eval import banner, format_table
 from repro.eval.experiments import error_model_comparison
 
 
 def test_fig19_uniform_vs_hardware_error_model(benchmark):
-    executor = jarvis_plain().executor()
     trials = num_trials(10)
 
     def run():
         return {
-            "planner": error_model_comparison(executor, "wooden", "planner",
+            "planner": error_model_comparison(JARVIS_PLAIN, "wooden", "planner",
                                               voltages=[0.80, 0.775, 0.75],
-                                              num_trials=trials, seed=0),
-            "controller": error_model_comparison(executor, "wooden", "controller",
+                                              num_trials=trials, seed=0,
+                                              jobs=num_jobs()),
+            "controller": error_model_comparison(JARVIS_PLAIN, "wooden", "controller",
                                                  voltages=[0.775, 0.75, 0.725],
-                                                 num_trials=trials, seed=0),
+                                                 num_trials=trials, seed=0,
+                                                 jobs=num_jobs()),
         }
 
     results = run_once(benchmark, run)

@@ -1,19 +1,18 @@
 """Table 5: measured success rate versus the number of repetitions."""
 
-from common import jarvis_plain, num_trials, run_once
+from common import JARVIS_PLAIN, num_jobs, num_trials, run_once
 
 from repro.eval import banner, format_table
 from repro.eval.experiments import repetition_study
 
 
 def test_table5_success_rate_vs_repetitions(benchmark):
-    executor = jarvis_plain().executor()
     max_reps = max(40, num_trials(40))
     counts = [max_reps // 8, max_reps // 4, max_reps // 2, max_reps]
 
     def run():
-        return repetition_study(executor, "wooden", ber=6e-4,
-                                repetition_counts=counts, seed=0)
+        return repetition_study(JARVIS_PLAIN, "wooden", ber=6e-4,
+                                repetition_counts=counts, seed=0, jobs=num_jobs())
 
     rates = run_once(benchmark, run)
     print()

@@ -1,21 +1,17 @@
 """Table 6: AD+WR planner robustness under INT8 vs. INT4 quantization."""
 
-from common import num_trials, run_once
+from common import num_jobs, num_trials, run_once
 
-from repro.agents import build_jarvis_system
 from repro.eval import banner, format_table
 from repro.eval.experiments import quantization_study
 
 
 def test_table6_int8_vs_int4_with_ad_wr(benchmark):
-    def build_system(spec):
-        return build_jarvis_system(rotate_planner=True, with_predictor=False, spec=spec)
-
     bers = [1e-4, 1e-3, 3e-3]
 
     def run():
-        return quantization_study(build_system, "stone", bers,
-                                  num_trials=num_trials(8), seed=0)
+        return quantization_study(None, "stone", bers,
+                                  num_trials=num_trials(8), seed=0, jobs=num_jobs())
 
     results = run_once(benchmark, run)
     print()

@@ -7,15 +7,25 @@ time) and prints the regenerated rows/series.
 
 Trial counts default to quick-but-meaningful values so the whole suite runs in
 minutes on a laptop; set ``REPRO_BENCH_TRIALS`` (e.g. to 100, the paper's
-repetition count) for tighter confidence intervals.
+repetition count) for tighter confidence intervals.  Trial-loop experiments
+run through the campaign engine; set ``REPRO_BENCH_JOBS`` to fan the trials
+out over that many worker processes.
+
+Systems are referenced by their registry keys (see
+:mod:`repro.agents.registry`) so campaign workers can rebuild them; the
+``jarvis_plain()``-style helpers return the per-process cached instances for
+benchmarks that need a live system object.
 """
 
 from __future__ import annotations
 
 import os
-from functools import lru_cache
 
-from repro.agents import build_controller_platform, build_jarvis_system, build_planner_platform
+from repro.agents import get_system
+
+#: Registry keys of the primary testbed systems.
+JARVIS_PLAIN = "jarvis"
+JARVIS_ROTATED = "jarvis-rotated"
 
 
 def num_trials(default: int = 12) -> int:
@@ -23,28 +33,39 @@ def num_trials(default: int = 12) -> int:
     return int(os.environ.get("REPRO_BENCH_TRIALS", default))
 
 
-@lru_cache(maxsize=None)
+def num_jobs(default: int = 1) -> int:
+    """Worker processes used by campaign-driven experiments."""
+    return int(os.environ.get("REPRO_BENCH_JOBS", default))
+
+
 def jarvis_plain():
     """JARVIS-1 system without weight rotation."""
-    return build_jarvis_system(rotate_planner=False, with_predictor=True)
+    return get_system(JARVIS_PLAIN)
 
 
-@lru_cache(maxsize=None)
 def jarvis_rotated():
     """JARVIS-1 system with weight-rotation-enhanced planning."""
-    return build_jarvis_system(rotate_planner=True, with_predictor=True)
+    return get_system(JARVIS_ROTATED)
 
 
-@lru_cache(maxsize=None)
+def planner_platform_key(name: str, rotated: bool = True) -> str:
+    """Registry key of a cross-platform planner system (openvla / roboflamingo)."""
+    return f"planner-{name}" if rotated else f"planner-{name}-plain"
+
+
 def planner_platform(name: str, rotated: bool = True):
     """Cross-platform planner system (openvla / roboflamingo)."""
-    return build_planner_platform(name, rotate_planner=rotated)
+    return get_system(planner_platform_key(name, rotated))
 
 
-@lru_cache(maxsize=None)
+def controller_platform_key(name: str) -> str:
+    """Registry key of a cross-platform controller system (octo / rt1)."""
+    return f"controller-{name}"
+
+
 def controller_platform(name: str):
     """Cross-platform controller system (octo / rt1)."""
-    return build_controller_platform(name)
+    return get_system(controller_platform_key(name))
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -40,6 +40,13 @@ from .zoo import (
     get_predictor_network,
     registry_for_benchmark,
 )
+from .registry import (
+    SYSTEM_FACTORIES,
+    clear_system_cache,
+    get_system,
+    register_system,
+    system_keys,
+)
 from . import platforms
 
 __all__ = [
@@ -76,5 +83,10 @@ __all__ = [
     "get_controller_network",
     "get_predictor_network",
     "registry_for_benchmark",
+    "SYSTEM_FACTORIES",
+    "register_system",
+    "get_system",
+    "system_keys",
+    "clear_system_cache",
     "platforms",
 ]

@@ -1,0 +1,111 @@
+"""Named system factories: rebuild deployed systems from picklable string keys.
+
+The campaign engine (:mod:`repro.eval.campaign`) executes trials in worker
+processes.  Deployed systems hold quantized networks and calibration state and
+are expensive (and pointless) to pickle, so workers instead receive a *system
+key* and rebuild the system locally through this registry — the model zoo's
+on-disk weight cache makes the rebuild cheap and bit-identical to the parent
+process's build.
+
+Built-in keys cover every platform of the paper::
+
+    jarvis                  JARVIS-1 system, plain planner, with predictor
+    jarvis-rotated          JARVIS-1 system, weight-rotated planner
+    jarvis-int4             ... INT4 deployment variants
+    jarvis-rotated-int4
+    planner-openvla         cross-platform planner systems (rotated planner)
+    planner-openvla-plain   ... without weight rotation
+    planner-roboflamingo[-plain]
+    controller-rt1          cross-platform controller systems (no planner)
+    controller-octo
+
+``register_system`` adds custom factories (e.g. for tests); ``get_system``
+builds lazily and caches one instance per key per process.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..quant import INT4, INT8
+from .configs import CONTROLLER_CONFIGS, PLANNER_CONFIGS
+from .jarvis import (
+    EmbodiedSystem,
+    build_controller_platform,
+    build_jarvis_system,
+    build_planner_platform,
+)
+
+__all__ = ["SYSTEM_FACTORIES", "BUILTIN_SYSTEM_KEYS", "register_system",
+           "get_system", "system_keys", "clear_system_cache"]
+
+
+def _jarvis_factory(rotate: bool, spec):
+    def build() -> EmbodiedSystem:
+        return build_jarvis_system(rotate_planner=rotate, with_predictor=True, spec=spec)
+    return build
+
+
+def _planner_factory(name: str, rotate: bool):
+    def build() -> EmbodiedSystem:
+        return build_planner_platform(name, rotate_planner=rotate)
+    return build
+
+
+def _controller_factory(name: str):
+    def build() -> EmbodiedSystem:
+        return build_controller_platform(name)
+    return build
+
+
+#: Registry of system key -> zero-argument factory.
+SYSTEM_FACTORIES: dict[str, Callable[[], EmbodiedSystem]] = {
+    "jarvis": _jarvis_factory(False, INT8),
+    "jarvis-rotated": _jarvis_factory(True, INT8),
+    "jarvis-int4": _jarvis_factory(False, INT4),
+    "jarvis-rotated-int4": _jarvis_factory(True, INT4),
+}
+for _name in PLANNER_CONFIGS:
+    if _name != "jarvis":
+        SYSTEM_FACTORIES[f"planner-{_name}"] = _planner_factory(_name, True)
+        SYSTEM_FACTORIES[f"planner-{_name}-plain"] = _planner_factory(_name, False)
+for _name in CONTROLLER_CONFIGS:
+    if _name != "jarvis":
+        SYSTEM_FACTORIES[f"controller-{_name}"] = _controller_factory(_name)
+
+#: Keys shipped with the package (rebuildable after a bare re-import, e.g. in
+#: spawn-started worker processes; ``register_system`` additions are not).
+BUILTIN_SYSTEM_KEYS = frozenset(SYSTEM_FACTORIES)
+
+_SYSTEM_CACHE: dict[str, EmbodiedSystem] = {}
+
+
+def register_system(key: str, factory: Callable[[], EmbodiedSystem],
+                    overwrite: bool = False) -> None:
+    """Register a custom system factory under ``key``."""
+    if key in SYSTEM_FACTORIES and not overwrite:
+        raise KeyError(f"system key {key!r} already registered")
+    SYSTEM_FACTORIES[key] = factory
+    _SYSTEM_CACHE.pop(key, None)
+
+
+def system_keys() -> list[str]:
+    """All registered system keys."""
+    return sorted(SYSTEM_FACTORIES)
+
+
+def get_system(key: str) -> EmbodiedSystem:
+    """Build (or fetch the per-process cached) system for ``key``."""
+    if key not in _SYSTEM_CACHE:
+        try:
+            factory = SYSTEM_FACTORIES[key]
+        except KeyError:
+            raise KeyError(f"unknown system key {key!r}; registered keys: "
+                           f"{', '.join(system_keys())}") from None
+        _SYSTEM_CACHE[key] = factory()
+    return _SYSTEM_CACHE[key]
+
+
+def clear_system_cache() -> None:
+    """Drop all cached system instances (they will be rebuilt on next use)."""
+    _SYSTEM_CACHE.clear()

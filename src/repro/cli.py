@@ -1,13 +1,19 @@
 """Command-line interface to the CREATE reproduction.
 
-Four subcommands cover the workflows a downstream user needs most often::
+Five subcommands cover the workflows a downstream user needs most often::
 
     python -m repro.cli hardware                      # accelerator / LDO / model tables
     python -m repro.cli policies                      # entropy-to-voltage policies A-F
     python -m repro.cli mission --task wooden         # run protected missions
     python -m repro.cli characterize --target planner # BER sweep on one model
+    python -m repro.cli campaign ad-controller        # declarative experiment campaigns
 
-The first invocation of ``mission`` / ``characterize`` trains and caches the
+``mission``, ``characterize`` and ``campaign`` execute through the campaign
+engine (:mod:`repro.eval.campaign`): ``--jobs N`` fans trials out over worker
+processes and ``--out DIR`` persists the run table so re-runs only execute
+missing (condition, seed) cells.
+
+The first invocation of a trial-running subcommand trains and caches the
 surrogate models (a few minutes); later invocations are fast.
 """
 
@@ -18,7 +24,20 @@ import sys
 
 import numpy as np
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "main", "CAMPAIGN_PRESETS"]
+
+#: Presets of the ``campaign`` subcommand and the figure/table they regenerate.
+CAMPAIGN_PRESETS = {
+    "ad-planner": "anomaly detection on the planner (Fig. 13a)",
+    "ad-controller": "anomaly detection on the controller (Fig. 13b)",
+    "wr": "weight rotation on the planner (Fig. 13c/e)",
+    "vs": "voltage-scaling policies vs. constant baselines (Fig. 13d/f)",
+    "interval": "voltage-update-interval sensitivity (Fig. 15)",
+    "overall": "overall evaluation of the CREATE configurations (Fig. 16a)",
+    "baselines": "CREATE vs. DMR / ThUnderVolt / ABFT (Fig. 20)",
+    "repetitions": "success rate vs. repetition count (Table 5)",
+    "quantization": "INT8 vs. INT4 planner robustness (Table 6)",
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -28,10 +47,24 @@ def build_parser() -> argparse.ArgumentParser:
                     "for efficient yet reliable embodied AI systems (reproduction CLI)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError("must be >= 1")
+        return value
+
+    def add_engine_args(sub):
+        sub.add_argument("--jobs", type=positive_int, default=1,
+                         help="worker processes for trial execution (default: 1)")
+        sub.add_argument("--out", default=None, metavar="DIR",
+                         help="directory for the persistent run table; re-runs "
+                              "resume from it and only execute missing trials")
+
     mission = subparsers.add_parser(
         "mission", help="run repeated task missions under a CREATE configuration")
     mission.add_argument("--task", default="wooden", help="task name (default: wooden)")
-    mission.add_argument("--trials", type=int, default=10, help="number of repetitions")
+    mission.add_argument("--trials", type=positive_int, default=10,
+                         help="number of repetitions")
     mission.add_argument("--seed", type=int, default=0)
     mission.add_argument("--ad", action="store_true", help="enable anomaly detection")
     mission.add_argument("--wr", action="store_true", help="deploy the weight-rotated planner")
@@ -41,6 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="planner supply voltage in volts (default: nominal 0.9)")
     mission.add_argument("--controller-voltage", type=float, default=None,
                          help="controller supply voltage (ignored when --vs is set)")
+    add_engine_args(mission)
 
     characterize = subparsers.add_parser(
         "characterize", help="sweep the BER injected into the planner or controller")
@@ -49,9 +83,26 @@ def build_parser() -> argparse.ArgumentParser:
     characterize.add_argument("--task", default="wooden")
     characterize.add_argument("--bers", type=float, nargs="+",
                               default=[1e-5, 1e-4, 1e-3, 3e-3])
-    characterize.add_argument("--trials", type=int, default=10)
+    characterize.add_argument("--trials", type=positive_int, default=10)
     characterize.add_argument("--ad", action="store_true", help="enable anomaly detection")
     characterize.add_argument("--seed", type=int, default=0)
+    add_engine_args(characterize)
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="run a declarative experiment campaign (parallel, resumable)",
+        description="Run one of the paper's experiment campaigns through the "
+                    "campaign engine.  With --out, the run table is persisted "
+                    "and re-runs only execute missing (condition, seed) cells.")
+    campaign.add_argument("preset", choices=sorted(CAMPAIGN_PRESETS),
+                          help="which experiment campaign to run")
+    campaign.add_argument("--task", default="wooden", help="task name (default: wooden)")
+    campaign.add_argument("--tasks", nargs="+", default=None,
+                          help="task list (presets spanning several tasks)")
+    campaign.add_argument("--bers", type=float, nargs="+", default=[1e-4, 1e-3, 3e-3])
+    campaign.add_argument("--trials", type=positive_int, default=8)
+    campaign.add_argument("--seed", type=int, default=0)
+    add_engine_args(campaign)
 
     subparsers.add_parser("hardware", help="print the accelerator / LDO / model tables")
 
@@ -64,11 +115,10 @@ def build_parser() -> argparse.ArgumentParser:
 # Subcommand implementations
 # ----------------------------------------------------------------------
 def _run_mission(args) -> int:
-    from .agents import build_jarvis_system
     from .core import CreateConfig, default_policy
-    from .eval import format_table, summarize_trials
+    from .eval import format_table
+    from .eval.campaign import TrialSpec, run_campaign, slugify
 
-    system = build_jarvis_system(rotate_planner=args.wr)
     config = CreateConfig(
         ad=args.ad,
         wr=args.wr,
@@ -76,24 +126,33 @@ def _run_mission(args) -> int:
         planner_voltage=args.planner_voltage,
         controller_voltage=args.controller_voltage,
     )
-    trials = system.executor().run_trials(
-        args.task, args.trials, seed=args.seed,
-        planner_protection=config.planner_protection(),
-        controller_protection=config.controller_protection())
-    summary = summarize_trials(trials)
+    spec = TrialSpec(condition=config.label(),
+                     system="jarvis-rotated" if args.wr else "jarvis",
+                     task=args.task, num_trials=args.trials, seed=args.seed,
+                     planner_protection=config.planner_protection(),
+                     controller_protection=config.controller_protection())
+    result = run_campaign([spec], jobs=args.jobs, out=args.out,
+                          name=slugify(f"mission-{args.task}"))
+    summary = result.summary(spec.condition)
     print(format_table(["metric", "value"],
                        list(summary.as_dict().items()),
                        title=f"{config.label()} on task {args.task!r}"))
+    _report_run_table(result)
     return 0
 
 
+def _report_run_table(result) -> None:
+    if result.csv_path is not None:
+        print(f"run table: {result.csv_path} "
+              f"({result.executed_trials} new trials, {len(result.table)} total)")
+
+
 def _run_characterize(args) -> int:
-    from .agents import build_jarvis_system
     from .eval import ber_sweep, format_sweep
 
-    system = build_jarvis_system(rotate_planner=False)
-    sweep = ber_sweep(system.executor(), args.task, list(args.bers), target=args.target,
-                      num_trials=args.trials, seed=args.seed, anomaly_detection=args.ad)
+    sweep = ber_sweep("jarvis", args.task, list(args.bers), target=args.target,
+                      num_trials=args.trials, seed=args.seed, anomaly_detection=args.ad,
+                      jobs=args.jobs, out=args.out)
     print(format_sweep({sweep.label: sweep}, "success_rate",
                        title=f"{args.target} success rate vs. BER on {args.task!r}"))
     print(format_sweep({sweep.label: sweep}, "average_steps", title="average steps"))
@@ -102,6 +161,120 @@ def _run_characterize(args) -> int:
         print(f"first BER with success below 50%: {threshold:.1e}")
     else:
         print("success never fell below 50% in the swept range")
+    if args.out is not None:
+        print(f"run tables written under {args.out}")
+    return 0
+
+
+#: Which of the shared campaign options each preset actually consumes.
+_PRESET_USED_OPTIONS = {
+    "ad-planner": {"task", "bers"},
+    "ad-controller": {"task", "bers"},
+    "wr": {"task", "bers"},
+    "vs": {"task"},
+    "interval": {"task"},
+    "overall": {"task", "tasks"},
+    "baselines": {"task"},
+    "repetitions": {"task", "bers"},
+    "quantization": {"task", "bers"},
+}
+
+
+def _warn_ignored_options(args) -> None:
+    """Tell the user when a flag they set does not apply to the chosen preset."""
+    defaults = {"task": "wooden", "tasks": None, "bers": [1e-4, 1e-3, 3e-3]}
+    used = _PRESET_USED_OPTIONS[args.preset]
+    for option, default in defaults.items():
+        if option not in used and getattr(args, option) != default:
+            print(f"note: --{option} is not used by the {args.preset!r} preset; ignoring it")
+
+
+def _run_campaign(args) -> int:
+    from .core import CreateConfig, default_policy
+    from .eval import experiments, format_sweep, format_table
+
+    _warn_ignored_options(args)
+    engine = {"jobs": args.jobs, "out": args.out}
+    preset = args.preset
+    if preset in ("ad-planner", "ad-controller"):
+        target = preset.removeprefix("ad-")
+        sweeps = experiments.ad_evaluation("jarvis", args.task, list(args.bers),
+                                           target=target, num_trials=args.trials,
+                                           seed=args.seed, **engine)
+        print(format_sweep(sweeps, "success_rate",
+                           title=f"AD on the {target}: success rate on {args.task!r}"))
+    elif preset == "wr":
+        sweeps = experiments.wr_evaluation("jarvis", "jarvis-rotated", args.task,
+                                           list(args.bers), num_trials=args.trials,
+                                           seed=args.seed, **engine)
+        print(format_sweep(sweeps, "success_rate",
+                           title=f"WR on the planner: success rate on {args.task!r}"))
+    elif preset == "vs":
+        evaluations = experiments.vs_evaluation("jarvis", args.task,
+                                                num_trials=args.trials,
+                                                seed=args.seed, **engine)
+        rows = [[e.policy.name, e.success_rate, e.effective_voltage,
+                 e.summary.mean_energy_j * 1e3] for e in evaluations]
+        print(format_table(["policy", "success rate", "effective V", "energy (mJ)"],
+                           rows, title=f"voltage-scaling policies on {args.task!r}"))
+    elif preset == "interval":
+        summaries = experiments.interval_sweep("jarvis", args.task,
+                                               num_trials=args.trials,
+                                               seed=args.seed, **engine)
+        rows = [[interval, s.success_rate, s.effective_voltage]
+                for interval, s in summaries.items()]
+        print(format_table(["update interval", "success rate", "effective V"], rows,
+                           title=f"VS update-interval sensitivity on {args.task!r}"))
+    elif preset == "overall":
+        tasks = args.tasks or ([args.task] if args.task != "wooden"
+                               else ["wooden", "stone", "chicken", "seed"])
+        configs = {
+            "unprotected": CreateConfig(ad=False, wr=False),
+            "AD": CreateConfig(ad=True, wr=False),
+            "AD+WR": CreateConfig(ad=True, wr=True),
+            "AD+WR+VS": CreateConfig(ad=True, wr=True, vs_policy=default_policy()),
+        }
+        systems = {"unprotected": "jarvis", "AD": "jarvis",
+                   "AD+WR": "jarvis-rotated", "AD+WR+VS": "jarvis-rotated"}
+        results = experiments.overall_evaluation(systems, tasks, configs,
+                                                 num_trials=args.trials,
+                                                 seed=args.seed, **engine)
+        rows = [[task] + [results[label].per_task[task].success_rate
+                          for label in configs] for task in tasks]
+        rows.append(["mean energy (mJ)"] + [results[label].mean_energy() * 1e3
+                                            for label in configs])
+        print(format_table(["task"] + list(configs), rows,
+                           title="overall evaluation (Fig. 16a)"))
+    elif preset == "baselines":
+        results = experiments.baseline_comparison("jarvis", "jarvis-rotated", args.task,
+                                                  num_trials=args.trials,
+                                                  seed=args.seed, **engine)
+        voltages = sorted(results["create"], reverse=True)
+        rows = [[v] + [results[arm][v]["success_rate"] for arm in results]
+                for v in voltages]
+        print(format_table(["voltage (V)"] + list(results), rows,
+                           title=f"baseline comparison on {args.task!r} (success rate)"))
+    elif preset == "repetitions":
+        counts = sorted({max(1, args.trials // 4), max(1, args.trials // 2), args.trials})
+        rates = experiments.repetition_study("jarvis", args.task, ber=args.bers[0],
+                                             repetition_counts=counts,
+                                             seed=args.seed, **engine)
+        print(format_table(["repetitions", "success rate"], list(rates.items()),
+                           title=f"repetition study on {args.task!r} "
+                                 f"(BER {args.bers[0]:.0e})"))
+    elif preset == "quantization":
+        results = experiments.quantization_study(None, args.task, list(args.bers),
+                                                 num_trials=args.trials,
+                                                 seed=args.seed, **engine)
+        labels = list(results)
+        rows = [[f"{ber:.0e}"] + [results[label][ber] for label in labels]
+                for ber in args.bers]
+        print(format_table(["planner BER"] + labels, rows,
+                           title=f"quantization study on {args.task!r}"))
+    else:  # pragma: no cover - argparse restricts the choices
+        raise ValueError(f"unknown preset {preset!r}")
+    if args.out is not None:
+        print(f"run tables written under {args.out}")
     return 0
 
 
@@ -143,6 +316,7 @@ def _run_policies(_args) -> int:
 _COMMANDS = {
     "mission": _run_mission,
     "characterize": _run_characterize,
+    "campaign": _run_campaign,
     "hardware": _run_hardware,
     "policies": _run_policies,
 }

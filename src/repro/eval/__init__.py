@@ -1,6 +1,15 @@
-"""Evaluation harness: metrics, resilience sweeps, experiment runners, reporting."""
+"""Evaluation harness: campaigns, run tables, metrics, sweeps, experiments, reporting."""
 
 from .metrics import TrialSummary, confidence_interval, energy_savings_percent, summarize_trials
+from .campaign import (
+    CampaignResult,
+    CampaignRunner,
+    TrialSpec,
+    protection_signature,
+    run_campaign,
+    system_ref,
+)
+from .runtable import RunRecord, RunTable, record_from_trial, summarize_records
 from .resilience import (
     PLANNER_CHARACTERIZATION_EXPOSURE,
     SweepPoint,
@@ -16,6 +25,16 @@ from . import experiments
 
 __all__ = [
     "TrialSummary",
+    "TrialSpec",
+    "CampaignRunner",
+    "CampaignResult",
+    "run_campaign",
+    "system_ref",
+    "protection_signature",
+    "RunRecord",
+    "RunTable",
+    "record_from_trial",
+    "summarize_records",
     "confidence_interval",
     "energy_savings_percent",
     "summarize_trials",

@@ -1,0 +1,403 @@
+"""Declarative trial campaigns: parallel execution with persistent run tables.
+
+This is the experiment platform behind every trial-loop study in
+:mod:`repro.eval.experiments` and :mod:`repro.eval.resilience`.  An experiment
+declares its conditions as :class:`TrialSpec` rows — system key, task, base
+seed, planner/controller :class:`~repro.core.create.ProtectionConfig` — and a
+:class:`CampaignRunner` executes the (spec, seed) cells:
+
+* **deterministically** — every trial is a pure function of (system, task,
+  seed, protections), so serial and parallel execution produce bit-identical
+  run tables;
+* **in parallel** — cells are distributed over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`; workers rebuild systems
+  from the picklable factory keys of :mod:`repro.agents.registry` and cache
+  them per process (deployed systems are deliberately never pickled);
+* **incrementally** — with an output directory, the run table is persisted as
+  CSV/JSON and re-runs only execute the missing (spec, seed) cells.
+
+Systems may also be passed as live :class:`~repro.agents.EmbodiedSystem` /
+:class:`~repro.agents.MissionExecutor` objects (``systems=`` mapping); those
+run in-process, which restricts the campaign to serial execution.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import json
+from dataclasses import dataclass, is_dataclass, asdict
+from pathlib import Path
+from typing import Mapping, Sequence, Union
+
+from ..agents.executor import MissionExecutor
+from ..agents.jarvis import EmbodiedSystem
+from ..core.create import ProtectionConfig
+from ..core.voltage_scaling import VoltageScalingConfig
+from .metrics import TrialSummary
+from .runtable import RunRecord, RunTable, record_from_trial, summarize_records
+
+__all__ = ["TrialSpec", "CampaignResult", "CampaignRunner", "run_campaign",
+           "protection_signature", "system_ref", "merge_overrides", "slugify",
+           "SystemLike"]
+
+#: Anything an experiment accepts as "the system under test".
+SystemLike = Union[str, EmbodiedSystem, MissionExecutor]
+
+
+def slugify(text: str) -> str:
+    """File-name-safe campaign name derived from a free-form label."""
+    cleaned = "".join(c if c.isalnum() or c in "-_." else "-" for c in text.lower())
+    while "--" in cleaned:
+        cleaned = cleaned.replace("--", "-")
+    return cleaned.strip("-") or "campaign"
+
+
+# ----------------------------------------------------------------------
+# Canonical signatures (drive spec keys and resume safety)
+# ----------------------------------------------------------------------
+def _error_model_signature(model) -> str:
+    if model is None:
+        return "none"
+    from ..faults.models import UniformErrorModel, VoltageErrorModel
+
+    if isinstance(model, UniformErrorModel):
+        return f"uniform(ber={model.ber!r})"
+    if isinstance(model, VoltageErrorModel):
+        return f"voltage(v={model.voltage!r})"
+    if is_dataclass(model):
+        return f"{type(model).__name__}({sorted(asdict(model).items())!r})"
+    return f"{type(model).__name__}({model.describe()})"
+
+
+def _vs_signature(scaling: VoltageScalingConfig | None) -> str:
+    if scaling is None:
+        return "none"
+    policy = scaling.policy
+    return (f"{policy.name}[{policy.thresholds!r}->{policy.voltages!r}]"
+            f"/every{scaling.update_interval}/{scaling.entropy_source}")
+
+
+def protection_signature(protection: ProtectionConfig | None) -> str:
+    """Canonical, collision-resistant description of a protection config."""
+    if protection is None:
+        return "default"
+    return ";".join([
+        f"voltage={protection.voltage!r}",
+        f"model={_error_model_signature(protection.error_model)}",
+        f"ad={protection.anomaly_detection}",
+        f"vs={_vs_signature(protection.voltage_scaling)}",
+        f"components={protection.target_components!r}",
+        f"exposure={protection.exposure_scale!r}",
+        f"injector={protection.injector_kind}",
+    ])
+
+
+# ----------------------------------------------------------------------
+# Specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TrialSpec:
+    """One experimental condition: which system runs which task, how protected.
+
+    A spec expands into ``num_trials`` run-table cells seeded ``seed`` ..
+    ``seed + num_trials - 1``; growing ``num_trials`` on a later run only
+    executes the new cells.  ``params`` carries free-form condition labels
+    (e.g. ``(("ber", "1e-3"),)``) that are stored verbatim in the run table.
+    """
+
+    condition: str
+    system: str
+    task: str
+    num_trials: int
+    seed: int = 0
+    planner_protection: ProtectionConfig | None = None
+    controller_protection: ProtectionConfig | None = None
+    params: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self):
+        if not self.condition:
+            raise ValueError("condition label must be non-empty")
+        if self.num_trials <= 0:
+            raise ValueError("num_trials must be positive")
+
+    def seeds(self) -> range:
+        return range(self.seed, self.seed + self.num_trials)
+
+    def signature(self) -> str:
+        return "|".join([
+            self.condition, self.system, self.task,
+            protection_signature(self.planner_protection),
+            protection_signature(self.controller_protection),
+            json.dumps(dict(self.params)),
+        ])
+
+    def key(self) -> str:
+        return hashlib.sha1(self.signature().encode()).hexdigest()[:16]
+
+    def params_json(self) -> str:
+        return json.dumps(dict(self.params))
+
+
+def system_ref(system: SystemLike, hint: str = "") -> tuple[str, dict[str, object]]:
+    """Normalize a system argument into (key, in-process overrides).
+
+    Registry key strings pass through untouched.  Live objects get a stable
+    pseudo-key (so run tables can still resume) and are returned as an
+    override mapping for :class:`CampaignRunner`'s in-process execution path.
+    The pseudo-key encodes the system's observable configuration (name,
+    rotation, quantization, predictor) — pass distinct ``hint`` values to
+    disambiguate systems this cannot tell apart.
+    """
+    if isinstance(system, str):
+        return system, {}
+    if isinstance(system, EmbodiedSystem):
+        parts = ["local", system.name,
+                 "rotated" if system.planner_rotated else "plain",
+                 str(system.controller.spec).lower()]
+        if system.planner is None:
+            parts.append("noplanner")
+        if system.predictor is None:
+            parts.append("nopredictor")
+        if hint:
+            parts.append(hint)
+        key = "/".join(parts)
+        return key, {key: system}
+    if isinstance(system, MissionExecutor):
+        key = "/".join(p for p in ("local", "executor", hint) if p)
+        return key, {key: system}
+    raise TypeError(f"expected a system key, EmbodiedSystem or MissionExecutor, "
+                    f"got {type(system).__name__}")
+
+
+def merge_overrides(target: dict[str, object],
+                    overrides: Mapping[str, object]) -> dict[str, object]:
+    """Merge in-process system overrides, refusing silent key collisions."""
+    for key, system in overrides.items():
+        if key in target and target[key] is not system:
+            raise ValueError(
+                f"two distinct in-process systems map to the key {key!r}; pass "
+                "registry keys (repro.agents.registry) or distinct system_ref hints")
+        target[key] = system
+    return target
+
+
+# ----------------------------------------------------------------------
+# Cell execution (worker side)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Cell:
+    """One (spec, seed) unit of work — fully picklable."""
+
+    spec_key: str
+    condition: str
+    system: str
+    task: str
+    seed: int
+    trial_index: int
+    planner_protection: ProtectionConfig | None
+    controller_protection: ProtectionConfig | None
+    params: str
+
+
+def _run_cell(cell: _Cell, executor: MissionExecutor) -> RunRecord:
+    trial = executor.run_trial(cell.task, seed=cell.seed,
+                               planner_protection=cell.planner_protection,
+                               controller_protection=cell.controller_protection)
+    return record_from_trial(trial, spec_key=cell.spec_key, condition=cell.condition,
+                             system=cell.system, task=cell.task, seed=cell.seed,
+                             trial_index=cell.trial_index, params=cell.params)
+
+
+_WORKER_EXECUTORS: dict[str, MissionExecutor] = {}
+
+
+def _pool_run_cell(cell: _Cell) -> RunRecord:
+    """Worker entry point: rebuild the system from the registry, then run."""
+    executor = _WORKER_EXECUTORS.get(cell.system)
+    if executor is None:
+        from ..agents.registry import get_system
+
+        executor = get_system(cell.system).executor()
+        _WORKER_EXECUTORS[cell.system] = executor
+    return _run_cell(cell, executor)
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+@dataclass
+class CampaignResult:
+    """Run table plus the specs that produced it."""
+
+    specs: list[TrialSpec]
+    table: RunTable
+    executed_trials: int
+    csv_path: Path | None = None
+    json_path: Path | None = None
+
+    def _spec(self, condition: str) -> TrialSpec:
+        for spec in self.specs:
+            if spec.condition == condition:
+                return spec
+        raise KeyError(f"unknown condition {condition!r}")
+
+    def records(self, condition: str) -> list[RunRecord]:
+        """This condition's rows, one per seed, in trial order."""
+        spec = self._spec(condition)
+        key = spec.key()
+        records = []
+        for seed in spec.seeds():
+            record = self.table.get(key, seed)
+            if record is None:
+                raise KeyError(f"run table is missing ({condition!r}, seed={seed})")
+            records.append(record)
+        return records
+
+    def summary(self, condition: str) -> TrialSummary:
+        return summarize_records(self.records(condition))
+
+    def summaries(self) -> dict[str, TrialSummary]:
+        return {spec.condition: self.summary(spec.condition) for spec in self.specs}
+
+
+class CampaignRunner:
+    """Executes trial specs serially or across a process pool, with resume.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` runs in-process; ``> 1`` requires every spec
+        to name a system key from :mod:`repro.agents.registry` (or one of the
+        ``systems`` overrides backed by a registry key).
+    out:
+        Directory for the persistent run table (``<out>/<name>.csv`` and
+        ``.json``).  ``None`` keeps the campaign in memory.
+    systems:
+        Optional mapping of system key to a live :class:`EmbodiedSystem` or
+        :class:`MissionExecutor` used for in-process execution.
+    resume:
+        When true (default) and ``out`` holds a table, completed
+        (spec, seed) cells are loaded instead of re-executed.
+    """
+
+    def __init__(self, jobs: int = 1, out: str | Path | None = None,
+                 systems: Mapping[str, object] | None = None, resume: bool = True):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.out = Path(out) if out is not None else None
+        self.systems: dict[str, object] = dict(systems or {})
+        self.resume = resume
+        self._executors: dict[str, MissionExecutor] = {}
+
+    # ------------------------------------------------------------------
+    def _executor_for(self, key: str) -> MissionExecutor:
+        executor = self._executors.get(key)
+        if executor is None:
+            obj = self.systems.get(key)
+            if obj is None:
+                from ..agents.registry import get_system
+
+                obj = get_system(key)
+            executor = obj if isinstance(obj, MissionExecutor) else obj.executor()
+            self._executors[key] = executor
+        return executor
+
+    def _can_parallelize(self, systems: set[str]) -> bool:
+        """Workers can only run systems they can rebuild from the registry;
+        ``systems`` overrides are in-process objects, so they force serial."""
+        from ..agents.registry import SYSTEM_FACTORIES
+
+        return all(key in SYSTEM_FACTORIES and key not in self.systems
+                   for key in systems)
+
+    def _run_pool(self, cells: list[_Cell], cell_systems: set[str]) -> list[RunRecord]:
+        """Execute cells on a process pool, forking when possible.
+
+        Fork lets workers inherit ``register_system``-added factories and warm
+        caches; where fork is unavailable (spawn-only platforms), workers
+        re-import the registry and can only rebuild the built-in systems.
+        """
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            context = None
+            from ..agents.registry import BUILTIN_SYSTEM_KEYS
+
+            custom = sorted(cell_systems - BUILTIN_SYSTEM_KEYS)
+            if custom:
+                raise ValueError(
+                    "parallel campaigns over custom-registered systems need the "
+                    "'fork' start method, which this platform lacks; run with "
+                    "jobs=1 for: " + ", ".join(custom))
+        chunksize = max(1, len(cells) // (self.jobs * 4))
+        with concurrent.futures.ProcessPoolExecutor(max_workers=self.jobs,
+                                                    mp_context=context) as pool:
+            return list(pool.map(_pool_run_cell, cells, chunksize=chunksize))
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[TrialSpec], name: str = "campaign") -> CampaignResult:
+        specs = list(specs)
+        if not specs:
+            raise ValueError("a campaign needs at least one spec")
+        conditions = [spec.condition for spec in specs]
+        if len(set(conditions)) != len(conditions):
+            raise ValueError("condition labels must be unique within a campaign")
+
+        csv_path = self.out / f"{name}.csv" if self.out is not None else None
+        json_path = self.out / f"{name}.json" if self.out is not None else None
+        table = RunTable()
+        if csv_path is not None and self.resume and csv_path.exists():
+            table = RunTable.read_csv(csv_path)
+
+        keys = [spec.key() for spec in specs]
+        cells: list[_Cell] = []
+        for spec, key in zip(specs, keys):
+            for index, seed in enumerate(spec.seeds()):
+                if not table.has(key, seed):
+                    cells.append(_Cell(
+                        spec_key=key, condition=spec.condition, system=spec.system,
+                        task=spec.task, seed=seed, trial_index=index,
+                        planner_protection=spec.planner_protection,
+                        controller_protection=spec.controller_protection,
+                        params=spec.params_json()))
+
+        if cells:
+            cell_systems = {cell.system for cell in cells}
+            if self.jobs > 1 and self._can_parallelize(cell_systems):
+                records = self._run_pool(cells, cell_systems)
+            else:
+                if self.jobs > 1:
+                    from ..agents.registry import SYSTEM_FACTORIES
+
+                    blockers = sorted(key for key in cell_systems
+                                      if key not in SYSTEM_FACTORIES
+                                      or key in self.systems)
+                    raise ValueError(
+                        "parallel campaigns require registry system keys "
+                        "(see repro.agents.registry); cannot parallelize over: "
+                        + ", ".join(blockers))
+                records = [_run_cell(cell, self._executor_for(cell.system))
+                           for cell in cells]
+            for record in records:
+                table.add(record)
+
+        table = table.sorted({key: index for index, key in enumerate(keys)})
+        if csv_path is not None:
+            table.write_csv(csv_path)
+        if json_path is not None:
+            table.write_json(json_path)
+        return CampaignResult(specs=specs, table=table, executed_trials=len(cells),
+                              csv_path=csv_path, json_path=json_path)
+
+
+def run_campaign(specs: Sequence[TrialSpec], jobs: int = 1,
+                 out: str | Path | None = None, name: str = "campaign",
+                 systems: Mapping[str, object] | None = None,
+                 resume: bool = True) -> CampaignResult:
+    """One-shot convenience wrapper around :class:`CampaignRunner`."""
+    return CampaignRunner(jobs=jobs, out=out, systems=systems, resume=resume).run(
+        specs, name=name)

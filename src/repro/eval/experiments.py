@@ -4,6 +4,14 @@ Every public function here regenerates the data behind one table or figure of
 the paper; the ``benchmarks/`` directory wraps them in pytest-benchmark
 targets and prints the rows/series.  Trial counts are parameters so tests can
 run tiny versions of each experiment.
+
+All trial-loop experiments execute through the campaign engine
+(:mod:`repro.eval.campaign`): conditions are declared as
+:class:`~repro.eval.campaign.TrialSpec` rows, ``jobs`` fans the (condition,
+seed) cells out over worker processes, and ``out`` persists the run table so
+repeated invocations only execute missing cells.  Systems may be passed as
+registry keys (see :mod:`repro.agents.registry`), live
+:class:`~repro.agents.EmbodiedSystem` objects, or executors.
 """
 
 from __future__ import annotations
@@ -12,10 +20,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..agents.executor import MissionExecutor
 from ..agents.jarvis import EmbodiedSystem
 from ..agents import platforms
-from ..core.baselines import AbftModel, DmrModel, ThUnderVoltInjector
+from ..core.baselines import AbftModel, DmrModel
 from ..core.create import CreateConfig, ProtectionConfig
 from ..core.policies import ConstantVoltagePolicy, REFERENCE_POLICIES, VoltagePolicy, pareto_front
 from ..core.voltage_scaling import VoltageScalingConfig
@@ -24,7 +31,9 @@ from ..hardware.accelerator import Accelerator
 from ..hardware.energy import BatteryModel, EnergyModel
 from ..hardware.timing import NOMINAL_VOLTAGE, TimingErrorModel
 from ..quant import INT4, INT8, QuantSpec
-from .metrics import TrialSummary, energy_savings_percent, summarize_trials
+from .campaign import (CampaignRunner, SystemLike, TrialSpec, merge_overrides,
+                       run_campaign, slugify, system_ref)
+from .metrics import TrialSummary, energy_savings_percent
 from .resilience import SweepResult, ber_sweep
 
 __all__ = [
@@ -121,34 +130,39 @@ def rotation_study(plain_system: EmbodiedSystem, rotated_system: EmbodiedSystem,
 # ----------------------------------------------------------------------
 # Fig. 13a-c: AD and WR evaluation
 # ----------------------------------------------------------------------
-def ad_evaluation(executor: MissionExecutor, task: str, bers: list[float],
+def ad_evaluation(system: SystemLike, task: str, bers: list[float],
                   target: str, num_trials: int = 16, seed: int = 0,
-                  exposure_scale: float = 1.0) -> dict[str, SweepResult]:
+                  exposure_scale: float = 1.0, jobs: int = 1,
+                  out: str | None = None) -> dict[str, SweepResult]:
     """Success/steps vs. BER with and without anomaly detection (Fig. 13a/b)."""
     return {
-        "without_ad": ber_sweep(executor, task, bers, target=target, num_trials=num_trials,
+        "without_ad": ber_sweep(system, task, bers, target=target, num_trials=num_trials,
                                 seed=seed, anomaly_detection=False,
-                                exposure_scale=exposure_scale, label="without AD"),
-        "with_ad": ber_sweep(executor, task, bers, target=target, num_trials=num_trials,
+                                exposure_scale=exposure_scale, label="without AD",
+                                jobs=jobs, out=out),
+        "with_ad": ber_sweep(system, task, bers, target=target, num_trials=num_trials,
                              seed=seed, anomaly_detection=True,
-                             exposure_scale=exposure_scale, label="with AD"),
+                             exposure_scale=exposure_scale, label="with AD",
+                             jobs=jobs, out=out),
     }
 
 
-def wr_evaluation(plain_executor: MissionExecutor, rotated_executor: MissionExecutor,
+def wr_evaluation(plain_system: SystemLike, rotated_system: SystemLike,
                   task: str, bers: list[float], num_trials: int = 16, seed: int = 0,
-                  anomaly_detection: bool = False,
-                  exposure_scale: float = 1.0) -> dict[str, SweepResult]:
+                  anomaly_detection: bool = False, exposure_scale: float = 1.0,
+                  jobs: int = 1, out: str | None = None) -> dict[str, SweepResult]:
     """Planner success vs. BER with and without weight rotation (Fig. 13c/e)."""
     return {
-        "without_wr": ber_sweep(plain_executor, task, bers, target="planner",
+        "without_wr": ber_sweep(plain_system, task, bers, target="planner",
                                 num_trials=num_trials, seed=seed,
                                 anomaly_detection=anomaly_detection,
-                                exposure_scale=exposure_scale, label="without WR"),
-        "with_wr": ber_sweep(rotated_executor, task, bers, target="planner",
+                                exposure_scale=exposure_scale, label="without WR",
+                                jobs=jobs, out=out),
+        "with_wr": ber_sweep(rotated_system, task, bers, target="planner",
                              num_trials=num_trials, seed=seed,
                              anomaly_detection=anomaly_detection,
-                             exposure_scale=exposure_scale, label="with WR"),
+                             exposure_scale=exposure_scale, label="with WR",
+                             jobs=jobs, out=out),
     }
 
 
@@ -171,55 +185,74 @@ class PolicyEvaluation:
         return self.summary.effective_voltage
 
 
-def vs_evaluation(system: EmbodiedSystem, task: str,
+def _has_predictor(system: SystemLike) -> bool:
+    """Whether the system under test ships an entropy predictor."""
+    if isinstance(system, str):
+        from ..agents.registry import get_system
+
+        system = get_system(system)
+    return system.predictor is not None
+
+
+def vs_evaluation(system: SystemLike, task: str,
                   policies: list[VoltagePolicy] | None = None,
                   constant_voltages: list[float] | None = None,
                   num_trials: int = 12, seed: int = 0,
                   anomaly_detection: bool = True,
                   update_interval: int = 5,
-                  entropy_source: str = "predictor") -> list[PolicyEvaluation]:
+                  entropy_source: str = "predictor",
+                  jobs: int = 1, out: str | None = None) -> list[PolicyEvaluation]:
     """Evaluate adaptive policies against constant-voltage baselines (Fig. 13d/f)."""
-    executor = system.executor()
+    key, overrides = system_ref(system)
     policies = policies if policies is not None else list(REFERENCE_POLICIES.values())
     constant_voltages = constant_voltages if constant_voltages is not None \
         else [0.82, 0.80, 0.78, 0.76, 0.74]
-    evaluations: list[PolicyEvaluation] = []
     all_policies = [ConstantVoltagePolicy(v) for v in constant_voltages] + list(policies)
+    has_predictor = _has_predictor(system)
+    specs: list[TrialSpec] = []
     for policy in all_policies:
         if isinstance(policy, ConstantVoltagePolicy):
             protection = ProtectionConfig(voltage=policy.voltages[0],
                                           anomaly_detection=anomaly_detection)
         else:
-            source = entropy_source if system.predictor is not None else "oracle"
+            source = entropy_source if has_predictor else "oracle"
             protection = ProtectionConfig(
                 anomaly_detection=anomaly_detection,
                 voltage_scaling=VoltageScalingConfig(policy=policy,
                                                      update_interval=update_interval,
                                                      entropy_source=source))
-        trials = executor.run_trials(task, num_trials, seed=seed,
-                                     controller_protection=protection)
-        evaluations.append(PolicyEvaluation(policy=policy, summary=summarize_trials(trials)))
-    return evaluations
+        specs.append(TrialSpec(condition=policy.name, system=key, task=task,
+                               num_trials=num_trials, seed=seed,
+                               controller_protection=protection,
+                               params=(("policy", policy.name),)))
+    campaign = run_campaign(specs, jobs=jobs, out=out, systems=overrides,
+                            name=slugify(f"vs-evaluation-{task}"))
+    return [PolicyEvaluation(policy=policy, summary=campaign.summary(spec.condition))
+            for policy, spec in zip(all_policies, specs)]
 
 
-def interval_sweep(system: EmbodiedSystem, task: str, intervals: list[int] | None = None,
+def interval_sweep(system: SystemLike, task: str, intervals: list[int] | None = None,
                    policy: VoltagePolicy | None = None, num_trials: int = 10,
-                   seed: int = 0) -> dict[int, TrialSummary]:
+                   seed: int = 0, jobs: int = 1,
+                   out: str | None = None) -> dict[int, TrialSummary]:
     """Voltage-update-interval sensitivity (Fig. 15)."""
-    executor = system.executor()
+    key, overrides = system_ref(system)
     intervals = intervals or [1, 5, 10, 20]
     policy = policy or REFERENCE_POLICIES["C"]
-    out: dict[int, TrialSummary] = {}
-    for interval in intervals:
-        source = "predictor" if system.predictor is not None else "oracle"
-        protection = ProtectionConfig(
+    source = "predictor" if _has_predictor(system) else "oracle"
+    specs = [TrialSpec(
+        condition=f"interval={interval}", system=key, task=task,
+        num_trials=num_trials, seed=seed,
+        controller_protection=ProtectionConfig(
             anomaly_detection=True,
             voltage_scaling=VoltageScalingConfig(policy=policy, update_interval=interval,
-                                                 entropy_source=source))
-        trials = executor.run_trials(task, num_trials, seed=seed,
-                                     controller_protection=protection)
-        out[interval] = summarize_trials(trials)
-    return out
+                                                 entropy_source=source)),
+        params=(("interval", str(interval)),))
+        for interval in intervals]
+    campaign = run_campaign(specs, jobs=jobs, out=out, systems=overrides,
+                            name=slugify(f"interval-sweep-{task}"))
+    return {interval: campaign.summary(spec.condition)
+            for interval, spec in zip(intervals, specs)}
 
 
 def policy_search_evaluation(system: EmbodiedSystem, task: str,
@@ -250,11 +283,11 @@ class OverallResult:
         return float(np.mean([s.mean_energy_j for s in self.per_task.values()]))
 
 
-def _config_protections(system: EmbodiedSystem, config: CreateConfig
+def _config_protections(has_predictor: bool, config: CreateConfig
                         ) -> tuple[ProtectionConfig, ProtectionConfig]:
     planner_prot = config.planner_protection()
     controller_prot = config.controller_protection()
-    if controller_prot.voltage_scaling is not None and system.predictor is None:
+    if controller_prot.voltage_scaling is not None and not has_predictor:
         controller_prot = ProtectionConfig(
             voltage=controller_prot.voltage,
             anomaly_detection=controller_prot.anomaly_detection,
@@ -266,41 +299,60 @@ def _config_protections(system: EmbodiedSystem, config: CreateConfig
     return planner_prot, controller_prot
 
 
-def overall_evaluation(systems: dict[str, EmbodiedSystem], tasks: list[str],
+def overall_evaluation(systems: dict[str, SystemLike], tasks: list[str],
                        configs: dict[str, CreateConfig], num_trials: int = 10,
-                       seed: int = 0) -> dict[str, OverallResult]:
+                       seed: int = 0, jobs: int = 1,
+                       out: str | None = None) -> dict[str, OverallResult]:
     """Success rate and energy per task for several CREATE configurations (Fig. 16a).
 
     ``systems`` maps a configuration label to the system it runs on (the WR
     configurations need the rotated planner); ``configs`` maps the same labels
     to the CREATE configuration.
     """
-    results: dict[str, OverallResult] = {}
+    specs: list[TrialSpec] = []
+    overrides: dict[str, object] = {}
+    conditions: dict[tuple[str, str], str] = {}
     for label, config in configs.items():
         system = systems[label]
-        executor = system.executor()
-        planner_prot, controller_prot = _config_protections(system, config)
+        key, system_overrides = system_ref(system)
+        merge_overrides(overrides, system_overrides)
+        planner_prot, controller_prot = _config_protections(_has_predictor(system), config)
+        for task in tasks:
+            condition = f"{label}/{task}"
+            conditions[(label, task)] = condition
+            specs.append(TrialSpec(condition=condition, system=key, task=task,
+                                   num_trials=num_trials, seed=seed,
+                                   planner_protection=planner_prot,
+                                   controller_protection=controller_prot,
+                                   params=(("config", label), ("task", task))))
+    campaign = run_campaign(specs, jobs=jobs, out=out, systems=overrides,
+                            name="overall-evaluation")
+    results: dict[str, OverallResult] = {}
+    for label in configs:
         overall = OverallResult(label=label)
         for task in tasks:
-            trials = executor.run_trials(task, num_trials, seed=seed,
-                                         planner_protection=planner_prot,
-                                         controller_protection=controller_prot)
-            overall.per_task[task] = summarize_trials(trials)
+            overall.per_task[task] = campaign.summary(conditions[(label, task)])
         results[label] = overall
     return results
 
 
-def minimum_voltage_search(system: EmbodiedSystem, task: str, config: CreateConfig,
+def minimum_voltage_search(system: SystemLike, task: str, config: CreateConfig,
                            voltages: list[float] | None = None,
                            success_threshold: float = 0.85, num_trials: int = 8,
-                           seed: int = 0) -> tuple[float, dict[float, TrialSummary]]:
+                           seed: int = 0, jobs: int = 1,
+                           out: str | None = None) -> tuple[float, dict[float, TrialSummary]]:
     """Lowest operating voltage that sustains acceptable success (Fig. 16b).
 
     Both the planner and the controller run at the candidate voltage (unless
     the configuration uses VS for the controller, in which case only the
-    planner voltage is swept and the VS policy handles the controller).
+    planner voltage is swept and the VS policy handles the controller).  The
+    search stops at the first failing voltage, so each candidate runs as its
+    own (resumable) campaign step.
     """
-    executor = system.executor()
+    key, overrides = system_ref(system)
+    has_predictor = _has_predictor(system)
+    runner = CampaignRunner(jobs=jobs, out=out, systems=overrides)
+    name = slugify(f"minimum-voltage-{task}-{config.label()}")
     voltages = voltages or [0.84, 0.82, 0.80, 0.78, 0.76, 0.74, 0.72]
     summaries: dict[float, TrialSummary] = {}
     best = NOMINAL_VOLTAGE
@@ -313,11 +365,13 @@ def minimum_voltage_search(system: EmbodiedSystem, task: str, config: CreateConf
             planner_voltage=voltage,
             controller_voltage=None if config.vs_policy is not None else voltage,
             exposure_scale=config.exposure_scale)
-        planner_prot, controller_prot = _config_protections(system, candidate)
-        trials = executor.run_trials(task, num_trials, seed=seed,
-                                     planner_protection=planner_prot,
-                                     controller_protection=controller_prot)
-        summary = summarize_trials(trials)
+        planner_prot, controller_prot = _config_protections(has_predictor, candidate)
+        spec = TrialSpec(condition=f"v={float(voltage)!r}", system=key, task=task,
+                         num_trials=num_trials, seed=seed,
+                         planner_protection=planner_prot,
+                         controller_protection=controller_prot,
+                         params=(("voltage", repr(float(voltage))),))
+        summary = runner.run([spec], name=name).summary(spec.condition)
         summaries[voltage] = summary
         if summary.success_rate >= success_threshold:
             best = voltage
@@ -330,63 +384,88 @@ def minimum_voltage_search(system: EmbodiedSystem, task: str, config: CreateConf
 # ----------------------------------------------------------------------
 # Fig. 17: cross-platform generality
 # ----------------------------------------------------------------------
-def cross_platform_planner_eval(system: EmbodiedSystem, rotated_system: EmbodiedSystem,
+def cross_platform_planner_eval(system: SystemLike, rotated_system: SystemLike,
                                 tasks: list[str], voltage: float = 0.78,
-                                num_trials: int = 8, seed: int = 0) -> dict[str, dict[str, float]]:
+                                num_trials: int = 8, seed: int = 0, jobs: int = 1,
+                                out: str | None = None) -> dict[str, dict[str, float]]:
     """AD+WR planner energy savings on one platform (Fig. 17a).
 
     Baseline: the planner must run at nominal voltage to preserve quality;
     with AD+WR it runs at ``voltage``.  Savings are computed per task from the
-    planner's computational energy.
+    planner's computational energy (the run table's per-voltage MAC columns).
     """
     energy_model = EnergyModel()
-    out: dict[str, dict[str, float]] = {}
-    executor = rotated_system.executor()
-    baseline_exec = system.executor()
+    base_key, base_overrides = system_ref(system, hint="plain")
+    rot_key, rot_overrides = system_ref(rotated_system, hint="rotated")
+    prot = ProtectionConfig(voltage=voltage, anomaly_detection=True)
+    specs: list[TrialSpec] = []
     for task in tasks:
-        base_trials = baseline_exec.run_trials(task, num_trials, seed=seed)
-        prot = ProtectionConfig(voltage=voltage, anomaly_detection=True)
-        wr_trials = executor.run_trials(task, num_trials, seed=seed,
-                                        planner_protection=prot)
+        specs.append(TrialSpec(condition=f"{task}/baseline", system=base_key, task=task,
+                               num_trials=num_trials, seed=seed,
+                               params=(("task", task), ("arm", "baseline"))))
+        specs.append(TrialSpec(condition=f"{task}/ad+wr", system=rot_key, task=task,
+                               num_trials=num_trials, seed=seed, planner_protection=prot,
+                               params=(("task", task), ("arm", "ad+wr"))))
+    campaign = run_campaign(specs, jobs=jobs, out=out,
+                            systems=merge_overrides(dict(base_overrides), rot_overrides),
+                            name=slugify(f"cross-platform-planner-{rot_key}"))
+    results: dict[str, dict[str, float]] = {}
+    for task in tasks:
+        base_records = campaign.records(f"{task}/baseline")
+        wr_records = campaign.records(f"{task}/ad+wr")
         base_energy = float(np.mean([
-            energy_model.compute_energy_j(t.planner_macs_by_voltage) for t in base_trials]))
+            energy_model.compute_energy_j(r.planner_macs_by_voltage())
+            for r in base_records]))
         wr_energy = float(np.mean([
-            energy_model.compute_energy_j(t.planner_macs_by_voltage) for t in wr_trials]))
-        out[task] = {
-            "baseline_success": summarize_trials(base_trials).success_rate,
-            "protected_success": summarize_trials(wr_trials).success_rate,
+            energy_model.compute_energy_j(r.planner_macs_by_voltage())
+            for r in wr_records]))
+        results[task] = {
+            "baseline_success": campaign.summary(f"{task}/baseline").success_rate,
+            "protected_success": campaign.summary(f"{task}/ad+wr").success_rate,
             "planner_energy_savings_percent": energy_savings_percent(base_energy, wr_energy),
         }
-    return out
+    return results
 
 
-def cross_platform_controller_eval(system: EmbodiedSystem, tasks: list[str],
+def cross_platform_controller_eval(system: SystemLike, tasks: list[str],
                                    policy: VoltagePolicy | None = None,
-                                   num_trials: int = 8, seed: int = 0
-                                   ) -> dict[str, dict[str, float]]:
+                                   num_trials: int = 8, seed: int = 0, jobs: int = 1,
+                                   out: str | None = None) -> dict[str, dict[str, float]]:
     """AD+VS controller energy savings on one platform (Fig. 17b)."""
     energy_model = EnergyModel()
     policy = policy or REFERENCE_POLICIES["C"]
-    executor = system.executor()
-    out: dict[str, dict[str, float]] = {}
+    key, overrides = system_ref(system)
+    source = "predictor" if _has_predictor(system) else "oracle"
+    prot = ProtectionConfig(anomaly_detection=True,
+                            voltage_scaling=VoltageScalingConfig(policy=policy,
+                                                                 entropy_source=source))
+    specs: list[TrialSpec] = []
     for task in tasks:
-        base_trials = executor.run_trials(task, num_trials, seed=seed)
-        source = "predictor" if system.predictor is not None else "oracle"
-        prot = ProtectionConfig(anomaly_detection=True,
-                                voltage_scaling=VoltageScalingConfig(policy=policy,
-                                                                     entropy_source=source))
-        vs_trials = executor.run_trials(task, num_trials, seed=seed,
-                                        controller_protection=prot)
+        specs.append(TrialSpec(condition=f"{task}/baseline", system=key, task=task,
+                               num_trials=num_trials, seed=seed,
+                               params=(("task", task), ("arm", "baseline"))))
+        specs.append(TrialSpec(condition=f"{task}/ad+vs", system=key, task=task,
+                               num_trials=num_trials, seed=seed,
+                               controller_protection=prot,
+                               params=(("task", task), ("arm", "ad+vs"))))
+    campaign = run_campaign(specs, jobs=jobs, out=out, systems=overrides,
+                            name=slugify(f"cross-platform-controller-{key}"))
+    results: dict[str, dict[str, float]] = {}
+    for task in tasks:
+        base_records = campaign.records(f"{task}/baseline")
+        vs_records = campaign.records(f"{task}/ad+vs")
         base_energy = float(np.mean([
-            energy_model.compute_energy_j(t.controller_macs_by_voltage) for t in base_trials]))
+            energy_model.compute_energy_j(r.controller_macs_by_voltage())
+            for r in base_records]))
         vs_energy = float(np.mean([
-            energy_model.compute_energy_j(t.controller_macs_by_voltage) for t in vs_trials]))
-        out[task] = {
-            "baseline_success": summarize_trials(base_trials).success_rate,
-            "protected_success": summarize_trials(vs_trials).success_rate,
+            energy_model.compute_energy_j(r.controller_macs_by_voltage())
+            for r in vs_records]))
+        results[task] = {
+            "baseline_success": campaign.summary(f"{task}/baseline").success_rate,
+            "protected_success": campaign.summary(f"{task}/ad+vs").success_rate,
             "controller_energy_savings_percent": energy_savings_percent(base_energy, vs_energy),
         }
-    return out
+    return results
 
 
 # ----------------------------------------------------------------------
@@ -438,14 +517,15 @@ def chip_energy_breakdown(compute_savings_percent: dict[str, float] | None = Non
 # ----------------------------------------------------------------------
 # Fig. 19: uniform vs. hardware-specific error models
 # ----------------------------------------------------------------------
-def error_model_comparison(executor: MissionExecutor, task: str, target: str,
+def error_model_comparison(system: SystemLike, task: str, target: str,
                            voltages: list[float] | None = None, num_trials: int = 12,
-                           seed: int = 0) -> dict[str, dict[float, float]]:
+                           seed: int = 0, jobs: int = 1,
+                           out: str | None = None) -> dict[str, dict[float, float]]:
     """Success under the voltage-LUT model vs. a uniform model of equal mean BER."""
     timing = TimingErrorModel()
     voltages = voltages or [0.80, 0.775, 0.75, 0.725]
-    uniform: dict[float, float] = {}
-    hardware: dict[float, float] = {}
+    key, overrides = system_ref(system)
+    specs: list[TrialSpec] = []
     for voltage in voltages:
         mean_ber = timing.mean_bit_error_rate(voltage)
         protections = {
@@ -455,42 +535,63 @@ def error_model_comparison(executor: MissionExecutor, task: str, target: str,
         for label, protection in protections.items():
             kwargs = {"planner_protection": protection} if target == "planner" \
                 else {"controller_protection": protection}
-            trials = executor.run_trials(task, num_trials, seed=seed, **kwargs)
-            rate = summarize_trials(trials).success_rate
-            if label == "uniform":
-                uniform[voltage] = rate
-            else:
-                hardware[voltage] = rate
-    return {"uniform": uniform, "hardware": hardware}
+            specs.append(TrialSpec(
+                condition=f"{label}/v={float(voltage)!r}", system=key, task=task,
+                num_trials=num_trials, seed=seed,
+                params=(("model", label), ("voltage", repr(float(voltage)))),
+                **kwargs))
+    campaign = run_campaign(specs, jobs=jobs, out=out, systems=overrides,
+                            name=slugify(f"error-models-{task}-{target}"))
+    results: dict[str, dict[float, float]] = {"uniform": {}, "hardware": {}}
+    for spec in specs:
+        label, voltage = dict(spec.params)["model"], float(dict(spec.params)["voltage"])
+        results[label][voltage] = campaign.summary(spec.condition).success_rate
+    return results
 
 
 # ----------------------------------------------------------------------
 # Fig. 20: comparison with existing techniques
 # ----------------------------------------------------------------------
-def baseline_comparison(plain_system: EmbodiedSystem, rotated_system: EmbodiedSystem,
+def baseline_comparison(plain_system: SystemLike, rotated_system: SystemLike,
                         task: str, voltages: list[float] | None = None,
-                        num_trials: int = 8, seed: int = 0) -> dict[str, dict[float, dict]]:
+                        num_trials: int = 8, seed: int = 0, jobs: int = 1,
+                        out: str | None = None) -> dict[str, dict[float, dict]]:
     """CREATE vs. DMR / ThUnderVolt / ABFT: success and energy across voltages."""
     voltages = voltages or [0.85, 0.80, 0.775, 0.75]
     timing = TimingErrorModel()
     energy_model = EnergyModel()
     dmr, abft = DmrModel(), AbftModel()
+    plain_key, plain_overrides = system_ref(plain_system, hint="plain")
+    rot_key, rot_overrides = system_ref(rotated_system, hint="rotated")
+
+    specs: list[TrialSpec] = [TrialSpec(condition="clean", system=plain_key, task=task,
+                                        num_trials=num_trials, seed=seed,
+                                        params=(("arm", "clean"),))]
+    for voltage in voltages:
+        protection = ProtectionConfig(voltage=voltage, anomaly_detection=True)
+        specs.append(TrialSpec(
+            condition=f"create/v={float(voltage)!r}", system=rot_key, task=task,
+            num_trials=num_trials, seed=seed,
+            planner_protection=protection, controller_protection=protection,
+            params=(("arm", "create"), ("voltage", repr(float(voltage))))))
+        tv_protection = ProtectionConfig(voltage=voltage, injector_kind="thundervolt")
+        specs.append(TrialSpec(
+            condition=f"thundervolt/v={float(voltage)!r}", system=plain_key, task=task,
+            num_trials=num_trials, seed=seed,
+            planner_protection=tv_protection, controller_protection=tv_protection,
+            params=(("arm", "thundervolt"), ("voltage", repr(float(voltage))))))
+    campaign = run_campaign(specs, jobs=jobs, out=out,
+                            systems=merge_overrides(dict(plain_overrides), rot_overrides),
+                            name=slugify(f"baseline-comparison-{task}"))
+
+    clean_summary = campaign.summary("clean")
     results: dict[str, dict[float, dict]] = {"create": {}, "dmr": {}, "thundervolt": {}, "abft": {}}
-
-    clean_exec = plain_system.executor()
-    clean_summary = summarize_trials(clean_exec.run_trials(task, num_trials, seed=seed))
-
-    create_exec = rotated_system.executor()
     for voltage in voltages:
         rates = timing.bit_error_rates(voltage)
         element_rate = float(1.0 - np.prod(1.0 - rates))
 
         # CREATE: AD+WR planner, AD controller, both at the candidate voltage.
-        protection = ProtectionConfig(voltage=voltage, anomaly_detection=True)
-        trials = create_exec.run_trials(task, num_trials, seed=seed,
-                                        planner_protection=protection,
-                                        controller_protection=protection)
-        summary = summarize_trials(trials)
+        summary = campaign.summary(f"create/v={float(voltage)!r}")
         results["create"][voltage] = {
             "success_rate": summary.success_rate,
             "energy_j": summary.mean_energy_j * 1.0024,
@@ -511,12 +612,7 @@ def baseline_comparison(plain_system: EmbodiedSystem, rotated_system: EmbodiedSy
         }
 
         # ThUnderVolt: skip-on-error behaviour simulated with its injector.
-        tv_exec = plain_system.executor()
-        tv_protection = ProtectionConfig(voltage=voltage, injector_kind="thundervolt")
-        tv_trials = tv_exec.run_trials(task, num_trials, seed=seed,
-                                       planner_protection=tv_protection,
-                                       controller_protection=tv_protection)
-        tv_summary = summarize_trials(tv_trials)
+        tv_summary = campaign.summary(f"thundervolt/v={float(voltage)!r}")
         results["thundervolt"][voltage] = {
             "success_rate": tv_summary.success_rate,
             "energy_j": tv_summary.mean_energy_j * 1.05,
@@ -527,39 +623,64 @@ def baseline_comparison(plain_system: EmbodiedSystem, rotated_system: EmbodiedSy
 # ----------------------------------------------------------------------
 # Table 5 / Table 6
 # ----------------------------------------------------------------------
-def repetition_study(executor: MissionExecutor, task: str, ber: float,
+def repetition_study(system: SystemLike, task: str, ber: float,
                      repetition_counts: list[int] | None = None,
-                     seed: int = 0) -> dict[int, float]:
+                     seed: int = 0, jobs: int = 1,
+                     out: str | None = None) -> dict[int, float]:
     """Measured success rate as the number of repetitions grows (Table 5)."""
     repetition_counts = repetition_counts or [20, 40, 60, 80, 100]
     max_count = max(repetition_counts)
-    protection = ProtectionConfig(error_model=UniformErrorModel(ber))
-    trials = executor.run_trials(task, max_count, seed=seed,
-                                 controller_protection=protection)
-    return {count: float(np.mean([t.success for t in trials[:count]]))
+    key, overrides = system_ref(system)
+    spec = TrialSpec(
+        condition=f"repetitions/ber={float(ber)!r}", system=key, task=task,
+        num_trials=max_count, seed=seed,
+        controller_protection=ProtectionConfig(error_model=UniformErrorModel(ber)),
+        params=(("ber", repr(float(ber))),))
+    campaign = run_campaign([spec], jobs=jobs, out=out, systems=overrides,
+                            name=slugify(f"repetition-study-{task}"))
+    records = campaign.records(spec.condition)
+    return {count: float(np.mean([r.success for r in records[:count]]))
             for count in repetition_counts}
 
 
-def quantization_study(build_system, task: str, bers: list[float],
-                       num_trials: int = 10, seed: int = 0) -> dict[str, dict[float, float]]:
+def quantization_study(systems=None, task: str = "stone", bers: list[float] | None = None,
+                       num_trials: int = 10, seed: int = 0, jobs: int = 1,
+                       out: str | None = None) -> dict[str, dict[float, float]]:
     """AD+WR planner success under INT8 vs. INT4 quantization (Table 6).
 
-    ``build_system(spec)`` constructs a rotated system deployed at the given
-    :class:`~repro.quant.QuantSpec`.
+    ``systems`` may be a mapping from a quantization label to a system (or
+    registry key), a legacy ``build_system(spec)`` callable constructing a
+    rotated system for a :class:`~repro.quant.QuantSpec`, or ``None`` for the
+    built-in registry variants (``jarvis-rotated`` / ``jarvis-rotated-int4``).
     """
-    out: dict[str, dict[float, float]] = {}
-    for spec in (INT8, INT4):
-        system = build_system(spec)
-        executor = system.executor()
-        per_ber: dict[float, float] = {}
+    bers = bers if bers is not None else [1e-4, 1e-3, 3e-3]
+    if systems is None:
+        system_map: dict[str, SystemLike] = {str(INT8): "jarvis-rotated",
+                                             str(INT4): "jarvis-rotated-int4"}
+    elif callable(systems):
+        system_map = {str(spec): systems(spec) for spec in (INT8, INT4)}
+    else:
+        system_map = dict(systems)
+
+    specs: list[TrialSpec] = []
+    overrides: dict[str, object] = {}
+    for label, system in system_map.items():
+        key, system_overrides = system_ref(system, hint=slugify(label))
+        merge_overrides(overrides, system_overrides)
         for ber in bers:
             protection = ProtectionConfig(error_model=UniformErrorModel(ber),
                                           anomaly_detection=True)
-            trials = executor.run_trials(task, num_trials, seed=seed,
-                                         planner_protection=protection)
-            per_ber[ber] = summarize_trials(trials).success_rate
-        out[str(spec)] = per_ber
-    return out
+            specs.append(TrialSpec(
+                condition=f"{label}/ber={float(ber)!r}", system=key, task=task,
+                num_trials=num_trials, seed=seed, planner_protection=protection,
+                params=(("quant", label), ("ber", repr(float(ber))))))
+    campaign = run_campaign(specs, jobs=jobs, out=out, systems=overrides,
+                            name=slugify(f"quantization-study-{task}"))
+    results: dict[str, dict[float, float]] = {}
+    for label in system_map:
+        results[label] = {ber: campaign.summary(f"{label}/ber={float(ber)!r}").success_rate
+                          for ber in bers}
+    return results
 
 
 # ----------------------------------------------------------------------

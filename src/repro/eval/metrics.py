@@ -10,7 +10,8 @@ from scipy import stats as scipy_stats
 from ..agents.executor import TrialResult
 from ..hardware.energy import EnergyModel
 
-__all__ = ["TrialSummary", "summarize_trials", "confidence_interval", "energy_savings_percent"]
+__all__ = ["TrialSummary", "aggregate_rows", "summarize_trials", "confidence_interval",
+           "energy_savings_percent"]
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,39 @@ def confidence_interval(successes: int, trials: int, confidence: float = 0.95) -
     return float(z * np.sqrt(max(rate * (1.0 - rate), 1e-12) / trials))
 
 
+def aggregate_rows(rows: list[tuple[bool, int, float, float, dict[float, float], float, bool]],
+                   energy_model: EnergyModel | None = None) -> TrialSummary:
+    """Shared aggregation core behind :func:`summarize_trials` and the run
+    table's ``summarize_records`` — one implementation so in-memory and
+    resumed-from-disk summaries cannot drift apart.
+
+    Each row is ``(success, steps, planner_invocations, energy_j,
+    macs_by_voltage, mean_entropy, has_entropy)`` for one trial.
+    """
+    if not rows:
+        raise ValueError("cannot summarize an empty result list")
+    model = energy_model or EnergyModel()
+    successes = [row for row in rows if row[0]]
+    energies = [row[3] for row in rows]
+    merged_macs: dict[float, float] = {}
+    for row in rows:
+        for voltage, macs in row[4].items():
+            merged_macs[voltage] = merged_macs.get(voltage, 0.0) + macs
+    entropies = [row[5] for row in rows if row[6]]
+    return TrialSummary(
+        num_trials=len(rows),
+        success_rate=len(successes) / len(rows),
+        success_ci=confidence_interval(len(successes), len(rows)),
+        average_steps=float(np.mean([row[1] for row in rows])),
+        average_steps_successful=float(np.mean([row[1] for row in successes]))
+        if successes else float("nan"),
+        mean_energy_j=float(np.mean(energies)),
+        effective_voltage=model.effective_voltage(merged_macs),
+        mean_planner_invocations=float(np.mean([row[2] for row in rows])),
+        mean_entropy=float(np.mean(entropies)) if entropies else float("nan"),
+    )
+
+
 def summarize_trials(results: list[TrialResult],
                      energy_model: EnergyModel | None = None) -> TrialSummary:
     """Collapse repeated trials into the metrics the paper reports.
@@ -58,28 +92,13 @@ def summarize_trials(results: list[TrialResult],
     convention of averaging over *successful* trials (with the all-trials
     average also reported); energy includes failed trials at full execution.
     """
-    if not results:
-        raise ValueError("cannot summarize an empty result list")
     model = energy_model or EnergyModel()
-    successes = [r for r in results if r.success]
-    energies = [r.computational_energy_j(model) for r in results]
-    merged_macs: dict[float, float] = {}
-    for result in results:
-        for voltage, macs in result.macs_by_voltage().items():
-            merged_macs[voltage] = merged_macs.get(voltage, 0.0) + macs
-    entropies = [r.entropy_trace.mean_entropy() for r in results if len(r.entropy_trace)]
-    return TrialSummary(
-        num_trials=len(results),
-        success_rate=len(successes) / len(results),
-        success_ci=confidence_interval(len(successes), len(results)),
-        average_steps=float(np.mean([r.steps for r in results])),
-        average_steps_successful=float(np.mean([r.steps for r in successes]))
-        if successes else float("nan"),
-        mean_energy_j=float(np.mean(energies)),
-        effective_voltage=model.effective_voltage(merged_macs),
-        mean_planner_invocations=float(np.mean([r.planner_invocations for r in results])),
-        mean_entropy=float(np.mean(entropies)) if entropies else float("nan"),
-    )
+    rows = [(r.success, r.steps, r.planner_invocations,
+             r.computational_energy_j(model), r.macs_by_voltage(),
+             r.entropy_trace.mean_entropy() if len(r.entropy_trace) else float("nan"),
+             bool(len(r.entropy_trace)))
+            for r in results]
+    return aggregate_rows(rows, model)
 
 
 def energy_savings_percent(baseline_energy_j: float, improved_energy_j: float) -> float:

@@ -16,11 +16,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..agents.executor import MissionExecutor
-from ..agents.jarvis import EmbodiedSystem
 from ..core.create import ProtectionConfig
 from ..faults.models import UniformErrorModel
-from .metrics import TrialSummary, summarize_trials
+from .campaign import SystemLike, TrialSpec, run_campaign, slugify, system_ref
+from .metrics import TrialSummary
 
 __all__ = [
     "SweepPoint",
@@ -83,29 +82,47 @@ def _protection(ber: float, anomaly_detection: bool, exposure: float,
     )
 
 
-def ber_sweep(executor: MissionExecutor, task: str, bers: list[float],
+def ber_sweep(system: SystemLike, task: str, bers: list[float],
               target: str = "controller", num_trials: int = 20, seed: int = 0,
               anomaly_detection: bool = False, exposure_scale: float = 1.0,
               components: tuple[str, ...] | None = None,
-              label: str | None = None) -> SweepResult:
-    """Sweep the BER injected into one model (planner or controller)."""
+              label: str | None = None, jobs: int = 1,
+              out: str | None = None) -> SweepResult:
+    """Sweep the BER injected into one model (planner or controller).
+
+    ``system`` is a registry key (see :mod:`repro.agents.registry`), an
+    :class:`EmbodiedSystem`, or a :class:`MissionExecutor`; the sweep runs as a
+    campaign, so ``jobs`` parallelizes over (BER, seed) cells and ``out``
+    persists the run table for resume.
+    """
     if target not in ("planner", "controller"):
         raise ValueError("target must be 'planner' or 'controller'")
-    result = SweepResult(label=label or f"{target}-{'AD' if anomaly_detection else 'noAD'}",
-                         task=task)
+    label = label or f"{target}-{'AD' if anomaly_detection else 'noAD'}"
+    key, overrides = system_ref(system)
+    specs = []
     for ber in bers:
         protection = _protection(ber, anomaly_detection, exposure_scale, components)
         kwargs = {"planner_protection": protection} if target == "planner" \
             else {"controller_protection": protection}
-        trials = executor.run_trials(task, num_trials, seed=seed, **kwargs)
-        result.points.append(SweepPoint(ber=ber, summary=summarize_trials(trials)))
+        specs.append(TrialSpec(
+            condition=f"{label}/ber={float(ber)!r}", system=key, task=task,
+            num_trials=num_trials, seed=seed,
+            params=(("label", label), ("ber", repr(float(ber))), ("target", target)),
+            **kwargs))
+    campaign = run_campaign(specs, jobs=jobs, out=out, systems=overrides,
+                            name=slugify(f"ber-sweep-{label}-{task}-{target}"))
+    result = SweepResult(label=label, task=task)
+    for ber, spec in zip(bers, specs):
+        result.points.append(SweepPoint(ber=float(ber),
+                                        summary=campaign.summary(spec.condition)))
     return result
 
 
-def component_sweep(executor: MissionExecutor, task: str, bers: list[float],
+def component_sweep(system: SystemLike, task: str, bers: list[float],
                     component_groups: dict[str, tuple[str, ...]],
                     target: str = "planner", num_trials: int = 12, seed: int = 0,
-                    exposure_scale: float = 1.0) -> dict[str, SweepResult]:
+                    exposure_scale: float = 1.0, jobs: int = 1,
+                    out: str | None = None) -> dict[str, SweepResult]:
     """Inject errors into individual network components (paper Fig. 5e-h).
 
     ``component_groups`` maps a label (e.g. ``"K"``) to glob patterns matching
@@ -114,24 +131,26 @@ def component_sweep(executor: MissionExecutor, task: str, bers: list[float],
     results: dict[str, SweepResult] = {}
     for label, patterns in component_groups.items():
         results[label] = ber_sweep(
-            executor, task, bers, target=target, num_trials=num_trials, seed=seed,
-            exposure_scale=exposure_scale, components=patterns, label=label)
+            system, task, bers, target=target, num_trials=num_trials, seed=seed,
+            exposure_scale=exposure_scale, components=patterns, label=label,
+            jobs=jobs, out=out)
     return results
 
 
-def subtask_sweep(system: EmbodiedSystem, subtask_tasks: list[str], bers: list[float],
-                  num_trials: int = 12, seed: int = 0) -> dict[str, SweepResult]:
+def subtask_sweep(system: SystemLike, subtask_tasks: list[str], bers: list[float],
+                  num_trials: int = 12, seed: int = 0, jobs: int = 1,
+                  out: str | None = None) -> dict[str, SweepResult]:
     """Controller resilience per subtask family (paper Fig. 6).
 
     The paper evaluates single-subtask workloads (``log``, ``stone``, ``iron``,
     ``coal``, ``wool``, ``chicken``); we reuse the corresponding tasks of the
     Minecraft suite, injecting errors only into the controller.
     """
-    executor = system.executor()
     results: dict[str, SweepResult] = {}
     for task in subtask_tasks:
-        results[task] = ber_sweep(executor, task, bers, target="controller",
-                                  num_trials=num_trials, seed=seed, label=task)
+        results[task] = ber_sweep(system, task, bers, target="controller",
+                                  num_trials=num_trials, seed=seed, label=task,
+                                  jobs=jobs, out=out)
     return results
 
 

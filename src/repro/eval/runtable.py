@@ -1,0 +1,270 @@
+"""Persistent run tables: one row per executed trial, with exact round-trip.
+
+A run table is the durable record of a campaign (see
+:mod:`repro.eval.campaign`): every trial contributes one :class:`RunRecord`
+holding the condition labels, the seed, and everything needed to rebuild the
+paper's aggregate metrics — success, steps, energy, effective voltage, flip
+and clamp counters, and the per-voltage MAC histograms.
+
+Round-trip fidelity is a hard requirement: tables are written as CSV (and
+mirrored as JSON) using ``repr``-exact float formatting, so reading a table
+back and summarizing it produces *bit-identical* :class:`TrialSummary` values
+to summarizing the in-memory trial results.  That is what makes
+resume-from-disk safe: completed (spec, seed) cells are never re-executed.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..agents.executor import TrialResult
+from ..hardware.energy import EnergyModel
+from .metrics import TrialSummary, aggregate_rows
+
+__all__ = ["RunRecord", "RunTable", "record_from_trial", "summarize_records"]
+
+
+def _dump_macs(macs: dict[float, float]) -> str:
+    """Serialize a voltage->MACs histogram preserving key order and exact floats."""
+    return json.dumps({repr(float(v)): float(m) for v, m in macs.items()})
+
+
+def _load_macs(payload: str) -> dict[float, float]:
+    return {float(v): float(m) for v, m in json.loads(payload).items()}
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One executed trial: condition labels plus every per-trial measurement."""
+
+    spec_key: str
+    condition: str
+    system: str
+    task: str
+    seed: int
+    trial_index: int
+    success: bool
+    steps: int
+    planner_invocations: int
+    controller_steps: int
+    energy_j: float
+    effective_voltage: float
+    planner_bits_flipped: int
+    controller_bits_flipped: int
+    planner_elements_clamped: int
+    controller_elements_clamped: int
+    mean_entropy: float
+    entropy_records: int
+    planner_macs: str
+    controller_macs: str
+    predictor_macs: str
+    params: str
+
+    # ------------------------------------------------------------------
+    def planner_macs_by_voltage(self) -> dict[float, float]:
+        return _load_macs(self.planner_macs)
+
+    def controller_macs_by_voltage(self) -> dict[float, float]:
+        return _load_macs(self.controller_macs)
+
+    def predictor_macs_by_voltage(self) -> dict[float, float]:
+        return _load_macs(self.predictor_macs)
+
+    def macs_by_voltage(self) -> dict[float, float]:
+        """Merged histogram, in the same accumulation order as ``TrialResult``."""
+        merged: dict[float, float] = {}
+        for source in (self.planner_macs_by_voltage(),
+                       self.controller_macs_by_voltage(),
+                       self.predictor_macs_by_voltage()):
+            for voltage, macs in source.items():
+                merged[voltage] = merged.get(voltage, 0.0) + macs
+        return merged
+
+    def param_dict(self) -> dict[str, str]:
+        return dict(json.loads(self.params)) if self.params else {}
+
+
+_INT_FIELDS = {"seed", "trial_index", "steps", "planner_invocations", "controller_steps",
+               "planner_bits_flipped", "controller_bits_flipped",
+               "planner_elements_clamped", "controller_elements_clamped",
+               "entropy_records"}
+_FLOAT_FIELDS = {"energy_j", "effective_voltage", "mean_entropy"}
+_BOOL_FIELDS = {"success"}
+
+COLUMNS: tuple[str, ...] = tuple(f.name for f in fields(RunRecord))
+
+
+def _format_cell(name: str, value) -> str:
+    if name in _FLOAT_FIELDS:
+        return repr(float(value))
+    if name in _BOOL_FIELDS:
+        return "1" if value else "0"
+    return str(value)
+
+
+def _parse_cell(name: str, text: str):
+    if name in _INT_FIELDS:
+        return int(text)
+    if name in _FLOAT_FIELDS:
+        return float(text)
+    if name in _BOOL_FIELDS:
+        return text == "1"
+    return text
+
+
+def record_from_trial(trial: TrialResult, *, spec_key: str, condition: str,
+                      system: str, task: str, seed: int, trial_index: int,
+                      params: str = "{}",
+                      energy_model: EnergyModel | None = None) -> RunRecord:
+    """Flatten one :class:`TrialResult` into a run-table row."""
+    model = energy_model or EnergyModel()
+    return RunRecord(
+        spec_key=spec_key,
+        condition=condition,
+        system=system,
+        task=task,
+        seed=seed,
+        trial_index=trial_index,
+        success=bool(trial.success),
+        steps=int(trial.steps),
+        planner_invocations=int(trial.planner_invocations),
+        controller_steps=int(trial.controller_steps),
+        energy_j=float(trial.computational_energy_j(model)),
+        effective_voltage=float(trial.effective_voltage(model)),
+        planner_bits_flipped=int(trial.planner_bits_flipped),
+        controller_bits_flipped=int(trial.controller_bits_flipped),
+        planner_elements_clamped=int(trial.planner_elements_clamped),
+        controller_elements_clamped=int(trial.controller_elements_clamped),
+        mean_entropy=float(trial.entropy_trace.mean_entropy())
+        if len(trial.entropy_trace) else float("nan"),
+        entropy_records=len(trial.entropy_trace),
+        planner_macs=_dump_macs(trial.planner_macs_by_voltage),
+        controller_macs=_dump_macs(trial.controller_macs_by_voltage),
+        predictor_macs=_dump_macs(trial.predictor_macs_by_voltage),
+        params=params,
+    )
+
+
+def summarize_records(records: list[RunRecord],
+                      energy_model: EnergyModel | None = None) -> TrialSummary:
+    """Aggregate run-table rows exactly like :func:`summarize_trials`.
+
+    Both delegate to :func:`~repro.eval.metrics.aggregate_rows`, so a summary
+    computed from rows read back from disk is bit-identical to summarizing the
+    original :class:`TrialResult` list — the invariant behind safe resume.
+    """
+    rows = [(r.success, r.steps, r.planner_invocations, r.energy_j,
+             r.macs_by_voltage(), r.mean_entropy, bool(r.entropy_records))
+            for r in records]
+    return aggregate_rows(rows, energy_model)
+
+
+class RunTable:
+    """An ordered collection of :class:`RunRecord` rows with (spec, seed) lookup."""
+
+    def __init__(self, records: Iterable[RunRecord] | None = None):
+        self._records: list[RunRecord] = []
+        self._index: dict[tuple[str, int], RunRecord] = {}
+        for record in records or ():
+            self.add(record)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        return iter(self._records)
+
+    def add(self, record: RunRecord, overwrite: bool = False) -> None:
+        key = (record.spec_key, record.seed)
+        existing = self._index.get(key)
+        if existing is not None:
+            if not overwrite:
+                return
+            self._records.remove(existing)
+        self._index[key] = record
+        self._records.append(record)
+
+    def has(self, spec_key: str, seed: int) -> bool:
+        return (spec_key, seed) in self._index
+
+    def get(self, spec_key: str, seed: int) -> RunRecord | None:
+        return self._index.get((spec_key, seed))
+
+    def for_spec(self, spec_key: str) -> list[RunRecord]:
+        rows = [r for r in self._records if r.spec_key == spec_key]
+        return sorted(rows, key=lambda r: r.trial_index)
+
+    def for_condition(self, condition: str) -> list[RunRecord]:
+        rows = [r for r in self._records if r.condition == condition]
+        return sorted(rows, key=lambda r: (r.spec_key, r.trial_index))
+
+    def conditions(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for record in self._records:
+            seen.setdefault(record.condition, None)
+        return list(seen)
+
+    def sorted(self, spec_order: dict[str, int] | None = None) -> "RunTable":
+        """A copy sorted canonically: campaign spec order first, then seed."""
+        order = spec_order or {}
+        fallback = len(order)
+
+        def sort_key(record: RunRecord):
+            return (order.get(record.spec_key, fallback), record.spec_key, record.seed)
+
+        return RunTable(sorted(self._records, key=sort_key))
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def write_csv(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle, lineterminator="\n")
+            writer.writerow(COLUMNS)
+            for record in self._records:
+                writer.writerow([_format_cell(name, getattr(record, name))
+                                 for name in COLUMNS])
+        return path
+
+    @classmethod
+    def read_csv(cls, path: str | Path) -> "RunTable":
+        path = Path(path)
+        with path.open(newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header is None:
+                return cls()
+            if tuple(header) != COLUMNS:
+                raise ValueError(f"unexpected run-table header in {path}: {header}")
+            records = [RunRecord(**{name: _parse_cell(name, cell)
+                                    for name, cell in zip(COLUMNS, row)})
+                       for row in reader if row]
+        return cls(records)
+
+    def write_json(self, path: str | Path) -> Path:
+        """Strict-JSON mirror of the table: NaN floats are encoded as null."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        rows = [{name: (None if name in _FLOAT_FIELDS
+                        and math.isnan(getattr(record, name))
+                        else getattr(record, name))
+                 for name in COLUMNS}
+                for record in self._records]
+        path.write_text(json.dumps(rows, indent=1, allow_nan=False) + "\n")
+        return path
+
+    @classmethod
+    def read_json(cls, path: str | Path) -> "RunTable":
+        rows = json.loads(Path(path).read_text())
+        return cls(RunRecord(**{name: (float("nan") if name in _FLOAT_FIELDS
+                                       and value is None else value)
+                                for name, value in row.items()})
+                   for row in rows)

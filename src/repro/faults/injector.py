@@ -115,14 +115,10 @@ class ErrorInjector:
         if total_flips == 0:
             return accumulators
 
-        indices = np.concatenate([
-            self.rng.integers(0, n_elements, size=count)
-            for count in flip_counts if count > 0
-        ])
-        bits = np.concatenate([
-            np.full(count, bit, dtype=np.int64)
-            for bit, count in enumerate(flip_counts) if count > 0
-        ])
+        # One vectorized draw for every flip: element indices in a single call,
+        # bit positions expanded from the per-bit counts.
+        indices = self.rng.integers(0, n_elements, size=total_flips)
+        bits = np.repeat(np.arange(flip_counts.size, dtype=np.int64), flip_counts)
         corrupted = flip_bits(accumulators, indices, bits, bits=spec.accumulator_bits)
 
         self.stats.bits_flipped += total_flips

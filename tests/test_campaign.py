@@ -1,0 +1,243 @@
+"""Tests for the campaign engine: determinism, resume, run-table round trips."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import ProtectionConfig
+from repro.eval import (
+    CampaignRunner,
+    RunTable,
+    TrialSpec,
+    protection_signature,
+    record_from_trial,
+    run_campaign,
+    summarize_records,
+    summarize_trials,
+    system_ref,
+)
+from repro.faults.models import UniformErrorModel
+
+
+def _same_summary(a, b):
+    """Exact TrialSummary equality, treating NaN == NaN (dataclass eq does not)."""
+    for key, left in a.as_dict().items():
+        right = b.as_dict()[key]
+        if left != right and not (np.isnan(left) and np.isnan(right)):
+            return False
+    return True
+
+
+def _specs(num_trials=3):
+    return [
+        TrialSpec(condition="clean", system="jarvis", task="wooden",
+                  num_trials=num_trials, seed=0),
+        TrialSpec(condition="faulty", system="jarvis", task="wooden",
+                  num_trials=num_trials, seed=0,
+                  controller_protection=ProtectionConfig(
+                      error_model=UniformErrorModel(1e-3)),
+                  params=(("ber", "1e-3"),)),
+    ]
+
+
+class TestTrialSpec:
+    def test_seeds_enumerate_cells(self):
+        spec = _specs(4)[0]
+        assert list(spec.seeds()) == [0, 1, 2, 3]
+
+    def test_key_changes_with_protection(self):
+        clean, faulty = _specs()
+        assert clean.key() != faulty.key()
+        twin = dataclasses.replace(faulty, condition="clean")
+        assert twin.key() != faulty.key()
+
+    def test_key_ignores_num_trials(self):
+        spec = _specs(3)[0]
+        grown = dataclasses.replace(spec, num_trials=8)
+        assert spec.key() == grown.key()
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            TrialSpec(condition="", system="jarvis", task="wooden", num_trials=1)
+        with pytest.raises(ValueError):
+            TrialSpec(condition="x", system="jarvis", task="wooden", num_trials=0)
+
+    def test_protection_signature_distinguishes_models(self):
+        a = protection_signature(ProtectionConfig(error_model=UniformErrorModel(1e-3)))
+        b = protection_signature(ProtectionConfig(error_model=UniformErrorModel(2e-3)))
+        c = protection_signature(ProtectionConfig(voltage=0.78))
+        assert len({a, b, c}) == 3
+        assert protection_signature(None) == "default"
+
+    def test_system_ref_passthrough_and_objects(self, jarvis_system):
+        key, overrides = system_ref("jarvis")
+        assert key == "jarvis" and overrides == {}
+        key, overrides = system_ref(jarvis_system)
+        assert key.startswith("local/") and overrides == {key: jarvis_system}
+        executor = jarvis_system.executor()
+        key, overrides = system_ref(executor, hint="plain")
+        assert key == "local/executor/plain" and overrides == {key: executor}
+
+
+class TestCampaignDeterminism:
+    def test_serial_and_parallel_tables_are_byte_identical(self, tmp_path):
+        specs = _specs()
+        serial = run_campaign(specs, jobs=1, out=tmp_path / "serial", name="det")
+        parallel = run_campaign(specs, jobs=2, out=tmp_path / "parallel", name="det")
+        assert serial.executed_trials == parallel.executed_trials == 6
+        assert serial.csv_path.read_bytes() == parallel.csv_path.read_bytes()
+        assert serial.json_path.read_bytes() == parallel.json_path.read_bytes()
+
+    def test_in_process_system_matches_registry_rebuild(self, jarvis_system, tmp_path):
+        """A live system object and the registry factory produce the same trials."""
+        registry = run_campaign(_specs(2), jobs=1, out=tmp_path, name="registry")
+        key, overrides = system_ref(jarvis_system)
+        local_specs = [dataclasses.replace(spec, system=key) for spec in _specs(2)]
+        local = run_campaign(local_specs, systems=overrides)
+        for spec, local_spec in zip(_specs(2), local_specs):
+            reg_rows = registry.records(spec.condition)
+            local_rows = local.records(local_spec.condition)
+            for a, b in zip(reg_rows, local_rows):
+                assert (a.success, a.steps, a.energy_j, a.controller_macs) == \
+                    (b.success, b.steps, b.energy_j, b.controller_macs)
+
+    def test_parallel_requires_registry_keys(self, jarvis_system):
+        key, overrides = system_ref(jarvis_system)
+        spec = TrialSpec(condition="clean", system=key, task="wooden", num_trials=1)
+        with pytest.raises(ValueError, match="registry system keys"):
+            run_campaign([spec], jobs=2, systems=overrides)
+
+
+class TestResume:
+    def test_rerun_executes_zero_trials(self, tmp_path):
+        specs = _specs()
+        first = run_campaign(specs, out=tmp_path, name="resume")
+        assert first.executed_trials == 6
+        second = run_campaign(specs, out=tmp_path, name="resume")
+        assert second.executed_trials == 0
+        assert first.csv_path.read_bytes() == second.csv_path.read_bytes()
+
+    def test_growing_trials_only_runs_new_cells(self, tmp_path):
+        run_campaign(_specs(3), out=tmp_path, name="grow")
+        grown = run_campaign(_specs(5), out=tmp_path, name="grow")
+        assert grown.executed_trials == 4  # two specs x two new seeds
+
+    def test_changed_protection_invalidates_cells(self, tmp_path):
+        specs = _specs(2)
+        run_campaign(specs, out=tmp_path, name="invalidate")
+        changed = [specs[0],
+                   dataclasses.replace(specs[1], controller_protection=ProtectionConfig(
+                       error_model=UniformErrorModel(5e-3)))]
+        rerun = run_campaign(changed, out=tmp_path, name="invalidate")
+        assert rerun.executed_trials == 2  # only the changed condition re-runs
+
+    def test_resume_summary_matches_fresh_summary(self, tmp_path):
+        specs = _specs(2)
+        fresh = run_campaign(specs, out=tmp_path, name="summary")
+        resumed = run_campaign(specs, out=tmp_path, name="summary")
+        for spec in specs:
+            assert _same_summary(fresh.summary(spec.condition),
+                                  resumed.summary(spec.condition))
+
+
+class TestRunTableRoundTrip:
+    def test_summaries_survive_csv_round_trip_bit_for_bit(self, jarvis_executor, tmp_path):
+        protection = ProtectionConfig(error_model=UniformErrorModel(5e-4))
+        trials = jarvis_executor.run_trials("wooden", 4, seed=0,
+                                            controller_protection=protection)
+        records = [record_from_trial(trial, spec_key="k", condition="c",
+                                     system="jarvis", task="wooden",
+                                     seed=index, trial_index=index)
+                   for index, trial in enumerate(trials)]
+        table = RunTable(records)
+        table.write_csv(tmp_path / "table.csv")
+        reread = RunTable.read_csv(tmp_path / "table.csv")
+        assert len(reread) == len(table)
+
+        direct = summarize_trials(trials)
+        from_memory = summarize_records(records)
+        from_disk = summarize_records(list(reread))
+        assert _same_summary(from_memory, direct)
+        assert _same_summary(from_disk, direct)  # exact float equality, not approx
+
+    def test_json_round_trip(self, jarvis_executor, tmp_path):
+        trials = jarvis_executor.run_trials("wooden", 2, seed=7)
+        records = [record_from_trial(trial, spec_key="k", condition="c",
+                                     system="jarvis", task="wooden",
+                                     seed=7 + index, trial_index=index)
+                   for index, trial in enumerate(trials)]
+        table = RunTable(records)
+        table.write_json(tmp_path / "table.json")
+        reread = RunTable.read_json(tmp_path / "table.json")
+        assert _same_summary(summarize_records(list(reread)), summarize_records(records))
+
+    def test_macs_round_trip_exactly(self, jarvis_executor, tmp_path):
+        trial = jarvis_executor.run_trial("wooden", seed=3)
+        record = record_from_trial(trial, spec_key="k", condition="c", system="jarvis",
+                                   task="wooden", seed=3, trial_index=0)
+        table = RunTable([record])
+        table.write_csv(tmp_path / "macs.csv")
+        row = next(iter(RunTable.read_csv(tmp_path / "macs.csv")))
+        assert row.macs_by_voltage() == trial.macs_by_voltage()
+
+    def test_duplicate_cells_are_ignored(self, jarvis_executor):
+        trial = jarvis_executor.run_trial("wooden", seed=0)
+        record = record_from_trial(trial, spec_key="k", condition="c", system="jarvis",
+                                   task="wooden", seed=0, trial_index=0)
+        table = RunTable([record, record])
+        assert len(table) == 1
+        assert table.has("k", 0) and not table.has("k", 1)
+
+
+class TestCampaignResults:
+    def test_summary_matches_direct_run(self, jarvis_executor):
+        """Campaign summaries equal the legacy serial run_trials + summarize path."""
+        protection = ProtectionConfig(error_model=UniformErrorModel(1e-3))
+        key, overrides = system_ref(jarvis_executor)
+        spec = TrialSpec(condition="faulty", system=key, task="wooden", num_trials=3,
+                         seed=0, controller_protection=protection)
+        campaign = run_campaign([spec], systems=overrides)
+        trials = jarvis_executor.run_trials("wooden", 3, seed=0,
+                                            controller_protection=protection)
+        assert _same_summary(campaign.summary("faulty"), summarize_trials(trials))
+
+    def test_records_ordered_by_trial_index(self, tmp_path):
+        result = run_campaign(_specs(3), out=tmp_path, name="order")
+        records = result.records("clean")
+        assert [r.trial_index for r in records] == [0, 1, 2]
+        assert [r.seed for r in records] == [0, 1, 2]
+
+    def test_duplicate_conditions_rejected(self):
+        spec = TrialSpec(condition="dup", system="jarvis", task="wooden", num_trials=1)
+        with pytest.raises(ValueError, match="unique"):
+            CampaignRunner().run([spec, spec])
+
+    def test_unknown_condition_raises(self):
+        result = run_campaign(_specs(1))
+        with pytest.raises(KeyError):
+            result.summary("nope")
+
+
+class TestExperimentsThroughCampaigns:
+    def test_ber_sweep_serial_vs_parallel(self, tmp_path):
+        from repro.eval import ber_sweep
+
+        serial = ber_sweep("jarvis", "wooden", [1e-5, 1e-2], num_trials=3,
+                           seed=0, jobs=1, out=tmp_path / "s")
+        parallel = ber_sweep("jarvis", "wooden", [1e-5, 1e-2], num_trials=3,
+                             seed=0, jobs=2, out=tmp_path / "p")
+        np.testing.assert_array_equal(serial.success_rates(), parallel.success_rates())
+        serial_csv = next((tmp_path / "s").glob("*.csv"))
+        parallel_csv = next((tmp_path / "p").glob("*.csv"))
+        assert serial_csv.read_bytes() == parallel_csv.read_bytes()
+
+    def test_repetition_study_resumes(self, tmp_path):
+        from repro.eval.experiments import repetition_study
+
+        first = repetition_study("jarvis", "wooden", 1e-5, repetition_counts=[2, 4],
+                                 seed=0, out=tmp_path)
+        again = repetition_study("jarvis", "wooden", 1e-5, repetition_counts=[2, 4],
+                                 seed=0, out=tmp_path)
+        assert first == again
+        assert len(RunTable.read_csv(next(tmp_path.glob("*.csv")))) == 4
