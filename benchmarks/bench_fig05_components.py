@@ -1,6 +1,6 @@
 """Fig. 5(e-h): per-component resilience inside the planner and controller."""
 
-from common import JARVIS_PLAIN, num_jobs, num_trials, run_once
+from common import JARVIS_PLAIN, engine_kwargs, num_trials, run_once
 
 from repro.eval import banner, format_sweep
 from repro.eval.resilience import component_sweep
@@ -12,7 +12,7 @@ def test_fig05ef_planner_components(benchmark):
 
     def run():
         return component_sweep(JARVIS_PLAIN, "wooden", bers, groups, target="planner",
-                               num_trials=num_trials(), seed=0, jobs=num_jobs())
+                               num_trials=num_trials(), seed=0, **engine_kwargs())
 
     sweeps = run_once(benchmark, run)
     print()
@@ -27,7 +27,7 @@ def test_fig05gh_controller_components(benchmark):
 
     def run():
         return component_sweep(JARVIS_PLAIN, "wooden", bers, groups, target="controller",
-                               num_trials=num_trials(), seed=0, jobs=num_jobs())
+                               num_trials=num_trials(), seed=0, **engine_kwargs())
 
     sweeps = run_once(benchmark, run)
     print()

@@ -1,6 +1,6 @@
 """Fig. 5(a-d): planner vs. controller resilience characterization."""
 
-from common import JARVIS_PLAIN, num_jobs, num_trials, run_once
+from common import JARVIS_PLAIN, engine_kwargs, num_trials, run_once
 
 from repro.eval import banner, ber_sweep, format_sweep
 from repro.eval.resilience import PLANNER_CHARACTERIZATION_EXPOSURE
@@ -21,11 +21,11 @@ def test_fig05ab_planner_resilience(benchmark):
             "wooden": ber_sweep(JARVIS_PLAIN, "wooden", bers, target="planner",
                                 num_trials=trials, seed=0,
                                 exposure_scale=PLANNER_CHARACTERIZATION_EXPOSURE,
-                                label="wooden", jobs=num_jobs()),
+                                label="wooden", **engine_kwargs()),
             "stone": ber_sweep(JARVIS_PLAIN, "stone", bers, target="planner",
                                num_trials=trials, seed=0,
                                exposure_scale=PLANNER_CHARACTERIZATION_EXPOSURE,
-                               label="stone", jobs=num_jobs()),
+                               label="stone", **engine_kwargs()),
         }
 
     sweeps = run_once(benchmark, run)
@@ -42,9 +42,9 @@ def test_fig05cd_controller_resilience(benchmark):
     def run():
         return {
             "wooden": ber_sweep(JARVIS_PLAIN, "wooden", bers, target="controller",
-                                num_trials=trials, seed=0, label="wooden", jobs=num_jobs()),
+                                num_trials=trials, seed=0, label="wooden", **engine_kwargs()),
             "stone": ber_sweep(JARVIS_PLAIN, "stone", bers, target="controller",
-                               num_trials=trials, seed=0, label="stone", jobs=num_jobs()),
+                               num_trials=trials, seed=0, label="stone", **engine_kwargs()),
         }
 
     sweeps = run_once(benchmark, run)

@@ -1,6 +1,6 @@
 """Fig. 6: different subtasks exhibit diverse resilience."""
 
-from common import JARVIS_PLAIN, num_jobs, num_trials, run_once
+from common import JARVIS_PLAIN, engine_kwargs, num_trials, run_once
 
 from repro.eval import banner, format_sweep
 from repro.eval.resilience import subtask_sweep
@@ -12,7 +12,7 @@ def test_fig06_subtask_resilience_diversity(benchmark):
 
     def run():
         return subtask_sweep(JARVIS_PLAIN, tasks, bers, num_trials=num_trials(10), seed=0,
-                             jobs=num_jobs())
+                             **engine_kwargs())
 
     sweeps = run_once(benchmark, run)
     print()

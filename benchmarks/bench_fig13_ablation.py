@@ -1,6 +1,6 @@
 """Fig. 13(e-f): ablation studies — AD+WR on the planner, AD+VS on the controller."""
 
-from common import JARVIS_PLAIN, JARVIS_ROTATED, jarvis_plain, num_jobs, num_trials, run_once
+from common import JARVIS_PLAIN, JARVIS_ROTATED, jarvis_plain, engine_kwargs, num_trials, run_once
 
 from repro.core import ProtectionConfig, REFERENCE_POLICIES, VoltageScalingConfig
 from repro.eval import banner, ber_sweep, format_sweep, format_table, summarize_trials
@@ -14,15 +14,15 @@ def test_fig13e_planner_ablation_ad_wr(benchmark):
         return {
             "unprotected": ber_sweep(JARVIS_PLAIN, "wooden", bers, target="planner",
                                      num_trials=trials, seed=0, label="unprotected",
-                                     jobs=num_jobs()),
+                                     **engine_kwargs()),
             "AD": ber_sweep(JARVIS_PLAIN, "wooden", bers, target="planner",
                             num_trials=trials, seed=0, anomaly_detection=True, label="AD",
-                            jobs=num_jobs()),
+                            **engine_kwargs()),
             "WR": ber_sweep(JARVIS_ROTATED, "wooden", bers, target="planner",
-                            num_trials=trials, seed=0, label="WR", jobs=num_jobs()),
+                            num_trials=trials, seed=0, label="WR", **engine_kwargs()),
             "AD+WR": ber_sweep(JARVIS_ROTATED, "wooden", bers, target="planner",
                                num_trials=trials, seed=0, anomaly_detection=True,
-                               label="AD+WR", jobs=num_jobs()),
+                               label="AD+WR", **engine_kwargs()),
         }
 
     sweeps = run_once(benchmark, run)

@@ -1,6 +1,6 @@
 """Fig. 13(a-b): anomaly detection and clearance evaluation on planner and controller."""
 
-from common import JARVIS_PLAIN, num_jobs, num_trials, run_once
+from common import JARVIS_PLAIN, engine_kwargs, num_trials, run_once
 
 from repro.eval import banner, format_sweep
 from repro.eval.experiments import ad_evaluation
@@ -14,7 +14,7 @@ def test_fig13a_ad_on_planner(benchmark):
         for task in ("wooden", "stone"):
             results[task] = ad_evaluation(JARVIS_PLAIN, task, bers, target="planner",
                                           num_trials=num_trials(), seed=0,
-                                          jobs=num_jobs())
+                                          **engine_kwargs())
         return results
 
     results = run_once(benchmark, run)
@@ -35,7 +35,7 @@ def test_fig13b_ad_on_controller(benchmark):
         for task in ("wooden", "stone"):
             results[task] = ad_evaluation(JARVIS_PLAIN, task, bers, target="controller",
                                           num_trials=num_trials(), seed=0,
-                                          jobs=num_jobs())
+                                          **engine_kwargs())
         return results
 
     results = run_once(benchmark, run)

@@ -1,6 +1,6 @@
 """Fig. 13(d): autonomy-adaptive voltage scaling vs. constant-voltage baselines."""
 
-from common import JARVIS_PLAIN, num_jobs, num_trials, run_once
+from common import JARVIS_PLAIN, engine_kwargs, num_trials, run_once
 
 from repro.eval import banner, format_table
 from repro.eval.experiments import vs_evaluation
@@ -12,7 +12,7 @@ def test_fig13d_adaptive_policies_beat_constant_voltage(benchmark):
         results = {}
         for task in ("wooden", "stone"):
             results[task] = vs_evaluation(JARVIS_PLAIN, task, num_trials=num_trials(10), seed=0,
-                                         jobs=num_jobs())
+                                         **engine_kwargs())
         return results
 
     results = run_once(benchmark, run)

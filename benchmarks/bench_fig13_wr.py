@@ -1,6 +1,6 @@
 """Fig. 13(c): weight-rotation-enhanced planning evaluation."""
 
-from common import JARVIS_PLAIN, JARVIS_ROTATED, num_jobs, num_trials, run_once
+from common import JARVIS_PLAIN, JARVIS_ROTATED, engine_kwargs, num_trials, run_once
 
 from repro.eval import banner, format_sweep
 from repro.eval.experiments import wr_evaluation
@@ -14,7 +14,7 @@ def test_fig13c_weight_rotation_on_planner(benchmark):
         for task in ("wooden", "stone"):
             results[task] = wr_evaluation(JARVIS_PLAIN, JARVIS_ROTATED, task, bers,
                                           num_trials=num_trials(), seed=0,
-                                          anomaly_detection=False, jobs=num_jobs())
+                                          anomaly_detection=False, **engine_kwargs())
         return results
 
     results = run_once(benchmark, run)

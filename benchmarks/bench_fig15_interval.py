@@ -1,6 +1,6 @@
 """Fig. 15: voltage-update-interval sensitivity."""
 
-from common import JARVIS_PLAIN, num_jobs, num_trials, run_once
+from common import JARVIS_PLAIN, engine_kwargs, num_trials, run_once
 
 from repro.eval import banner, format_table
 from repro.eval.experiments import interval_sweep
@@ -13,7 +13,7 @@ def test_fig15_voltage_update_interval(benchmark):
         for task in ("wooden", "stone"):
             results[task] = interval_sweep(JARVIS_PLAIN, task, intervals=[1, 5, 10, 20],
                                            num_trials=num_trials(8), seed=0,
-                                           jobs=num_jobs())
+                                           **engine_kwargs())
         return results
 
     results = run_once(benchmark, run)

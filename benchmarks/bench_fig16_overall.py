@@ -5,7 +5,7 @@
 """
 
 import numpy as np
-from common import JARVIS_PLAIN, JARVIS_ROTATED, num_jobs, num_trials, run_once
+from common import JARVIS_PLAIN, JARVIS_ROTATED, engine_kwargs, num_trials, run_once
 
 from repro.core import CreateConfig, default_policy
 from repro.eval import banner, format_table
@@ -38,9 +38,9 @@ def test_fig16a_reliability_at_075v(benchmark):
         baseline = overall_evaluation({"clean": JARVIS_PLAIN}, TASKS,
                                       {"clean": CreateConfig(ad=False, wr=False)},
                                       num_trials=trials, seed=0,
-                                      jobs=num_jobs())["clean"]
+                                      **engine_kwargs())["clean"]
         protected = overall_evaluation(systems, TASKS, configs, num_trials=trials, seed=0,
-                                       jobs=num_jobs())
+                                       **engine_kwargs())
         return baseline, protected
 
     baseline, protected = run_once(benchmark, run)
@@ -68,7 +68,7 @@ def test_fig16b_energy_savings_at_minimum_voltage(benchmark):
         baseline = overall_evaluation({"clean": JARVIS_PLAIN}, tasks,
                                       {"clean": CreateConfig(ad=False, wr=False)},
                                       num_trials=trials, seed=0,
-                                      jobs=num_jobs())["clean"]
+                                      **engine_kwargs())["clean"]
         rows = []
         configs = {
             "AD": (JARVIS_PLAIN, CreateConfig(ad=True, wr=False)),
@@ -81,7 +81,7 @@ def test_fig16b_energy_savings_at_minimum_voltage(benchmark):
                 voltage, summaries = minimum_voltage_search(
                     system, task, config, num_trials=trials, seed=0,
                     voltages=[0.80, 0.77, 0.74], success_threshold=0.75,
-                    jobs=num_jobs())
+                    **engine_kwargs())
                 best = summaries.get(voltage)
                 if best is None:
                     continue

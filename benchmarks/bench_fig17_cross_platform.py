@@ -1,6 +1,6 @@
 """Fig. 17: cross-platform generality (OpenVLA, RoboFlamingo planners; Octo, RT-1 controllers)."""
 
-from common import controller_platform_key, num_jobs, num_trials, planner_platform_key, run_once
+from common import controller_platform_key, engine_kwargs, num_trials, planner_platform_key, run_once
 
 from repro.eval import banner, format_table
 from repro.eval.experiments import cross_platform_controller_eval, cross_platform_planner_eval
@@ -21,7 +21,7 @@ def test_fig17a_planner_platforms(benchmark):
             rotated = planner_platform_key(name, rotated=True)
             results[name] = cross_platform_planner_eval(plain, rotated, tasks,
                                                         voltage=0.78, num_trials=trials,
-                                                        seed=0, jobs=num_jobs())
+                                                        seed=0, **engine_kwargs())
         return results
 
     results = run_once(benchmark, run)
@@ -45,7 +45,7 @@ def test_fig17b_controller_platforms(benchmark):
             system = controller_platform_key(name)
             results[name] = cross_platform_controller_eval(system, tasks,
                                                            num_trials=trials, seed=0,
-                                                           jobs=num_jobs())
+                                                           **engine_kwargs())
         return results
 
     results = run_once(benchmark, run)

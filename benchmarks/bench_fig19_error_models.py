@@ -1,6 +1,6 @@
 """Fig. 19: uniform vs. hardware-specific error models give consistent trends."""
 
-from common import JARVIS_PLAIN, num_jobs, num_trials, run_once
+from common import JARVIS_PLAIN, engine_kwargs, num_trials, run_once
 
 from repro.eval import banner, format_table
 from repro.eval.experiments import error_model_comparison
@@ -14,11 +14,11 @@ def test_fig19_uniform_vs_hardware_error_model(benchmark):
             "planner": error_model_comparison(JARVIS_PLAIN, "wooden", "planner",
                                               voltages=[0.80, 0.775, 0.75],
                                               num_trials=trials, seed=0,
-                                              jobs=num_jobs()),
+                                              **engine_kwargs()),
             "controller": error_model_comparison(JARVIS_PLAIN, "wooden", "controller",
                                                  voltages=[0.775, 0.75, 0.725],
                                                  num_trials=trials, seed=0,
-                                                 jobs=num_jobs()),
+                                                 **engine_kwargs()),
         }
 
     results = run_once(benchmark, run)

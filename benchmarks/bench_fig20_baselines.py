@@ -1,6 +1,6 @@
 """Fig. 20: CREATE vs. existing techniques (DMR, ThUnderVolt, ABFT)."""
 
-from common import JARVIS_PLAIN, JARVIS_ROTATED, num_jobs, num_trials, run_once
+from common import JARVIS_PLAIN, JARVIS_ROTATED, engine_kwargs, num_trials, run_once
 
 from repro.eval import banner, format_table
 from repro.eval.experiments import baseline_comparison
@@ -12,7 +12,7 @@ def test_fig20_comparison_with_existing_techniques(benchmark):
     def run():
         return baseline_comparison(JARVIS_PLAIN, JARVIS_ROTATED, "wooden",
                                    voltages=[0.85, 0.80, 0.775, 0.75],
-                                   num_trials=trials, seed=0, jobs=num_jobs())
+                                   num_trials=trials, seed=0, **engine_kwargs())
 
     results = run_once(benchmark, run)
     print()

@@ -1,7 +1,7 @@
 """Fig. 21: entropy-to-voltage mapping policies and the candidate search."""
 
 import numpy as np
-from common import JARVIS_PLAIN, num_jobs, num_trials, run_once
+from common import JARVIS_PLAIN, engine_kwargs, num_trials, run_once
 
 from repro.core import REFERENCE_POLICIES, generate_candidate_policies
 from repro.eval import banner, format_table
@@ -26,7 +26,7 @@ def test_fig21_policy_search_pareto_front(benchmark):
     def run():
         evaluations = vs_evaluation(JARVIS_PLAIN, "wooden", policies=candidates,
                                     constant_voltages=[], num_trials=num_trials(4), seed=0,
-                                    jobs=num_jobs())
+                                    **engine_kwargs())
         success = np.array([e.success_rate for e in evaluations])
         voltage = np.array([e.effective_voltage for e in evaluations])
         return evaluations, pareto_front(success, voltage)

@@ -1,6 +1,6 @@
 """Table 5: measured success rate versus the number of repetitions."""
 
-from common import JARVIS_PLAIN, num_jobs, num_trials, run_once
+from common import JARVIS_PLAIN, engine_kwargs, num_trials, run_once
 
 from repro.eval import banner, format_table
 from repro.eval.experiments import repetition_study
@@ -12,7 +12,7 @@ def test_table5_success_rate_vs_repetitions(benchmark):
 
     def run():
         return repetition_study(JARVIS_PLAIN, "wooden", ber=6e-4,
-                                repetition_counts=counts, seed=0, jobs=num_jobs())
+                                repetition_counts=counts, seed=0, **engine_kwargs())
 
     rates = run_once(benchmark, run)
     print()

@@ -1,6 +1,6 @@
 """Table 6: AD+WR planner robustness under INT8 vs. INT4 quantization."""
 
-from common import num_jobs, num_trials, run_once
+from common import engine_kwargs, num_trials, run_once
 
 from repro.eval import banner, format_table
 from repro.eval.experiments import quantization_study
@@ -11,7 +11,7 @@ def test_table6_int8_vs_int4_with_ad_wr(benchmark):
 
     def run():
         return quantization_study(None, "stone", bers,
-                                  num_trials=num_trials(8), seed=0, jobs=num_jobs())
+                                  num_trials=num_trials(8), seed=0, **engine_kwargs())
 
     results = run_once(benchmark, run)
     print()

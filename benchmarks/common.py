@@ -9,7 +9,11 @@ Trial counts default to quick-but-meaningful values so the whole suite runs in
 minutes on a laptop; set ``REPRO_BENCH_TRIALS`` (e.g. to 100, the paper's
 repetition count) for tighter confidence intervals.  Trial-loop experiments
 run through the campaign engine; set ``REPRO_BENCH_JOBS`` to fan the trials
-out over that many worker processes.
+out over that many worker processes and ``REPRO_BENCH_BATCH`` to group that
+many (condition, seed) cells per worker task (unset = auto-tuned), e.g.::
+
+    REPRO_BENCH_TRIALS=100 REPRO_BENCH_JOBS=8 REPRO_BENCH_BATCH=16 \
+      PYTHONPATH=src python -m pytest benchmarks/bench_fig16_overall.py -q
 
 Systems are referenced by their registry keys (see
 :mod:`repro.agents.registry`) so campaign workers can rebuild them; the
@@ -36,6 +40,25 @@ def num_trials(default: int = 12) -> int:
 def num_jobs(default: int = 1) -> int:
     """Worker processes used by campaign-driven experiments."""
     return int(os.environ.get("REPRO_BENCH_JOBS", default))
+
+
+def num_batch(default: int | None = None) -> int | None:
+    """Cells per worker task; unset, empty, or ``<= 0`` means auto-tune."""
+    value = os.environ.get("REPRO_BENCH_BATCH")
+    if not value or int(value) < 1:
+        return default
+    return int(value)
+
+
+def engine_kwargs(**overrides) -> dict:
+    """Campaign-engine keyword arguments shared by trial-loop benchmarks.
+
+    Returns ``{"jobs": ..., "batch": ...}`` from the ``REPRO_BENCH_*``
+    environment; pass keyword overrides (e.g. ``out=...``) to extend it.
+    """
+    kwargs = {"jobs": num_jobs(), "batch": num_batch()}
+    kwargs.update(overrides)
+    return kwargs
 
 
 def jarvis_plain():

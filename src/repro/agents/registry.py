@@ -21,6 +21,17 @@ Built-in keys cover every platform of the paper::
 
 ``register_system`` adds custom factories (e.g. for tests); ``get_system``
 builds lazily and caches one instance per key per process.
+
+Keys double as the ``system`` column of persistent run tables (see
+``docs/runtable-schema.md``), so they must stay *stable across processes
+and sessions*: resuming a campaign matches rows by the spec key derived
+from, among other things, this string.  Rename a key and previously
+persisted campaigns will re-execute its cells under the new name.
+
+Custom factories and parallel campaigns: pool workers started with the
+``fork`` method inherit ``register_system`` additions from the parent
+process; on spawn-only platforms workers re-import this module fresh and
+can only rebuild the :data:`BUILTIN_SYSTEM_KEYS`.
 """
 
 from __future__ import annotations
@@ -82,7 +93,16 @@ _SYSTEM_CACHE: dict[str, EmbodiedSystem] = {}
 
 def register_system(key: str, factory: Callable[[], EmbodiedSystem],
                     overwrite: bool = False) -> None:
-    """Register a custom system factory under ``key``."""
+    """Register a custom system factory under ``key``.
+
+    ``factory`` must be a zero-argument callable returning a fully deployed
+    :class:`EmbodiedSystem`; it should be *deterministic* (same weights and
+    calibration every call), because campaign workers rebuild the system
+    independently and the serial==parallel guarantee of the campaign engine
+    rests on every rebuild behaving identically.  Registering an existing
+    key raises unless ``overwrite=True``; either way the per-process
+    instance cache for ``key`` is dropped.
+    """
     if key in SYSTEM_FACTORIES and not overwrite:
         raise KeyError(f"system key {key!r} already registered")
     SYSTEM_FACTORIES[key] = factory
@@ -90,12 +110,20 @@ def register_system(key: str, factory: Callable[[], EmbodiedSystem],
 
 
 def system_keys() -> list[str]:
-    """All registered system keys."""
+    """All registered system keys, sorted (built-ins plus custom additions)."""
     return sorted(SYSTEM_FACTORIES)
 
 
 def get_system(key: str) -> EmbodiedSystem:
-    """Build (or fetch the per-process cached) system for ``key``."""
+    """Build (or fetch the per-process cached) system for ``key``.
+
+    The first call per process runs the factory — for the built-in systems
+    that trains-or-loads the surrogates through the on-disk model cache and
+    deploys them quantized — and memoizes the instance; later calls are
+    dictionary lookups.  Campaign pool workers rely on this cache so a
+    worker builds each system at most once per campaign.  Unknown keys
+    raise ``KeyError`` listing the registered alternatives.
+    """
     if key not in _SYSTEM_CACHE:
         try:
             factory = SYSTEM_FACTORIES[key]

@@ -7,11 +7,18 @@ Five subcommands cover the workflows a downstream user needs most often::
     python -m repro.cli mission --task wooden         # run protected missions
     python -m repro.cli characterize --target planner # BER sweep on one model
     python -m repro.cli campaign ad-controller        # declarative experiment campaigns
+    python -m repro.cli campaign paper --out runs/paper --jobs 8   # the whole paper
 
 ``mission``, ``characterize`` and ``campaign`` execute through the campaign
 engine (:mod:`repro.eval.campaign`): ``--jobs N`` fans trials out over worker
-processes and ``--out DIR`` persists the run table so re-runs only execute
-missing (condition, seed) cells.
+processes, ``--batch K`` groups several (condition, seed) cells per worker
+task (default: auto-tuned), and ``--out DIR`` streams the run table to disk
+as cells complete, so re-runs — including runs interrupted mid-campaign —
+only execute missing cells.
+
+The ``campaign paper`` preset chains every figure/table preset into one
+resumable full-paper sweep directory (one subdirectory per preset); see
+``docs/campaigns.md`` for the preset-to-figure map.
 
 The first invocation of a trial-running subcommand trains and caches the
 surrogate models (a few minutes); later invocations are fast.
@@ -24,7 +31,7 @@ import sys
 
 import numpy as np
 
-__all__ = ["build_parser", "main", "CAMPAIGN_PRESETS"]
+__all__ = ["build_parser", "main", "CAMPAIGN_PRESETS", "PAPER_PRESET_CHAIN"]
 
 #: Presets of the ``campaign`` subcommand and the figure/table they regenerate.
 CAMPAIGN_PRESETS = {
@@ -37,7 +44,12 @@ CAMPAIGN_PRESETS = {
     "baselines": "CREATE vs. DMR / ThUnderVolt / ABFT (Fig. 20)",
     "repetitions": "success rate vs. repetition count (Table 5)",
     "quantization": "INT8 vs. INT4 planner robustness (Table 6)",
+    "paper": "chain every preset above into one resumable full-paper sweep",
 }
+
+#: Order in which ``campaign paper`` chains the single-figure presets.
+PAPER_PRESET_CHAIN = ("ad-planner", "ad-controller", "wr", "vs", "interval",
+                      "overall", "baselines", "repetitions", "quantization")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,9 +68,13 @@ def build_parser() -> argparse.ArgumentParser:
     def add_engine_args(sub):
         sub.add_argument("--jobs", type=positive_int, default=1,
                          help="worker processes for trial execution (default: 1)")
+        sub.add_argument("--batch", type=positive_int, default=None, metavar="K",
+                         help="cells per worker task; amortizes IPC for short "
+                              "trials (default: auto-tuned, ~4 batches/worker)")
         sub.add_argument("--out", default=None, metavar="DIR",
-                         help="directory for the persistent run table; re-runs "
-                              "resume from it and only execute missing trials")
+                         help="directory for the persistent run table; rows are "
+                              "streamed to it as trials complete, and re-runs "
+                              "resume from it, only executing missing trials")
 
     mission = subparsers.add_parser(
         "mission", help="run repeated task missions under a CREATE configuration")
@@ -92,8 +108,13 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign",
         help="run a declarative experiment campaign (parallel, resumable)",
         description="Run one of the paper's experiment campaigns through the "
-                    "campaign engine.  With --out, the run table is persisted "
-                    "and re-runs only execute missing (condition, seed) cells.")
+                    "campaign engine.  With --out, the run table is streamed "
+                    "to disk as trials complete and re-runs only execute "
+                    "missing (condition, seed) cells.  The 'paper' preset "
+                    "chains every other preset into one resumable sweep "
+                    "directory.",
+        epilog="presets: " + "; ".join(f"{name} = {desc}"
+                                       for name, desc in sorted(CAMPAIGN_PRESETS.items())))
     campaign.add_argument("preset", choices=sorted(CAMPAIGN_PRESETS),
                           help="which experiment campaign to run")
     campaign.add_argument("--task", default="wooden", help="task name (default: wooden)")
@@ -114,6 +135,11 @@ def build_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 # Subcommand implementations
 # ----------------------------------------------------------------------
+def _engine_kwargs(args) -> dict:
+    """Campaign-engine keyword arguments shared by the trial subcommands."""
+    return {"jobs": args.jobs, "out": args.out, "batch": args.batch}
+
+
 def _run_mission(args) -> int:
     from .core import CreateConfig, default_policy
     from .eval import format_table
@@ -131,8 +157,8 @@ def _run_mission(args) -> int:
                      task=args.task, num_trials=args.trials, seed=args.seed,
                      planner_protection=config.planner_protection(),
                      controller_protection=config.controller_protection())
-    result = run_campaign([spec], jobs=args.jobs, out=args.out,
-                          name=slugify(f"mission-{args.task}"))
+    result = run_campaign([spec], name=slugify(f"mission-{args.task}"),
+                          **_engine_kwargs(args))
     summary = result.summary(spec.condition)
     print(format_table(["metric", "value"],
                        list(summary.as_dict().items()),
@@ -145,6 +171,8 @@ def _report_run_table(result) -> None:
     if result.csv_path is not None:
         print(f"run table: {result.csv_path} "
               f"({result.executed_trials} new trials, {len(result.table)} total)")
+    if result.executed_trials:
+        print(f"profile: {result.profile().format()}")
 
 
 def _run_characterize(args) -> int:
@@ -152,7 +180,7 @@ def _run_characterize(args) -> int:
 
     sweep = ber_sweep("jarvis", args.task, list(args.bers), target=args.target,
                       num_trials=args.trials, seed=args.seed, anomaly_detection=args.ad,
-                      jobs=args.jobs, out=args.out)
+                      **_engine_kwargs(args))
     print(format_sweep({sweep.label: sweep}, "success_rate",
                        title=f"{args.target} success rate vs. BER on {args.task!r}"))
     print(format_sweep({sweep.label: sweep}, "average_steps", title="average steps"))
@@ -177,6 +205,7 @@ _PRESET_USED_OPTIONS = {
     "baselines": {"task"},
     "repetitions": {"task", "bers"},
     "quantization": {"task", "bers"},
+    "paper": {"task", "tasks", "bers"},
 }
 
 
@@ -189,90 +218,173 @@ def _warn_ignored_options(args) -> None:
             print(f"note: --{option} is not used by the {args.preset!r} preset; ignoring it")
 
 
-def _run_campaign(args) -> int:
-    from .core import CreateConfig, default_policy
-    from .eval import experiments, format_sweep, format_table
+# ----------------------------------------------------------------------
+# Campaign presets (one runner per figure/table, plus the chained paper sweep)
+# ----------------------------------------------------------------------
+def _preset_ad(args, engine) -> None:
+    from .eval import experiments, format_sweep
 
-    _warn_ignored_options(args)
-    engine = {"jobs": args.jobs, "out": args.out}
-    preset = args.preset
-    if preset in ("ad-planner", "ad-controller"):
-        target = preset.removeprefix("ad-")
-        sweeps = experiments.ad_evaluation("jarvis", args.task, list(args.bers),
-                                           target=target, num_trials=args.trials,
+    target = args.preset.removeprefix("ad-")
+    sweeps = experiments.ad_evaluation("jarvis", args.task, list(args.bers),
+                                       target=target, num_trials=args.trials,
+                                       seed=args.seed, **engine)
+    print(format_sweep(sweeps, "success_rate",
+                       title=f"AD on the {target}: success rate on {args.task!r}"))
+
+
+def _preset_wr(args, engine) -> None:
+    from .eval import experiments, format_sweep
+
+    sweeps = experiments.wr_evaluation("jarvis", "jarvis-rotated", args.task,
+                                       list(args.bers), num_trials=args.trials,
+                                       seed=args.seed, **engine)
+    print(format_sweep(sweeps, "success_rate",
+                       title=f"WR on the planner: success rate on {args.task!r}"))
+
+
+def _preset_vs(args, engine) -> None:
+    from .eval import experiments, format_table
+
+    evaluations = experiments.vs_evaluation("jarvis", args.task,
+                                            num_trials=args.trials,
+                                            seed=args.seed, **engine)
+    rows = [[e.policy.name, e.success_rate, e.effective_voltage,
+             e.summary.mean_energy_j * 1e3] for e in evaluations]
+    print(format_table(["policy", "success rate", "effective V", "energy (mJ)"],
+                       rows, title=f"voltage-scaling policies on {args.task!r}"))
+
+
+def _preset_interval(args, engine) -> None:
+    from .eval import experiments, format_table
+
+    summaries = experiments.interval_sweep("jarvis", args.task,
+                                           num_trials=args.trials,
                                            seed=args.seed, **engine)
-        print(format_sweep(sweeps, "success_rate",
-                           title=f"AD on the {target}: success rate on {args.task!r}"))
-    elif preset == "wr":
-        sweeps = experiments.wr_evaluation("jarvis", "jarvis-rotated", args.task,
-                                           list(args.bers), num_trials=args.trials,
-                                           seed=args.seed, **engine)
-        print(format_sweep(sweeps, "success_rate",
-                           title=f"WR on the planner: success rate on {args.task!r}"))
-    elif preset == "vs":
-        evaluations = experiments.vs_evaluation("jarvis", args.task,
-                                                num_trials=args.trials,
-                                                seed=args.seed, **engine)
-        rows = [[e.policy.name, e.success_rate, e.effective_voltage,
-                 e.summary.mean_energy_j * 1e3] for e in evaluations]
-        print(format_table(["policy", "success rate", "effective V", "energy (mJ)"],
-                           rows, title=f"voltage-scaling policies on {args.task!r}"))
-    elif preset == "interval":
-        summaries = experiments.interval_sweep("jarvis", args.task,
-                                               num_trials=args.trials,
-                                               seed=args.seed, **engine)
-        rows = [[interval, s.success_rate, s.effective_voltage]
-                for interval, s in summaries.items()]
-        print(format_table(["update interval", "success rate", "effective V"], rows,
-                           title=f"VS update-interval sensitivity on {args.task!r}"))
-    elif preset == "overall":
-        tasks = args.tasks or ([args.task] if args.task != "wooden"
-                               else ["wooden", "stone", "chicken", "seed"])
-        configs = {
-            "unprotected": CreateConfig(ad=False, wr=False),
-            "AD": CreateConfig(ad=True, wr=False),
-            "AD+WR": CreateConfig(ad=True, wr=True),
-            "AD+WR+VS": CreateConfig(ad=True, wr=True, vs_policy=default_policy()),
-        }
-        systems = {"unprotected": "jarvis", "AD": "jarvis",
-                   "AD+WR": "jarvis-rotated", "AD+WR+VS": "jarvis-rotated"}
-        results = experiments.overall_evaluation(systems, tasks, configs,
-                                                 num_trials=args.trials,
-                                                 seed=args.seed, **engine)
-        rows = [[task] + [results[label].per_task[task].success_rate
-                          for label in configs] for task in tasks]
-        rows.append(["mean energy (mJ)"] + [results[label].mean_energy() * 1e3
-                                            for label in configs])
-        print(format_table(["task"] + list(configs), rows,
-                           title="overall evaluation (Fig. 16a)"))
-    elif preset == "baselines":
-        results = experiments.baseline_comparison("jarvis", "jarvis-rotated", args.task,
-                                                  num_trials=args.trials,
-                                                  seed=args.seed, **engine)
-        voltages = sorted(results["create"], reverse=True)
-        rows = [[v] + [results[arm][v]["success_rate"] for arm in results]
-                for v in voltages]
-        print(format_table(["voltage (V)"] + list(results), rows,
-                           title=f"baseline comparison on {args.task!r} (success rate)"))
-    elif preset == "repetitions":
-        counts = sorted({max(1, args.trials // 4), max(1, args.trials // 2), args.trials})
-        rates = experiments.repetition_study("jarvis", args.task, ber=args.bers[0],
-                                             repetition_counts=counts,
+    rows = [[interval, s.success_rate, s.effective_voltage]
+            for interval, s in summaries.items()]
+    print(format_table(["update interval", "success rate", "effective V"], rows,
+                       title=f"VS update-interval sensitivity on {args.task!r}"))
+
+
+def _preset_overall(args, engine) -> None:
+    from .core import CreateConfig, default_policy
+    from .eval import experiments, format_table
+
+    tasks = args.tasks or ([args.task] if args.task != "wooden"
+                           else ["wooden", "stone", "chicken", "seed"])
+    configs = {
+        "unprotected": CreateConfig(ad=False, wr=False),
+        "AD": CreateConfig(ad=True, wr=False),
+        "AD+WR": CreateConfig(ad=True, wr=True),
+        "AD+WR+VS": CreateConfig(ad=True, wr=True, vs_policy=default_policy()),
+    }
+    systems = {"unprotected": "jarvis", "AD": "jarvis",
+               "AD+WR": "jarvis-rotated", "AD+WR+VS": "jarvis-rotated"}
+    results = experiments.overall_evaluation(systems, tasks, configs,
+                                             num_trials=args.trials,
                                              seed=args.seed, **engine)
-        print(format_table(["repetitions", "success rate"], list(rates.items()),
-                           title=f"repetition study on {args.task!r} "
-                                 f"(BER {args.bers[0]:.0e})"))
-    elif preset == "quantization":
-        results = experiments.quantization_study(None, args.task, list(args.bers),
-                                                 num_trials=args.trials,
-                                                 seed=args.seed, **engine)
-        labels = list(results)
-        rows = [[f"{ber:.0e}"] + [results[label][ber] for label in labels]
-                for ber in args.bers]
-        print(format_table(["planner BER"] + labels, rows,
-                           title=f"quantization study on {args.task!r}"))
-    else:  # pragma: no cover - argparse restricts the choices
-        raise ValueError(f"unknown preset {preset!r}")
+    rows = [[task] + [results[label].per_task[task].success_rate
+                      for label in configs] for task in tasks]
+    rows.append(["mean energy (mJ)"] + [results[label].mean_energy() * 1e3
+                                        for label in configs])
+    print(format_table(["task"] + list(configs), rows,
+                       title="overall evaluation (Fig. 16a)"))
+
+
+def _preset_baselines(args, engine) -> None:
+    from .eval import experiments, format_table
+
+    results = experiments.baseline_comparison("jarvis", "jarvis-rotated", args.task,
+                                              num_trials=args.trials,
+                                              seed=args.seed, **engine)
+    voltages = sorted(results["create"], reverse=True)
+    rows = [[v] + [results[arm][v]["success_rate"] for arm in results]
+            for v in voltages]
+    print(format_table(["voltage (V)"] + list(results), rows,
+                       title=f"baseline comparison on {args.task!r} (success rate)"))
+
+
+def _preset_repetitions(args, engine) -> None:
+    from .eval import experiments, format_table
+
+    counts = sorted({max(1, args.trials // 4), max(1, args.trials // 2), args.trials})
+    rates = experiments.repetition_study("jarvis", args.task, ber=args.bers[0],
+                                         repetition_counts=counts,
+                                         seed=args.seed, **engine)
+    print(format_table(["repetitions", "success rate"], list(rates.items()),
+                       title=f"repetition study on {args.task!r} "
+                             f"(BER {args.bers[0]:.0e})"))
+
+
+def _preset_quantization(args, engine) -> None:
+    from .eval import experiments, format_table
+
+    results = experiments.quantization_study(None, args.task, list(args.bers),
+                                             num_trials=args.trials,
+                                             seed=args.seed, **engine)
+    labels = list(results)
+    rows = [[f"{ber:.0e}"] + [results[label][ber] for label in labels]
+            for ber in args.bers]
+    print(format_table(["planner BER"] + labels, rows,
+                       title=f"quantization study on {args.task!r}"))
+
+
+#: Preset name -> ``runner(args, engine_kwargs)`` printing its figure/table.
+_PRESET_RUNNERS = {
+    "ad-planner": _preset_ad,
+    "ad-controller": _preset_ad,
+    "wr": _preset_wr,
+    "vs": _preset_vs,
+    "interval": _preset_interval,
+    "overall": _preset_overall,
+    "baselines": _preset_baselines,
+    "repetitions": _preset_repetitions,
+    "quantization": _preset_quantization,
+}
+
+
+def _run_paper(args) -> int:
+    """Chain every single-figure preset into one resumable full-paper sweep.
+
+    Each preset runs in its own subdirectory of ``--out`` (so run-table names
+    can never collide) and through the same streaming/resumable engine, which
+    makes the whole sweep interruptible: re-running the identical command
+    picks up exactly where the previous run stopped.
+    """
+    from pathlib import Path
+
+    from .eval.campaign import collect_results
+
+    total_executed = total_rows = 0
+    for index, preset in enumerate(PAPER_PRESET_CHAIN, start=1):
+        sub = argparse.Namespace(**vars(args))
+        sub.preset = preset
+        engine = _engine_kwargs(args)
+        if args.out is not None:
+            engine["out"] = str(Path(args.out) / preset)
+        print(f"[paper {index}/{len(PAPER_PRESET_CHAIN)}] {preset}: "
+              f"{CAMPAIGN_PRESETS[preset]}")
+        with collect_results() as results:
+            _PRESET_RUNNERS[preset](sub, engine)
+        executed = sum(r.executed_trials for r in results)
+        rows = sum(len(r.table) for r in results)
+        total_executed += executed
+        total_rows += rows
+        print(f"[paper {index}/{len(PAPER_PRESET_CHAIN)}] {preset}: "
+              f"{executed} new trials, {rows} total rows\n")
+    print(f"paper sweep complete: {total_executed} new trials, "
+          f"{total_rows} run-table rows across {len(PAPER_PRESET_CHAIN)} presets")
+    if args.out is not None:
+        print(f"run tables written under {args.out} (one subdirectory per preset); "
+              "re-run the same command to resume after an interruption")
+    return 0
+
+
+def _run_campaign(args) -> int:
+    _warn_ignored_options(args)
+    if args.preset == "paper":
+        return _run_paper(args)
+    _PRESET_RUNNERS[args.preset](args, _engine_kwargs(args))
     if args.out is not None:
         print(f"run tables written under {args.out}")
     return 0

@@ -2,14 +2,18 @@
 
 from .metrics import TrialSummary, confidence_interval, energy_savings_percent, summarize_trials
 from .campaign import (
+    CampaignProfile,
     CampaignResult,
     CampaignRunner,
+    ProfileBucket,
     TrialSpec,
+    collect_results,
     protection_signature,
     run_campaign,
     system_ref,
 )
-from .runtable import RunRecord, RunTable, record_from_trial, summarize_records
+from .runtable import (RunRecord, RunTable, RunTableWriter, record_from_trial,
+                       summarize_records)
 from .resilience import (
     PLANNER_CHARACTERIZATION_EXPOSURE,
     SweepPoint,
@@ -28,11 +32,15 @@ __all__ = [
     "TrialSpec",
     "CampaignRunner",
     "CampaignResult",
+    "CampaignProfile",
+    "ProfileBucket",
+    "collect_results",
     "run_campaign",
     "system_ref",
     "protection_signature",
     "RunRecord",
     "RunTable",
+    "RunTableWriter",
     "record_from_trial",
     "summarize_records",
     "confidence_interval",

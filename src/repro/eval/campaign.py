@@ -1,4 +1,5 @@
-"""Declarative trial campaigns: parallel execution with persistent run tables.
+"""Declarative trial campaigns: parallel, batched, streaming execution with
+persistent run tables.
 
 This is the experiment platform behind every trial-loop study in
 :mod:`repro.eval.experiments` and :mod:`repro.eval.resilience`.  An experiment
@@ -7,42 +8,69 @@ seed, planner/controller :class:`~repro.core.create.ProtectionConfig` — and a
 :class:`CampaignRunner` executes the (spec, seed) cells:
 
 * **deterministically** — every trial is a pure function of (system, task,
-  seed, protections), so serial and parallel execution produce bit-identical
-  run tables;
+  seed, protections), so serial, parallel, and batched execution produce
+  bit-identical canonical run tables;
 * **in parallel** — cells are distributed over a
   :class:`~concurrent.futures.ProcessPoolExecutor`; workers rebuild systems
   from the picklable factory keys of :mod:`repro.agents.registry` and cache
   them per process (deployed systems are deliberately never pickled);
-* **incrementally** — with an output directory, the run table is persisted as
-  CSV/JSON and re-runs only execute the missing (spec, seed) cells.
+* **in batches** — several cells ride in one worker task (``batch=`` knob,
+  auto-tuned by default) so very short trials amortize process-pool IPC;
+  batching groups cells without reordering or reseeding them, so it cannot
+  change results;
+* **streamed to disk** — with an output directory, completed rows are
+  appended to ``<out>/<name>.csv`` *as they finish* (flushed per row), so a
+  campaign killed mid-flight leaves a crash-safe partial table behind;
+* **incrementally** — re-runs load the persisted table (tolerating a torn
+  final row from a crash) and only execute the missing (spec, seed) cells.
+
+Each executed cell is also timed and attributed to its worker process; the
+profile lands in the ``wall_time_s`` / ``worker_id`` columns of the in-memory
+:class:`~repro.eval.runtable.RunRecord` rows, in the append-only
+``<out>/profiles/<name>.csv`` sidecar, and in the
+:meth:`CampaignResult.profile` summary.  Profile columns are *excluded* from
+the canonical ``<name>.csv`` / ``<name>.json`` files — wall time depends on
+machine load, and the canonical files must stay byte-identical across
+serial/parallel/batched runs.
 
 Systems may also be passed as live :class:`~repro.agents.EmbodiedSystem` /
 :class:`~repro.agents.MissionExecutor` objects (``systems=`` mapping); those
 run in-process, which restricts the campaign to serial execution.
+
+See ``docs/campaigns.md`` for a walkthrough and ``docs/runtable-schema.md``
+for the on-disk format.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import contextlib
 import hashlib
 import json
-from dataclasses import dataclass, is_dataclass, asdict
+import time
+from dataclasses import dataclass, is_dataclass, asdict, replace
 from pathlib import Path
-from typing import Mapping, Sequence, Union
+from typing import Callable, Iterator, Mapping, Sequence, Union
 
 from ..agents.executor import MissionExecutor
 from ..agents.jarvis import EmbodiedSystem
 from ..core.create import ProtectionConfig
 from ..core.voltage_scaling import VoltageScalingConfig
 from .metrics import TrialSummary
-from .runtable import RunRecord, RunTable, record_from_trial, summarize_records
+from .runtable import (RunRecord, RunTable, RunTableWriter, record_from_trial,
+                       summarize_records)
 
 __all__ = ["TrialSpec", "CampaignResult", "CampaignRunner", "run_campaign",
+           "CampaignProfile", "ProfileBucket", "collect_results",
            "protection_signature", "system_ref", "merge_overrides", "slugify",
            "SystemLike"]
 
 #: Anything an experiment accepts as "the system under test".
 SystemLike = Union[str, EmbodiedSystem, MissionExecutor]
+
+#: Largest batch the auto-tuner will pick; keeps streaming granular even for
+#: huge campaigns (a batch only reaches the parent — and the disk — whole).
+_MAX_AUTO_BATCH = 32
 
 
 def slugify(text: str) -> str:
@@ -79,7 +107,14 @@ def _vs_signature(scaling: VoltageScalingConfig | None) -> str:
 
 
 def protection_signature(protection: ProtectionConfig | None) -> str:
-    """Canonical, collision-resistant description of a protection config."""
+    """Canonical, collision-resistant description of a protection config.
+
+    The signature feeds :meth:`TrialSpec.key`, which keys run-table rows: two
+    protections with any observable difference (voltage, error model, AD flag,
+    VS policy/interval/source, target components, exposure, injector kind)
+    must produce different signatures, or resume would silently reuse rows
+    from the wrong condition.
+    """
     if protection is None:
         return "default"
     return ";".join([
@@ -122,9 +157,11 @@ class TrialSpec:
             raise ValueError("num_trials must be positive")
 
     def seeds(self) -> range:
+        """The seeds of this spec's cells, one per trial."""
         return range(self.seed, self.seed + self.num_trials)
 
     def signature(self) -> str:
+        """Human-readable identity of the condition (everything but trial count)."""
         return "|".join([
             self.condition, self.system, self.task,
             protection_signature(self.planner_protection),
@@ -133,6 +170,7 @@ class TrialSpec:
         ])
 
     def key(self) -> str:
+        """Short stable hash of :meth:`signature`; the run table's ``spec_key``."""
         return hashlib.sha1(self.signature().encode()).hexdigest()[:16]
 
     def params_json(self) -> str:
@@ -200,27 +238,139 @@ class _Cell:
     params: str
 
 
+def _worker_id() -> str:
+    import multiprocessing
+
+    return multiprocessing.current_process().name
+
+
 def _run_cell(cell: _Cell, executor: MissionExecutor) -> RunRecord:
+    """Execute one cell and stamp its wall time and worker attribution."""
+    start = time.perf_counter()
     trial = executor.run_trial(cell.task, seed=cell.seed,
                                planner_protection=cell.planner_protection,
                                controller_protection=cell.controller_protection)
-    return record_from_trial(trial, spec_key=cell.spec_key, condition=cell.condition,
-                             system=cell.system, task=cell.task, seed=cell.seed,
-                             trial_index=cell.trial_index, params=cell.params)
+    wall_time = time.perf_counter() - start
+    record = record_from_trial(trial, spec_key=cell.spec_key, condition=cell.condition,
+                               system=cell.system, task=cell.task, seed=cell.seed,
+                               trial_index=cell.trial_index, params=cell.params)
+    return replace(record, wall_time_s=wall_time, worker_id=_worker_id())
 
 
 _WORKER_EXECUTORS: dict[str, MissionExecutor] = {}
 
 
-def _pool_run_cell(cell: _Cell) -> RunRecord:
-    """Worker entry point: rebuild the system from the registry, then run."""
-    executor = _WORKER_EXECUTORS.get(cell.system)
-    if executor is None:
-        from ..agents.registry import get_system
+def _pool_run_batch(cells: tuple[_Cell, ...]) -> list[RunRecord]:
+    """Worker entry point: run a batch of cells on this worker's cached systems.
 
-        executor = get_system(cell.system).executor()
-        _WORKER_EXECUTORS[cell.system] = executor
-    return _run_cell(cell, executor)
+    Cells arrive in campaign order and run in that order; every trial is
+    seeded by its own cell, so batch composition cannot change results — it
+    only amortizes the per-task pickle/IPC cost over ``len(cells)`` trials.
+    """
+    records = []
+    for cell in cells:
+        executor = _WORKER_EXECUTORS.get(cell.system)
+        if executor is None:
+            from ..agents.registry import get_system
+
+            executor = get_system(cell.system).executor()
+            _WORKER_EXECUTORS[cell.system] = executor
+        records.append(_run_cell(cell, executor))
+    return records
+
+
+# ----------------------------------------------------------------------
+# Profiling
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProfileBucket:
+    """Aggregate of the cells attributed to one worker or condition."""
+
+    cells: int
+    wall_time_s: float
+
+
+@dataclass(frozen=True)
+class CampaignProfile:
+    """Execution profile of one campaign run (only the cells it executed).
+
+    Rows loaded from a resumed table carry no timing (``wall_time_s`` is NaN)
+    and count as ``cached_trials``; everything else aggregates the freshly
+    executed cells recorded in the run table's profile columns.
+    """
+
+    executed_trials: int
+    cached_trials: int
+    total_wall_time_s: float
+    mean_cell_wall_time_s: float
+    max_cell_wall_time_s: float
+    per_worker: dict[str, ProfileBucket]
+    per_condition: dict[str, ProfileBucket]
+
+    def format(self) -> str:
+        """Multi-line human-readable summary (used by the CLI)."""
+        lines = [f"executed {self.executed_trials} cells "
+                 f"({self.cached_trials} cached) in "
+                 f"{self.total_wall_time_s:.2f} s of worker time; "
+                 f"mean {self.mean_cell_wall_time_s:.3f} s/cell, "
+                 f"max {self.max_cell_wall_time_s:.3f} s"]
+        for worker in sorted(self.per_worker):
+            bucket = self.per_worker[worker]
+            lines.append(f"  {worker}: {bucket.cells} cells, "
+                         f"{bucket.wall_time_s:.2f} s")
+        return "\n".join(lines)
+
+
+def _profile_records(records: Sequence[RunRecord]) -> CampaignProfile:
+    executed = [r for r in records if r.profiled()]
+    times = [r.wall_time_s for r in executed]
+    per_worker: dict[str, list[float]] = {}
+    per_condition: dict[str, list[float]] = {}
+    for record in executed:
+        per_worker.setdefault(record.worker_id, []).append(record.wall_time_s)
+        per_condition.setdefault(record.condition, []).append(record.wall_time_s)
+    bucket = lambda values: ProfileBucket(cells=len(values),
+                                          wall_time_s=float(sum(values)))
+    return CampaignProfile(
+        executed_trials=len(executed),
+        cached_trials=len(records) - len(executed),
+        total_wall_time_s=float(sum(times)),
+        mean_cell_wall_time_s=float(sum(times) / len(times)) if times else 0.0,
+        max_cell_wall_time_s=float(max(times)) if times else 0.0,
+        per_worker={k: bucket(v) for k, v in per_worker.items()},
+        per_condition={k: bucket(v) for k, v in per_condition.items()},
+    )
+
+
+# ----------------------------------------------------------------------
+# Result collection (used by chained presets, e.g. the full-paper sweep)
+# ----------------------------------------------------------------------
+_RESULT_SINKS: list[list["CampaignResult"]] = []
+
+
+@contextlib.contextmanager
+def collect_results() -> Iterator[list["CampaignResult"]]:
+    """Collect every :class:`CampaignResult` produced inside the block.
+
+    Experiment helpers return figure-level aggregates and drop the underlying
+    :class:`CampaignResult`; chained drivers (the CLI's ``campaign paper``
+    preset, scripts looping over experiments) use this to observe how many
+    cells actually executed::
+
+        with collect_results() as results:
+            experiments.interval_sweep("jarvis", "wooden", out=out)
+        executed = sum(r.executed_trials for r in results)
+
+    Nesting is allowed; each active block receives every result.
+    """
+    sink: list[CampaignResult] = []
+    _RESULT_SINKS.append(sink)
+    try:
+        yield sink
+    finally:
+        # Remove by identity: equality would match any other empty sink list
+        # (e.g. an enclosing nested block) and detach the wrong one.
+        _RESULT_SINKS[:] = [s for s in _RESULT_SINKS if s is not sink]
 
 
 # ----------------------------------------------------------------------
@@ -228,13 +378,19 @@ def _pool_run_cell(cell: _Cell) -> RunRecord:
 # ----------------------------------------------------------------------
 @dataclass
 class CampaignResult:
-    """Run table plus the specs that produced it."""
+    """Run table plus the specs that produced it.
+
+    ``executed_trials`` counts the cells executed by *this* run (resumed
+    cells are excluded); ``csv_path``/``json_path`` point at the canonical
+    persisted table when the campaign ran with an output directory.
+    """
 
     specs: list[TrialSpec]
     table: RunTable
     executed_trials: int
     csv_path: Path | None = None
     json_path: Path | None = None
+    profile_path: Path | None = None
 
     def _spec(self, condition: str) -> TrialSpec:
         for spec in self.specs:
@@ -255,10 +411,20 @@ class CampaignResult:
         return records
 
     def summary(self, condition: str) -> TrialSummary:
+        """Aggregate one condition's rows into a :class:`TrialSummary`."""
         return summarize_records(self.records(condition))
 
     def summaries(self) -> dict[str, TrialSummary]:
+        """Condition label -> :class:`TrialSummary`, in spec order."""
         return {spec.condition: self.summary(spec.condition) for spec in self.specs}
+
+    def profile(self) -> CampaignProfile:
+        """Execution profile of this run (wall time per cell/worker/condition).
+
+        Only cells executed by this run carry timing; cells loaded from a
+        resumed table appear as ``cached_trials``.
+        """
+        return _profile_records(list(self.table))
 
 
 class CampaignRunner:
@@ -272,23 +438,40 @@ class CampaignRunner:
         ``systems`` overrides backed by a registry key).
     out:
         Directory for the persistent run table (``<out>/<name>.csv`` and
-        ``.json``).  ``None`` keeps the campaign in memory.
+        ``.json``, plus the ``profiles/<name>.csv`` execution log).  ``None``
+        keeps the campaign in memory.  While the campaign runs, completed
+        rows are appended to the CSV and flushed immediately; on completion
+        the file is rewritten in canonical (spec order, then seed) order.
     systems:
         Optional mapping of system key to a live :class:`EmbodiedSystem` or
         :class:`MissionExecutor` used for in-process execution.
     resume:
         When true (default) and ``out`` holds a table, completed
-        (spec, seed) cells are loaded instead of re-executed.
+        (spec, seed) cells are loaded instead of re-executed.  A truncated
+        final row (campaign killed mid-write) is dropped and re-executed.
+        ``resume=False`` means "discard and re-measure": any existing table
+        files for ``name`` are deleted *before* execution starts, so the
+        old results are gone even if the re-run is interrupted early.
+    batch:
+        Cells per worker task when running in parallel.  ``None`` (default)
+        auto-tunes to roughly four batches per worker, capped at
+        ``32`` cells; ``1`` restores one-cell-per-task dispatch.  Batching
+        never reorders or reseeds cells, so any value produces the same
+        canonical table byte for byte.
     """
 
     def __init__(self, jobs: int = 1, out: str | Path | None = None,
-                 systems: Mapping[str, object] | None = None, resume: bool = True):
+                 systems: Mapping[str, object] | None = None, resume: bool = True,
+                 batch: int | None = None):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if batch is not None and batch < 1:
+            raise ValueError("batch must be >= 1 (or None to auto-tune)")
         self.jobs = jobs
         self.out = Path(out) if out is not None else None
         self.systems: dict[str, object] = dict(systems or {})
         self.resume = resume
+        self.batch = batch
         self._executors: dict[str, MissionExecutor] = {}
 
     # ------------------------------------------------------------------
@@ -312,12 +495,29 @@ class CampaignRunner:
         return all(key in SYSTEM_FACTORIES and key not in self.systems
                    for key in systems)
 
-    def _run_pool(self, cells: list[_Cell], cell_systems: set[str]) -> list[RunRecord]:
+    def _batch_size(self, num_cells: int) -> int:
+        """Cells per worker task: explicit ``batch=``, else auto-tuned.
+
+        The auto-tuner targets about four batches per worker — enough slack
+        for load balancing when cell durations vary — and caps the batch at
+        :data:`_MAX_AUTO_BATCH` so results keep streaming to disk at a
+        reasonable cadence (a batch reaches the parent only when whole).
+        """
+        if self.batch is not None:
+            return self.batch
+        return max(1, min(_MAX_AUTO_BATCH, num_cells // (self.jobs * 4)))
+
+    def _run_pool(self, cells: list[_Cell], cell_systems: set[str],
+                  sink: Callable[[RunRecord], None]) -> list[RunRecord]:
         """Execute cells on a process pool, forking when possible.
 
         Fork lets workers inherit ``register_system``-added factories and warm
         caches; where fork is unavailable (spawn-only platforms), workers
         re-import the registry and can only rebuild the built-in systems.
+
+        Cells are grouped into :meth:`_batch_size` chunks, one pool task per
+        chunk; completed chunks are handed to ``sink`` (the streaming writer)
+        the moment they finish, in completion order.
         """
         import multiprocessing
 
@@ -333,13 +533,69 @@ class CampaignRunner:
                     "parallel campaigns over custom-registered systems need the "
                     "'fork' start method, which this platform lacks; run with "
                     "jobs=1 for: " + ", ".join(custom))
-        chunksize = max(1, len(cells) // (self.jobs * 4))
-        with concurrent.futures.ProcessPoolExecutor(max_workers=self.jobs,
-                                                    mp_context=context) as pool:
-            return list(pool.map(_pool_run_cell, cells, chunksize=chunksize))
+        size = self._batch_size(len(cells))
+        batches = [tuple(cells[i:i + size]) for i in range(0, len(cells), size)]
+        records: list[RunRecord] = []
+        consumed: set = set()
+
+        def drain(future) -> None:
+            for record in future.result():
+                sink(record)
+                records.append(record)
+            consumed.add(future)
+
+        pool = concurrent.futures.ProcessPoolExecutor(max_workers=self.jobs,
+                                                      mp_context=context)
+        try:
+            futures = [pool.submit(_pool_run_batch, chunk) for chunk in batches]
+            failure: BaseException | None = None
+            for future in concurrent.futures.as_completed(futures):
+                try:
+                    drain(future)
+                except BaseException as exc:
+                    failure = exc
+                    break
+            if failure is not None:
+                # Don't waste workers on batches whose results would be
+                # discarded, but do stream every batch that already finished
+                # — those rows are valid and make the resume cheaper.
+                pool.shutdown(wait=True, cancel_futures=True)
+                for future in futures:
+                    if future in consumed or future.cancelled() or not future.done():
+                        continue
+                    try:
+                        drain(future)
+                    except BaseException:
+                        pass
+                raise failure
+        finally:
+            # cancel_futures also covers exceptions raised outside drain()
+            # (e.g. KeyboardInterrupt while blocked in as_completed): queued
+            # batches would otherwise run to completion just to be discarded.
+            # Harmless on the normal path, where every future is already done.
+            pool.shutdown(wait=True, cancel_futures=True)
+        return records
+
+    def _run_serial(self, cells: list[_Cell],
+                    sink: Callable[[RunRecord], None]) -> list[RunRecord]:
+        """Execute cells in-process, streaming each row as it completes."""
+        records: list[RunRecord] = []
+        for cell in cells:
+            record = _run_cell(cell, self._executor_for(cell.system))
+            sink(record)
+            records.append(record)
+        return records
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[TrialSpec], name: str = "campaign") -> CampaignResult:
+        """Execute the missing cells of ``specs`` and return the full table.
+
+        The campaign's canonical files are ``<out>/<name>.csv`` (source of
+        truth for resume) and ``<out>/<name>.json`` (strict-JSON mirror);
+        both are rewritten in canonical order on completion.  During the run
+        the CSV receives completed rows in completion order — the file grows
+        while the campaign executes, and an interrupted run resumes from it.
+        """
         specs = list(specs)
         if not specs:
             raise ValueError("a campaign needs at least one spec")
@@ -349,9 +605,21 @@ class CampaignRunner:
 
         csv_path = self.out / f"{name}.csv" if self.out is not None else None
         json_path = self.out / f"{name}.json" if self.out is not None else None
+        profile_path = (self.out / "profiles" / f"{name}.csv"
+                        if self.out is not None else None)
         table = RunTable()
-        if csv_path is not None and self.resume and csv_path.exists():
-            table = RunTable.read_csv(csv_path)
+        if csv_path is not None and csv_path.exists():
+            if self.resume:
+                table = RunTable.read_csv(csv_path, strict=False)
+            else:
+                # Forced re-execution must not append after stale rows: a
+                # crash before the completion rewrite would otherwise leave
+                # duplicates where the stale row wins on the next resume.
+                # The stale JSON mirror goes too, so no file contradicts
+                # the stream.
+                csv_path.unlink()
+                if json_path is not None and json_path.exists():
+                    json_path.unlink()
 
         keys = [spec.key() for spec in specs]
         cells: list[_Cell] = []
@@ -367,21 +635,38 @@ class CampaignRunner:
 
         if cells:
             cell_systems = {cell.system for cell in cells}
-            if self.jobs > 1 and self._can_parallelize(cell_systems):
-                records = self._run_pool(cells, cell_systems)
-            else:
-                if self.jobs > 1:
-                    from ..agents.registry import SYSTEM_FACTORIES
+            parallel = self.jobs > 1 and self._can_parallelize(cell_systems)
+            if self.jobs > 1 and not parallel:
+                from ..agents.registry import SYSTEM_FACTORIES
 
-                    blockers = sorted(key for key in cell_systems
-                                      if key not in SYSTEM_FACTORIES
-                                      or key in self.systems)
-                    raise ValueError(
-                        "parallel campaigns require registry system keys "
-                        "(see repro.agents.registry); cannot parallelize over: "
-                        + ", ".join(blockers))
-                records = [_run_cell(cell, self._executor_for(cell.system))
-                           for cell in cells]
+                blockers = sorted(key for key in cell_systems
+                                  if key not in SYSTEM_FACTORIES
+                                  or key in self.systems)
+                raise ValueError(
+                    "parallel campaigns require registry system keys "
+                    "(see repro.agents.registry); cannot parallelize over: "
+                    + ", ".join(blockers))
+            with contextlib.ExitStack() as stack:
+                writers: list[RunTableWriter] = []
+                # Profile sidecar first: if a crash lands between the two
+                # writes, the cell is re-executed (its canonical row is
+                # missing) and the sidecar merely logs both attempts; the
+                # reverse order would leave a completed cell with no profile
+                # row forever.
+                if profile_path is not None:
+                    writers.append(stack.enter_context(
+                        RunTableWriter(profile_path, profile=True)))
+                if csv_path is not None:
+                    writers.append(stack.enter_context(RunTableWriter(csv_path)))
+
+                def sink(record: RunRecord) -> None:
+                    for writer in writers:
+                        writer.write(record)
+
+                if parallel:
+                    records = self._run_pool(cells, cell_systems, sink)
+                else:
+                    records = self._run_serial(cells, sink)
             for record in records:
                 table.add(record)
 
@@ -390,14 +675,18 @@ class CampaignRunner:
             table.write_csv(csv_path)
         if json_path is not None:
             table.write_json(json_path)
-        return CampaignResult(specs=specs, table=table, executed_trials=len(cells),
-                              csv_path=csv_path, json_path=json_path)
+        result = CampaignResult(specs=specs, table=table, executed_trials=len(cells),
+                                csv_path=csv_path, json_path=json_path,
+                                profile_path=profile_path)
+        for sink_list in _RESULT_SINKS:
+            sink_list.append(result)
+        return result
 
 
 def run_campaign(specs: Sequence[TrialSpec], jobs: int = 1,
                  out: str | Path | None = None, name: str = "campaign",
                  systems: Mapping[str, object] | None = None,
-                 resume: bool = True) -> CampaignResult:
+                 resume: bool = True, batch: int | None = None) -> CampaignResult:
     """One-shot convenience wrapper around :class:`CampaignRunner`."""
-    return CampaignRunner(jobs=jobs, out=out, systems=systems, resume=resume).run(
-        specs, name=name)
+    return CampaignRunner(jobs=jobs, out=out, systems=systems, resume=resume,
+                          batch=batch).run(specs, name=name)

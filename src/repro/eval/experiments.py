@@ -8,10 +8,11 @@ run tiny versions of each experiment.
 All trial-loop experiments execute through the campaign engine
 (:mod:`repro.eval.campaign`): conditions are declared as
 :class:`~repro.eval.campaign.TrialSpec` rows, ``jobs`` fans the (condition,
-seed) cells out over worker processes, and ``out`` persists the run table so
-repeated invocations only execute missing cells.  Systems may be passed as
-registry keys (see :mod:`repro.agents.registry`), live
-:class:`~repro.agents.EmbodiedSystem` objects, or executors.
+seed) cells out over worker processes, ``batch`` groups several cells per
+worker task to amortize IPC for short trials, and ``out`` persists (and
+streams) the run table so repeated invocations only execute missing cells.
+Systems may be passed as registry keys (see :mod:`repro.agents.registry`),
+live :class:`~repro.agents.EmbodiedSystem` objects, or executors.
 """
 
 from __future__ import annotations
@@ -133,36 +134,38 @@ def rotation_study(plain_system: EmbodiedSystem, rotated_system: EmbodiedSystem,
 def ad_evaluation(system: SystemLike, task: str, bers: list[float],
                   target: str, num_trials: int = 16, seed: int = 0,
                   exposure_scale: float = 1.0, jobs: int = 1,
-                  out: str | None = None) -> dict[str, SweepResult]:
+                  out: str | None = None,
+                  batch: int | None = None) -> dict[str, SweepResult]:
     """Success/steps vs. BER with and without anomaly detection (Fig. 13a/b)."""
     return {
         "without_ad": ber_sweep(system, task, bers, target=target, num_trials=num_trials,
                                 seed=seed, anomaly_detection=False,
                                 exposure_scale=exposure_scale, label="without AD",
-                                jobs=jobs, out=out),
+                                jobs=jobs, out=out, batch=batch),
         "with_ad": ber_sweep(system, task, bers, target=target, num_trials=num_trials,
                              seed=seed, anomaly_detection=True,
                              exposure_scale=exposure_scale, label="with AD",
-                             jobs=jobs, out=out),
+                             jobs=jobs, out=out, batch=batch),
     }
 
 
 def wr_evaluation(plain_system: SystemLike, rotated_system: SystemLike,
                   task: str, bers: list[float], num_trials: int = 16, seed: int = 0,
                   anomaly_detection: bool = False, exposure_scale: float = 1.0,
-                  jobs: int = 1, out: str | None = None) -> dict[str, SweepResult]:
+                  jobs: int = 1, out: str | None = None,
+                  batch: int | None = None) -> dict[str, SweepResult]:
     """Planner success vs. BER with and without weight rotation (Fig. 13c/e)."""
     return {
         "without_wr": ber_sweep(plain_system, task, bers, target="planner",
                                 num_trials=num_trials, seed=seed,
                                 anomaly_detection=anomaly_detection,
                                 exposure_scale=exposure_scale, label="without WR",
-                                jobs=jobs, out=out),
+                                jobs=jobs, out=out, batch=batch),
         "with_wr": ber_sweep(rotated_system, task, bers, target="planner",
                              num_trials=num_trials, seed=seed,
                              anomaly_detection=anomaly_detection,
                              exposure_scale=exposure_scale, label="with WR",
-                             jobs=jobs, out=out),
+                             jobs=jobs, out=out, batch=batch),
     }
 
 
@@ -201,7 +204,8 @@ def vs_evaluation(system: SystemLike, task: str,
                   anomaly_detection: bool = True,
                   update_interval: int = 5,
                   entropy_source: str = "predictor",
-                  jobs: int = 1, out: str | None = None) -> list[PolicyEvaluation]:
+                  jobs: int = 1, out: str | None = None,
+                  batch: int | None = None) -> list[PolicyEvaluation]:
     """Evaluate adaptive policies against constant-voltage baselines (Fig. 13d/f)."""
     key, overrides = system_ref(system)
     policies = policies if policies is not None else list(REFERENCE_POLICIES.values())
@@ -225,7 +229,7 @@ def vs_evaluation(system: SystemLike, task: str,
                                num_trials=num_trials, seed=seed,
                                controller_protection=protection,
                                params=(("policy", policy.name),)))
-    campaign = run_campaign(specs, jobs=jobs, out=out, systems=overrides,
+    campaign = run_campaign(specs, jobs=jobs, out=out, systems=overrides, batch=batch,
                             name=slugify(f"vs-evaluation-{task}"))
     return [PolicyEvaluation(policy=policy, summary=campaign.summary(spec.condition))
             for policy, spec in zip(all_policies, specs)]
@@ -233,8 +237,8 @@ def vs_evaluation(system: SystemLike, task: str,
 
 def interval_sweep(system: SystemLike, task: str, intervals: list[int] | None = None,
                    policy: VoltagePolicy | None = None, num_trials: int = 10,
-                   seed: int = 0, jobs: int = 1,
-                   out: str | None = None) -> dict[int, TrialSummary]:
+                   seed: int = 0, jobs: int = 1, out: str | None = None,
+                   batch: int | None = None) -> dict[int, TrialSummary]:
     """Voltage-update-interval sensitivity (Fig. 15)."""
     key, overrides = system_ref(system)
     intervals = intervals or [1, 5, 10, 20]
@@ -249,7 +253,7 @@ def interval_sweep(system: SystemLike, task: str, intervals: list[int] | None = 
                                                  entropy_source=source)),
         params=(("interval", str(interval)),))
         for interval in intervals]
-    campaign = run_campaign(specs, jobs=jobs, out=out, systems=overrides,
+    campaign = run_campaign(specs, jobs=jobs, out=out, systems=overrides, batch=batch,
                             name=slugify(f"interval-sweep-{task}"))
     return {interval: campaign.summary(spec.condition)
             for interval, spec in zip(intervals, specs)}
@@ -301,8 +305,8 @@ def _config_protections(has_predictor: bool, config: CreateConfig
 
 def overall_evaluation(systems: dict[str, SystemLike], tasks: list[str],
                        configs: dict[str, CreateConfig], num_trials: int = 10,
-                       seed: int = 0, jobs: int = 1,
-                       out: str | None = None) -> dict[str, OverallResult]:
+                       seed: int = 0, jobs: int = 1, out: str | None = None,
+                       batch: int | None = None) -> dict[str, OverallResult]:
     """Success rate and energy per task for several CREATE configurations (Fig. 16a).
 
     ``systems`` maps a configuration label to the system it runs on (the WR
@@ -325,7 +329,7 @@ def overall_evaluation(systems: dict[str, SystemLike], tasks: list[str],
                                    planner_protection=planner_prot,
                                    controller_protection=controller_prot,
                                    params=(("config", label), ("task", task))))
-    campaign = run_campaign(specs, jobs=jobs, out=out, systems=overrides,
+    campaign = run_campaign(specs, jobs=jobs, out=out, systems=overrides, batch=batch,
                             name="overall-evaluation")
     results: dict[str, OverallResult] = {}
     for label in configs:
@@ -339,8 +343,9 @@ def overall_evaluation(systems: dict[str, SystemLike], tasks: list[str],
 def minimum_voltage_search(system: SystemLike, task: str, config: CreateConfig,
                            voltages: list[float] | None = None,
                            success_threshold: float = 0.85, num_trials: int = 8,
-                           seed: int = 0, jobs: int = 1,
-                           out: str | None = None) -> tuple[float, dict[float, TrialSummary]]:
+                           seed: int = 0, jobs: int = 1, out: str | None = None,
+                           batch: int | None = None
+                           ) -> tuple[float, dict[float, TrialSummary]]:
     """Lowest operating voltage that sustains acceptable success (Fig. 16b).
 
     Both the planner and the controller run at the candidate voltage (unless
@@ -351,7 +356,7 @@ def minimum_voltage_search(system: SystemLike, task: str, config: CreateConfig,
     """
     key, overrides = system_ref(system)
     has_predictor = _has_predictor(system)
-    runner = CampaignRunner(jobs=jobs, out=out, systems=overrides)
+    runner = CampaignRunner(jobs=jobs, out=out, systems=overrides, batch=batch)
     name = slugify(f"minimum-voltage-{task}-{config.label()}")
     voltages = voltages or [0.84, 0.82, 0.80, 0.78, 0.76, 0.74, 0.72]
     summaries: dict[float, TrialSummary] = {}
@@ -387,7 +392,8 @@ def minimum_voltage_search(system: SystemLike, task: str, config: CreateConfig,
 def cross_platform_planner_eval(system: SystemLike, rotated_system: SystemLike,
                                 tasks: list[str], voltage: float = 0.78,
                                 num_trials: int = 8, seed: int = 0, jobs: int = 1,
-                                out: str | None = None) -> dict[str, dict[str, float]]:
+                                out: str | None = None, batch: int | None = None
+                                ) -> dict[str, dict[str, float]]:
     """AD+WR planner energy savings on one platform (Fig. 17a).
 
     Baseline: the planner must run at nominal voltage to preserve quality;
@@ -406,7 +412,7 @@ def cross_platform_planner_eval(system: SystemLike, rotated_system: SystemLike,
         specs.append(TrialSpec(condition=f"{task}/ad+wr", system=rot_key, task=task,
                                num_trials=num_trials, seed=seed, planner_protection=prot,
                                params=(("task", task), ("arm", "ad+wr"))))
-    campaign = run_campaign(specs, jobs=jobs, out=out,
+    campaign = run_campaign(specs, jobs=jobs, out=out, batch=batch,
                             systems=merge_overrides(dict(base_overrides), rot_overrides),
                             name=slugify(f"cross-platform-planner-{rot_key}"))
     results: dict[str, dict[str, float]] = {}
@@ -430,7 +436,8 @@ def cross_platform_planner_eval(system: SystemLike, rotated_system: SystemLike,
 def cross_platform_controller_eval(system: SystemLike, tasks: list[str],
                                    policy: VoltagePolicy | None = None,
                                    num_trials: int = 8, seed: int = 0, jobs: int = 1,
-                                   out: str | None = None) -> dict[str, dict[str, float]]:
+                                   out: str | None = None, batch: int | None = None
+                                   ) -> dict[str, dict[str, float]]:
     """AD+VS controller energy savings on one platform (Fig. 17b)."""
     energy_model = EnergyModel()
     policy = policy or REFERENCE_POLICIES["C"]
@@ -448,7 +455,7 @@ def cross_platform_controller_eval(system: SystemLike, tasks: list[str],
                                num_trials=num_trials, seed=seed,
                                controller_protection=prot,
                                params=(("task", task), ("arm", "ad+vs"))))
-    campaign = run_campaign(specs, jobs=jobs, out=out, systems=overrides,
+    campaign = run_campaign(specs, jobs=jobs, out=out, systems=overrides, batch=batch,
                             name=slugify(f"cross-platform-controller-{key}"))
     results: dict[str, dict[str, float]] = {}
     for task in tasks:
@@ -519,8 +526,8 @@ def chip_energy_breakdown(compute_savings_percent: dict[str, float] | None = Non
 # ----------------------------------------------------------------------
 def error_model_comparison(system: SystemLike, task: str, target: str,
                            voltages: list[float] | None = None, num_trials: int = 12,
-                           seed: int = 0, jobs: int = 1,
-                           out: str | None = None) -> dict[str, dict[float, float]]:
+                           seed: int = 0, jobs: int = 1, out: str | None = None,
+                           batch: int | None = None) -> dict[str, dict[float, float]]:
     """Success under the voltage-LUT model vs. a uniform model of equal mean BER."""
     timing = TimingErrorModel()
     voltages = voltages or [0.80, 0.775, 0.75, 0.725]
@@ -540,7 +547,7 @@ def error_model_comparison(system: SystemLike, task: str, target: str,
                 num_trials=num_trials, seed=seed,
                 params=(("model", label), ("voltage", repr(float(voltage)))),
                 **kwargs))
-    campaign = run_campaign(specs, jobs=jobs, out=out, systems=overrides,
+    campaign = run_campaign(specs, jobs=jobs, out=out, systems=overrides, batch=batch,
                             name=slugify(f"error-models-{task}-{target}"))
     results: dict[str, dict[float, float]] = {"uniform": {}, "hardware": {}}
     for spec in specs:
@@ -555,7 +562,8 @@ def error_model_comparison(system: SystemLike, task: str, target: str,
 def baseline_comparison(plain_system: SystemLike, rotated_system: SystemLike,
                         task: str, voltages: list[float] | None = None,
                         num_trials: int = 8, seed: int = 0, jobs: int = 1,
-                        out: str | None = None) -> dict[str, dict[float, dict]]:
+                        out: str | None = None, batch: int | None = None
+                        ) -> dict[str, dict[float, dict]]:
     """CREATE vs. DMR / ThUnderVolt / ABFT: success and energy across voltages."""
     voltages = voltages or [0.85, 0.80, 0.775, 0.75]
     timing = TimingErrorModel()
@@ -580,7 +588,7 @@ def baseline_comparison(plain_system: SystemLike, rotated_system: SystemLike,
             num_trials=num_trials, seed=seed,
             planner_protection=tv_protection, controller_protection=tv_protection,
             params=(("arm", "thundervolt"), ("voltage", repr(float(voltage))))))
-    campaign = run_campaign(specs, jobs=jobs, out=out,
+    campaign = run_campaign(specs, jobs=jobs, out=out, batch=batch,
                             systems=merge_overrides(dict(plain_overrides), rot_overrides),
                             name=slugify(f"baseline-comparison-{task}"))
 
@@ -625,8 +633,8 @@ def baseline_comparison(plain_system: SystemLike, rotated_system: SystemLike,
 # ----------------------------------------------------------------------
 def repetition_study(system: SystemLike, task: str, ber: float,
                      repetition_counts: list[int] | None = None,
-                     seed: int = 0, jobs: int = 1,
-                     out: str | None = None) -> dict[int, float]:
+                     seed: int = 0, jobs: int = 1, out: str | None = None,
+                     batch: int | None = None) -> dict[int, float]:
     """Measured success rate as the number of repetitions grows (Table 5)."""
     repetition_counts = repetition_counts or [20, 40, 60, 80, 100]
     max_count = max(repetition_counts)
@@ -636,7 +644,7 @@ def repetition_study(system: SystemLike, task: str, ber: float,
         num_trials=max_count, seed=seed,
         controller_protection=ProtectionConfig(error_model=UniformErrorModel(ber)),
         params=(("ber", repr(float(ber))),))
-    campaign = run_campaign([spec], jobs=jobs, out=out, systems=overrides,
+    campaign = run_campaign([spec], jobs=jobs, out=out, systems=overrides, batch=batch,
                             name=slugify(f"repetition-study-{task}"))
     records = campaign.records(spec.condition)
     return {count: float(np.mean([r.success for r in records[:count]]))
@@ -645,7 +653,8 @@ def repetition_study(system: SystemLike, task: str, ber: float,
 
 def quantization_study(systems=None, task: str = "stone", bers: list[float] | None = None,
                        num_trials: int = 10, seed: int = 0, jobs: int = 1,
-                       out: str | None = None) -> dict[str, dict[float, float]]:
+                       out: str | None = None,
+                       batch: int | None = None) -> dict[str, dict[float, float]]:
     """AD+WR planner success under INT8 vs. INT4 quantization (Table 6).
 
     ``systems`` may be a mapping from a quantization label to a system (or
@@ -674,7 +683,7 @@ def quantization_study(systems=None, task: str = "stone", bers: list[float] | No
                 condition=f"{label}/ber={float(ber)!r}", system=key, task=task,
                 num_trials=num_trials, seed=seed, planner_protection=protection,
                 params=(("quant", label), ("ber", repr(float(ber))))))
-    campaign = run_campaign(specs, jobs=jobs, out=out, systems=overrides,
+    campaign = run_campaign(specs, jobs=jobs, out=out, systems=overrides, batch=batch,
                             name=slugify(f"quantization-study-{task}"))
     results: dict[str, dict[float, float]] = {}
     for label in system_map:

@@ -87,13 +87,14 @@ def ber_sweep(system: SystemLike, task: str, bers: list[float],
               anomaly_detection: bool = False, exposure_scale: float = 1.0,
               components: tuple[str, ...] | None = None,
               label: str | None = None, jobs: int = 1,
-              out: str | None = None) -> SweepResult:
+              out: str | None = None, batch: int | None = None) -> SweepResult:
     """Sweep the BER injected into one model (planner or controller).
 
     ``system`` is a registry key (see :mod:`repro.agents.registry`), an
     :class:`EmbodiedSystem`, or a :class:`MissionExecutor`; the sweep runs as a
-    campaign, so ``jobs`` parallelizes over (BER, seed) cells and ``out``
-    persists the run table for resume.
+    campaign, so ``jobs`` parallelizes over (BER, seed) cells, ``batch``
+    groups cells per worker task, and ``out`` persists the run table for
+    resume.
     """
     if target not in ("planner", "controller"):
         raise ValueError("target must be 'planner' or 'controller'")
@@ -109,7 +110,7 @@ def ber_sweep(system: SystemLike, task: str, bers: list[float],
             num_trials=num_trials, seed=seed,
             params=(("label", label), ("ber", repr(float(ber))), ("target", target)),
             **kwargs))
-    campaign = run_campaign(specs, jobs=jobs, out=out, systems=overrides,
+    campaign = run_campaign(specs, jobs=jobs, out=out, systems=overrides, batch=batch,
                             name=slugify(f"ber-sweep-{label}-{task}-{target}"))
     result = SweepResult(label=label, task=task)
     for ber, spec in zip(bers, specs):
@@ -122,7 +123,8 @@ def component_sweep(system: SystemLike, task: str, bers: list[float],
                     component_groups: dict[str, tuple[str, ...]],
                     target: str = "planner", num_trials: int = 12, seed: int = 0,
                     exposure_scale: float = 1.0, jobs: int = 1,
-                    out: str | None = None) -> dict[str, SweepResult]:
+                    out: str | None = None,
+                    batch: int | None = None) -> dict[str, SweepResult]:
     """Inject errors into individual network components (paper Fig. 5e-h).
 
     ``component_groups`` maps a label (e.g. ``"K"``) to glob patterns matching
@@ -133,13 +135,14 @@ def component_sweep(system: SystemLike, task: str, bers: list[float],
         results[label] = ber_sweep(
             system, task, bers, target=target, num_trials=num_trials, seed=seed,
             exposure_scale=exposure_scale, components=patterns, label=label,
-            jobs=jobs, out=out)
+            jobs=jobs, out=out, batch=batch)
     return results
 
 
 def subtask_sweep(system: SystemLike, subtask_tasks: list[str], bers: list[float],
                   num_trials: int = 12, seed: int = 0, jobs: int = 1,
-                  out: str | None = None) -> dict[str, SweepResult]:
+                  out: str | None = None,
+                  batch: int | None = None) -> dict[str, SweepResult]:
     """Controller resilience per subtask family (paper Fig. 6).
 
     The paper evaluates single-subtask workloads (``log``, ``stone``, ``iron``,
@@ -150,7 +153,7 @@ def subtask_sweep(system: SystemLike, subtask_tasks: list[str], bers: list[float
     for task in subtask_tasks:
         results[task] = ber_sweep(system, task, bers, target="controller",
                                   num_trials=num_trials, seed=seed, label=task,
-                                  jobs=jobs, out=out)
+                                  jobs=jobs, out=out, batch=batch)
     return results
 
 

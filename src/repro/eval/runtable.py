@@ -11,6 +11,32 @@ mirrored as JSON) using ``repr``-exact float formatting, so reading a table
 back and summarizing it produces *bit-identical* :class:`TrialSummary` values
 to summarizing the in-memory trial results.  That is what makes
 resume-from-disk safe: completed (spec, seed) cells are never re-executed.
+
+Two column sets
+---------------
+The schema (documented column by column in ``docs/runtable-schema.md``) is
+split into two groups:
+
+* :data:`RESULT_COLUMNS` — the deterministic measurement columns.  They are a
+  pure function of (system, task, seed, protections), so serial, parallel,
+  and batched executions of the same campaign produce *byte-identical* files.
+  This is the default on-disk format and matches the format of earlier
+  releases exactly.
+* :data:`PROFILE_COLUMNS` — ``wall_time_s`` and ``worker_id``, recorded by the
+  campaign engine for profiling.  They depend on machine load and scheduling,
+  so they are excluded from the canonical table files and stored in the
+  ``profiles/<name>.csv`` sidecar instead (written with ``profile=True``).
+
+``read_csv``/``read_json`` accept either format; rows without profile columns
+load with ``wall_time_s = nan`` and an empty ``worker_id``.
+
+Streaming
+---------
+:class:`RunTableWriter` appends rows to a CSV file *as cells complete* and
+flushes after every row, so long campaigns leave a crash-safe on-disk trail.
+``read_csv(..., strict=False)`` tolerates a truncated final line (the row a
+crash interrupted), which is what makes resuming an interrupted campaign
+safe: completed rows are kept, the torn row is re-executed.
 """
 
 from __future__ import annotations
@@ -26,7 +52,8 @@ from ..agents.executor import TrialResult
 from ..hardware.energy import EnergyModel
 from .metrics import TrialSummary, aggregate_rows
 
-__all__ = ["RunRecord", "RunTable", "record_from_trial", "summarize_records"]
+__all__ = ["RunRecord", "RunTable", "RunTableWriter", "record_from_trial",
+           "summarize_records", "COLUMNS", "RESULT_COLUMNS", "PROFILE_COLUMNS"]
 
 
 def _dump_macs(macs: dict[float, float]) -> str:
@@ -40,7 +67,14 @@ def _load_macs(payload: str) -> dict[float, float]:
 
 @dataclass(frozen=True)
 class RunRecord:
-    """One executed trial: condition labels plus every per-trial measurement."""
+    """One executed trial: condition labels plus every per-trial measurement.
+
+    All fields up to and including ``params`` are deterministic given the
+    trial's (system, task, seed, protections); ``wall_time_s`` and
+    ``worker_id`` are execution-profile metadata filled in by the campaign
+    engine (``nan`` / ``""`` for rows loaded from a canonical table, which
+    does not persist them).
+    """
 
     spec_key: str
     condition: str
@@ -64,6 +98,8 @@ class RunRecord:
     controller_macs: str
     predictor_macs: str
     params: str
+    wall_time_s: float = float("nan")
+    worker_id: str = ""
 
     # ------------------------------------------------------------------
     def planner_macs_by_voltage(self) -> dict[float, float]:
@@ -88,15 +124,27 @@ class RunRecord:
     def param_dict(self) -> dict[str, str]:
         return dict(json.loads(self.params)) if self.params else {}
 
+    def profiled(self) -> bool:
+        """Whether this row carries execution-profile data (ran this session)."""
+        return math.isfinite(self.wall_time_s)
+
 
 _INT_FIELDS = {"seed", "trial_index", "steps", "planner_invocations", "controller_steps",
                "planner_bits_flipped", "controller_bits_flipped",
                "planner_elements_clamped", "controller_elements_clamped",
                "entropy_records"}
-_FLOAT_FIELDS = {"energy_j", "effective_voltage", "mean_entropy"}
+_FLOAT_FIELDS = {"energy_j", "effective_voltage", "mean_entropy", "wall_time_s"}
 _BOOL_FIELDS = {"success"}
 
+#: Full schema: every field of :class:`RunRecord`, profile columns last.
 COLUMNS: tuple[str, ...] = tuple(f.name for f in fields(RunRecord))
+
+#: Execution-profile columns (machine-dependent; excluded from canonical files).
+PROFILE_COLUMNS: tuple[str, ...] = ("wall_time_s", "worker_id")
+
+#: Deterministic measurement columns — the canonical on-disk format.
+RESULT_COLUMNS: tuple[str, ...] = tuple(c for c in COLUMNS
+                                        if c not in PROFILE_COLUMNS)
 
 
 def _format_cell(name: str, value) -> str:
@@ -121,7 +169,11 @@ def record_from_trial(trial: TrialResult, *, spec_key: str, condition: str,
                       system: str, task: str, seed: int, trial_index: int,
                       params: str = "{}",
                       energy_model: EnergyModel | None = None) -> RunRecord:
-    """Flatten one :class:`TrialResult` into a run-table row."""
+    """Flatten one :class:`TrialResult` into a run-table row.
+
+    Profile fields are left at their defaults; the campaign engine stamps
+    them (via :func:`dataclasses.replace`) on the cells it executes itself.
+    """
     model = energy_model or EnergyModel()
     return RunRecord(
         spec_key=spec_key,
@@ -164,8 +216,108 @@ def summarize_records(records: list[RunRecord],
     return aggregate_rows(rows, energy_model)
 
 
+def _columns_for(profile: bool) -> tuple[str, ...]:
+    return COLUMNS if profile else RESULT_COLUMNS
+
+
+def _record_from_row(header: tuple[str, ...], row: list[str]) -> RunRecord:
+    return RunRecord(**{name: _parse_cell(name, cell)
+                        for name, cell in zip(header, row)})
+
+
+_JSON_FIELDS = ("planner_macs", "controller_macs", "predictor_macs", "params")
+
+
+def _validate_json_fields(record: RunRecord) -> None:
+    """Reject rows whose embedded JSON documents are truncated.
+
+    A crash can tear a row *inside* its final quoted ``params`` field; the
+    csv reader tolerates EOF within quotes, so such a row arrives with the
+    right column count and only the JSON payload betrays the truncation.
+    Raises :class:`json.JSONDecodeError` on the first malformed document.
+    """
+    for name in _JSON_FIELDS:
+        json.loads(getattr(record, name))
+
+
+class RunTableWriter:
+    """Append-mode CSV writer: stream rows to disk as cells complete.
+
+    The campaign engine opens one of these over the run-table path before
+    executing any cell and calls :meth:`write` for every record the moment it
+    finishes, flushing after each row.  The file therefore grows *during* the
+    campaign, and a crash (exception, SIGKILL, power loss after the flush
+    reaches the OS) loses at most the row being written — everything already
+    flushed resumes cleanly via ``RunTable.read_csv(..., strict=False)``.
+
+    A header row is emitted only when the file is new or empty, so appending
+    to a table left behind by an interrupted (or completed) earlier run keeps
+    the file a valid CSV; a torn final line from a crash is truncated away
+    before appending (its cell re-executes — the torn row never parsed).
+    The campaign engine rewrites the canonical file in spec order once the
+    campaign completes.
+
+    Use as a context manager::
+
+        with RunTableWriter(path) as writer:
+            for record in produced_records:
+                writer.write(record)
+    """
+
+    def __init__(self, path: str | Path, profile: bool = False):
+        self.path = Path(path)
+        self.columns = _columns_for(profile)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        if not fresh:
+            fresh = self._truncate_torn_tail() == 0
+        self._handle = self.path.open("a", newline="")
+        self._writer = csv.writer(self._handle, lineterminator="\n")
+        if fresh:
+            self._writer.writerow(self.columns)
+            self._handle.flush()
+        self.rows_written = 0
+
+    def _truncate_torn_tail(self) -> int:
+        """Drop a partial final line left by a crash; return the new size.
+
+        Appending after a torn row would otherwise merge the fragment with
+        the first new row, corrupting both.  The resumed campaign re-executes
+        the torn cell (its row never parsed), so nothing is lost.
+        """
+        data = self.path.read_bytes()
+        if data.endswith(b"\n"):
+            return len(data)
+        cut = data.rfind(b"\n") + 1  # 0 when no newline at all (torn header)
+        with self.path.open("rb+") as handle:
+            handle.truncate(cut)
+        return cut
+
+    def write(self, record: RunRecord) -> None:
+        """Append one row and flush it to the OS immediately."""
+        self._writer.writerow([_format_cell(name, getattr(record, name))
+                               for name in self.columns])
+        self._handle.flush()
+        self.rows_written += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "RunTableWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 class RunTable:
-    """An ordered collection of :class:`RunRecord` rows with (spec, seed) lookup."""
+    """An ordered collection of :class:`RunRecord` rows with (spec, seed) lookup.
+
+    Rows are keyed by ``(spec_key, seed)``; adding a duplicate key is a no-op
+    unless ``overwrite=True``, which is what makes re-reading a streamed file
+    that accumulated rows across several interrupted runs safe.
+    """
 
     def __init__(self, records: Iterable[RunRecord] | None = None):
         self._records: list[RunRecord] = []
@@ -223,46 +375,90 @@ class RunTable:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def write_csv(self, path: str | Path) -> Path:
+    def write_csv(self, path: str | Path, profile: bool = False) -> Path:
+        """Write the table as CSV.
+
+        With ``profile=False`` (the default) only the deterministic
+        :data:`RESULT_COLUMNS` are written — the canonical format, byte-stable
+        across serial/parallel/batched execution.  ``profile=True`` appends
+        the :data:`PROFILE_COLUMNS` (used by the ``.profile.csv`` sidecar).
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
+        columns = _columns_for(profile)
         with path.open("w", newline="") as handle:
             writer = csv.writer(handle, lineterminator="\n")
-            writer.writerow(COLUMNS)
+            writer.writerow(columns)
             for record in self._records:
                 writer.writerow([_format_cell(name, getattr(record, name))
-                                 for name in COLUMNS])
+                                 for name in columns])
         return path
 
     @classmethod
-    def read_csv(cls, path: str | Path) -> "RunTable":
+    def read_csv(cls, path: str | Path, strict: bool = True) -> "RunTable":
+        """Read a table written by :meth:`write_csv` or :class:`RunTableWriter`.
+
+        Accepts both the canonical (:data:`RESULT_COLUMNS`) and the profile
+        (:data:`COLUMNS`) header; rows without profile columns load with
+        ``wall_time_s = nan`` / ``worker_id = ""``.  With ``strict=False``,
+        rows that are truncated or unparseable — e.g. the torn final line of
+        a campaign killed mid-write — are skipped instead of raising, which
+        is how interrupted streamed tables are resumed.
+        """
         path = Path(path)
         with path.open(newline="") as handle:
             reader = csv.reader(handle)
             header = next(reader, None)
             if header is None:
                 return cls()
-            if tuple(header) != COLUMNS:
+            if tuple(header) not in (RESULT_COLUMNS, COLUMNS):
                 raise ValueError(f"unexpected run-table header in {path}: {header}")
-            records = [RunRecord(**{name: _parse_cell(name, cell)
-                                    for name, cell in zip(COLUMNS, row)})
-                       for row in reader if row]
+            header = tuple(header)
+            records = []
+            for row in reader:
+                if not row:
+                    continue
+                if len(row) != len(header):
+                    if strict:
+                        raise ValueError(
+                            f"malformed run-table row in {path}: {row!r}")
+                    continue
+                try:
+                    records.append(_record_from_row(header, row))
+                except ValueError:
+                    if strict:
+                        raise
+            if not strict and records:
+                # A crash truncates a suffix, so only the last parsed row
+                # can carry a tear hidden inside a quoted JSON field (csv
+                # tolerates EOF within quotes, keeping the column count
+                # intact); validating just that row keeps resume cheap.
+                try:
+                    _validate_json_fields(records[-1])
+                except json.JSONDecodeError:
+                    records.pop()
         return cls(records)
 
-    def write_json(self, path: str | Path) -> Path:
-        """Strict-JSON mirror of the table: NaN floats are encoded as null."""
+    def write_json(self, path: str | Path, profile: bool = False) -> Path:
+        """Strict-JSON mirror of the table: NaN floats are encoded as null.
+
+        The ``profile`` switch selects the same column sets as
+        :meth:`write_csv`.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
+        columns = _columns_for(profile)
         rows = [{name: (None if name in _FLOAT_FIELDS
                         and math.isnan(getattr(record, name))
                         else getattr(record, name))
-                 for name in COLUMNS}
+                 for name in columns}
                 for record in self._records]
         path.write_text(json.dumps(rows, indent=1, allow_nan=False) + "\n")
         return path
 
     @classmethod
     def read_json(cls, path: str | Path) -> "RunTable":
+        """Read a table written by :meth:`write_json` (either column set)."""
         rows = json.loads(Path(path).read_text())
         return cls(RunRecord(**{name: (float("nan") if name in _FLOAT_FIELDS
                                        and value is None else value)

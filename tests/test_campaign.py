@@ -1,15 +1,18 @@
-"""Tests for the campaign engine: determinism, resume, run-table round trips."""
+"""Tests for the campaign engine: determinism, resume, streaming, batching,
+profiling, and run-table round trips."""
 
 import dataclasses
 
 import numpy as np
 import pytest
 
+from repro.agents.executor import MissionExecutor
 from repro.core import ProtectionConfig
 from repro.eval import (
     CampaignRunner,
     RunTable,
     TrialSpec,
+    collect_results,
     protection_signature,
     record_from_trial,
     run_campaign,
@@ -217,6 +220,230 @@ class TestCampaignResults:
         result = run_campaign(_specs(1))
         with pytest.raises(KeyError):
             result.summary("nope")
+
+
+class _FlakyExecutor(MissionExecutor):
+    """Delegating executor that crashes on chosen seeds (simulates a kill)."""
+
+    def __init__(self, inner, fail_seeds):
+        self._inner = inner
+        self._fail_seeds = set(fail_seeds)
+
+    def run_trial(self, task_name, seed=0, planner_protection=None,
+                  controller_protection=None):
+        if seed in self._fail_seeds:
+            raise RuntimeError("injected crash")
+        return self._inner.run_trial(task_name, seed=seed,
+                                     planner_protection=planner_protection,
+                                     controller_protection=controller_protection)
+
+
+class TestStreaming:
+    def test_crash_leaves_streamed_rows_resume_runs_only_missing(
+            self, jarvis_executor, tmp_path):
+        """Completed rows survive a mid-campaign crash; resume finishes the rest."""
+        flaky = _FlakyExecutor(jarvis_executor, fail_seeds={2})
+        key, overrides = system_ref(flaky, hint="flaky")
+        spec = TrialSpec(condition="clean", system=key, task="wooden", num_trials=4)
+        with pytest.raises(RuntimeError, match="injected crash"):
+            run_campaign([spec], systems=overrides, out=tmp_path, name="crash")
+
+        csv_path = tmp_path / "crash.csv"
+        streamed = RunTable.read_csv(csv_path, strict=False)
+        assert len(streamed) == 2  # seeds 0 and 1 were flushed before the crash
+        assert streamed.has(spec.key(), 0) and streamed.has(spec.key(), 1)
+
+        resumed = run_campaign([spec], systems={key: jarvis_executor},
+                               out=tmp_path, name="crash")
+        assert resumed.executed_trials == 2  # only seeds 2 and 3
+        assert len(resumed.table) == 4
+
+        fresh = run_campaign([spec], systems={key: jarvis_executor},
+                             out=tmp_path / "fresh", name="crash")
+        assert fresh.csv_path.read_bytes() == csv_path.read_bytes()
+
+    def test_truncated_final_row_is_dropped_and_reexecuted(self, tmp_path):
+        specs = _specs(2)
+        run_campaign(specs, out=tmp_path, name="torn")
+        csv_path = tmp_path / "torn.csv"
+        lines = csv_path.read_text().splitlines(keepends=True)
+        csv_path.write_text("".join(lines[:-1]) + lines[-1][:25])  # torn write
+
+        with pytest.raises(ValueError, match="malformed"):
+            RunTable.read_csv(csv_path)
+        assert len(RunTable.read_csv(csv_path, strict=False)) == 3
+
+        rerun = run_campaign(specs, out=tmp_path, name="torn")
+        assert rerun.executed_trials == 1  # just the torn cell
+        assert len(rerun.table) == 4
+        # the completion rewrite leaves a strictly-parseable canonical file
+        assert len(RunTable.read_csv(csv_path)) == 4
+
+    def test_tear_inside_quoted_params_field_is_rejected(self, tmp_path):
+        """A tear inside the final quoted JSON field keeps the column count
+        right (csv tolerates EOF in quotes); the JSON validation must still
+        drop the row so the cell re-executes instead of persisting garbage."""
+        specs = _specs(2)
+        run_campaign(specs, out=tmp_path, name="tornq")
+        csv_path = tmp_path / "tornq.csv"
+        text = csv_path.read_text()
+        assert text.endswith('"}"\n')  # last row ends inside its quoted params
+        csv_path.write_text(text[:-4])  # tear mid-JSON, inside the quotes
+
+        lenient = RunTable.read_csv(csv_path, strict=False)
+        assert len(lenient) == 3
+        for record in lenient:
+            record.param_dict()  # every surviving row has parseable JSON
+
+        rerun = run_campaign(specs, out=tmp_path, name="tornq")
+        assert rerun.executed_trials == 1
+        assert len(RunTable.read_csv(csv_path)) == 4
+
+    def test_resume_false_clears_stale_rows_before_streaming(
+            self, jarvis_executor, tmp_path):
+        """resume=False must not append fresh rows after stale ones: a crash
+        mid-re-execution would let the stale rows win on the next resume."""
+        specs = _specs(2)
+        run_campaign(specs, out=tmp_path, name="force")  # 4 completed rows
+
+        flaky = _FlakyExecutor(jarvis_executor, fail_seeds={1})
+        with pytest.raises(RuntimeError, match="injected crash"):
+            run_campaign(specs, out=tmp_path, name="force", resume=False,
+                         systems={"jarvis": flaky})
+        streamed = RunTable.read_csv(tmp_path / "force.csv", strict=False)
+        assert len(streamed) == 1  # stale table cleared; only the fresh row
+
+        resumed = run_campaign(specs, out=tmp_path, name="force")
+        assert resumed.executed_trials == 3
+        assert len(resumed.table) == 4
+
+    def test_writer_truncates_torn_tail_before_appending(self, jarvis_executor,
+                                                         tmp_path):
+        from repro.eval import RunTableWriter
+
+        records = [record_from_trial(jarvis_executor.run_trial("wooden", seed=seed),
+                                     spec_key="k", condition="c", system="jarvis",
+                                     task="wooden", seed=seed, trial_index=seed)
+                   for seed in range(3)]
+        path = tmp_path / "torn.csv"
+        with RunTableWriter(path) as writer:
+            writer.write(records[0])
+            writer.write(records[1])
+        path.write_bytes(path.read_bytes() + b"abc,def")  # torn row, no newline
+
+        with RunTableWriter(path) as writer:
+            writer.write(records[2])
+        table = RunTable.read_csv(path)  # strict: no merged/garbled rows
+        assert len(table) == 3
+        assert [r.seed for r in table] == [0, 1, 2]
+
+    def test_file_grows_while_campaign_runs(self, jarvis_executor, tmp_path, monkeypatch):
+        """Rows are on disk before later cells execute, not only at the end."""
+        import repro.eval.campaign as campaign_module
+
+        csv_path = tmp_path / "grow.csv"
+        sizes = []
+        original = campaign_module._run_cell
+
+        def spying_run_cell(cell, executor):
+            sizes.append(csv_path.stat().st_size if csv_path.exists() else 0)
+            return original(cell, executor)
+
+        monkeypatch.setattr(campaign_module, "_run_cell", spying_run_cell)
+        key, overrides = system_ref(jarvis_executor)
+        spec = TrialSpec(condition="clean", system=key, task="wooden", num_trials=3)
+        run_campaign([spec], systems=overrides, out=tmp_path, name="grow")
+        assert len(sizes) == 3
+        assert sizes[1] > sizes[0] and sizes[2] > sizes[1]
+
+
+class TestBatching:
+    def test_batch_sizes_produce_byte_identical_tables(self, tmp_path):
+        specs = _specs(3)
+        serial = run_campaign(specs, jobs=1, out=tmp_path / "s", name="batch")
+        b1 = run_campaign(specs, jobs=2, batch=1, out=tmp_path / "b1", name="batch")
+        b8 = run_campaign(specs, jobs=2, batch=8, out=tmp_path / "b8", name="batch")
+        assert serial.csv_path.read_bytes() == b1.csv_path.read_bytes()
+        assert b1.csv_path.read_bytes() == b8.csv_path.read_bytes()
+        assert b1.json_path.read_bytes() == b8.json_path.read_bytes()
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError, match="batch"):
+            CampaignRunner(batch=0)
+
+    def test_auto_batch_heuristic(self):
+        runner = CampaignRunner(jobs=4)
+        assert runner._batch_size(3) == 1        # fewer cells than workers
+        assert runner._batch_size(160) == 10     # ~4 batches per worker
+        assert runner._batch_size(10_000) == 32  # capped for streaming cadence
+        assert CampaignRunner(jobs=4, batch=7)._batch_size(10_000) == 7
+
+
+class TestProfile:
+    def test_profile_columns_round_trip_csv_and_json(self, jarvis_executor, tmp_path):
+        trial = jarvis_executor.run_trial("wooden", seed=0)
+        record = dataclasses.replace(
+            record_from_trial(trial, spec_key="k", condition="c", system="jarvis",
+                              task="wooden", seed=0, trial_index=0),
+            wall_time_s=1.2345678901234567, worker_id="ForkProcess-3")
+        table = RunTable([record])
+
+        table.write_csv(tmp_path / "p.csv", profile=True)
+        row = next(iter(RunTable.read_csv(tmp_path / "p.csv")))
+        assert row.wall_time_s == record.wall_time_s  # repr-exact float
+        assert row.worker_id == "ForkProcess-3" and row.profiled()
+
+        table.write_json(tmp_path / "p.json", profile=True)
+        jrow = next(iter(RunTable.read_json(tmp_path / "p.json")))
+        assert jrow.wall_time_s == record.wall_time_s
+        assert jrow.worker_id == "ForkProcess-3"
+
+    def test_canonical_files_exclude_profile_columns(self, tmp_path):
+        run_campaign(_specs(1), out=tmp_path, name="canon")
+        header = (tmp_path / "canon.csv").read_text().splitlines()[0]
+        assert "wall_time_s" not in header and "worker_id" not in header
+        row = next(iter(RunTable.read_csv(tmp_path / "canon.csv")))
+        assert not row.profiled() and row.worker_id == ""
+
+        sidecar_header = (tmp_path / "profiles" / "canon.csv"
+                          ).read_text().splitlines()[0]
+        assert "wall_time_s" in sidecar_header and "worker_id" in sidecar_header
+        sidecar_row = next(iter(RunTable.read_csv(tmp_path / "profiles" / "canon.csv")))
+        assert sidecar_row.profiled() and sidecar_row.worker_id
+
+    def test_profile_summary_and_cached_split(self, tmp_path):
+        first = run_campaign(_specs(2), out=tmp_path, name="prof")
+        profile = first.profile()
+        assert profile.executed_trials == 4 and profile.cached_trials == 0
+        assert profile.total_wall_time_s > 0
+        assert profile.max_cell_wall_time_s <= profile.total_wall_time_s
+        assert set(profile.per_condition) == {"clean", "faulty"}
+        assert sum(b.cells for b in profile.per_worker.values()) == 4
+        assert "cells" in profile.format()
+
+        resumed = run_campaign(_specs(2), out=tmp_path, name="prof")
+        assert resumed.profile().executed_trials == 0
+        assert resumed.profile().cached_trials == 4
+
+
+class TestCollectResults:
+    def test_collects_campaigns_run_inside_the_block(self):
+        with collect_results() as results:
+            run_campaign(_specs(1))
+            run_campaign(_specs(1))
+        assert len(results) == 2
+        assert sum(r.executed_trials for r in results) == 4
+        with collect_results() as after:
+            pass
+        assert after == []
+
+    def test_nested_blocks_detach_the_right_sink(self):
+        with collect_results() as outer:
+            with collect_results() as inner:
+                pass  # exits while both sinks are empty (and equal)
+            run_campaign(_specs(1))
+        assert len(outer) == 1  # the outer sink kept collecting
+        assert inner == []
 
 
 class TestExperimentsThroughCampaigns:

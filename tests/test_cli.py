@@ -33,6 +33,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["characterize", "--target", "nobody"])
 
+    def test_engine_args_on_trial_subcommands(self):
+        for command in (["mission"], ["characterize"], ["campaign", "overall"]):
+            args = build_parser().parse_args(command)
+            assert args.jobs == 1 and args.batch is None and args.out is None
+        args = build_parser().parse_args(
+            ["campaign", "wr", "--jobs", "4", "--batch", "8", "--out", "runs/x"])
+        assert args.jobs == 4 and args.batch == 8 and args.out == "runs/x"
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "wr", "--batch", "0"])
+
+    def test_paper_preset_registered(self):
+        from repro.cli import CAMPAIGN_PRESETS, PAPER_PRESET_CHAIN
+
+        args = build_parser().parse_args(["campaign", "paper"])
+        assert args.preset == "paper"
+        assert "paper" in CAMPAIGN_PRESETS
+        assert set(PAPER_PRESET_CHAIN) == set(CAMPAIGN_PRESETS) - {"paper"}
+
 
 class TestCommands:
     def test_policies_command(self, capsys):
@@ -64,3 +84,20 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "success rate vs. BER" in out
+
+    def test_campaign_repetitions_with_batch_and_out(self, jarvis_system, capsys,
+                                                     tmp_path):
+        code = main(["campaign", "repetitions", "--trials", "2", "--batch", "2",
+                     "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repetition study" in out
+        assert "run tables written under" in out
+        assert list(tmp_path.glob("*.csv"))  # table persisted at the top level
+
+    def test_mission_reports_profile(self, jarvis_system, capsys, tmp_path):
+        code = main(["mission", "--task", "wooden", "--trials", "2",
+                     "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run table:" in out and "profile:" in out

@@ -1,0 +1,48 @@
+"""The documentation suite must stay consistent with the code.
+
+Runs the same checks as the CI ``docs`` job (``tools/check_docs.py``):
+internal links in ``README.md`` and ``docs/*.md`` resolve, and the campaign
+presets documented there match ``repro.cli.CAMPAIGN_PRESETS`` and the
+``campaign --help`` output.
+"""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_suite_exists():
+    for name in ("architecture.md", "campaigns.md", "runtable-schema.md"):
+        assert (REPO_ROOT / "docs" / name).is_file(), f"docs/{name} is missing"
+
+
+def test_internal_links_resolve():
+    checker = _load_checker()
+    errors: list[str] = []
+    checker.check_links(errors)
+    assert errors == []
+
+
+def test_campaign_presets_documented_and_listed_in_help():
+    checker = _load_checker()
+    errors: list[str] = []
+    checker.check_presets(errors)
+    assert errors == []
+
+
+def test_runtable_schema_documents_every_column():
+    """docs/runtable-schema.md must name every RunRecord column verbatim."""
+    from repro.eval.runtable import COLUMNS
+
+    schema = (REPO_ROOT / "docs" / "runtable-schema.md").read_text()
+    missing = [column for column in COLUMNS if f"`{column}`" not in schema]
+    assert missing == [], f"columns undocumented in runtable-schema.md: {missing}"

@@ -1,0 +1,130 @@
+"""Documentation consistency checks (the CI ``docs`` job).
+
+Verifies that the prose and the code cannot drift apart silently:
+
+1. every relative markdown link (and ``#anchor``) in ``README.md`` and
+   ``docs/*.md`` resolves to an existing file (and heading);
+2. ``python -m repro.cli campaign --help`` lists every preset documented in
+   the README and ``docs/campaigns.md`` preset tables, every preset those
+   tables document exists in ``repro.cli.CAMPAIGN_PRESETS``, and every
+   ``CAMPAIGN_PRESETS`` entry is documented in both places.
+
+Run from the repository root (CI does) or anywhere::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Exit status 0 means clean; 1 prints one line per problem.  The same checks
+run in tier-1 via ``tests/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` markdown links; group 2 is the target.
+_LINK = re.compile(r"\[([^\]]*)\]\(([^)\s]+)\)")
+#: Table rows whose first cell is a bare code-span, e.g. ``| `ad-planner` | ...``.
+_PRESET_ROW = re.compile(r"^\|\s*`([a-z0-9-]+)`\s*\|", re.MULTILINE)
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def markdown_files() -> list[Path]:
+    return [REPO_ROOT / "README.md"] + sorted((REPO_ROOT / "docs").glob("*.md"))
+
+
+def _github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces to hyphens."""
+    cleaned = "".join(c for c in heading.lower() if c.isalnum() or c in " -_")
+    return cleaned.strip().replace(" ", "-")
+
+
+def _anchors(markdown: str) -> set[str]:
+    return {_github_slug(match.group(1)) for match in _HEADING.finditer(markdown)}
+
+
+def check_links(errors: list[str]) -> None:
+    """Every relative link target (file and optional #anchor) must exist."""
+    for source in markdown_files():
+        text = source.read_text()
+        for match in _LINK.finditer(text):
+            target = match.group(2)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, anchor = target.partition("#")
+            resolved = (source.parent / path_part).resolve() if path_part \
+                else source.resolve()
+            if not resolved.exists():
+                errors.append(f"{source.relative_to(REPO_ROOT)}: broken link "
+                              f"{target!r} (no such file {path_part!r})")
+                continue
+            if anchor and resolved.suffix == ".md":
+                if anchor not in _anchors(resolved.read_text()):
+                    errors.append(f"{source.relative_to(REPO_ROOT)}: broken "
+                                  f"anchor {target!r} (no heading "
+                                  f"#{anchor} in {path_part or source.name})")
+
+
+def _documented_presets(path: Path) -> set[str]:
+    return set(_PRESET_ROW.findall(path.read_text()))
+
+
+def check_presets(errors: list[str]) -> None:
+    """README / docs preset tables, CAMPAIGN_PRESETS, and --help must agree."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.cli import CAMPAIGN_PRESETS
+    finally:
+        sys.path.pop(0)
+    registered = set(CAMPAIGN_PRESETS)
+
+    help_text = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "campaign", "--help"],
+        capture_output=True, text=True, check=True,
+        cwd=REPO_ROOT, env={**__import__("os").environ,
+                            "PYTHONPATH": str(REPO_ROOT / "src")}).stdout
+    # argparse wraps lines mid-word ("ad-\nplanner"); compare whitespace-free.
+    compact_help = "".join(help_text.split())
+
+    tables = {path: _documented_presets(path)
+              for path in (REPO_ROOT / "README.md",
+                           REPO_ROOT / "docs" / "campaigns.md")}
+    for path, documented in tables.items():
+        rel = path.relative_to(REPO_ROOT)
+        for preset in sorted(documented - registered):
+            errors.append(f"{rel}: documents unknown preset {preset!r} "
+                          "(not in repro.cli.CAMPAIGN_PRESETS)")
+        for preset in sorted(registered - documented):
+            errors.append(f"{rel}: preset {preset!r} is registered but missing "
+                          "from the preset table")
+    for preset in sorted(registered):
+        if preset not in compact_help:
+            errors.append(f"repro.cli campaign --help does not list the "
+                          f"documented preset {preset!r}")
+
+
+def collect_errors() -> list[str]:
+    errors: list[str] = []
+    check_links(errors)
+    check_presets(errors)
+    return errors
+
+
+def main() -> int:
+    errors = collect_errors()
+    for error in errors:
+        print(f"ERROR: {error}")
+    if errors:
+        print(f"{len(errors)} documentation problem(s)")
+        return 1
+    print(f"docs OK: {len(markdown_files())} markdown files checked, "
+          "links and campaign presets consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
