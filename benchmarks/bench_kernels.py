@@ -1,0 +1,235 @@
+"""Micro-benchmark of the fused kernel runtime and KV-cached decoding.
+
+Unlike the ``bench_fig*`` targets (which reproduce paper figures through
+pytest-benchmark), this is a plain script so CI can gate on it directly::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py            # full run
+    PYTHONPATH=src python benchmarks/bench_kernels.py --smoke    # CI gate
+
+It measures three things and writes them to ``BENCH_kernels.json``:
+
+1. **fused qgemm** — one fused :meth:`KernelContext.qgemm` call vs the
+   reference :func:`quantized_matmul` pipeline on planner-shaped operands;
+2. **fig16-style planner decode** — greedy plan decode over the eight
+   Fig. 16 tasks: the legacy path (per-call closure over ``QuantizedLinear``
+   with full-prefix recompute, as shipped before the kernel runtime), the
+   fused runtime without the KV cache, and the fused runtime with it;
+3. **controller step** — per-step ``act_logits`` through a per-trial kernel
+   context vs transient hook resolution.
+
+Exit status is non-zero when a gate fails: cached decode must never be
+slower than uncached (smoke and full runs), and the full run additionally
+checks the ≥3x speedup of cached decode over the legacy path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.agents import build_jarvis_system  # noqa: E402
+from repro.env.observations import OBSERVATION_DIM  # noqa: E402
+from repro.nn.functional import rms_norm, silu  # noqa: E402
+from repro.quant import GemmHooks, KernelContext  # noqa: E402
+
+FIG16_TASKS = ["wooden", "stone", "charcoal", "chicken", "coal", "iron",
+               "wool", "seed"]
+
+#: Required speedup of cached fused decode over the legacy path (full runs).
+DECODE_SPEEDUP_TARGET = 3.0
+
+
+def _time(fn, reps: int) -> float:
+    """Best-of-three mean seconds per call (keeps CI noise out of the gate)."""
+    fn()  # warm-up
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        best = min(best, (time.perf_counter() - start) / reps)
+    return best
+
+
+# ----------------------------------------------------------------------
+# 1. Fused qgemm vs the reference pipeline
+# ----------------------------------------------------------------------
+def bench_qgemm(planner, reps: int) -> dict:
+    name = "layer0.q"
+    layer = planner._quantized[name]
+    rng = np.random.default_rng(0)
+    # A pool of distinct inputs, cycled per call: the context memoizes the
+    # quantized input of the *same* array object (the Q/K/V sharing path),
+    # which would make a repeated-single-input measurement unrepresentative
+    # of a real per-call quantize + GEMM.
+    inputs = [rng.normal(size=(9, layer.in_features)) for _ in range(64)]
+    counter = {"i": 0}
+
+    def next_input():
+        counter["i"] = (counter["i"] + 1) % len(inputs)
+        return inputs[counter["i"]]
+
+    context = KernelContext({name: layer}, spec=planner.spec)
+    reference = _time(lambda: layer(next_input(), hooks=GemmHooks()), reps)
+    fused = _time(lambda: context.qgemm(name, next_input()), reps)
+    return {
+        "reference_us": reference * 1e6,
+        "fused_us": fused * 1e6,
+        "speedup": reference / fused,
+    }
+
+
+# ----------------------------------------------------------------------
+# 2. fig16-style planner decode
+# ----------------------------------------------------------------------
+def _legacy_plan(planner, task: str) -> list[int]:
+    """The pre-kernel-runtime decode: closures + full-prefix recompute."""
+    hooks = GemmHooks()
+    ones = np.ones(planner.config.dim)
+
+    def forward(tokens):
+        x = planner.weights.embed[np.asarray(tokens, dtype=np.int64)]
+        for index in range(len(planner.weights.layers)):
+            prefix = f"layer{index}"
+            h = rms_norm(x, ones, eps=1e-6)
+            q = planner._quantized[f"{prefix}.q"](h, hooks=hooks)
+            k = planner._quantized[f"{prefix}.k"](h, hooks=hooks)
+            v = planner._quantized[f"{prefix}.v"](h, hooks=hooks)
+            attn = planner._attention(q, k, v)
+            x2 = x + planner._quantized[f"{prefix}.o"](attn, hooks=hooks)
+            h2 = rms_norm(x2, ones, eps=1e-6)
+            gate = silu(planner._quantized[f"{prefix}.gate"](h2, hooks=hooks))
+            up = planner._quantized[f"{prefix}.up"](h2, hooks=hooks)
+            x = x2 + planner._quantized[f"{prefix}.down"](gate * up, hooks=hooks)
+        x = rms_norm(x, ones, eps=1e-6)
+        return planner._quantized["head"](x[-1:], hooks=hooks)[0]
+
+    tokens = list(planner.vocab.encode_prompt(task, 0))
+    generated = []
+    for _ in range(planner.config.max_plan_length + 1):
+        next_token = int(np.argmax(forward(tokens)))
+        generated.append(next_token)
+        tokens.append(next_token)
+        if next_token == planner.vocab.eos:
+            break
+    return generated
+
+
+def bench_decode(planner, reps: int) -> dict:
+    # Sanity first: all three paths must produce identical plans.
+    for task in FIG16_TASKS:
+        legacy = planner.vocab.decode_plan(_legacy_plan(planner, task))
+        assert planner.plan(task, 0, use_cache=True) == legacy, task
+        assert planner.plan(task, 0, use_cache=False) == legacy, task
+
+    legacy = _time(lambda: [_legacy_plan(planner, t) for t in FIG16_TASKS], reps)
+    uncached = _time(
+        lambda: [planner.plan(t, 0, use_cache=False) for t in FIG16_TASKS], reps)
+    cached = _time(
+        lambda: [planner.plan(t, 0, use_cache=True) for t in FIG16_TASKS], reps)
+    return {
+        "tasks": FIG16_TASKS,
+        "legacy_ms": legacy * 1e3,
+        "fused_uncached_ms": uncached * 1e3,
+        "fused_cached_ms": cached * 1e3,
+        "cached_vs_legacy_speedup": legacy / cached,
+        "cached_vs_uncached_speedup": uncached / cached,
+    }
+
+
+# ----------------------------------------------------------------------
+# 3. Controller step through a per-trial context
+# ----------------------------------------------------------------------
+def bench_controller(controller, reps: int) -> dict:
+    rng = np.random.default_rng(1)
+    observations = rng.normal(size=(16, OBSERVATION_DIM))
+    context = controller.kernel_context()
+
+    def hooks_path():
+        for index, obs in enumerate(observations):
+            controller.act_logits(index % 4, obs, hooks=GemmHooks())
+
+    def context_path():
+        for index, obs in enumerate(observations):
+            controller.act_logits(index % 4, obs, context=context)
+
+    transient = _time(hooks_path, reps)
+    reused = _time(context_path, reps)
+    return {
+        "steps": len(observations),
+        "transient_ms": transient * 1e3,
+        "context_ms": reused * 1e3,
+        "speedup": transient / reused,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast CI mode: fewer reps, gate only on "
+                             "cached-not-slower-than-uncached")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="repetitions per measurement (default: 30, "
+                             "smoke: 5)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_kernels.json"),
+                        help="output JSON path (default: BENCH_kernels.json "
+                             "at the repository root)")
+    args = parser.parse_args(argv)
+    reps = args.reps or (5 if args.smoke else 30)
+
+    print("building the JARVIS-1 system (train-or-load + calibration)...")
+    system = build_jarvis_system(rotate_planner=False, with_predictor=False)
+
+    results = {
+        "benchmark": "kernel-runtime",
+        "mode": "smoke" if args.smoke else "full",
+        "reps": reps,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "qgemm": bench_qgemm(system.planner, reps * 100),
+        "fig16_decode": bench_decode(system.planner, reps),
+        "controller_step": bench_controller(system.controller, reps),
+    }
+
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(results, indent=2) + "\n")
+
+    decode = results["fig16_decode"]
+    print(f"fused qgemm:      {results['qgemm']['speedup']:.2f}x vs reference "
+          f"({results['qgemm']['fused_us']:.1f} us/call)")
+    print(f"fig16 decode:     legacy {decode['legacy_ms']:.2f} ms -> "
+          f"cached {decode['fused_cached_ms']:.2f} ms "
+          f"({decode['cached_vs_legacy_speedup']:.2f}x)")
+    print(f"controller step:  {results['controller_step']['speedup']:.2f}x with "
+          f"a per-trial context")
+    print(f"results written to {out_path}")
+
+    failures = []
+    if decode["cached_vs_uncached_speedup"] < 1.0:
+        failures.append(
+            f"cached decode is slower than uncached "
+            f"({decode['fused_cached_ms']:.2f} ms vs "
+            f"{decode['fused_uncached_ms']:.2f} ms)")
+    if not args.smoke and decode["cached_vs_legacy_speedup"] < DECODE_SPEEDUP_TARGET:
+        failures.append(
+            f"cached decode speedup {decode['cached_vs_legacy_speedup']:.2f}x "
+            f"is below the {DECODE_SPEEDUP_TARGET:.1f}x target")
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,15 @@ from ..env.tasks import TaskSuite
 from ..env.world import EmbodiedWorld, WorldConfig
 from ..nn import Embedding, GptTransformer, Linear, Module, Tensor, no_grad
 from ..nn.functional import layer_norm, relu, softmax
-from ..quant import Calibrator, GemmHooks, INT8, QuantizedLinear, QuantSpec
+from ..quant import (
+    Calibrator,
+    FloatKernel,
+    GemmHooks,
+    INT8,
+    KernelContext,
+    QuantizedLinear,
+    QuantSpec,
+)
 from ..train import AdamW, clip_grad_norm
 from .configs import ControllerConfig
 
@@ -160,7 +168,14 @@ def controller_agreement(network: ControllerNetwork, suite: TaskSuite,
 # Quantized deployment
 # ----------------------------------------------------------------------
 class DeployedController:
-    """INT8 controller inference with fault-injection / anomaly-clearance hooks."""
+    """INT8 controller inference with fault-injection / anomaly-clearance hooks.
+
+    Every environment step runs one forward pass; the rollout loop of
+    :class:`~repro.agents.executor.MissionExecutor` therefore builds one
+    fused kernel context (:meth:`kernel_context`) per trial and passes it to
+    :meth:`act_logits`, so pre-resolved scales and reusable accumulator
+    workspaces are shared across all steps of the trial.
+    """
 
     def __init__(self, network: ControllerNetwork, spec: QuantSpec = INT8,
                  calibration_samples: tuple[np.ndarray, np.ndarray] | None = None,
@@ -172,6 +187,7 @@ class DeployedController:
         self._extract_weights(network)
         self.calibrator = Calibrator(spec)
         self._quantized: dict[str, QuantizedLinear] = {}
+        self._clean_kernel: KernelContext | None = None
         if calibration_samples is None:
             if calibration_suite is None or calibration_registry is None:
                 raise ValueError(
@@ -234,49 +250,61 @@ class DeployedController:
         weights = softmax(scores, axis=-1)
         return (weights @ v).transpose(1, 0, 2).reshape(seq, dim)
 
-    def _forward(self, subtask_id: int, observation: np.ndarray, linear) -> np.ndarray:
+    def _forward(self, subtask_id: int, observation: np.ndarray, kernel) -> np.ndarray:
         cfg = self.config
         prompt = self.subtask_embed[subtask_id][None, :]
-        obs_tokens = linear("obs_proj", observation[None, :]).reshape(
+        obs_tokens = kernel.qgemm("obs_proj", observation[None, :]).reshape(
             cfg.num_obs_tokens, cfg.dim)
         x = np.concatenate([prompt, obs_tokens], axis=0)
         for index in range(cfg.num_layers):
             prefix = f"layer{index}"
             norms = self._norms[index]
             h = layer_norm(x, norms["attn_gamma"], norms["attn_beta"], eps=_LN_EPS)
-            attn = self._attention(linear(f"{prefix}.q", h), linear(f"{prefix}.k", h),
-                                   linear(f"{prefix}.v", h))
-            x = x + linear(f"{prefix}.o", attn)
+            attn = self._attention(kernel.qgemm(f"{prefix}.q", h),
+                                   kernel.qgemm(f"{prefix}.k", h),
+                                   kernel.qgemm(f"{prefix}.v", h))
+            x = x + kernel.qgemm(f"{prefix}.o", attn)
             h2 = layer_norm(x, norms["mlp_gamma"], norms["mlp_beta"], eps=_LN_EPS)
-            x = x + linear(f"{prefix}.fc2", relu(linear(f"{prefix}.fc1", h2)))
+            x = x + kernel.qgemm(f"{prefix}.fc2", relu(kernel.qgemm(f"{prefix}.fc1", h2)))
         x = layer_norm(x, self.final_norm["gamma"], self.final_norm["beta"], eps=_LN_EPS)
         pooled = x.mean(axis=0, keepdims=True)
-        return linear("policy_head", pooled)[0]
+        return kernel.qgemm("policy_head", pooled)[0]
 
-    def _float_linear(self, observer: Calibrator | None = None):
-        def linear(name: str, x: np.ndarray) -> np.ndarray:
-            out = x @ self._float_weights[name]
-            bias = self._biases[name]
-            if bias is not None:
-                out = out + bias
-            if observer is not None:
-                observer.observe(name, x, out)
-            return out
-        return linear
+    # ------------------------------------------------------------------
+    # Kernel contexts
+    # ------------------------------------------------------------------
+    def _float_kernel(self, observer: Calibrator | None = None) -> FloatKernel:
+        return FloatKernel(self._float_weights.__getitem__, self._biases.get,
+                           observer=observer)
 
-    def _quantized_linear(self, hooks: GemmHooks | None):
-        def linear(name: str, x: np.ndarray) -> np.ndarray:
-            return self._quantized[name](x, hooks=hooks)
-        return linear
+    def kernel_context(self, hooks: GemmHooks | None = None,
+                       rng: np.random.Generator | None = None) -> KernelContext:
+        """A fused kernel runtime over this controller's quantized layers."""
+        if not self._quantized:
+            raise RuntimeError("controller has not been calibrated/quantized")
+        return KernelContext(self._quantized, hooks=hooks, spec=self.spec, rng=rng)
+
+    def _kernel_for(self, hooks: GemmHooks | None, quantized: bool,
+                    context: KernelContext | None = None):
+        if context is not None:
+            return context
+        if not quantized:
+            return self._float_kernel()
+        if hooks is None:
+            if self._clean_kernel is None:
+                self._clean_kernel = self.kernel_context()
+            return self._clean_kernel
+        return self.kernel_context(hooks)
 
     # ------------------------------------------------------------------
     def calibrate(self, subtask_ids: np.ndarray, observations: np.ndarray) -> None:
         observer = Calibrator(self.spec)
-        linear = self._float_linear(observer)
+        kernel = self._float_kernel(observer)
         for subtask_id, observation in zip(subtask_ids, observations):
-            self._forward(int(subtask_id), observation, linear)
+            self._forward(int(subtask_id), observation, kernel)
         self.calibrator = observer
         self._quantized = {}
+        self._clean_kernel = None
         for name, weight in self._float_weights.items():
             self._quantized[name] = QuantizedLinear(
                 name=name,
@@ -292,37 +320,39 @@ class DeployedController:
 
     # ------------------------------------------------------------------
     def act_logits(self, subtask_id: int, observation: np.ndarray,
-                   hooks: GemmHooks | None = None, quantized: bool = True) -> np.ndarray:
-        """Action logits for one step."""
-        if quantized:
-            if not self._quantized:
-                raise RuntimeError("controller has not been calibrated/quantized")
-            linear = self._quantized_linear(hooks)
-        else:
-            linear = self._float_linear()
-        return self._forward(subtask_id, observation, linear)
+                   hooks: GemmHooks | None = None, quantized: bool = True,
+                   context: KernelContext | None = None) -> np.ndarray:
+        """Action logits for one step.
+
+        ``context`` short-circuits hook resolution: the rollout loop builds
+        one :class:`~repro.quant.KernelContext` per trial and reuses it for
+        every step.
+        """
+        kernel = self._kernel_for(hooks, quantized, context)
+        return self._forward(subtask_id, observation, kernel)
 
     def capture_activations(self, subtask_id: int, observation: np.ndarray,
                             hooks: GemmHooks | None = None,
                             quantized: bool = True) -> dict[str, np.ndarray]:
         """Pre-normalization residual activations (for the Fig. 5 i-l study)."""
         captured: dict[str, np.ndarray] = {}
-        linear = self._quantized_linear(hooks) if quantized else self._float_linear()
+        kernel = self._kernel_for(hooks, quantized)
         cfg = self.config
         prompt = self.subtask_embed[subtask_id][None, :]
-        obs_tokens = linear("obs_proj", observation[None, :]).reshape(
+        obs_tokens = kernel.qgemm("obs_proj", observation[None, :]).reshape(
             cfg.num_obs_tokens, cfg.dim)
         x = np.concatenate([prompt, obs_tokens], axis=0)
         for index in range(cfg.num_layers):
             prefix = f"layer{index}"
             norms = self._norms[index]
             h = layer_norm(x, norms["attn_gamma"], norms["attn_beta"], eps=_LN_EPS)
-            attn = self._attention(linear(f"{prefix}.q", h), linear(f"{prefix}.k", h),
-                                   linear(f"{prefix}.v", h))
-            x = x + linear(f"{prefix}.o", attn)
+            attn = self._attention(kernel.qgemm(f"{prefix}.q", h),
+                                   kernel.qgemm(f"{prefix}.k", h),
+                                   kernel.qgemm(f"{prefix}.v", h))
+            x = x + kernel.qgemm(f"{prefix}.o", attn)
             captured[f"{prefix}.pre_mlp_norm"] = x.copy()
             h2 = layer_norm(x, norms["mlp_gamma"], norms["mlp_beta"], eps=_LN_EPS)
-            x = x + linear(f"{prefix}.fc2", relu(linear(f"{prefix}.fc1", h2)))
+            x = x + kernel.qgemm(f"{prefix}.fc2", relu(kernel.qgemm(f"{prefix}.fc1", h2)))
             captured[f"{prefix}.pre_attn_norm"] = x.copy()
         return captured
 

@@ -117,7 +117,8 @@ class MissionExecutor:
                  timing_model: TimingErrorModel | None = None,
                  action_temperature: float = 1.0,
                  max_replans: int = 8,
-                 invalid_token_penalty: int = 10):
+                 invalid_token_penalty: int = 10,
+                 planner_use_cache: bool = True):
         self.controller = controller
         self.planner = planner
         self.suite = suite
@@ -128,6 +129,9 @@ class MissionExecutor:
         self.action_temperature = action_temperature
         self.max_replans = max_replans
         self.invalid_token_penalty = invalid_token_penalty
+        #: Escape hatch: set False to decode plans with full-prefix recompute
+        #: instead of KV-cached incremental decoding.
+        self.planner_use_cache = planner_use_cache
 
     # ------------------------------------------------------------------
     # Planning helpers
@@ -135,13 +139,14 @@ class MissionExecutor:
     def _progress(self, world: EmbodiedWorld, task) -> int:
         return sum(1 for subtask in task.plan if subtask in world.inventory)
 
-    def _invoke_planner(self, task, world: EmbodiedWorld, hooks: GemmHooks,
+    def _invoke_planner(self, task, world: EmbodiedWorld, context,
                         result: TrialResult, voltage: float) -> list[str]:
         progress = self._progress(world, task)
         if self.planner is None:
             # Ground-truth planning (controller-only studies).
             return [subtask for subtask in task.plan[progress:]]
-        plan = self.planner.plan(task.name, progress, hooks=hooks)
+        plan = self.planner.plan(task.name, progress, context=context,
+                                 use_cache=self.planner_use_cache)
         result.planner_invocations += 1
         generated = len(plan) + 1  # +1 for the EOS decode step
         prompt_len = 4
@@ -168,6 +173,12 @@ class MissionExecutor:
         controller_hooks, controller_injector, controller_detector = build_protection_hooks(
             controller_protection, np.random.default_rng(seed + 30_000), self.timing_model)
 
+        # One fused kernel context per model per trial: pre-resolved scales /
+        # bounds and reusable accumulator workspaces shared across all steps.
+        planner_kernel = self.planner.kernel_context(planner_hooks) \
+            if self.planner is not None else None
+        controller_kernel = self.controller.kernel_context(controller_hooks)
+
         planner_voltage = planner_protection.static_voltage() or NOMINAL_VOLTAGE
 
         vs_runtime: AdaptiveVoltageController | None = None
@@ -186,7 +197,7 @@ class MissionExecutor:
                              planner_invocations=0, controller_steps=0)
 
         plan_queue: deque[str] = deque(
-            self._invoke_planner(task, world, planner_hooks, result, planner_voltage))
+            self._invoke_planner(task, world, planner_kernel, result, planner_voltage))
         replans = 0
         controller_macs = self.controller.macs_per_step
         predictor_macs = self.predictor.macs_per_call if self.predictor is not None else 0
@@ -197,7 +208,7 @@ class MissionExecutor:
                 if replans > self.max_replans:
                     break
                 plan_queue = deque(
-                    self._invoke_planner(task, world, planner_hooks, result, planner_voltage))
+                    self._invoke_planner(task, world, planner_kernel, result, planner_voltage))
                 if not plan_queue:
                     break
                 continue
@@ -220,7 +231,7 @@ class MissionExecutor:
                     voltage = controller_protection.static_voltage() or NOMINAL_VOLTAGE
 
                 logits = self.controller.act_logits(subtask_token, world.observation(),
-                                                    hooks=controller_hooks)
+                                                    context=controller_kernel)
                 result.controller_steps += 1
                 result.controller_macs_by_voltage[voltage] = (
                     result.controller_macs_by_voltage.get(voltage, 0.0) + controller_macs)

@@ -129,20 +129,30 @@ def build_planner_platform(name: str, rotate_planner: bool = True,
     )
 
 
-def build_controller_platform(name: str, spec: QuantSpec = INT8) -> EmbodiedSystem:
+def build_controller_platform(name: str, spec: QuantSpec = INT8,
+                              suite: str | None = None) -> EmbodiedSystem:
     """Cross-platform controller evaluation (Octo / RT-1 on OXE tasks).
 
     Episodes follow the ground-truth plan (no planner), isolating the
     controller-level protections (AD, VS) exactly as the paper does.
+    ``suite`` overrides the evaluation benchmark (e.g. ``"kitchen"`` runs the
+    same deployed controller on the kitchen-rearrangement generator); the
+    controller's own training/calibration benchmark is unaffected.
     """
     if name not in CONTROLLER_CONFIGS:
         raise KeyError(f"unknown controller platform {name!r}")
     controller = _deploy_controller(name, spec)
     benchmark = CONTROLLER_CONFIGS[name].benchmark
-    suite = SUITES["oxe"] if benchmark != "minecraft" else SUITES["minecraft"]
+    if suite is not None:
+        if suite not in SUITES:
+            raise KeyError(f"unknown task suite {suite!r}")
+        evaluation_suite = SUITES[suite]
+    else:
+        evaluation_suite = SUITES["oxe"] if benchmark != "minecraft" \
+            else SUITES["minecraft"]
     return EmbodiedSystem(
-        name=name,
-        suite=suite,
+        name=name if suite is None else f"{name}-{suite}",
+        suite=evaluation_suite,
         registry=registry_for_benchmark(benchmark),
         controller=controller,
         planner=None,

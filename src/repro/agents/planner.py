@@ -26,7 +26,16 @@ from ..core.rotation import rotate_reader, rotate_writer
 from ..env.tasks import TaskSuite
 from ..nn import Embedding, Linear, LlamaTransformer, Module, Tensor, no_grad
 from ..nn.functional import rms_norm, silu, softmax
-from ..quant import Calibrator, GemmHooks, QuantizedLinear, QuantSpec, INT8
+from ..quant import (
+    Calibrator,
+    FloatKernel,
+    GemmHooks,
+    INT8,
+    KernelContext,
+    KVCache,
+    QuantSpec,
+    QuantizedLinear,
+)
 from ..train import AdamW, clip_grad_norm
 from .configs import PlannerConfig
 from .vocabulary import PlannerVocabulary, build_vocabulary
@@ -275,12 +284,21 @@ def extract_planner_weights(network: PlannerNetwork) -> PlannerWeights:
 # ----------------------------------------------------------------------
 # Quantized deployment
 # ----------------------------------------------------------------------
-def _unit_rms_norm(x: np.ndarray) -> np.ndarray:
-    return rms_norm(x, np.ones(x.shape[-1]), eps=_NORM_EPS)
+def _unit_rms_norm(x: np.ndarray, gain: np.ndarray | None = None) -> np.ndarray:
+    return rms_norm(x, np.ones(x.shape[-1]) if gain is None else gain, eps=_NORM_EPS)
 
 
 class DeployedPlanner:
-    """INT8 planner inference with fault-injection / anomaly-clearance hooks."""
+    """INT8 planner inference with fault-injection / anomaly-clearance hooks.
+
+    Decoding runs through the fused kernel runtime
+    (:class:`repro.quant.KernelContext`) and is **KV-cached** by default:
+    per-layer key/value projections are cached so each decode step executes
+    GEMMs only for the newly produced token (O(L) total work per plan instead
+    of O(L²) prefix recompute).  ``use_cache=False`` is the escape hatch that
+    restores full-prefix recompute; fault-free, both paths produce identical
+    tokens, logits, and (logical) MAC counts.
+    """
 
     def __init__(self, weights: PlannerWeights, vocab: PlannerVocabulary,
                  suite: TaskSuite, spec: QuantSpec = INT8,
@@ -293,61 +311,79 @@ class DeployedPlanner:
         self.calibrator = Calibrator(spec)
         self._quantized: dict[str, QuantizedLinear] = {}
         self._activation_probe: dict[str, np.ndarray] | None = None
+        self._clean_kernel: KernelContext | None = None
+        self._norm_gain = np.ones(weights.config.dim)
+        self._mask_cache: dict[tuple[int, int, int], np.ndarray] = {}
         if calibrate:
             self.calibrate()
 
     # ------------------------------------------------------------------
     # Forward pass (shared between float calibration and quantized inference)
     # ------------------------------------------------------------------
-    def _attention(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
-        seq, dim = q.shape
+    def _attention(self, q: np.ndarray, k: np.ndarray, v: np.ndarray,
+                   start: int = 0) -> np.ndarray:
+        """Causal attention of query rows ``start..`` over ``k``/``v`` rows.
+
+        ``q`` holds the new positions only; ``k`` and ``v`` hold the full
+        (cached + new) prefix.  ``start=0`` with ``q`` covering every row is
+        the classic full-sequence case.
+        """
+        n_new, dim = q.shape
+        total = k.shape[0]
         heads = self.config.num_heads
         head_dim = dim // heads
-        q = q.reshape(seq, heads, head_dim).transpose(1, 0, 2)
-        k = k.reshape(seq, heads, head_dim).transpose(1, 0, 2)
-        v = v.reshape(seq, heads, head_dim).transpose(1, 0, 2)
+        q = q.reshape(n_new, heads, head_dim).transpose(1, 0, 2)
+        k = k.reshape(total, heads, head_dim).transpose(1, 0, 2)
+        v = v.reshape(total, heads, head_dim).transpose(1, 0, 2)
         scores = q @ k.transpose(0, 2, 1) / np.sqrt(head_dim)
-        mask = np.triu(np.full((seq, seq), -1e9), k=1)
+        mask = self._mask_cache.get((n_new, total, start))
+        if mask is None:
+            mask = np.where(
+                np.arange(total)[None, :] > start + np.arange(n_new)[:, None],
+                -1e9, 0.0)
+            self._mask_cache[(n_new, total, start)] = mask
         weights = softmax(scores + mask, axis=-1)
         context = weights @ v
-        return context.transpose(1, 0, 2).reshape(seq, dim)
+        return context.transpose(1, 0, 2).reshape(n_new, dim)
 
-    def _forward_tokens(self, tokens: list[int], linear) -> np.ndarray:
-        """Run the decoder over ``tokens``; return logits of the last position.
+    def _forward_step(self, tokens: list[int], start: int, cache: KVCache,
+                      kernel) -> np.ndarray:
+        """Run the decoder over ``tokens[start:]``; return last-position logits.
 
-        ``linear(name, x)`` performs the projection for component ``name`` —
-        either the float matmul (calibration) or the quantized pipeline.
+        ``cache`` must hold the K/V projections of ``tokens[:start]``
+        (``start=0`` with an empty cache is a full forward).  ``kernel`` is a
+        :class:`~repro.quant.KernelContext` (quantized inference) or a
+        :class:`_FloatKernel` (calibration / float reference).  GEMM MACs are
+        recorded for the full logical context length, so accounting is
+        identical whether or not the prefix was cached.
         """
-        x = self.weights.embed[np.asarray(tokens, dtype=np.int64)]
+        total = len(tokens)
+        n_new = total - start
+        x = self.weights.embed[np.asarray(tokens[start:], dtype=np.int64)]
         probe = self._activation_probe
-        for index, layer in enumerate(self.weights.layers):
+        gain = self._norm_gain
+        for index in range(len(self.weights.layers)):
             prefix = f"layer{index}"
-            h = _unit_rms_norm(x)
-            q = linear(f"{prefix}.q", h)
-            k = linear(f"{prefix}.k", h)
-            v = linear(f"{prefix}.v", h)
-            attn = self._attention(q, k, v)
-            x = x + linear(f"{prefix}.o", attn)
+            h = _unit_rms_norm(x, gain)
+            q = kernel.qgemm(f"{prefix}.q", h, logical_rows=total)
+            k = kernel.qgemm(f"{prefix}.k", h, logical_rows=total)
+            v = kernel.qgemm(f"{prefix}.v", h, logical_rows=total)
+            cache.append(index, k, v)
+            attn = self._attention(q, cache.keys(index, total),
+                                   cache.values(index, total), start)
+            x = x + kernel.qgemm(f"{prefix}.o", attn, logical_rows=total)
             if probe is not None:
                 probe[f"{prefix}.pre_mlp_norm"] = x.copy()
-            h2 = _unit_rms_norm(x)
-            gate = silu(linear(f"{prefix}.gate", h2))
-            up = linear(f"{prefix}.up", h2)
-            x = x + linear(f"{prefix}.down", gate * up)
+            h2 = _unit_rms_norm(x, gain)
+            gate = silu(kernel.qgemm(f"{prefix}.gate", h2, logical_rows=total))
+            up = kernel.qgemm(f"{prefix}.up", h2, logical_rows=total)
+            x = x + kernel.qgemm(f"{prefix}.down", gate * up, logical_rows=total)
             if probe is not None:
                 probe[f"{prefix}.pre_attn_norm"] = x.copy()
-        x = _unit_rms_norm(x)
-        logits = linear("head", x[-1:])
+        cache.advance(n_new)
+        x = _unit_rms_norm(x, gain)
+        logits = kernel.qgemm("head", x[-1:], logical_rows=1)
         return logits[0]
-
-    def _float_linear(self, observer: Calibrator | None = None):
-        def linear(name: str, x: np.ndarray) -> np.ndarray:
-            weight = self._float_weight(name)
-            out = x @ weight
-            if observer is not None:
-                observer.observe(name, x, out)
-            return out
-        return linear
 
     def _float_weight(self, name: str) -> np.ndarray:
         if name == "head":
@@ -356,23 +392,52 @@ class DeployedPlanner:
         index = int(layer_name.removeprefix("layer"))
         return self.weights.layers[index][component]
 
-    def _quantized_linear(self, hooks: GemmHooks | None):
-        def linear(name: str, x: np.ndarray) -> np.ndarray:
-            return self._quantized[name](x, hooks=hooks)
-        return linear
+    # ------------------------------------------------------------------
+    # Kernel contexts
+    # ------------------------------------------------------------------
+    def kernel_context(self, hooks: GemmHooks | None = None,
+                       rng: np.random.Generator | None = None) -> KernelContext:
+        """A fused kernel runtime over this planner's quantized layers."""
+        if not self._quantized:
+            raise RuntimeError("planner has not been calibrated/quantized")
+        return KernelContext(self._quantized, hooks=hooks, spec=self.spec, rng=rng)
+
+    def _kernel_for(self, hooks: GemmHooks | None, quantized: bool,
+                    context: KernelContext | None = None):
+        if context is not None:
+            return context
+        if not quantized:
+            return FloatKernel(self._float_weight)
+        if hooks is None:
+            # Hook-free inference shares one context (and its workspaces).
+            if self._clean_kernel is None:
+                self._clean_kernel = self.kernel_context()
+            return self._clean_kernel
+        return self.kernel_context(hooks)
+
+    def _new_cache(self, capacity: int) -> KVCache:
+        return KVCache(len(self.weights.layers), capacity, self.config.dim)
 
     # ------------------------------------------------------------------
     # Calibration / quantization
     # ------------------------------------------------------------------
     def calibrate(self) -> None:
-        """Profile activations over every (task, progress) prompt, then quantize."""
+        """Profile activations over every (task, progress) prompt, then quantize.
+
+        Calibration decodes without the KV cache: the observer must see the
+        exact full-prefix tensors the reference pipeline produced, so the
+        profiled scales and anomaly bounds stay bit-identical across kernel
+        generations.
+        """
         observer = Calibrator(self.spec)
-        linear = self._float_linear(observer)
+        kernel = FloatKernel(self._float_weight, observer=observer)
         for task in self.suite.tasks():
             for progress in range(len(task.plan)):
-                self._decode(task.name, progress, linear, max_new_tokens=None)
+                self._decode(task.name, progress, kernel, max_new_tokens=None,
+                             use_cache=False)
         self.calibrator = observer
         self._quantized = {}
+        self._clean_kernel = None
         for name in self.weights.component_names():
             self._quantized[name] = QuantizedLinear(
                 name=name,
@@ -391,13 +456,22 @@ class DeployedPlanner:
     # ------------------------------------------------------------------
     # Planning
     # ------------------------------------------------------------------
-    def _decode(self, task_name: str, progress: int, linear,
-                max_new_tokens: int | None) -> list[int]:
+    def _decode(self, task_name: str, progress: int, kernel,
+                max_new_tokens: int | None, use_cache: bool = True,
+                collect_logits: list[np.ndarray] | None = None) -> list[int]:
         limit = max_new_tokens or self.config.max_plan_length + 1
         tokens = list(self.vocab.encode_prompt(task_name, progress))
+        cache = self._new_cache(len(tokens) + limit)
         generated: list[int] = []
         for _ in range(limit):
-            logits = self._forward_tokens(tokens, linear)
+            if use_cache:
+                # Prefill on the first step, then one new token per step.
+                logits = self._forward_step(tokens, cache.length, cache, kernel)
+            else:
+                cache.reset()
+                logits = self._forward_step(tokens, 0, cache, kernel)
+            if collect_logits is not None:
+                collect_logits.append(np.asarray(logits, dtype=np.float64).copy())
             next_token = int(np.argmax(logits))
             generated.append(next_token)
             tokens.append(next_token)
@@ -405,25 +479,46 @@ class DeployedPlanner:
                 break
         return generated
 
+    def decode_tokens(self, task_name: str, progress: int = 0,
+                      hooks: GemmHooks | None = None, quantized: bool = True,
+                      use_cache: bool = True, collect_logits: bool = False,
+                      max_new_tokens: int | None = None,
+                      ) -> tuple[list[int], list[np.ndarray]]:
+        """Greedy-decode completion tokens (and optionally per-step logits).
+
+        This is the raw interface behind :meth:`plan`; the kernel equivalence
+        tests use it to compare cached and uncached decode token-by-token and
+        logit-by-logit.
+        """
+        kernel = self._kernel_for(hooks, quantized)
+        logits: list[np.ndarray] = []
+        tokens = self._decode(task_name, progress, kernel, max_new_tokens,
+                              use_cache=use_cache,
+                              collect_logits=logits if collect_logits else None)
+        return tokens, logits
+
     def plan(self, task_name: str, progress: int = 0,
              hooks: GemmHooks | None = None,
-             quantized: bool = True) -> list[str]:
-        """Produce a subtask plan for a task at the given completion progress."""
-        if quantized:
-            if not self._quantized:
-                raise RuntimeError("planner has not been calibrated/quantized")
-            linear = self._quantized_linear(hooks)
-        else:
-            linear = self._float_linear()
-        generated = self._decode(task_name, progress, linear, max_new_tokens=None)
+             quantized: bool = True, use_cache: bool = True,
+             context: KernelContext | None = None) -> list[str]:
+        """Produce a subtask plan for a task at the given completion progress.
+
+        ``use_cache`` selects KV-cached incremental decoding (the default) or
+        full-prefix recompute; ``context`` reuses a caller-owned kernel
+        context (e.g. one per trial) instead of building one per invocation.
+        """
+        kernel = self._kernel_for(hooks, quantized, context)
+        generated = self._decode(task_name, progress, kernel, max_new_tokens=None,
+                                 use_cache=use_cache)
         return self.vocab.decode_plan(generated)
 
     def logits(self, task_name: str, progress: int = 0,
                hooks: GemmHooks | None = None, quantized: bool = True) -> np.ndarray:
         """Logits of the first completion token (used by resilience probes)."""
-        linear = self._quantized_linear(hooks) if quantized else self._float_linear()
+        kernel = self._kernel_for(hooks, quantized)
         tokens = list(self.vocab.encode_prompt(task_name, progress))
-        return self._forward_tokens(tokens, linear)
+        cache = self._new_cache(len(tokens))
+        return self._forward_step(tokens, 0, cache, kernel)
 
     # ------------------------------------------------------------------
     # Introspection used by the characterization experiments
@@ -434,9 +529,10 @@ class DeployedPlanner:
         """Capture pre-normalization residual activations during one forward."""
         self._activation_probe = {}
         try:
-            linear = self._quantized_linear(hooks) if quantized else self._float_linear()
+            kernel = self._kernel_for(hooks, quantized)
             tokens = list(self.vocab.encode_prompt(task_name, progress))
-            self._forward_tokens(tokens, linear)
+            cache = self._new_cache(len(tokens))
+            self._forward_step(tokens, 0, cache, kernel)
             return dict(self._activation_probe)
         finally:
             self._activation_probe = None

@@ -19,6 +19,15 @@ Built-in keys cover every platform of the paper::
     controller-rt1          cross-platform controller systems (no planner)
     controller-octo
 
+plus system variants beyond the paper's main configurations::
+
+    jarvis-nopredictor          no entropy predictor (VS falls back to the
+    jarvis-rotated-nopredictor  oracle entropy source)
+    jarvis-acc20                custom quantization: 20-bit accumulators
+    jarvis-int4-acc16           ... INT4 operands, 16-bit accumulators
+    controller-rt1-kitchen      RT-1 controller on the kitchen-rearrangement
+                                task generator (non-Minecraft workload)
+
 ``register_system`` adds custom factories (e.g. for tests); ``get_system``
 builds lazily and caches one instance per key per process.
 
@@ -38,7 +47,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from ..quant import INT4, INT8
+from ..quant import INT4, INT8, QuantSpec
 from .configs import CONTROLLER_CONFIGS, PLANNER_CONFIGS
 from .jarvis import (
     EmbodiedSystem,
@@ -51,9 +60,10 @@ __all__ = ["SYSTEM_FACTORIES", "BUILTIN_SYSTEM_KEYS", "register_system",
            "get_system", "system_keys", "clear_system_cache"]
 
 
-def _jarvis_factory(rotate: bool, spec):
+def _jarvis_factory(rotate: bool, spec, with_predictor: bool = True):
     def build() -> EmbodiedSystem:
-        return build_jarvis_system(rotate_planner=rotate, with_predictor=True, spec=spec)
+        return build_jarvis_system(rotate_planner=rotate,
+                                   with_predictor=with_predictor, spec=spec)
     return build
 
 
@@ -63,11 +73,17 @@ def _planner_factory(name: str, rotate: bool):
     return build
 
 
-def _controller_factory(name: str):
+def _controller_factory(name: str, suite: str | None = None):
     def build() -> EmbodiedSystem:
-        return build_controller_platform(name)
+        return build_controller_platform(name, suite=suite)
     return build
 
+
+#: Accumulator-width variants exposed as registry keys (custom quantization).
+#: 20 bits is the narrowest width whose clean INT8 accumulations never wrap
+#: at surrogate layer sizes; INT4 operands fit comfortably into 16 bits.
+_ACC20_INT8 = QuantSpec(bits=8, accumulator_bits=20)
+_ACC16_INT4 = QuantSpec(bits=4, accumulator_bits=16)
 
 #: Registry of system key -> zero-argument factory.
 SYSTEM_FACTORIES: dict[str, Callable[[], EmbodiedSystem]] = {
@@ -75,6 +91,17 @@ SYSTEM_FACTORIES: dict[str, Callable[[], EmbodiedSystem]] = {
     "jarvis-rotated": _jarvis_factory(True, INT8),
     "jarvis-int4": _jarvis_factory(False, INT4),
     "jarvis-rotated-int4": _jarvis_factory(True, INT4),
+    # Predictor-less variants: the planner/controller stack is identical, so
+    # VS experiments degrade to the oracle entropy source (ROADMAP item).
+    "jarvis-nopredictor": _jarvis_factory(False, INT8, with_predictor=False),
+    "jarvis-rotated-nopredictor": _jarvis_factory(True, INT8, with_predictor=False),
+    # Custom-quantization variants: narrower accumulators expose the
+    # resilience/efficiency trade-off of cheaper MAC hardware.
+    "jarvis-acc20": _jarvis_factory(False, _ACC20_INT8),
+    "jarvis-int4-acc16": _jarvis_factory(False, _ACC16_INT4),
+    # Scenario diversity: the RT-1 controller surrogate evaluated on the
+    # generated kitchen-rearrangement suite (non-Minecraft workload).
+    "controller-rt1-kitchen": _controller_factory("rt1", suite="kitchen"),
 }
 for _name in PLANNER_CONFIGS:
     if _name != "jarvis":

@@ -17,6 +17,13 @@ __all__ = ["PlannerVocabulary", "build_vocabulary"]
 
 _MAX_PROGRESS = 12
 
+#: Suites whose task names define the planner vocabulary.  This list is
+#: frozen to the paper's Table 10 benchmarks: the vocabulary determines the
+#: embedding/head shapes of every trained planner checkpoint, so registering
+#: additional suites in ``SUITES`` (e.g. the generated kitchen benchmark)
+#: must not change it.  New-suite tasks run controller-only instead.
+_VOCABULARY_SUITES = ("minecraft", "libero", "calvin", "oxe", "manipulation")
+
 
 @dataclass(frozen=True)
 class PlannerVocabulary:
@@ -67,7 +74,8 @@ class PlannerVocabulary:
 
 def build_vocabulary() -> PlannerVocabulary:
     """Construct the shared vocabulary from the task suites and subtask registry."""
-    task_names = sorted({task for suite in SUITES.values() for task in suite.task_names})
+    task_names = sorted({task for key in _VOCABULARY_SUITES
+                         for task in SUITES[key].task_names})
     offset = 4
     task_tokens = {name: offset + index for index, name in enumerate(task_names)}
     offset += len(task_tokens)

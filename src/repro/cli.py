@@ -1,9 +1,10 @@
 """Command-line interface to the CREATE reproduction.
 
-Five subcommands cover the workflows a downstream user needs most often::
+Six subcommands cover the workflows a downstream user needs most often::
 
     python -m repro.cli hardware                      # accelerator / LDO / model tables
     python -m repro.cli policies                      # entropy-to-voltage policies A-F
+    python -m repro.cli systems                       # registered system keys
     python -m repro.cli mission --task wooden         # run protected missions
     python -m repro.cli characterize --target planner # BER sweep on one model
     python -m repro.cli campaign ad-controller        # declarative experiment campaigns
@@ -44,7 +45,8 @@ CAMPAIGN_PRESETS = {
     "baselines": "CREATE vs. DMR / ThUnderVolt / ABFT (Fig. 20)",
     "repetitions": "success rate vs. repetition count (Table 5)",
     "quantization": "INT8 vs. INT4 planner robustness (Table 6)",
-    "paper": "chain every preset above into one resumable full-paper sweep",
+    "kitchen": "kitchen-rearrangement controller suite (beyond the paper)",
+    "paper": "chain every paper preset into one resumable full-paper sweep",
 }
 
 #: Order in which ``campaign paper`` chains the single-figure presets.
@@ -90,6 +92,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="planner supply voltage in volts (default: nominal 0.9)")
     mission.add_argument("--controller-voltage", type=float, default=None,
                          help="controller supply voltage (ignored when --vs is set)")
+    mission.add_argument("--system", default=None, metavar="KEY",
+                         help="registry key of the system to run (see the "
+                              "'systems' subcommand); overrides the default "
+                              "jarvis/jarvis-rotated choice")
     add_engine_args(mission)
 
     characterize = subparsers.add_parser(
@@ -129,6 +135,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("policies", help="print the entropy-to-voltage policies A-F")
 
+    subparsers.add_parser(
+        "systems",
+        help="list the registered system keys (predictor-less, custom "
+             "quantization, kitchen, ... variants included)")
+
     return parser
 
 
@@ -152,8 +163,13 @@ def _run_mission(args) -> int:
         planner_voltage=args.planner_voltage,
         controller_voltage=args.controller_voltage,
     )
+    system = args.system or ("jarvis-rotated" if args.wr else "jarvis")
+    if args.system is not None and args.wr and "rotated" not in args.system:
+        print(f"note: --wr labels the configuration as weight-rotated, but the "
+              f"system is taken verbatim from --system {args.system!r}; pass a "
+              "*-rotated key to actually deploy the rotated planner")
     spec = TrialSpec(condition=config.label(),
-                     system="jarvis-rotated" if args.wr else "jarvis",
+                     system=system,
                      task=args.task, num_trials=args.trials, seed=args.seed,
                      planner_protection=config.planner_protection(),
                      controller_protection=config.controller_protection())
@@ -205,6 +221,7 @@ _PRESET_USED_OPTIONS = {
     "baselines": {"task"},
     "repetitions": {"task", "bers"},
     "quantization": {"task", "bers"},
+    "kitchen": {"tasks"},
     "paper": {"task", "tasks", "bers"},
 }
 
@@ -329,6 +346,31 @@ def _preset_quantization(args, engine) -> None:
                        title=f"quantization study on {args.task!r}"))
 
 
+def _preset_kitchen(args, engine) -> None:
+    """Kitchen-rearrangement controller suite (scenario diversity, no figure)."""
+    from .core import CreateConfig
+    from .env import KITCHEN_SUITE
+    from .eval import experiments, format_table
+
+    tasks = args.tasks or KITCHEN_SUITE.task_names
+    voltage = 0.75
+    configs = {
+        "unprotected": CreateConfig(ad=False, wr=False, controller_voltage=voltage),
+        "AD": CreateConfig(ad=True, wr=False, controller_voltage=voltage),
+    }
+    systems = {label: "controller-rt1-kitchen" for label in configs}
+    results = experiments.overall_evaluation(systems, tasks, configs,
+                                             num_trials=args.trials,
+                                             seed=args.seed, **engine)
+    rows = [[task] + [results[label].per_task[task].success_rate
+                      for label in configs] for task in tasks]
+    rows.append(["mean energy (mJ)"] + [results[label].mean_energy() * 1e3
+                                        for label in configs])
+    print(format_table(["task"] + list(configs), rows,
+                       title=f"kitchen-rearrangement suite at {voltage} V "
+                             "(controller-rt1-kitchen)"))
+
+
 #: Preset name -> ``runner(args, engine_kwargs)`` printing its figure/table.
 _PRESET_RUNNERS = {
     "ad-planner": _preset_ad,
@@ -340,6 +382,7 @@ _PRESET_RUNNERS = {
     "baselines": _preset_baselines,
     "repetitions": _preset_repetitions,
     "quantization": _preset_quantization,
+    "kitchen": _preset_kitchen,
 }
 
 
@@ -425,12 +468,26 @@ def _run_policies(_args) -> int:
     return 0
 
 
+def _run_systems(_args) -> int:
+    """List registered system keys without building any of them."""
+    from .agents.registry import BUILTIN_SYSTEM_KEYS, system_keys
+
+    keys = system_keys()
+    for key in keys:
+        marker = "" if key in BUILTIN_SYSTEM_KEYS else "  (registered at runtime)"
+        print(f"{key}{marker}")
+    print(f"\n{len(keys)} system keys; pass one to 'mission --system' or use it "
+          "as the system of a custom campaign")
+    return 0
+
+
 _COMMANDS = {
     "mission": _run_mission,
     "characterize": _run_characterize,
     "campaign": _run_campaign,
     "hardware": _run_hardware,
     "policies": _run_policies,
+    "systems": _run_systems,
 }
 
 

@@ -11,6 +11,7 @@ from .subtasks import (
 )
 from .tasks import (
     CALVIN_SUITE,
+    KITCHEN_SUITE,
     LIBERO_SUITE,
     MANIPULATION_SUITE,
     MINECRAFT_SUITE,
@@ -18,6 +19,7 @@ from .tasks import (
     SUITES,
     TaskSpec,
     TaskSuite,
+    build_kitchen_suite,
     get_task,
 )
 from .observations import IMAGE_SHAPE, OBSERVATION_DIM, encode_observation, render_observation_image
@@ -41,7 +43,9 @@ __all__ = [
     "CALVIN_SUITE",
     "OXE_SUITE",
     "MANIPULATION_SUITE",
+    "KITCHEN_SUITE",
     "SUITES",
+    "build_kitchen_suite",
     "get_task",
     "OBSERVATION_DIM",
     "IMAGE_SHAPE",

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import networkx as nx
+import numpy as np
 
 from .subtasks import MANIPULATION_SUBTASKS, MINECRAFT_SUBTASKS, SubtaskRegistry
 
@@ -22,7 +23,9 @@ __all__ = [
     "CALVIN_SUITE",
     "OXE_SUITE",
     "MANIPULATION_SUITE",
+    "KITCHEN_SUITE",
     "SUITES",
+    "build_kitchen_suite",
     "get_task",
 ]
 
@@ -166,10 +169,67 @@ MANIPULATION_SUITE = TaskSuite(
     "manipulation", MANIPULATION_SUBTASKS,
     LIBERO_SUITE.tasks() + CALVIN_SUITE.tasks() + OXE_SUITE.tasks())
 
+
+# ----------------------------------------------------------------------
+# Generated kitchen-rearrangement benchmark (scenario diversity beyond the
+# paper's Table 10 suites; exercises the kernel runtime on a non-Minecraft
+# workload through the ``controller-rt1-kitchen`` registry key)
+# ----------------------------------------------------------------------
+#: (template name, plan skeleton) pairs the generator draws from.  Every
+#: subtask is from the manipulation registry, so any controller trained on
+#: the LIBERO/CALVIN/OXE union can execute kitchen episodes unchanged.
+_KITCHEN_TEMPLATES: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("serve", ("locate_object", "grasp_object", "approach_target", "place_object")),
+    ("stow", ("open_drawer", "locate_object", "grasp_object", "place_object",
+              "close_drawer")),
+    ("clear", ("locate_object", "grasp_object", "place_object")),
+    ("start-appliance", ("approach_target", "press_button")),
+    ("restock", ("pull_handle", "locate_object", "grasp_object", "place_object")),
+    ("tidy-counter", ("locate_object", "slide_block")),
+)
+
+_KITCHEN_OBJECTS = ("plate", "mug", "pan", "bowl", "kettle", "tray", "jar",
+                    "cutting-board")
+
+
+def build_kitchen_suite(num_tasks: int = 8, seed: int = 2030) -> TaskSuite:
+    """Procedurally generate a kitchen-rearrangement task suite.
+
+    Each task pairs a manipulation template with a kitchen object; the drawn
+    combinations are deterministic in ``seed``, so campaign workers rebuild
+    the identical suite.  Task names are *not* part of the planner
+    vocabulary (see :func:`repro.agents.vocabulary.build_vocabulary`), so
+    kitchen tasks run controller-only (ground-truth plans), exactly like the
+    OXE controller studies.
+    """
+    if num_tasks < 1:
+        raise ValueError("num_tasks must be positive")
+    rng = np.random.default_rng(seed)
+    tasks: list[TaskSpec] = []
+    seen: set[str] = set()
+    while len(tasks) < num_tasks:
+        template, plan = _KITCHEN_TEMPLATES[int(rng.integers(len(_KITCHEN_TEMPLATES)))]
+        obj = _KITCHEN_OBJECTS[int(rng.integers(len(_KITCHEN_OBJECTS)))]
+        name = f"{template}-{obj}"
+        if name in seen:
+            continue
+        seen.add(name)
+        tasks.append(TaskSpec(
+            name=name,
+            benchmark="kitchen",
+            description=f"{template.replace('-', ' ')} the {obj.replace('-', ' ')}",
+            plan=plan,
+        ))
+    return TaskSuite("kitchen", MANIPULATION_SUBTASKS, tasks)
+
+
+#: The default kitchen-rearrangement benchmark used by the campaign presets.
+KITCHEN_SUITE = build_kitchen_suite()
+
 #: All suites keyed by benchmark name.
 SUITES: dict[str, TaskSuite] = {
     suite.name: suite for suite in (MINECRAFT_SUITE, LIBERO_SUITE, CALVIN_SUITE,
-                                    OXE_SUITE, MANIPULATION_SUITE)
+                                    OXE_SUITE, MANIPULATION_SUITE, KITCHEN_SUITE)
 }
 
 

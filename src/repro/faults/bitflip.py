@@ -1,32 +1,23 @@
-"""Low-level bit-flip primitives on two's-complement accumulator values."""
+"""Low-level bit-flip primitives on two's-complement accumulator values.
+
+The two's-complement reinterpretation helpers (``to_unsigned`` / ``to_signed``
+/ ``wrap_to_accumulator``) are owned by :mod:`repro.quant.qtypes` — the
+accumulator format they model lives at the quantization layer — and are
+re-exported here for backward compatibility.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..quant.qtypes import ACCUMULATOR_BITS
+from ..quant.qtypes import (
+    ACCUMULATOR_BITS,
+    to_signed,
+    to_unsigned,
+    wrap_to_accumulator,
+)
 
 __all__ = ["to_unsigned", "to_signed", "flip_bit", "flip_bits", "wrap_to_accumulator"]
-
-
-def to_unsigned(values: np.ndarray, bits: int = ACCUMULATOR_BITS) -> np.ndarray:
-    """Reinterpret signed integers as their unsigned two's-complement pattern."""
-    mask = (1 << bits) - 1
-    return np.asarray(values, dtype=np.int64) & mask
-
-
-def to_signed(values: np.ndarray, bits: int = ACCUMULATOR_BITS) -> np.ndarray:
-    """Reinterpret unsigned bit patterns as signed two's-complement integers."""
-    values = np.asarray(values, dtype=np.int64)
-    sign_bit = 1 << (bits - 1)
-    mask = (1 << bits) - 1
-    values = values & mask
-    return np.where(values >= sign_bit, values - (1 << bits), values)
-
-
-def wrap_to_accumulator(values: np.ndarray, bits: int = ACCUMULATOR_BITS) -> np.ndarray:
-    """Wrap arbitrary integers into the signed range of a ``bits``-wide accumulator."""
-    return to_signed(to_unsigned(values, bits), bits)
 
 
 def flip_bit(values: np.ndarray, bit: int, bits: int = ACCUMULATOR_BITS) -> np.ndarray:

@@ -87,6 +87,25 @@ class ErrorInjector:
         self.stats = InjectionStats()
 
     # ------------------------------------------------------------------
+    def reseed(self, rng: np.random.Generator) -> None:
+        """Replace the random stream (one stream per kernel context).
+
+        The fused kernel runtime (:class:`repro.quant.KernelContext`) calls
+        this so that every context draws flips from its own reproducible
+        stream instead of sharing one injector-global sequence.
+        """
+        self.rng = rng
+
+    def expected_element_error_rate(self, spec: QuantSpec) -> float:
+        """Expected corrupted fraction of produced accumulator elements.
+
+        This is the exposure invariant of KV-cached decoding: caching changes
+        how many accumulator elements are produced, not the corruption
+        probability of each produced element.
+        """
+        rates = self.effective_rates(spec)
+        return float(1.0 - np.prod(1.0 - rates))
+
     def targets(self, component: str | None) -> bool:
         """Whether this injector applies to the given component name."""
         if not self.enabled:

@@ -96,6 +96,20 @@ class EnergyModel:
         static = cfg.mac_energy_pj * cfg.static_fraction
         return float(macs) * (dynamic + static) * 1e-12
 
+    def kernel_energy_j(self, counters, voltage: float,
+                        include_overheads: bool = True) -> float:
+        """Compute energy of one kernel context's recorded work.
+
+        ``counters`` is a :class:`repro.quant.KernelCounters` (or anything
+        with a ``macs`` attribute): the unified interface the fused kernel
+        runtime maintains, so energy accounting no longer needs to combine
+        ``GemmStats`` with injection/clamp counters.  The kernel records
+        *logical* MACs (decode-strategy-invariant), so cached and uncached
+        decoding price identically.
+        """
+        return self.compute_energy_j({voltage: counters.macs},
+                                     include_overheads=include_overheads)
+
     def compute_energy_j(self, macs_per_voltage: dict[float, float] | list[tuple[float, float]],
                          include_overheads: bool = True) -> float:
         """Energy of a workload whose MACs ran at different voltages.

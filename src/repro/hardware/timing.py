@@ -116,6 +116,27 @@ class TimingErrorModel:
         """Aggregate BER (uniform average over bit positions)."""
         return float(self.bit_error_rates(voltage).mean())
 
+    def element_error_rate(self, voltage: float,
+                           accumulator_bits: int | None = None) -> float:
+        """Probability that at least one bit of one accumulator result flips."""
+        rates = self.bit_error_rates(voltage)
+        if accumulator_bits is not None:
+            rates = rates[:accumulator_bits]
+        return float(1.0 - np.prod(1.0 - rates))
+
+    def expected_corrupted_elements(self, counters, voltage: float,
+                                    accumulator_bits: int | None = None) -> float:
+        """Expected corrupted accumulator elements of one kernel context.
+
+        ``counters`` is a :class:`repro.quant.KernelCounters` (or anything
+        with an ``output_elements`` attribute).  Because the fused kernel
+        counts the accumulator elements actually *produced*, this prediction
+        holds for cached and uncached decoding alike — KV caching changes
+        how many elements are produced, not the per-element exposure.
+        """
+        return counters.output_elements * self.element_error_rate(
+            voltage, accumulator_bits)
+
     def voltage_for_ber(self, target_ber: float,
                         v_min: float = MIN_VOLTAGE,
                         v_max: float = NOMINAL_VOLTAGE,

@@ -1,8 +1,27 @@
-"""INT8/INT4 quantization and the quantized GEMM deployment pipeline."""
+"""INT8/INT4 quantization and the quantized GEMM deployment pipeline.
 
-from .qtypes import ACCUMULATOR_BITS, INT4, INT8, QuantSpec
+Two execution paths share one arithmetic definition:
+
+* :func:`quantized_matmul` / :class:`QuantizedLinear` — the per-call
+  reference pipeline (quantize → INT GEMM → wrap → inject → clamp →
+  dequantize);
+* :class:`KernelContext` — the fused runtime used by deployed agents: the
+  same pipeline with pre-resolved scales/bounds, preallocated accumulator
+  workspaces and unified :class:`KernelCounters`.
+"""
+
+from .qtypes import (
+    ACCUMULATOR_BITS,
+    INT4,
+    INT8,
+    QuantSpec,
+    to_signed,
+    to_unsigned,
+    wrap_to_accumulator,
+)
 from .quantizer import Calibrator, QuantParams, compute_scale, dequantize, quantize
 from .qgemm import GemmHooks, GemmStats, QuantizedLinear, quantized_matmul
+from .kernel import FloatKernel, KernelContext, KernelCounters, KVCache
 
 __all__ = [
     "ACCUMULATOR_BITS",
@@ -14,8 +33,15 @@ __all__ = [
     "compute_scale",
     "quantize",
     "dequantize",
+    "to_signed",
+    "to_unsigned",
+    "wrap_to_accumulator",
     "GemmHooks",
     "GemmStats",
     "QuantizedLinear",
     "quantized_matmul",
+    "KernelContext",
+    "KernelCounters",
+    "FloatKernel",
+    "KVCache",
 ]

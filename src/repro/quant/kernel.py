@@ -1,0 +1,383 @@
+"""Fused quantized-kernel runtime: the fast path of the deployed pipeline.
+
+:func:`repro.quant.quantized_matmul` is the reference implementation of the
+paper's accelerator dataflow (quantize → INT GEMM → 24-bit wrap → injection →
+anomaly clearance → dequantize), but it pays per-call costs that dominate
+trial time at surrogate scale: scale/bound lookups through ``QuantParams``
+objects, fresh int64 accumulator allocations, and closure-based dispatch.
+:class:`KernelContext` is the same pipeline compiled into a long-lived
+runtime object:
+
+* every registered :class:`~repro.quant.qgemm.QuantizedLinear` is flattened
+  into a plain-attribute entry (inverse input scale, combined output scale,
+  integer anomaly bound, bias) resolved with a single dict lookup per call;
+* int64 accumulator workspaces are preallocated per output shape and reused
+  across calls (the dequantized float output is always a fresh array, so
+  callers can hold onto results safely);
+* injection and anomaly clearance run as in-pipeline stages on the shared
+  injector / detector objects, so their per-object stats keep working, while
+  the context additionally maintains one unified :class:`KernelCounters`
+  that energy/latency accounting can consume instead of reading
+  ``GemmStats`` + ``InjectionStats`` + ``AnomalyStats`` separately.
+
+``qgemm`` results are bit-identical to ``quantized_matmul`` — the fused path
+changes bookkeeping, not arithmetic — which the kernel equivalence tests
+assert.
+
+Logical-row accounting
+----------------------
+Incremental (KV-cached) decoding computes GEMMs only for new token rows, but
+energy / latency accounting must stay decode-strategy-invariant: the
+``logical_rows`` argument of :meth:`KernelContext.qgemm` records MACs for the
+full logical row count of the modelled dataflow while the arithmetic (and
+therefore the fault exposure of the *produced* accumulator elements) covers
+only the rows actually computed.  Cached and uncached decode thus report
+identical MAC counts, and injection keeps the expected number of corrupted
+elements per produced accumulator element unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from typing import Callable
+
+from .qgemm import GemmHooks, QuantizedLinear
+from .qtypes import INT8, QuantSpec
+
+__all__ = ["KernelCounters", "KernelContext", "FloatKernel", "KVCache"]
+
+
+@dataclass
+class KernelCounters:
+    """Unified per-context counters of the fused pipeline.
+
+    One object carries what previously required reading three: GEMM work
+    (``GemmStats``), injection activity (``InjectionStats``) and clamp
+    activity (``AnomalyStats``).  ``macs`` follows the logical-row accounting
+    described in the module docstring; ``output_elements`` counts the
+    accumulator elements actually produced (the fault-exposure surface).
+    """
+
+    gemm_calls: int = 0
+    macs: int = 0
+    output_elements: int = 0
+    bits_flipped: int = 0
+    elements_corrupted: int = 0
+    elements_clamped: int = 0
+    macs_per_component: dict[str, int] = field(default_factory=dict)
+
+    def record_gemm(self, component: str | None, macs: int, outputs: int) -> None:
+        self.gemm_calls += 1
+        self.macs += macs
+        self.output_elements += outputs
+        if component is not None:
+            self.macs_per_component[component] = (
+                self.macs_per_component.get(component, 0) + macs
+            )
+
+    def reset(self) -> None:
+        self.gemm_calls = 0
+        self.macs = 0
+        self.output_elements = 0
+        self.bits_flipped = 0
+        self.elements_corrupted = 0
+        self.elements_clamped = 0
+        self.macs_per_component.clear()
+
+    @property
+    def observed_element_error_rate(self) -> float:
+        """Corrupted fraction of the accumulator elements actually produced."""
+        if self.output_elements == 0:
+            return 0.0
+        return self.elements_corrupted / self.output_elements
+
+    def as_dict(self) -> dict[str, int | float]:
+        return {
+            "gemm_calls": self.gemm_calls,
+            "macs": self.macs,
+            "output_elements": self.output_elements,
+            "bits_flipped": self.bits_flipped,
+            "elements_corrupted": self.elements_corrupted,
+            "elements_clamped": self.elements_clamped,
+        }
+
+
+class _KernelEntry:
+    """Flattened per-layer constants of the fused pipeline (one dict lookup)."""
+
+    __slots__ = ("weight_q", "weight_f", "x_scale", "combined_scale", "bound_acc",
+                 "bias", "in_features", "out_features", "qmin", "qmax",
+                 "wrap_free", "exact_float")
+
+    def __init__(self, layer: QuantizedLinear, has_clamp: bool):
+        spec = layer.spec
+        self.weight_q = layer.weight_q
+        # Float copy of the integer weights: for the magnitudes the formats
+        # allow, a float64 GEMM over integer-valued operands is *exact* and
+        # runs through BLAS instead of numpy's integer matmul loop.
+        self.weight_f = layer.weight_q.astype(np.float64)
+        self.x_scale = layer.x_params.scale
+        self.combined_scale = layer.x_params.scale * layer.w_params.scale
+        self.bound_acc = None
+        if has_clamp and layer.output_bound is not None:
+            self.bound_acc = int(np.ceil(layer.output_bound / self.combined_scale))
+        self.bias = layer.bias
+        self.in_features = layer.in_features
+        self.out_features = layer.out_features
+        self.qmin = spec.qmin
+        self.qmax = spec.qmax
+        # Largest accumulator magnitude any in-range input can produce.
+        acc_bound = spec.qmax * int(np.abs(layer.weight_q).sum(axis=0).max())
+        # When that bound fits the accumulator, wrapping is the identity and
+        # the wrap stage can be skipped without changing a single bit.
+        self.wrap_free = acc_bound < (1 << (spec.accumulator_bits - 1))
+        # When it also fits the float64 integer range, the BLAS result is
+        # bit-exact; otherwise fall back to the integer matmul.
+        self.exact_float = acc_bound < (1 << 52)
+
+
+class KernelContext:
+    """Owns pre-quantized weights, workspace buffers, and the fused pipeline.
+
+    Parameters
+    ----------
+    layers:
+        Pre-quantized layers to register up front (more can be added with
+        :meth:`register`).
+    hooks:
+        The same :class:`~repro.quant.qgemm.GemmHooks` the reference pipeline
+        takes; injector / anomaly-clamp / stats objects are shared, so their
+        own counters stay live alongside :attr:`counters`.
+    spec:
+        Quantization format of the registered layers.
+    rng:
+        Optional per-context random stream.  When given, the context's
+        injector is reseeded with it (see
+        :meth:`repro.faults.ErrorInjector.reseed`), so every context draws
+        from its own reproducible stream.
+    """
+
+    def __init__(self, layers: dict[str, QuantizedLinear] | None = None,
+                 hooks: GemmHooks | None = None, spec: QuantSpec = INT8,
+                 rng: np.random.Generator | None = None):
+        hooks = hooks or GemmHooks()
+        self.spec = spec
+        self.hooks = hooks
+        self.injector = hooks.injector
+        self.clamp = hooks.anomaly_clamp
+        self.stats = hooks.stats
+        self.counters = KernelCounters()
+        if rng is not None and self.injector is not None:
+            self.injector.reseed(rng)
+        # Wrap constants of the accumulator format, resolved once.
+        self._acc_bits = spec.accumulator_bits
+        self._acc_mask = spec.accumulator_mask
+        self._acc_sign = 1 << (spec.accumulator_bits - 1)
+        self._acc_span = 1 << spec.accumulator_bits
+        self._entries: dict[str, _KernelEntry] = {}
+        self._workspaces: dict[tuple[int, int], np.ndarray] = {}
+        # Quantized-input reuse: components sharing one calibration scale
+        # (e.g. Q/K/V projections reading the same normalized residual) reuse
+        # the integer input computed by the first of them.  Holding a
+        # reference to the source array keeps its id() from being recycled.
+        self._qx_source: np.ndarray | None = None
+        self._qx_scale = 0.0
+        self._qx: np.ndarray | None = None
+        if layers:
+            self.register_all(layers)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, layer: QuantizedLinear) -> None:
+        """Flatten one pre-quantized layer into the context."""
+        if layer.spec != self.spec:
+            raise ValueError(
+                f"layer {layer.name!r} uses {layer.spec}, context uses {self.spec}")
+        self._entries[layer.name] = _KernelEntry(layer, self.clamp is not None)
+
+    def register_all(self, layers: dict[str, QuantizedLinear]) -> None:
+        for layer in layers.values():
+            self.register(layer)
+
+    def component_names(self) -> list[str]:
+        return sorted(self._entries)
+
+    # ------------------------------------------------------------------
+    # Fused pipeline
+    # ------------------------------------------------------------------
+    def _workspace(self, rows: int, cols: int) -> np.ndarray:
+        """Reusable int64 accumulator buffer for one output shape."""
+        buffer = self._workspaces.get((rows, cols))
+        if buffer is None:
+            buffer = np.empty((rows, cols), dtype=np.int64)
+            self._workspaces[(rows, cols)] = buffer
+        return buffer
+
+    def _quantize_input(self, entry: _KernelEntry, x: np.ndarray) -> np.ndarray:
+        """Integer-valued float input tensor, reused across equal-scale calls."""
+        if x is self._qx_source and entry.x_scale == self._qx_scale:
+            return self._qx
+        # Identical arithmetic to quantizer.quantize: scale, round, clip.
+        q = x / entry.x_scale
+        np.rint(q, out=q)
+        np.minimum(q, entry.qmax, out=q)
+        np.maximum(q, entry.qmin, out=q)
+        self._qx_source = x
+        self._qx_scale = entry.x_scale
+        self._qx = q
+        return q
+
+    def qgemm(self, name: str, x: np.ndarray,
+              logical_rows: int | None = None) -> np.ndarray:
+        """Fused quantize → INT GEMM → wrap → inject → clamp → dequantize.
+
+        ``x`` is the float input (rows actually computed); ``logical_rows``
+        optionally overrides the row count used for MAC accounting (see the
+        module docstring).  Returns a fresh float array, bit-identical to
+        :func:`repro.quant.quantized_matmul` on the same operands.
+        """
+        entry = self._entries[name]
+        x_q = self._quantize_input(entry, x)
+        rows = x_q.shape[0] if x_q.ndim == 2 else int(np.prod(x_q.shape[:-1]))
+
+        macs = (logical_rows if logical_rows is not None else rows) \
+            * entry.in_features * entry.out_features
+        outputs = rows * entry.out_features
+        self.counters.record_gemm(name, macs, outputs)
+        if self.stats is not None:
+            self.stats.record(name, macs, outputs)
+
+        injector = self.injector
+        if entry.exact_float and entry.wrap_free and injector is None:
+            # Fault-free fast path: the BLAS GEMM over integer-valued floats
+            # is exact and wrapping is the identity, so the accumulator never
+            # needs to materialize as int64.
+            acc = x_q @ entry.weight_f
+            if self.clamp is not None and entry.bound_acc is not None:
+                acc = self._clamp_stage(acc, entry.bound_acc, name)
+            acc *= entry.combined_scale
+            out = acc
+        else:
+            if entry.exact_float:
+                acc = (x_q @ entry.weight_f).astype(np.int64)
+            else:
+                acc = self._workspace(rows, entry.out_features)
+                np.matmul(x_q.astype(np.int64).reshape(rows, entry.in_features),
+                          entry.weight_q, out=acc)
+            if not entry.wrap_free:
+                # Finite accumulator width, in place.
+                acc &= self._acc_mask
+                acc[acc >= self._acc_sign] -= self._acc_span
+            if injector is not None:
+                flipped_before = injector.stats.bits_flipped
+                corrupted_before = injector.stats.elements_corrupted
+                acc = injector.inject(acc, self.spec, component=name)
+                self.counters.bits_flipped += (
+                    injector.stats.bits_flipped - flipped_before)
+                self.counters.elements_corrupted += (
+                    injector.stats.elements_corrupted - corrupted_before)
+            if self.clamp is not None and entry.bound_acc is not None:
+                acc = self._clamp_stage(acc, entry.bound_acc, name)
+            out = acc.astype(np.float64)
+            out *= entry.combined_scale
+
+        if entry.bias is not None:
+            out += entry.bias
+        if x.ndim != 2:
+            out = out.reshape(*x.shape[:-1], entry.out_features)
+        return out
+
+    def _clamp_stage(self, acc: np.ndarray, bound: int, name: str) -> np.ndarray:
+        """Anomaly clearance as a pipeline stage (tracks the unified counters)."""
+        clamp_stats = getattr(self.clamp, "stats", None)
+        clamped_before = clamp_stats.elements_clamped if clamp_stats else 0
+        acc = self.clamp(acc, bound, name)
+        if clamp_stats is not None:
+            self.counters.elements_clamped += (
+                clamp_stats.elements_clamped - clamped_before)
+        return acc
+
+    def reset_counters(self) -> None:
+        self.counters.reset()
+
+
+class FloatKernel:
+    """Float-path adapter exposing the kernel ``qgemm`` interface.
+
+    Deployed agents use it for calibration (with an ``observer``) and for
+    float reference inference, so one forward-pass implementation serves
+    both precision domains.  ``weight`` maps a component name to its float
+    weight matrix; ``bias`` (optional) maps a name to a bias vector or
+    ``None``.  ``logical_rows`` is accepted for interface parity with
+    :meth:`KernelContext.qgemm` and ignored — there is no integer dataflow
+    to account.
+    """
+
+    def __init__(self, weight: Callable[[str], np.ndarray],
+                 bias: Callable[[str], np.ndarray | None] | None = None,
+                 observer=None):
+        self._weight = weight
+        self._bias = bias
+        self._observer = observer
+
+    def qgemm(self, name: str, x: np.ndarray,
+              logical_rows: int | None = None) -> np.ndarray:
+        out = x @ self._weight(name)
+        if self._bias is not None:
+            bias = self._bias(name)
+            if bias is not None:
+                out = out + bias
+        if self._observer is not None:
+            self._observer.observe(name, x, out)
+        return out
+
+
+class KVCache:
+    """Preallocated per-layer K/V cache for incremental decoding.
+
+    One contiguous ``(num_layers, capacity, dim)`` buffer per projection;
+    :meth:`append` writes the rows of the newest tokens, and :meth:`keys` /
+    :meth:`values` return views of the valid prefix.  ``length`` is the
+    number of cached positions (shared by all layers).
+    """
+
+    def __init__(self, num_layers: int, capacity: int, dim: int):
+        if num_layers < 1 or capacity < 1 or dim < 1:
+            raise ValueError("num_layers, capacity and dim must be positive")
+        self.capacity = capacity
+        self._k = np.empty((num_layers, capacity, dim), dtype=np.float64)
+        self._v = np.empty((num_layers, capacity, dim), dtype=np.float64)
+        self.length = 0
+
+    def append(self, layer: int, k_new: np.ndarray, v_new: np.ndarray) -> None:
+        """Write the K/V rows of the newest tokens at positions ``length:``.
+
+        ``length`` itself only moves on :meth:`advance` (called once per
+        decode step, after every layer has appended its rows).
+        """
+        rows = k_new.shape[0]
+        if self.length + rows > self.capacity:
+            raise ValueError(
+                f"KV cache overflow: {self.length} + {rows} > {self.capacity}")
+        self._k[layer, self.length:self.length + rows] = k_new
+        self._v[layer, self.length:self.length + rows] = v_new
+
+    def advance(self, rows: int) -> None:
+        """Commit ``rows`` appended positions (all layers must have appended)."""
+        if self.length + rows > self.capacity:
+            raise ValueError("cannot advance past the cache capacity")
+        self.length += rows
+
+    def reset(self) -> None:
+        """Forget all cached positions (buffers are reused, not reallocated)."""
+        self.length = 0
+
+    def keys(self, layer: int, length: int) -> np.ndarray:
+        return self._k[layer, :length]
+
+    def values(self, layer: int, length: int) -> np.ndarray:
+        return self._v[layer, :length]

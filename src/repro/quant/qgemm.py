@@ -16,7 +16,7 @@ from typing import Callable, Protocol
 
 import numpy as np
 
-from .qtypes import INT8, QuantSpec
+from .qtypes import INT8, QuantSpec, wrap_to_accumulator
 from .quantizer import QuantParams, compute_scale, quantize
 
 __all__ = ["GemmStats", "GemmHooks", "QuantizedLinear", "quantized_matmul"]
@@ -90,8 +90,6 @@ def quantized_matmul(x: np.ndarray, weight_q: np.ndarray, x_params: QuantParams,
     x_q = quantize(x, x_params)
     acc = x_q @ weight_q  # int64 accumulation
     # Model the finite accumulator width (values wrap, as in hardware).
-    from ..faults.bitflip import wrap_to_accumulator
-
     acc = wrap_to_accumulator(acc, spec.accumulator_bits)
 
     if hooks.stats is not None:

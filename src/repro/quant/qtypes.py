@@ -1,10 +1,21 @@
-"""Quantization format descriptors (INT8 / INT4, 24-bit accumulators)."""
+"""Quantization format descriptors (INT8 / INT4, 24-bit accumulators).
+
+Besides the :class:`QuantSpec` dataclass this module owns the two's-complement
+bit-pattern helpers of the accumulator format (``to_unsigned`` / ``to_signed``
+/ ``wrap_to_accumulator``).  They live here — below every other layer — so the
+quantized GEMM pipeline can model finite accumulator width without importing
+the fault-injection layer (:mod:`repro.faults` re-exports them for
+backward compatibility).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["QuantSpec", "INT8", "INT4", "ACCUMULATOR_BITS"]
+import numpy as np
+
+__all__ = ["QuantSpec", "INT8", "INT4", "ACCUMULATOR_BITS",
+           "to_unsigned", "to_signed", "wrap_to_accumulator"]
 
 #: Width of the systolic-array accumulator modelled throughout the repository
 #: (the paper synthesizes an 8-bit multiplier / 24-bit accumulator PE).
@@ -59,3 +70,26 @@ class QuantSpec:
 
 INT8 = QuantSpec(bits=8)
 INT4 = QuantSpec(bits=4)
+
+
+# ----------------------------------------------------------------------
+# Two's-complement bit-pattern helpers of the accumulator format
+# ----------------------------------------------------------------------
+def to_unsigned(values: np.ndarray, bits: int = ACCUMULATOR_BITS) -> np.ndarray:
+    """Reinterpret signed integers as their unsigned two's-complement pattern."""
+    mask = (1 << bits) - 1
+    return np.asarray(values, dtype=np.int64) & mask
+
+
+def to_signed(values: np.ndarray, bits: int = ACCUMULATOR_BITS) -> np.ndarray:
+    """Reinterpret unsigned bit patterns as signed two's-complement integers."""
+    values = np.asarray(values, dtype=np.int64)
+    sign_bit = 1 << (bits - 1)
+    mask = (1 << bits) - 1
+    values = values & mask
+    return np.where(values >= sign_bit, values - (1 << bits), values)
+
+
+def wrap_to_accumulator(values: np.ndarray, bits: int = ACCUMULATOR_BITS) -> np.ndarray:
+    """Wrap arbitrary integers into the signed range of a ``bits``-wide accumulator."""
+    return to_signed(to_unsigned(values, bits), bits)

@@ -51,7 +51,21 @@ class TestParser:
         args = build_parser().parse_args(["campaign", "paper"])
         assert args.preset == "paper"
         assert "paper" in CAMPAIGN_PRESETS
-        assert set(PAPER_PRESET_CHAIN) == set(CAMPAIGN_PRESETS) - {"paper"}
+        # The paper sweep chains exactly the figure/table presets; extras
+        # beyond the paper (the kitchen suite) stay out of the chain.
+        assert set(PAPER_PRESET_CHAIN) == set(CAMPAIGN_PRESETS) - {"paper", "kitchen"}
+
+    def test_kitchen_preset_registered(self):
+        from repro.cli import CAMPAIGN_PRESETS
+
+        args = build_parser().parse_args(["campaign", "kitchen", "--trials", "2"])
+        assert args.preset == "kitchen"
+        assert "kitchen" in CAMPAIGN_PRESETS
+
+    def test_mission_system_override(self):
+        args = build_parser().parse_args(["mission", "--system", "jarvis-nopredictor"])
+        assert args.system == "jarvis-nopredictor"
+        assert build_parser().parse_args(["mission"]).system is None
 
 
 class TestCommands:
@@ -66,6 +80,15 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "peak TOPS" in out
         assert "jarvis_planner" in out
+
+    def test_systems_command_lists_variant_keys(self, capsys):
+        """The smoke test of the predictor-less / custom-quantization keys."""
+        assert main(["systems"]) == 0
+        out = capsys.readouterr().out
+        for key in ("jarvis", "jarvis-nopredictor", "jarvis-rotated-nopredictor",
+                    "jarvis-acc20", "jarvis-int4-acc16", "controller-rt1-kitchen"):
+            assert key in out
+        assert "system keys" in out
 
     def test_mission_command_clean(self, jarvis_system, capsys):
         assert main(["mission", "--task", "wooden", "--trials", "2"]) == 0

@@ -279,3 +279,52 @@ class TestOracleAndObservations:
             world.step(Action(int(rng.integers(0, NUM_ACTIONS))))
             assert world._state.distance >= 0
             assert 0 <= world._state.progress <= world._state.spec.execution_length
+
+
+class TestKitchenSuite:
+    """The generated kitchen-rearrangement benchmark (scenario diversity)."""
+
+    def test_generation_is_deterministic(self):
+        from repro.env import KITCHEN_SUITE, build_kitchen_suite
+
+        again = build_kitchen_suite()
+        assert again.task_names == KITCHEN_SUITE.task_names
+        for name in again.task_names:
+            assert again.get(name).plan == KITCHEN_SUITE.get(name).plan
+
+    def test_registered_with_manipulation_subtasks(self):
+        from repro.env import KITCHEN_SUITE
+
+        assert SUITES["kitchen"] is KITCHEN_SUITE
+        for task in KITCHEN_SUITE.tasks():
+            assert task.benchmark == "kitchen"
+            for subtask in task.plan:
+                assert subtask in MANIPULATION_SUBTASKS
+
+    def test_custom_size_and_seed(self):
+        from repro.env import build_kitchen_suite
+
+        small = build_kitchen_suite(num_tasks=3, seed=7)
+        assert len(small) == 3
+        other = build_kitchen_suite(num_tasks=3, seed=8)
+        assert small.task_names != other.task_names
+        with pytest.raises(ValueError):
+            build_kitchen_suite(num_tasks=0)
+
+    def test_kitchen_tasks_stay_out_of_the_planner_vocabulary(self):
+        from repro.agents import build_vocabulary
+        from repro.env import KITCHEN_SUITE
+
+        vocab = build_vocabulary()
+        assert not any(name in vocab.task_tokens
+                       for name in KITCHEN_SUITE.task_names)
+
+    def test_kitchen_world_runs(self):
+        from repro.env import KITCHEN_SUITE
+
+        task = KITCHEN_SUITE.tasks()[0]
+        world = EmbodiedWorld(task, MANIPULATION_SUBTASKS, WorldConfig(),
+                              np.random.default_rng(0))
+        assert world.set_subtask(task.plan[0])
+        world.step(Action.FORWARD)
+        assert world.steps_taken == 1
