@@ -56,8 +56,9 @@ from .jarvis import (
     build_planner_platform,
 )
 
-__all__ = ["SYSTEM_FACTORIES", "BUILTIN_SYSTEM_KEYS", "register_system",
-           "get_system", "system_keys", "clear_system_cache"]
+__all__ = ["SYSTEM_FACTORIES", "BUILTIN_SYSTEM_KEYS", "SYSTEM_HAS_PREDICTOR",
+           "register_system", "get_system", "system_keys",
+           "system_has_predictor", "clear_system_cache"]
 
 
 def _jarvis_factory(rotate: bool, spec, with_predictor: bool = True):
@@ -115,11 +116,22 @@ for _name in CONTROLLER_CONFIGS:
 #: spawn-started worker processes; ``register_system`` additions are not).
 BUILTIN_SYSTEM_KEYS = frozenset(SYSTEM_FACTORIES)
 
+#: Whether each built-in system ships an entropy predictor — declared here so
+#: experiment planners (``repro-create campaign --dry-run``, queue enqueueing)
+#: can pick the VS entropy source without building (and training) the system.
+#: Only the JARVIS builds with ``with_predictor=True`` carry one; platform
+#: planner/controller systems never do (see ``build_*_platform``).
+SYSTEM_HAS_PREDICTOR: dict[str, bool] = {
+    key: key.startswith("jarvis") and "nopredictor" not in key
+    for key in BUILTIN_SYSTEM_KEYS
+}
+
 _SYSTEM_CACHE: dict[str, EmbodiedSystem] = {}
 
 
 def register_system(key: str, factory: Callable[[], EmbodiedSystem],
-                    overwrite: bool = False) -> None:
+                    overwrite: bool = False,
+                    has_predictor: bool | None = None) -> None:
     """Register a custom system factory under ``key``.
 
     ``factory`` must be a zero-argument callable returning a fully deployed
@@ -129,11 +141,32 @@ def register_system(key: str, factory: Callable[[], EmbodiedSystem],
     rests on every rebuild behaving identically.  Registering an existing
     key raises unless ``overwrite=True``; either way the per-process
     instance cache for ``key`` is dropped.
+
+    ``has_predictor`` optionally declares whether the system ships an
+    entropy predictor, letting campaign planners (``--dry-run``, queue
+    enqueueing) answer :func:`system_has_predictor` without building the
+    system; leave ``None`` to have the first such query build and inspect.
     """
     if key in SYSTEM_FACTORIES and not overwrite:
         raise KeyError(f"system key {key!r} already registered")
     SYSTEM_FACTORIES[key] = factory
     _SYSTEM_CACHE.pop(key, None)
+    SYSTEM_HAS_PREDICTOR.pop(key, None)
+    if has_predictor is not None:
+        SYSTEM_HAS_PREDICTOR[key] = has_predictor
+
+
+def system_has_predictor(key: str) -> bool:
+    """Whether ``key``'s system ships an entropy predictor.
+
+    Answered from the declared :data:`SYSTEM_HAS_PREDICTOR` table when
+    possible — every built-in key is covered, so planning a campaign never
+    triggers a system build — and by building + inspecting (then caching
+    the answer) for custom keys registered without a declaration.
+    """
+    if key not in SYSTEM_HAS_PREDICTOR:
+        SYSTEM_HAS_PREDICTOR[key] = get_system(key).predictor is not None
+    return SYSTEM_HAS_PREDICTOR[key]
 
 
 def system_keys() -> list[str]:

@@ -1,6 +1,6 @@
 """Command-line interface to the CREATE reproduction.
 
-Six subcommands cover the workflows a downstream user needs most often::
+Eight subcommands cover the workflows a downstream user needs most often::
 
     python -m repro.cli hardware                      # accelerator / LDO / model tables
     python -m repro.cli policies                      # entropy-to-voltage policies A-F
@@ -9,6 +9,8 @@ Six subcommands cover the workflows a downstream user needs most often::
     python -m repro.cli characterize --target planner # BER sweep on one model
     python -m repro.cli campaign ad-controller        # declarative experiment campaigns
     python -m repro.cli campaign paper --out runs/paper --jobs 8   # the whole paper
+    python -m repro.cli worker --queue runs/q         # drain a shared work queue
+    python -m repro.cli merge runs/merged runs/q      # merge worker/shard tables
 
 ``mission``, ``characterize`` and ``campaign`` execute through the campaign
 engine (:mod:`repro.eval.campaign`): ``--jobs N`` fans trials out over worker
@@ -17,9 +19,19 @@ task (default: auto-tuned), and ``--out DIR`` streams the run table to disk
 as cells complete, so re-runs — including runs interrupted mid-campaign —
 only execute missing cells.
 
+Campaigns also scale past one host (:mod:`repro.eval.scheduler`):
+``campaign <preset> --dry-run`` prints the planned cell grid without
+training or running anything; ``--queue DIR`` enqueues the grid as task
+files that any number of ``worker`` daemons (on any hosts sharing the
+filesystem) claim, lease, and execute; ``--shard i/N --out DIR`` statically
+executes the i-th of N deterministic grid slices for queue-less clusters.
+``merge`` unions the resulting worker/shard run tables — with conflict
+detection — into canonical files byte-identical to a single-host run.
+
 The ``campaign paper`` preset chains every figure/table preset into one
 resumable full-paper sweep directory (one subdirectory per preset); see
-``docs/campaigns.md`` for the preset-to-figure map.
+``docs/campaigns.md`` for the preset-to-figure map and the distributed
+execution walkthrough.
 
 The first invocation of a trial-running subcommand trains and caches the
 surrogate models (a few minutes); later invocations are fast.
@@ -130,6 +142,67 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--trials", type=positive_int, default=8)
     campaign.add_argument("--seed", type=int, default=0)
     add_engine_args(campaign)
+    campaign.add_argument("--dry-run", action="store_true",
+                          help="print the planned (condition, seed) cell "
+                               "counts per campaign — and per shard with "
+                               "--shard — without training or running anything")
+    campaign.add_argument("--shard", default=None, metavar="I/N",
+                          help="execute only the I-th of N static slices of "
+                               "the cell grid (1-based, e.g. 2/4); requires "
+                               "--out; combine the slices afterwards with "
+                               "the 'merge' subcommand")
+    campaign.add_argument("--queue", default=None, metavar="DIR",
+                          help="instead of executing, enqueue the cell grid "
+                               "as task files in this work-queue directory "
+                               "for 'worker' daemons to claim and execute")
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="run a worker daemon that drains a shared campaign work queue",
+        description="Claim task files from a work queue (filled by "
+                    "'campaign <preset> --queue DIR'), execute their "
+                    "(condition, seed) cells, and stream rows to a "
+                    "per-worker run table under DIR/results/.  Leases are "
+                    "heartbeated while executing; leases of dead workers "
+                    "expire and are re-queued, so no cell is lost.  Merge "
+                    "the worker tables with the 'merge' subcommand.")
+    worker.add_argument("--queue", required=True, metavar="DIR",
+                        help="work-queue directory (shared filesystem)")
+    worker.add_argument("--jobs", type=positive_int, default=1,
+                        help="process-pool workers for cell execution "
+                             "(default: 1, in-process)")
+    worker.add_argument("--id", default=None, metavar="NAME",
+                        help="worker id for leases and the results "
+                             "directory (default: <hostname>-<pid>)")
+    worker.add_argument("--lease-ttl", type=float, default=120.0, metavar="S",
+                        help="seconds without a heartbeat before a lease "
+                             "expires and its task is re-queued (default: 120)")
+    worker.add_argument("--poll", type=float, default=1.0, metavar="S",
+                        help="seconds between queue polls while waiting "
+                             "(default: 1)")
+    worker.add_argument("--wait", action="store_true",
+                        help="keep polling until every task is done or "
+                             "failed (reclaiming expired leases), instead "
+                             "of exiting when no task is claimable")
+    worker.add_argument("--max-tasks", type=positive_int, default=None,
+                        metavar="N", help="stop after claiming N tasks")
+
+    merge = subparsers.add_parser(
+        "merge",
+        help="merge worker/shard run tables into canonical table files",
+        description="Union every run table found under the given "
+                    "directories (queue results/, shard --out dirs) by "
+                    "(spec_key, seed), verify that duplicate cells agree, "
+                    "and write canonical <name>.csv/.json files under OUT "
+                    "— byte-identical to a single-host run when all cells "
+                    "are present.")
+    merge.add_argument("out", metavar="OUT",
+                       help="output directory for the merged tables")
+    merge.add_argument("dirs", nargs="+", metavar="DIR",
+                       help="directories holding worker/shard run tables")
+    merge.add_argument("--overwrite", action="store_true",
+                       help="let later inputs win on conflicting duplicate "
+                            "cells instead of refusing to merge")
 
     subparsers.add_parser("hardware", help="print the accelerator / LDO / model tables")
 
@@ -425,11 +498,219 @@ def _run_paper(args) -> int:
 
 def _run_campaign(args) -> int:
     _warn_ignored_options(args)
+    if args.dry_run or args.queue is not None or args.shard is not None:
+        return _run_scheduled_campaign(args)
     if args.preset == "paper":
         return _run_paper(args)
     _PRESET_RUNNERS[args.preset](args, _engine_kwargs(args))
     if args.out is not None:
         print(f"run tables written under {args.out}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Distributed scheduling (--dry-run / --queue / --shard, worker, merge)
+# ----------------------------------------------------------------------
+def _scheduled_presets(args) -> list[tuple[str, dict]]:
+    """The (preset, engine kwargs) pairs one invocation covers.
+
+    ``paper`` expands to its whole chain with the same per-preset output
+    subdirectories a direct ``campaign paper --out`` run would use, so a
+    queued or sharded paper sweep lands in (and resumes from) the same
+    layout as a single-host one.
+    """
+    from pathlib import Path
+
+    if args.preset != "paper":
+        return [(args.preset, _engine_kwargs(args))]
+    pairs = []
+    for preset in PAPER_PRESET_CHAIN:
+        engine = _engine_kwargs(args)
+        if args.out is not None:
+            engine["out"] = str(Path(args.out) / preset)
+        pairs.append((preset, engine))
+    return pairs
+
+
+def _capture_plans(preset: str, args, engine: dict):
+    """Run one preset in plan-capture mode and return its campaign plans.
+
+    The preset's experiment code runs unmodified but executes no trials
+    (see :func:`repro.eval.campaign.planning`); whatever it prints is
+    computed from placeholder rows, so its stdout is swallowed.
+    """
+    import contextlib
+    import io
+
+    from .eval.campaign import planning
+
+    sub = argparse.Namespace(**vars(args))
+    sub.preset = preset
+    with planning() as plans, contextlib.redirect_stdout(io.StringIO()):
+        _PRESET_RUNNERS[preset](sub, engine)
+    return plans
+
+
+def _run_scheduled_campaign(args) -> int:
+    from .eval.shard import parse_shard
+
+    if args.queue is not None and args.shard is not None:
+        print("error: --queue and --shard are two different ways to "
+              "distribute a campaign; pick one")
+        return 2
+    shard = None
+    if args.shard is not None:
+        try:
+            shard = parse_shard(args.shard)
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 2
+        if not args.dry_run and args.out is None:
+            print("error: --shard needs --out (each shard persists its "
+                  "slice of the run table there for the final merge)")
+            return 2
+    if args.dry_run:
+        return _campaign_dry_run(args, shard)
+    if args.queue is not None:
+        return _campaign_enqueue(args)
+    return _campaign_shard_run(args, shard)
+
+
+def _campaign_dry_run(args, shard) -> int:
+    campaigns = total = pending_total = 0
+    for preset, engine in _scheduled_presets(args):
+        for planned in _capture_plans(preset, args, engine):
+            campaigns += 1
+            where = f" (out {planned.out})" if planned.out is not None else ""
+            print(f"[{preset}] campaign {planned.name}{where}:")
+            for spec in planned.specs:
+                print(f"  {spec.condition}: {spec.num_trials} cells")
+            print(f"  total {planned.total_cells} cells, "
+                  f"{len(planned.pending)} pending "
+                  f"({planned.existing_rows} already in the run table)")
+            if shard is not None:
+                mine, _ = shard.split(planned.pending)
+                print(f"  shard {shard}: {len(mine)} of "
+                      f"{len(planned.pending)} pending cells")
+            total += planned.total_cells
+            pending_total += len(planned.pending)
+    print(f"dry run: {campaigns} campaign(s), {total} cells, "
+          f"{pending_total} pending; nothing was trained or executed")
+    return 0
+
+
+def _campaign_enqueue(args) -> int:
+    from pathlib import Path
+
+    from .eval.runtable import RunTable
+    from .eval.scheduler import CampaignPlan, WorkQueue
+
+    queue = WorkQueue(args.queue)
+    new_tasks = new_cells = 0
+    for preset, engine in _scheduled_presets(args):
+        for planned in _capture_plans(preset, args, engine):
+            try:
+                plan = CampaignPlan(name=planned.name, specs=planned.specs)
+                table = None
+                if planned.out is not None:
+                    csv_path = Path(planned.out) / f"{planned.name}.csv"
+                    if csv_path.exists():
+                        table = RunTable.read_csv(csv_path, strict=False)
+                report = queue.enqueue(plan, batch=args.batch, table=table)
+            except ValueError as exc:
+                print(f"error: cannot enqueue campaign "
+                      f"{planned.name!r}: {exc}")
+                return 2
+            notes = []
+            if report.skipped_tasks:
+                notes.append(f"{report.skipped_tasks} already queued/done")
+            if report.satisfied_tasks:
+                notes.append(f"{report.satisfied_tasks} satisfied by the "
+                             "existing run table")
+            print(f"[{preset}] {planned.name}: {report.new_tasks} task files, "
+                  f"{report.enqueued_cells} cells"
+                  + (f" ({'; '.join(notes)})" if notes else ""))
+            new_tasks += report.new_tasks
+            new_cells += report.enqueued_cells
+    counts = queue.counts()
+    print(f"queue {queue.root}: enqueued {new_tasks} tasks / {new_cells} "
+          f"cells; now {counts['pending']} pending, {counts['leased']} "
+          f"leased, {counts['done']} done")
+    print(f"start workers with: repro-create worker --queue {queue.root} "
+          "--wait [--jobs N]   (any number, any host sharing this path)")
+    print(f"then merge with:    repro-create merge <OUT> {queue.root}")
+    return 0
+
+
+def _campaign_shard_run(args, shard) -> int:
+    import contextlib
+    import io
+
+    from .eval.campaign import collect_results, shard_scope
+
+    executed = rows = foreign = 0
+    for preset, engine in _scheduled_presets(args):
+        sub = argparse.Namespace(**vars(args))
+        sub.preset = preset
+        with collect_results() as results, shard_scope(shard), \
+                contextlib.redirect_stdout(io.StringIO()):
+            _PRESET_RUNNERS[preset](sub, engine)
+        for result in results:
+            executed += result.executed_trials
+            foreign += result.placeholder_trials
+            rows += len(result.table) - result.placeholder_trials
+            print(f"[{preset}] {result.csv_path}: "
+                  f"{result.executed_trials} cells executed, "
+                  f"{len(result.table) - result.placeholder_trials} rows held")
+    print(f"shard {shard}: executed {executed} new cells, {rows} rows "
+          f"persisted; {foreign} cells belong to other shards")
+    print("run every shard, then combine the tables with: "
+          f"repro-create merge <OUT> {args.out} <other shard dirs...>")
+    return 0
+
+
+def _run_worker(args) -> int:
+    from .eval.scheduler import WorkQueue, WorkerDaemon
+
+    queue = WorkQueue(args.queue, lease_ttl=args.lease_ttl)
+    daemon = WorkerDaemon(queue, jobs=args.jobs, worker_id=args.id,
+                          poll_interval=args.poll, wait=args.wait,
+                          max_tasks=args.max_tasks, log=print)
+    daemon.run()
+    counts = queue.counts()
+    print(f"queue {queue.root}: {counts['pending']} pending, "
+          f"{counts['leased']} leased, {counts['done']} done, "
+          f"{counts['failed']} failed")
+    return 0 if not counts["failed"] else 1
+
+
+def _run_merge(args) -> int:
+    from .eval.runtable import MergeConflictError
+    from .eval.scheduler import merge_run_tables
+
+    try:
+        merged = merge_run_tables(args.out, args.dirs,
+                                  overwrite=args.overwrite)
+    except MergeConflictError as exc:
+        print(f"merge conflict: {exc}")
+        return 1
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    if not merged:
+        print(f"no run tables found under: {', '.join(args.dirs)}")
+        return 1
+    incomplete = 0
+    for table in merged:
+        line = (f"{table.name}: {table.rows} rows from {table.sources} "
+                f"table(s) -> {table.csv_path}")
+        if table.missing_cells:
+            incomplete += 1
+            line += f"  [INCOMPLETE: {table.missing_cells} cells missing]"
+        print(line)
+    if incomplete:
+        print(f"{incomplete} campaign(s) incomplete — run (or finish) the "
+              "remaining workers/shards and merge again")
     return 0
 
 
@@ -485,6 +766,8 @@ _COMMANDS = {
     "mission": _run_mission,
     "characterize": _run_characterize,
     "campaign": _run_campaign,
+    "worker": _run_worker,
+    "merge": _run_merge,
     "hardware": _run_hardware,
     "policies": _run_policies,
     "systems": _run_systems,

@@ -189,11 +189,17 @@ class PolicyEvaluation:
 
 
 def _has_predictor(system: SystemLike) -> bool:
-    """Whether the system under test ships an entropy predictor."""
-    if isinstance(system, str):
-        from ..agents.registry import get_system
+    """Whether the system under test ships an entropy predictor.
 
-        system = get_system(system)
+    Registry keys are answered from the registry's declared trait table so
+    that *planning* a campaign (``--dry-run``, queue enqueueing) never has
+    to build — and potentially train — the system just to pick the VS
+    entropy source.
+    """
+    if isinstance(system, str):
+        from ..agents.registry import system_has_predictor
+
+        return system_has_predictor(system)
     return system.predictor is not None
 
 

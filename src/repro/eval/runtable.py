@@ -52,8 +52,22 @@ from ..agents.executor import TrialResult
 from ..hardware.energy import EnergyModel
 from .metrics import TrialSummary, aggregate_rows
 
-__all__ = ["RunRecord", "RunTable", "RunTableWriter", "record_from_trial",
-           "summarize_records", "COLUMNS", "RESULT_COLUMNS", "PROFILE_COLUMNS"]
+__all__ = ["RunRecord", "RunTable", "RunTableWriter", "MergeConflictError",
+           "record_from_trial", "summarize_records", "COLUMNS",
+           "RESULT_COLUMNS", "PROFILE_COLUMNS"]
+
+
+class MergeConflictError(ValueError):
+    """Two tables hold the same (spec_key, seed) cell with different results.
+
+    Raised by :meth:`RunTable.merge`: duplicate cells are expected when
+    merging shard or worker tables (a reclaimed lease re-runs its cells),
+    but because every cell is a pure function of (system, task, seed,
+    protections), duplicates must carry *identical* result payloads.  A
+    differing payload means two runs disagreed about the same deterministic
+    cell — corrupted files, mismatched code versions, or colliding spec
+    keys — and silently keeping either row would poison the merged table.
+    """
 
 
 def _dump_macs(macs: dict[float, float]) -> str:
@@ -123,6 +137,18 @@ class RunRecord:
 
     def param_dict(self) -> dict[str, str]:
         return dict(json.loads(self.params)) if self.params else {}
+
+    def result_payload(self) -> tuple[str, ...]:
+        """The deterministic result columns in their canonical on-disk form.
+
+        Two records with equal payloads serialize to byte-identical canonical
+        CSV rows; profile columns (machine-dependent) are excluded.  This is
+        the equality :meth:`RunTable.merge` uses for duplicate detection —
+        ``repr``-exact strings, so NaN-valued floats compare equal (``nan ==
+        nan`` is False, but ``"nan" == "nan"`` is True).
+        """
+        return tuple(_format_cell(name, getattr(self, name))
+                     for name in RESULT_COLUMNS)
 
     def profiled(self) -> bool:
         """Whether this row carries execution-profile data (ran this session)."""
@@ -371,6 +397,46 @@ class RunTable:
             return (order.get(record.spec_key, fallback), record.spec_key, record.seed)
 
         return RunTable(sorted(self._records, key=sort_key))
+
+    @classmethod
+    def merge(cls, *tables: "RunTable", overwrite: bool = False) -> "RunTable":
+        """Union tables by (spec_key, seed), verifying duplicate cells agree.
+
+        This is the fault-tolerant combine step of distributed campaigns:
+        shard tables never overlap, but worker tables can (a lease reclaimed
+        from a dead worker re-runs cells the dead worker already streamed).
+        Duplicates whose deterministic result payloads are byte-identical are
+        deduplicated (the first occurrence wins, keeping its profile
+        metadata); duplicates that *differ* raise :class:`MergeConflictError`
+        — unless ``overwrite=True``, where the last table wins (useful for
+        deliberately patching a table with re-measured cells).
+
+        Rows keep first-seen order; callers wanting the canonical file order
+        should apply :meth:`sorted` (with the campaign's spec order) before
+        writing, as ``repro-create merge`` does.
+        """
+        merged = cls()
+        for table in tables:
+            for record in table:
+                existing = merged.get(record.spec_key, record.seed)
+                if existing is None:
+                    merged.add(record)
+                    continue
+                if existing.result_payload() == record.result_payload():
+                    continue  # identical re-measurement (e.g. reclaimed lease)
+                if overwrite:
+                    merged.add(record, overwrite=True)
+                    continue
+                raise MergeConflictError(
+                    f"conflicting rows for (spec_key={record.spec_key!r}, "
+                    f"seed={record.seed}): condition {existing.condition!r} "
+                    f"measured twice with different results (e.g. success="
+                    f"{existing.success} vs {record.success}, steps="
+                    f"{existing.steps} vs {record.steps}); refusing to merge "
+                    "— the cells are deterministic, so differing duplicates "
+                    "mean corrupted tables or mismatched code versions "
+                    "(pass overwrite=True to let the later table win)")
+        return merged
 
     # ------------------------------------------------------------------
     # Persistence

@@ -1,0 +1,907 @@
+"""Distributed campaign scheduling: plans, a file-backed work queue, workers.
+
+The campaign engine (:mod:`repro.eval.campaign`) is split planner/executor:
+planning — enumerating the deterministic (spec, seed) cell grid — is a pure
+function of the :class:`~repro.eval.campaign.TrialSpec` list, and execution
+is a pure function of each cell.  This module scales that split across
+processes and hosts:
+
+:class:`CampaignPlan`
+    The serializable planner output: the specs, their canonical order, the
+    full cell grid, and a content hash.  Plans round-trip through JSON with
+    the spec keys preserved exactly, so every participant of a distributed
+    run derives the identical grid.
+
+:class:`WorkQueue`
+    A shared-filesystem work queue.  The planner writes one JSON **task
+    file** per cell batch into ``tasks/``; workers **claim** a task by
+    atomically ``os.rename``-ing it into ``leases/`` (exactly one claimer
+    can win a rename), **heartbeat** the lease's mtime while executing, and
+    move it to ``done/`` when its rows are safely flushed.  A lease whose
+    heartbeat is older than the TTL is **reclaimed** — renamed back into
+    ``tasks/`` — so cells leased to a SIGKILL'd worker are re-run by a
+    healthy one.  Because cells are deterministic, a task executed one and
+    a half times yields duplicate-but-identical rows, which
+    :meth:`~repro.eval.runtable.RunTable.merge` deduplicates.
+
+:class:`WorkerDaemon`
+    The pull loop behind ``repro-create worker``: claim → execute (in
+    process or over a process pool) → stream rows to a per-worker run table
+    under ``results/<worker_id>/`` → complete → repeat, until the queue
+    drains.
+
+:func:`merge_run_tables`
+    The fault-tolerant combine step behind ``repro-create merge``: unions
+    worker/shard tables by (spec_key, seed) with conflict detection and
+    rewrites the canonical files in plan order.
+
+The invariant tying it all together: **the merged table from any number of
+workers or shards is byte-identical to the single-host serial table.**  See
+``docs/campaigns.md`` (distributed execution) and ``docs/runtable-schema.md``
+(task/lease file formats).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Mapping, Sequence
+
+from ..core.create import ProtectionConfig
+from ..core.policies import VoltagePolicy
+from ..core.voltage_scaling import VoltageScalingConfig
+from ..faults.models import (ErrorModel, SingleBitErrorModel, UniformErrorModel,
+                             VoltageErrorModel)
+from .campaign import (TrialSpec, _Cell, _pool_run_batch, enumerate_cells,
+                       pending_cells)
+from .runtable import RunTable, RunTableWriter
+from .shard import cell_shard_index
+
+__all__ = ["CampaignPlan", "WorkQueue", "ClaimedTask", "WorkerDaemon",
+           "WorkerStats", "MergedTable", "merge_run_tables",
+           "spec_to_dict", "spec_from_dict",
+           "protection_to_dict", "protection_from_dict"]
+
+PLAN_FORMAT = "repro-create-plan-v1"
+TASK_FORMAT = "repro-create-task-v1"
+
+
+# ----------------------------------------------------------------------
+# JSON codec for specs and protections
+# ----------------------------------------------------------------------
+# Every distributed participant rebuilds TrialSpecs from plan/task files, so
+# the codec must preserve the spec *signature* (and therefore the spec key)
+# exactly: floats pass through json, which round-trips IEEE-754 doubles via
+# repr.  Only declaratively-described configurations are serializable; live
+# system objects and exotic error models are rejected with a ValueError.
+
+def _policy_to_dict(policy: VoltagePolicy) -> dict:
+    return {"name": policy.name, "thresholds": list(policy.thresholds),
+            "voltages": list(policy.voltages)}
+
+
+def _policy_from_dict(data: Mapping) -> VoltagePolicy:
+    return VoltagePolicy(name=data["name"],
+                         thresholds=tuple(data["thresholds"]),
+                         voltages=tuple(data["voltages"]))
+
+
+def _error_model_to_dict(model: ErrorModel) -> dict:
+    if isinstance(model, UniformErrorModel):
+        return {"kind": "uniform", "ber": model.ber}
+    if isinstance(model, VoltageErrorModel):
+        from ..hardware.timing import TimingModelConfig
+
+        if model.timing_model.config != TimingModelConfig():
+            raise ValueError(
+                "VoltageErrorModel with a customized timing model has no "
+                "JSON form (workers would silently rebuild it with default "
+                "timing parameters)")
+        return {"kind": "voltage", "voltage": model.voltage}
+    if isinstance(model, SingleBitErrorModel):
+        return {"kind": "single-bit", "bit": model.bit, "rate": model.rate}
+    raise ValueError(f"error model {type(model).__name__} has no JSON form; "
+                     "distributed campaigns support uniform, voltage, and "
+                     "single-bit models")
+
+
+def _error_model_from_dict(data: Mapping) -> ErrorModel:
+    kind = data["kind"]
+    if kind == "uniform":
+        return UniformErrorModel(ber=data["ber"])
+    if kind == "voltage":
+        return VoltageErrorModel(voltage=data["voltage"])
+    if kind == "single-bit":
+        return SingleBitErrorModel(bit=data["bit"], rate=data["rate"])
+    raise ValueError(f"unknown error-model kind {kind!r}")
+
+
+def protection_to_dict(protection: ProtectionConfig | None) -> dict | None:
+    """JSON form of a protection config (None passes through)."""
+    if protection is None:
+        return None
+    scaling = protection.voltage_scaling
+    return {
+        "voltage": protection.voltage,
+        "error_model": (None if protection.error_model is None
+                        else _error_model_to_dict(protection.error_model)),
+        "anomaly_detection": protection.anomaly_detection,
+        "voltage_scaling": (None if scaling is None else {
+            "policy": _policy_to_dict(scaling.policy),
+            "update_interval": scaling.update_interval,
+            "entropy_source": scaling.entropy_source,
+        }),
+        "target_components": (None if protection.target_components is None
+                              else list(protection.target_components)),
+        "exposure_scale": protection.exposure_scale,
+        "injector_kind": protection.injector_kind,
+    }
+
+
+def protection_from_dict(data: Mapping | None) -> ProtectionConfig | None:
+    """Inverse of :func:`protection_to_dict`; preserves the signature exactly."""
+    if data is None:
+        return None
+    scaling = data.get("voltage_scaling")
+    return ProtectionConfig(
+        voltage=data.get("voltage"),
+        error_model=(None if data.get("error_model") is None
+                     else _error_model_from_dict(data["error_model"])),
+        anomaly_detection=data.get("anomaly_detection", False),
+        voltage_scaling=(None if scaling is None else VoltageScalingConfig(
+            policy=_policy_from_dict(scaling["policy"]),
+            update_interval=scaling["update_interval"],
+            entropy_source=scaling["entropy_source"],
+        )),
+        target_components=(None if data.get("target_components") is None
+                           else tuple(data["target_components"])),
+        exposure_scale=data.get("exposure_scale", 1.0),
+        injector_kind=data.get("injector_kind", "bitflip"),
+    )
+
+
+def spec_to_dict(spec: TrialSpec) -> dict:
+    """JSON form of a trial spec.
+
+    Raises :class:`ValueError` for specs that cannot run on another host:
+    ``local/`` pseudo-keys (live in-process systems) and protections whose
+    configuration has no declarative JSON form.
+    """
+    if spec.system.startswith("local/"):
+        raise ValueError(
+            f"spec {spec.condition!r} runs the in-process system "
+            f"{spec.system!r}, which other hosts cannot rebuild; use a "
+            "registry key (repro.agents.registry) for distributed campaigns")
+    return {
+        "condition": spec.condition,
+        "system": spec.system,
+        "task": spec.task,
+        "num_trials": spec.num_trials,
+        "seed": spec.seed,
+        "planner_protection": protection_to_dict(spec.planner_protection),
+        "controller_protection": protection_to_dict(spec.controller_protection),
+        "params": [list(pair) for pair in spec.params],
+    }
+
+
+def spec_from_dict(data: Mapping) -> TrialSpec:
+    return TrialSpec(
+        condition=data["condition"],
+        system=data["system"],
+        task=data["task"],
+        num_trials=data["num_trials"],
+        seed=data["seed"],
+        planner_protection=protection_from_dict(data.get("planner_protection")),
+        controller_protection=protection_from_dict(data.get("controller_protection")),
+        params=tuple((str(k), str(v)) for k, v in data.get("params", [])),
+    )
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    """Publish a JSON file atomically: readers never observe a torn file."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + f".tmp-{os.getpid()}")
+    tmp.write_text(json.dumps(payload, indent=1) + "\n")
+    os.replace(tmp, path)
+
+
+# ----------------------------------------------------------------------
+# CampaignPlan
+# ----------------------------------------------------------------------
+@dataclass
+class CampaignPlan:
+    """The planner half of a campaign: named specs and their cell grid.
+
+    A plan is what crosses host boundaries.  It is content-hashed over the
+    campaign name and every spec signature, so two plans with the same hash
+    enumerate the identical grid — the property the queue relies on to make
+    enqueueing idempotent and the merge relies on to restore canonical row
+    order.
+    """
+
+    name: str
+    specs: list[TrialSpec]
+
+    def __post_init__(self):
+        if not self.specs:
+            raise ValueError("a plan needs at least one spec")
+        conditions = [spec.condition for spec in self.specs]
+        if len(set(conditions)) != len(conditions):
+            raise ValueError("condition labels must be unique within a plan")
+
+    # -- grid ----------------------------------------------------------
+    def cells(self) -> list[_Cell]:
+        """The full cell grid, in canonical (spec order, then seed) order."""
+        return enumerate_cells(self.specs)
+
+    def pending(self, table: RunTable) -> list[_Cell]:
+        """Grid cells not yet present in ``table``."""
+        return pending_cells(self.specs, table)
+
+    @property
+    def total_cells(self) -> int:
+        return sum(spec.num_trials for spec in self.specs)
+
+    def spec_order(self) -> dict[str, int]:
+        """spec_key -> canonical position; feeds :meth:`RunTable.sorted`."""
+        return {spec.key(): index for index, spec in enumerate(self.specs)}
+
+    def counts(self) -> list[tuple[str, int]]:
+        """(condition, cell count) per spec, in order (dry-run reporting)."""
+        return [(spec.condition, spec.num_trials) for spec in self.specs]
+
+    def shard_counts(self, count: int) -> list[int]:
+        """Cells per shard under static sharding into ``count`` slices."""
+        totals = [0] * count
+        for cell in self.cells():
+            totals[cell_shard_index(cell.spec_key, cell.seed, count)] += 1
+        return totals
+
+    def plan_hash(self) -> str:
+        """16-hex-digit content hash identifying this exact cell grid.
+
+        Covers the campaign name and, per spec, the full signature *plus*
+        ``seed`` and ``num_trials`` — the two grid-shaping fields the
+        signature deliberately excludes (growing a campaign keeps its spec
+        keys but must produce a different plan, or the queue would treat
+        the grown grid's task files as already-done duplicates).
+        """
+        import hashlib
+
+        payload = "\n".join(
+            [self.name] + [f"{s.signature()}#seed={s.seed}+trials={s.num_trials}"
+                           for s in self.specs])
+        return hashlib.sha1(payload.encode()).hexdigest()[:16]
+
+    # -- persistence ---------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"format": PLAN_FORMAT, "name": self.name,
+                "plan_hash": self.plan_hash(), "total_cells": self.total_cells,
+                "specs": [spec_to_dict(spec) for spec in self.specs]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CampaignPlan":
+        if data.get("format") != PLAN_FORMAT:
+            raise ValueError(f"not a campaign plan (format="
+                             f"{data.get('format')!r}, expected {PLAN_FORMAT!r})")
+        plan = cls(name=data["name"],
+                   specs=[spec_from_dict(spec) for spec in data["specs"]])
+        stored = data.get("plan_hash")
+        if stored and stored != plan.plan_hash():
+            raise ValueError(
+                f"plan {plan.name!r} failed its hash check (stored {stored}, "
+                f"recomputed {plan.plan_hash()}); the file was edited or the "
+                "spec signature scheme changed between versions")
+        return plan
+
+    def save(self, directory: str | Path) -> Path:
+        """Write ``<directory>/<name>.json`` atomically; returns the path."""
+        path = Path(directory) / f"{self.name}.json"
+        _atomic_write_json(path, self.to_dict())
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CampaignPlan":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Work queue
+# ----------------------------------------------------------------------
+@dataclass
+class ClaimedTask:
+    """A task this worker holds the lease on."""
+
+    task_id: str
+    plan_name: str
+    plan_hash: str
+    lease_path: Path
+    cells: list[_Cell]
+
+
+@dataclass
+class EnqueueReport:
+    """What :meth:`WorkQueue.enqueue` did for one plan."""
+
+    plan_name: str
+    new_tasks: int
+    skipped_tasks: int  # task id already queued / leased / done
+    satisfied_tasks: int  # every cell already present in the supplied table
+    enqueued_cells: int
+
+
+class WorkQueue:
+    """File-backed work queue on a shared filesystem.
+
+    Layout under ``root`` (all files are JSON; formats in
+    ``docs/runtable-schema.md``)::
+
+        plans/<name>.json        one plan per campaign name
+        tasks/<task_id>.json     pending cell batches (claim = rename away)
+        leases/<task_id>.json    claimed batches; mtime is the heartbeat
+        leases/<task_id>.owner.json   who claimed it (informational)
+        done/<task_id>.json      completed batches (audit trail)
+        failed/<task_id>.json    batches whose execution raised
+        results/<worker_id>/<name>.csv           streamed worker run tables
+        results/<worker_id>/profiles/<name>.csv  worker profile sidecars
+
+    Every state transition is a single atomic ``os.rename`` on one file, so
+    any number of workers (and planners re-enqueueing) can operate on the
+    queue concurrently without locks: at most one rename of a given source
+    succeeds, the losers see ``FileNotFoundError`` and move on.
+    """
+
+    def __init__(self, root: str | Path, lease_ttl: float = 120.0):
+        if lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
+        self.root = Path(root)
+        self.lease_ttl = lease_ttl
+        self.plans_dir = self.root / "plans"
+        self.tasks_dir = self.root / "tasks"
+        self.leases_dir = self.root / "leases"
+        self.done_dir = self.root / "done"
+        self.failed_dir = self.root / "failed"
+        self.results_dir = self.root / "results"
+        for directory in (self.plans_dir, self.tasks_dir, self.leases_dir,
+                          self.done_dir, self.failed_dir, self.results_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    # -- planner side --------------------------------------------------
+    def _task_batch(self, total_cells: int, batch: int | None) -> int:
+        """Cells per task file: explicit, else ~16+ tasks for load balancing."""
+        if batch is not None:
+            if batch < 1:
+                raise ValueError("batch must be >= 1")
+            return batch
+        return max(1, min(32, total_cells // 16))
+
+    def enqueue(self, plan: CampaignPlan, batch: int | None = None,
+                table: RunTable | None = None) -> EnqueueReport:
+        """Publish a plan's cell grid as task files; idempotent.
+
+        Task ids are deterministic (``<plan_hash[:8]>-b<batch size>-<batch
+        index>``), so re-enqueueing the same plan with the same batch size
+        skips every batch that is already pending, leased, or done — a
+        planner crash or a repeated ``--queue`` invocation never duplicates
+        work.  The batch size is part of the id because the same index
+        covers *different cells* under a different size: re-enqueueing an
+        interrupted queue with a new ``batch`` therefore publishes fresh
+        (possibly overlapping) tasks — duplicated cells merge away, whereas
+        colliding ids would silently drop cells.  Passing ``table`` (e.g. a
+        previously merged result) additionally skips batches whose cells
+        are all present, which is how a grown campaign enqueues only its
+        new cells.
+
+        Specs must name system keys every worker can rebuild: unknown keys
+        are rejected here, and keys added via ``register_system`` only work
+        for workers sharing (or forked from) the registering process.
+        """
+        from ..agents.registry import SYSTEM_FACTORIES
+
+        unknown = sorted({spec.system for spec in plan.specs}
+                         - set(SYSTEM_FACTORIES))
+        if unknown:
+            raise ValueError(
+                f"plan {plan.name!r} references system keys not in the "
+                f"registry: {', '.join(unknown)}; workers could never "
+                "rebuild them (see repro.agents.registry)")
+
+        plan_hash = plan.plan_hash()
+        existing = self.plans_dir / f"{plan.name}.json"
+        if existing.exists():
+            stored = CampaignPlan.load(existing)
+            if stored.plan_hash() != plan_hash:
+                raise ValueError(
+                    f"queue already holds a different plan named "
+                    f"{plan.name!r} (hash {stored.plan_hash()} vs "
+                    f"{plan_hash}); drain or clear the queue before "
+                    "enqueueing a changed campaign under the same name")
+        else:
+            plan.save(self.plans_dir)
+
+        cells = plan.cells()
+        size = self._task_batch(len(cells), batch)
+        prefix = f"{plan_hash[:8]}-b{size}"
+        report = EnqueueReport(plan_name=plan.name, new_tasks=0,
+                               skipped_tasks=0, satisfied_tasks=0,
+                               enqueued_cells=0)
+        spec_dicts = {spec.key(): spec_to_dict(spec) for spec in plan.specs}
+        for index in range(0, len(cells), size):
+            chunk = cells[index:index + size]
+            task_id = f"{prefix}-{index // size:05d}"
+            if any((directory / f"{task_id}.json").exists()
+                   for directory in (self.tasks_dir, self.leases_dir,
+                                     self.done_dir, self.failed_dir)):
+                report.skipped_tasks += 1
+                continue
+            if table is not None and all(table.has(c.spec_key, c.seed)
+                                         for c in chunk):
+                report.satisfied_tasks += 1
+                continue
+            used_keys = sorted({c.spec_key for c in chunk})
+            _atomic_write_json(self.tasks_dir / f"{task_id}.json", {
+                "format": TASK_FORMAT,
+                "plan": plan.name,
+                "plan_hash": plan_hash,
+                "task_id": task_id,
+                "specs": {key: spec_dicts[key] for key in used_keys},
+                "cells": [[c.spec_key, c.seed, c.trial_index] for c in chunk],
+            })
+            report.new_tasks += 1
+            report.enqueued_cells += len(chunk)
+        return report
+
+    # -- worker side ---------------------------------------------------
+    def _parse_task(self, path: Path) -> ClaimedTask:
+        data = json.loads(path.read_text())
+        if data.get("format") != TASK_FORMAT:
+            raise ValueError(f"{path} is not a task file "
+                             f"(format={data.get('format')!r})")
+        specs: dict[str, TrialSpec] = {}
+        for key, spec_data in data["specs"].items():
+            spec = spec_from_dict(spec_data)
+            if spec.key() != key:
+                raise ValueError(
+                    f"task {data['task_id']} declares spec key {key} but its "
+                    f"spec deserializes to {spec.key()}; the task file is "
+                    "corrupt or was produced by an incompatible version")
+            specs[key] = spec
+        cells = []
+        for key, seed, trial_index in data["cells"]:
+            spec = specs[key]
+            cells.append(_Cell(
+                spec_key=key, condition=spec.condition, system=spec.system,
+                task=spec.task, seed=seed, trial_index=trial_index,
+                planner_protection=spec.planner_protection,
+                controller_protection=spec.controller_protection,
+                params=spec.params_json()))
+        return ClaimedTask(task_id=data["task_id"], plan_name=data["plan"],
+                           plan_hash=data["plan_hash"], lease_path=path,
+                           cells=cells)
+
+    def claim(self, worker_id: str = "") -> ClaimedTask | None:
+        """Atomically claim one pending task, or return None.
+
+        The claim is the rename into ``leases/``: losing a race surfaces as
+        ``FileNotFoundError`` and the next candidate is tried.  The lease
+        file's mtime starts the heartbeat clock; an ``.owner.json`` sidecar
+        records who holds it (purely informational — ownership is the lease
+        file itself).
+        """
+        for candidate in sorted(self.tasks_dir.glob("*.json")):
+            lease = self.leases_dir / candidate.name
+            try:
+                # Freshen the mtime BEFORE the rename makes the lease visible
+                # to reclaimers: a task file keeps its enqueue-time mtime, so
+                # claiming it later than one TTL after enqueue would otherwise
+                # publish an already-"expired" lease that a concurrent
+                # reclaim_expired could snatch back mid-claim.
+                os.utime(candidate)
+                os.rename(candidate, lease)
+            except FileNotFoundError:
+                continue  # another worker won this task; try the next
+            try:
+                task = self._parse_task(lease)
+            except FileNotFoundError:
+                continue  # reclaimed in a razor-thin race; no longer ours
+            _atomic_write_json(lease.with_suffix(".owner.json"), {
+                "worker": worker_id, "host": socket.gethostname(),
+                "pid": os.getpid(), "claimed_at": time.time()})
+            return task
+        return None
+
+    def heartbeat(self, tasks: ClaimedTask | Iterable[ClaimedTask]) -> None:
+        """Refresh lease mtimes; a vanished lease (reclaimed) is ignored —
+        the worker discovers the loss when :meth:`complete` fails."""
+        if isinstance(tasks, ClaimedTask):
+            tasks = [tasks]
+        for task in tasks:
+            try:
+                os.utime(task.lease_path)
+            except FileNotFoundError:
+                pass
+
+    def complete(self, task: ClaimedTask) -> bool:
+        """Move a finished task to ``done/``.
+
+        Returns False when the lease no longer exists — it expired and was
+        reclaimed while this worker was (slowly) executing.  The worker's
+        rows are still valid (cells are deterministic; the reclaimer's
+        duplicates merge away), so this is informational, not an error.
+        """
+        try:
+            os.rename(task.lease_path, self.done_dir / f"{task.task_id}.json")
+        except FileNotFoundError:
+            return False
+        task.lease_path.with_suffix(".owner.json").unlink(missing_ok=True)
+        return True
+
+    def fail(self, task: ClaimedTask) -> None:
+        """Park a task whose execution raised (it will not be retried)."""
+        try:
+            os.rename(task.lease_path, self.failed_dir / f"{task.task_id}.json")
+        except FileNotFoundError:
+            return
+        task.lease_path.with_suffix(".owner.json").unlink(missing_ok=True)
+
+    def reclaim_expired(self, now: float | None = None) -> list[str]:
+        """Re-queue every lease whose heartbeat is older than the TTL.
+
+        Any process may call this (workers do, each loop iteration); the
+        rename back into ``tasks/`` is atomic, so concurrent reclaimers
+        cannot duplicate a task.
+        """
+        now = time.time() if now is None else now
+        reclaimed = []
+        for lease in self.leases_dir.glob("*.json"):
+            if lease.name.endswith(".owner.json"):
+                continue
+            try:
+                age = now - lease.stat().st_mtime
+            except FileNotFoundError:
+                continue
+            if age <= self.lease_ttl:
+                continue
+            try:
+                os.rename(lease, self.tasks_dir / lease.name)
+            except FileNotFoundError:
+                continue  # completed or reclaimed by someone else just now
+            lease.with_suffix(".owner.json").unlink(missing_ok=True)
+            reclaimed.append(lease.stem)
+        return reclaimed
+
+    # -- introspection -------------------------------------------------
+    def _ids(self, directory: Path) -> list[str]:
+        return sorted(p.stem for p in directory.glob("*.json")
+                      if not p.name.endswith(".owner.json"))
+
+    def pending_ids(self) -> list[str]:
+        return self._ids(self.tasks_dir)
+
+    def lease_ids(self) -> list[str]:
+        return self._ids(self.leases_dir)
+
+    def done_ids(self) -> list[str]:
+        return self._ids(self.done_dir)
+
+    def failed_ids(self) -> list[str]:
+        return self._ids(self.failed_dir)
+
+    def plans(self) -> list[CampaignPlan]:
+        return [CampaignPlan.load(path)
+                for path in sorted(self.plans_dir.glob("*.json"))]
+
+    def counts(self) -> dict[str, int]:
+        return {"pending": len(self.pending_ids()),
+                "leased": len(self.lease_ids()),
+                "done": len(self.done_ids()),
+                "failed": len(self.failed_ids())}
+
+    def result_dir(self, worker_id: str) -> Path:
+        safe = "".join(c if c.isalnum() or c in "-_." else "-" for c in worker_id)
+        return self.results_dir / safe
+
+
+# ----------------------------------------------------------------------
+# Worker daemon
+# ----------------------------------------------------------------------
+@dataclass
+class WorkerStats:
+    """What one :meth:`WorkerDaemon.run` invocation did."""
+
+    worker_id: str
+    tasks_completed: int = 0
+    tasks_lost: int = 0  # finished after the lease was reclaimed
+    cells_executed: int = 0
+    leases_reclaimed: int = 0  # expired leases this worker re-queued
+    rows_by_plan: dict[str, int] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+
+    def format(self) -> str:
+        lines = [f"worker {self.worker_id}: {self.tasks_completed} tasks, "
+                 f"{self.cells_executed} cells in {self.wall_time_s:.2f} s"
+                 + (f"; re-queued {self.leases_reclaimed} expired leases"
+                    if self.leases_reclaimed else "")
+                 + (f"; {self.tasks_lost} tasks finished after lease loss"
+                    if self.tasks_lost else "")]
+        for plan, rows in sorted(self.rows_by_plan.items()):
+            lines.append(f"  {plan}: {rows} rows streamed")
+        return "\n".join(lines)
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class WorkerDaemon:
+    """Pull-execute-stream loop over a :class:`WorkQueue`.
+
+    Parameters
+    ----------
+    queue:
+        The queue (or its root directory).
+    jobs:
+        ``1`` executes claimed batches in-process (heartbeating between
+        cells); ``> 1`` holds up to ``jobs`` leases at once and runs each
+        batch as one task on a persistent process pool, heartbeating all
+        held leases every ``heartbeat_interval`` seconds.
+    wait:
+        When the queue has no claimable task: ``False`` (default) exits as
+        soon as this worker holds nothing — even if other workers' leases
+        are still outstanding; ``True`` keeps polling (and reclaiming
+        expired leases) until *every* task is done or failed, which is what
+        lets a surviving worker finish a SIGKILL'd sibling's cells.
+    max_tasks:
+        Stop claiming after this many tasks (in-flight work still
+        completes); ``None`` is unlimited.
+    """
+
+    def __init__(self, queue: WorkQueue | str | Path, jobs: int = 1,
+                 worker_id: str | None = None,
+                 heartbeat_interval: float | None = None,
+                 poll_interval: float = 1.0, wait: bool = False,
+                 max_tasks: int | None = None,
+                 log: Callable[[str], None] | None = None):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.queue = queue if isinstance(queue, WorkQueue) else WorkQueue(queue)
+        self.jobs = jobs
+        self.worker_id = worker_id or default_worker_id()
+        self.heartbeat_interval = (heartbeat_interval
+                                   or max(1.0, self.queue.lease_ttl / 4.0))
+        self.poll_interval = poll_interval
+        self.wait = wait
+        self.max_tasks = max_tasks
+        self._log = log or (lambda message: None)
+        self._writers: dict[str, list[RunTableWriter]] = {}
+
+    # ------------------------------------------------------------------
+    def _writers_for(self, plan_name: str) -> list[RunTableWriter]:
+        writers = self._writers.get(plan_name)
+        if writers is None:
+            out = self.queue.result_dir(self.worker_id)
+            # Profile sidecar first (same crash-ordering argument as the
+            # campaign engine: a cell with a canonical row but no profile
+            # row would stay unprofiled forever; the reverse self-heals).
+            writers = [RunTableWriter(out / "profiles" / f"{plan_name}.csv",
+                                      profile=True),
+                       RunTableWriter(out / f"{plan_name}.csv")]
+            self._writers[plan_name] = writers
+        return writers
+
+    def _write(self, task: ClaimedTask, records, stats: WorkerStats) -> None:
+        writers = self._writers_for(task.plan_name)
+        for record in records:
+            for writer in writers:
+                writer.write(record)
+        stats.cells_executed += len(records)
+        stats.rows_by_plan[task.plan_name] = (
+            stats.rows_by_plan.get(task.plan_name, 0) + len(records))
+
+    def _settle(self, task: ClaimedTask, stats: WorkerStats) -> None:
+        """Rows are flushed; move the lease to done (or note it was lost)."""
+        if self.queue.complete(task):
+            stats.tasks_completed += 1
+            self._log(f"task {task.task_id}: {len(task.cells)} cells done")
+        else:
+            stats.tasks_lost += 1
+            self._log(f"task {task.task_id}: finished after lease "
+                      "reclamation; rows kept (duplicates merge away)")
+
+    def _run_inline(self, task: ClaimedTask, stats: WorkerStats) -> None:
+        """jobs=1 path: execute cell by cell, heartbeating between cells."""
+        records = []
+        try:
+            for cell in task.cells:
+                records.extend(_pool_run_batch((cell,)))
+                self.queue.heartbeat(task)
+        except BaseException:
+            # Same contract as the pool path: park the task in failed/ so a
+            # deterministically crashing batch is not reclaimed and retried
+            # by (and then crashes) every other worker in the fleet.
+            self.queue.fail(task)
+            raise
+        self._write(task, records, stats)
+        self._settle(task, stats)
+
+    # ------------------------------------------------------------------
+    def run(self) -> WorkerStats:
+        """Drain the queue; returns once there is nothing left to do."""
+        import concurrent.futures
+        import multiprocessing
+
+        stats = WorkerStats(worker_id=self.worker_id)
+        started = time.perf_counter()
+        pool = None
+        inflight: dict[concurrent.futures.Future, ClaimedTask] = {}
+        claimed = 0
+        self._log(f"worker {self.worker_id} starting on {self.queue.root} "
+                  f"(jobs={self.jobs}, lease_ttl={self.queue.lease_ttl:g}s)")
+        try:
+            while True:
+                stats.leases_reclaimed += len(self.queue.reclaim_expired())
+                while (len(inflight) < self.jobs
+                       and (self.max_tasks is None or claimed < self.max_tasks)):
+                    task = self.queue.claim(self.worker_id)
+                    if task is None:
+                        break
+                    claimed += 1
+                    self._log(f"task {task.task_id}: claimed "
+                              f"({len(task.cells)} cells, plan {task.plan_name})")
+                    if self.jobs == 1:
+                        self._run_inline(task, stats)
+                        continue
+                    if pool is None:
+                        try:
+                            context = multiprocessing.get_context("fork")
+                        except ValueError:
+                            context = None
+                        pool = concurrent.futures.ProcessPoolExecutor(
+                            max_workers=self.jobs, mp_context=context)
+                    inflight[pool.submit(_pool_run_batch,
+                                         tuple(task.cells))] = task
+                if inflight:
+                    done, _ = concurrent.futures.wait(
+                        inflight, timeout=self.heartbeat_interval,
+                        return_when=concurrent.futures.FIRST_COMPLETED)
+                    self.queue.heartbeat(inflight.values())
+                    for future in done:
+                        task = inflight.pop(future)
+                        try:
+                            records = future.result()
+                        except BaseException:
+                            self.queue.fail(task)
+                            raise
+                        self._write(task, records, stats)
+                        self._settle(task, stats)
+                    continue
+                if self.max_tasks is not None and claimed >= self.max_tasks:
+                    break
+                if self.queue.pending_ids():
+                    continue  # lost a claim race; try again immediately
+                if not self.queue.lease_ids():
+                    break  # fully drained
+                if not self.wait:
+                    break  # others still hold leases; not our problem
+                time.sleep(self.poll_interval)
+        except BaseException:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        finally:
+            for writers in self._writers.values():
+                for writer in writers:
+                    writer.close()
+            self._writers.clear()
+        if pool is not None:
+            pool.shutdown(wait=True)
+        stats.wall_time_s = time.perf_counter() - started
+        self._log(stats.format())
+        return stats
+
+
+# ----------------------------------------------------------------------
+# Merge
+# ----------------------------------------------------------------------
+@dataclass
+class MergedTable:
+    """One campaign's merge outcome (see :func:`merge_run_tables`)."""
+
+    name: str
+    rows: int
+    sources: int
+    missing_cells: int  # > 0 when a plan is known and the union is short
+    csv_path: Path
+    json_path: Path
+
+
+def _discover_tables(directories: Sequence[Path]) -> dict[str, list[Path]]:
+    """Campaign name -> run-table CSVs found under the given directories.
+
+    Scans recursively so queue layouts (``results/<worker>/<name>.csv``),
+    shard output dirs (``<dir>/<name>.csv``), and nested paper-sweep dirs
+    all work; ``profiles/`` sidecars are excluded (machine-dependent
+    columns must never leak into a canonical merge).
+    """
+    groups: dict[str, list[Path]] = {}
+    for directory in directories:
+        for path in sorted(directory.rglob("*.csv")):
+            if "profiles" in path.parts[len(directory.parts):]:
+                continue
+            groups.setdefault(path.stem, []).append(path)
+    return groups
+
+
+def _discover_plans(directories: Sequence[Path]) -> dict[str, CampaignPlan]:
+    """Campaign name -> plan, from any ``plans/`` directory underneath.
+
+    Several sources may carry the same plan (every shard saves one); they
+    must agree by hash — disagreement means the inputs belong to different
+    campaign definitions and a merge would interleave unrelated grids.
+    """
+    plans: dict[str, CampaignPlan] = {}
+    for directory in directories:
+        for path in sorted(directory.rglob("plans/*.json")):
+            try:
+                plan = CampaignPlan.load(path)
+            except (ValueError, KeyError, json.JSONDecodeError):
+                continue  # unrelated JSON; plan discovery is best-effort
+            known = plans.get(plan.name)
+            if known is not None and known.plan_hash() != plan.plan_hash():
+                raise ValueError(
+                    f"inputs carry two different plans named {plan.name!r} "
+                    f"(hashes {known.plan_hash()} vs {plan.plan_hash()}); "
+                    "these tables come from different campaign definitions "
+                    "and must not be merged")
+            plans[plan.name] = plan
+    return plans
+
+
+def merge_run_tables(out: str | Path, directories: Sequence[str | Path],
+                     overwrite: bool = False) -> list[MergedTable]:
+    """Union worker/shard run tables into canonical files under ``out``.
+
+    For every campaign name found, the tables are merged by (spec_key,
+    seed) with conflict detection (:meth:`RunTable.merge`), sorted into
+    canonical order — plan order when a plan file is found, spec-key order
+    otherwise — and written as ``<out>/<name>.csv`` + ``.json``.  With all
+    cells present and a plan available, the CSV is byte-identical to the
+    table a single-host serial run writes.
+
+    Tables are read crash-tolerantly (``strict=False``): a worker SIGKILL'd
+    mid-write leaves a torn final row, which is dropped here exactly as the
+    campaign engine drops it on resume (the cell re-ran elsewhere after
+    lease reclamation).
+    """
+    out = Path(out)
+    directories = [Path(d) for d in directories]
+    for directory in directories:
+        if not directory.exists():
+            raise FileNotFoundError(f"no such directory: {directory}")
+    resolved_out = out.resolve()
+    plans = _discover_plans(directories)
+    merged_tables: list[MergedTable] = []
+    for name, paths in sorted(_discover_tables(directories).items()):
+        paths = [p for p in paths if resolved_out not in p.resolve().parents]
+        if not paths:
+            continue
+        merged = RunTable.merge(*(RunTable.read_csv(p, strict=False)
+                                  for p in paths), overwrite=overwrite)
+        plan = plans.get(name)
+        missing = 0
+        order = None
+        if plan is not None:
+            order = plan.spec_order()
+            missing = sum(1 for cell in plan.cells()
+                          if not merged.has(cell.spec_key, cell.seed))
+        merged = merged.sorted(order)
+        merged_tables.append(MergedTable(
+            name=name, rows=len(merged), sources=len(paths),
+            missing_cells=missing,
+            csv_path=merged.write_csv(out / f"{name}.csv"),
+            json_path=merged.write_json(out / f"{name}.json")))
+    return merged_tables

@@ -1,0 +1,93 @@
+"""Static sharding of the campaign cell grid across machines.
+
+A :class:`Shard` names one slice of a campaign — "shard ``i`` of ``N``" —
+and deterministically assigns every (spec_key, seed) cell to exactly one
+shard by hashing the cell's identity.  Because the assignment depends only
+on the cell (never on enumeration order, batch size, or how many cells the
+campaign happens to contain this run), the same cell always lands on the
+same shard:
+
+* the union of the ``N`` shard run tables is exactly the full cell grid
+  (no cell is lost, none is duplicated);
+* growing ``num_trials`` later only adds new cells — existing cells keep
+  their shard, so every shard's persisted table stays valid;
+* two hosts running different shards of the same campaign never execute
+  the same cell, so their tables can be merged without conflicts
+  (:meth:`repro.eval.runtable.RunTable.merge`).
+
+Shards are written ``i/N`` with ``i`` in ``1..N`` (``--shard 2/4`` is "the
+second of four slices").  See ``docs/campaigns.md`` for the distributed
+execution walkthrough and :mod:`repro.eval.scheduler` for the queue-based
+alternative when hosts share a filesystem.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Sequence, TypeVar
+
+__all__ = ["Shard", "parse_shard", "cell_shard_index"]
+
+_CellT = TypeVar("_CellT")
+
+
+def cell_shard_index(spec_key: str, seed: int, count: int) -> int:
+    """0-based shard index of one (spec_key, seed) cell among ``count`` shards.
+
+    Uses the first 8 bytes of ``sha1("<spec_key>:<seed>")`` — stable across
+    Python versions and processes (unlike ``hash()``, which is salted) and
+    uniform enough that shards stay balanced for any realistic grid.
+    """
+    digest = hashlib.sha1(f"{spec_key}:{seed}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") % count
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One static slice of a campaign's cell grid: shard ``index`` of ``count``."""
+
+    index: int  # 1-based, as written on the command line
+    count: int
+
+    def __post_init__(self):
+        if self.count < 1:
+            raise ValueError("shard count must be >= 1")
+        if not 1 <= self.index <= self.count:
+            raise ValueError(f"shard index must be in 1..{self.count}, "
+                             f"got {self.index}")
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
+
+    def owns(self, spec_key: str, seed: int) -> bool:
+        """Whether the (spec_key, seed) cell belongs to this shard."""
+        return cell_shard_index(spec_key, seed, self.count) == self.index - 1
+
+    def split(self, cells: Sequence[_CellT]) -> tuple[list[_CellT], list[_CellT]]:
+        """Partition cells into (mine, others), preserving order.
+
+        ``cells`` may be any sequence of objects with ``spec_key`` and
+        ``seed`` attributes (the campaign engine's cell type).
+        """
+        mine: list[_CellT] = []
+        others: list[_CellT] = []
+        for cell in cells:
+            (mine if self.owns(cell.spec_key, cell.seed) else others).append(cell)
+        return mine, others
+
+    def filter(self, cells: Iterable[_CellT]) -> list[_CellT]:
+        """Just this shard's cells, preserving order."""
+        return [c for c in cells if self.owns(c.spec_key, c.seed)]
+
+
+def parse_shard(text: str) -> Shard:
+    """Parse the command-line form ``i/N`` (1-based) into a :class:`Shard`."""
+    index, sep, count = text.partition("/")
+    if not sep:
+        raise ValueError(f"shard must be written i/N (e.g. 2/4), got {text!r}")
+    try:
+        shard = Shard(index=int(index), count=int(count))
+    except ValueError as exc:
+        raise ValueError(f"invalid shard {text!r}: {exc}") from None
+    return shard

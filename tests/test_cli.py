@@ -124,3 +124,85 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "run table:" in out and "profile:" in out
+
+
+class TestDistributedCli:
+    def test_scheduling_flags_parse(self):
+        args = build_parser().parse_args(["campaign", "vs", "--dry-run",
+                                          "--shard", "2/4"])
+        assert args.dry_run and args.shard == "2/4" and args.queue is None
+        args = build_parser().parse_args(["campaign", "vs", "--queue", "q"])
+        assert args.queue == "q" and not args.dry_run
+
+    def test_worker_parser(self):
+        args = build_parser().parse_args(["worker", "--queue", "q", "--jobs",
+                                          "2", "--wait", "--max-tasks", "3"])
+        assert args.queue == "q" and args.jobs == 2 and args.wait
+        assert args.max_tasks == 3 and args.lease_ttl == 120.0
+        with pytest.raises(SystemExit):  # --queue is required
+            build_parser().parse_args(["worker"])
+
+    def test_merge_parser(self):
+        args = build_parser().parse_args(["merge", "out", "a", "b"])
+        assert args.out == "out" and args.dirs == ["a", "b"]
+        assert not args.overwrite
+
+    def test_dry_run_prints_cells_without_executing(self, capsys, tmp_path):
+        code = main(["campaign", "repetitions", "--trials", "4", "--dry-run",
+                     "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 cells" in out and "nothing was trained or executed" in out
+        assert not list(tmp_path.glob("*.csv"))  # really did not run
+
+    def test_dry_run_reports_shard_split(self, capsys):
+        code = main(["campaign", "repetitions", "--trials", "8", "--dry-run",
+                     "--shard", "1/2"])
+        assert code == 0
+        assert "shard 1/2:" in capsys.readouterr().out
+
+    def test_shard_requires_out(self, capsys):
+        assert main(["campaign", "repetitions", "--shard", "1/2"]) == 2
+        assert "--shard needs --out" in capsys.readouterr().out
+
+    def test_queue_and_shard_are_exclusive(self, capsys):
+        code = main(["campaign", "repetitions", "--queue", "q",
+                     "--shard", "1/2"])
+        assert code == 2
+        assert "pick one" in capsys.readouterr().out
+
+    def test_invalid_shard_reports_error(self, capsys):
+        assert main(["campaign", "repetitions", "--dry-run",
+                     "--shard", "9/4"]) == 2
+        assert "shard" in capsys.readouterr().out
+
+    def test_shard_runs_merge_to_serial_bytes(self, jarvis_system, capsys,
+                                              tmp_path):
+        """End-to-end static sharding through the CLI: two shard runs plus
+        `merge` reproduce the serial table byte for byte."""
+        trials = ["campaign", "repetitions", "--trials", "4"]
+        assert main([*trials, "--out", str(tmp_path / "serial")]) == 0
+        for index in (1, 2):
+            code = main([*trials, "--shard", f"{index}/2",
+                         "--out", str(tmp_path / f"shard{index}")])
+            assert code == 0
+        out = capsys.readouterr().out
+        assert "belong to other shards" in out
+        assert main(["merge", str(tmp_path / "merged"),
+                     str(tmp_path / "shard1"), str(tmp_path / "shard2")]) == 0
+        merged_out = capsys.readouterr().out
+        assert "INCOMPLETE" not in merged_out
+        serial = next((tmp_path / "serial").glob("*.csv"))
+        merged = tmp_path / "merged" / serial.name
+        assert merged.read_bytes() == serial.read_bytes()
+
+    def test_merge_reports_missing_inputs(self, capsys, tmp_path):
+        assert main(["merge", str(tmp_path / "out"),
+                     str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_merge_with_no_tables_fails(self, capsys, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["merge", str(tmp_path / "out"), str(empty)]) == 1
+        assert "no run tables found" in capsys.readouterr().out

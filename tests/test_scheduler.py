@@ -1,0 +1,550 @@
+"""Tests for distributed campaign scheduling: shards, plans, the file-backed
+work queue, worker daemons, and fault-tolerant run-table merging.
+
+The invariant under test throughout: the merged table from any number of
+workers/shards — including workers killed mid-run — is byte-identical to the
+single-host serial table.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import ProtectionConfig
+from repro.core.policies import ConstantVoltagePolicy, REFERENCE_POLICIES
+from repro.core.voltage_scaling import VoltageScalingConfig
+from repro.eval import (
+    CampaignPlan,
+    MergeConflictError,
+    RunTable,
+    Shard,
+    TrialSpec,
+    WorkQueue,
+    WorkerDaemon,
+    WorkerStats,
+    merge_run_tables,
+    parse_shard,
+    planning,
+    run_campaign,
+    shard_scope,
+)
+from repro.eval.campaign import enumerate_cells, placeholder_record
+from repro.eval.scheduler import spec_from_dict, spec_to_dict
+from repro.faults.models import (SingleBitErrorModel, UniformErrorModel,
+                                 VoltageErrorModel)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _specs(num_trials=2):
+    return [
+        TrialSpec(condition="clean", system="jarvis", task="wooden",
+                  num_trials=num_trials, seed=0),
+        TrialSpec(condition="faulty", system="jarvis", task="wooden",
+                  num_trials=num_trials, seed=0,
+                  controller_protection=ProtectionConfig(
+                      error_model=UniformErrorModel(1e-3)),
+                  params=(("ber", "1e-3"),)),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Shards
+# ----------------------------------------------------------------------
+class TestShard:
+    def test_parse_and_validate(self):
+        assert parse_shard("2/4") == Shard(index=2, count=4)
+        assert str(parse_shard("1/1")) == "1/1"
+        for bad in ("", "2", "0/4", "5/4", "a/b", "2/0"):
+            with pytest.raises(ValueError):
+                parse_shard(bad)
+
+    def test_shards_partition_the_grid(self):
+        cells = enumerate_cells(_specs(16))
+        count = 3
+        shards = [Shard(i, count) for i in range(1, count + 1)]
+        slices = [shard.filter(cells) for shard in shards]
+        assert sum(len(s) for s in slices) == len(cells)
+        seen = {(c.spec_key, c.seed) for s in slices for c in s}
+        assert len(seen) == len(cells)  # disjoint union covers everything
+
+    def test_assignment_is_stable_under_grid_growth(self):
+        """Growing num_trials must not move existing cells between shards."""
+        shard = Shard(1, 4)
+        small = {(c.spec_key, c.seed): shard.owns(c.spec_key, c.seed)
+                 for c in enumerate_cells(_specs(4))}
+        grown = {(c.spec_key, c.seed): shard.owns(c.spec_key, c.seed)
+                 for c in enumerate_cells(_specs(9))}
+        for key, owned in small.items():
+            assert grown[key] == owned
+
+
+# ----------------------------------------------------------------------
+# Spec JSON codec
+# ----------------------------------------------------------------------
+class TestSpecCodec:
+    def _protection_zoo(self):
+        return [
+            None,
+            ProtectionConfig(error_model=UniformErrorModel(3.25e-3)),
+            ProtectionConfig(voltage=0.78, anomaly_detection=True),
+            ProtectionConfig(error_model=VoltageErrorModel(0.76),
+                             exposure_scale=2.5, injector_kind="thundervolt"),
+            ProtectionConfig(error_model=SingleBitErrorModel(bit=3, rate=0.1),
+                             target_components=("*.k", "*.v")),
+            ProtectionConfig(anomaly_detection=True,
+                             voltage_scaling=VoltageScalingConfig(
+                                 policy=REFERENCE_POLICIES["C"],
+                                 update_interval=7, entropy_source="oracle")),
+            ProtectionConfig(voltage_scaling=VoltageScalingConfig(
+                policy=ConstantVoltagePolicy(0.8))),
+        ]
+
+    def test_round_trip_preserves_spec_key(self):
+        """The codec must preserve the signature (and so the spec key)
+        exactly, or distributed participants would enumerate different
+        grids and resume would silently mismatch rows."""
+        for index, protection in enumerate(self._protection_zoo()):
+            spec = TrialSpec(condition=f"cond-{index}", system="jarvis",
+                             task="wooden", num_trials=3, seed=5,
+                             controller_protection=protection,
+                             planner_protection=ProtectionConfig(
+                                 anomaly_detection=True),
+                             params=(("case", str(index)),))
+            rebuilt = spec_from_dict(spec_to_dict(spec))
+            assert rebuilt.key() == spec.key()
+            assert rebuilt == spec or rebuilt.signature() == spec.signature()
+
+    def test_round_trip_survives_json_text(self):
+        spec = _specs()[1]
+        rebuilt = spec_from_dict(json.loads(json.dumps(spec_to_dict(spec))))
+        assert rebuilt.key() == spec.key()
+
+    def test_local_system_specs_are_rejected(self):
+        spec = TrialSpec(condition="x", system="local/foo", task="wooden",
+                         num_trials=1)
+        with pytest.raises(ValueError, match="in-process"):
+            spec_to_dict(spec)
+
+
+# ----------------------------------------------------------------------
+# CampaignPlan
+# ----------------------------------------------------------------------
+class TestCampaignPlan:
+    def test_grid_matches_engine_enumeration(self):
+        plan = CampaignPlan(name="demo", specs=_specs(3))
+        cells = plan.cells()
+        assert len(cells) == plan.total_cells == 6
+        assert [(c.spec_key, c.seed) for c in cells] == \
+            [(c.spec_key, c.seed) for c in enumerate_cells(_specs(3))]
+        assert sum(plan.shard_counts(4)) == 6
+
+    def test_save_load_and_hash_check(self, tmp_path):
+        plan = CampaignPlan(name="demo", specs=_specs())
+        path = plan.save(tmp_path)
+        loaded = CampaignPlan.load(path)
+        assert loaded.plan_hash() == plan.plan_hash()
+        assert loaded.spec_order() == plan.spec_order()
+
+        data = json.loads(path.read_text())
+        data["specs"][0]["seed"] = 99  # tamper
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="hash check"):
+            CampaignPlan.load(path)
+
+
+# ----------------------------------------------------------------------
+# RunTable.merge
+# ----------------------------------------------------------------------
+class TestRunTableMerge:
+    def _record(self, seed=0, steps=5, worker="w1"):
+        import dataclasses
+
+        cell = enumerate_cells(_specs(4))[0]
+        base = placeholder_record(dataclasses.replace(cell, seed=seed))
+        return dataclasses.replace(base, steps=steps, wall_time_s=1.0,
+                                   worker_id=worker)
+
+    def test_identical_duplicates_dedupe(self):
+        """A reclaimed lease re-runs cells: byte-identical duplicates (even
+        with different profile metadata) must merge to one row."""
+        a = RunTable([self._record(seed=0, worker="host-a")])
+        b = RunTable([self._record(seed=0, worker="host-b"),
+                      self._record(seed=1, worker="host-b")])
+        merged = RunTable.merge(a, b)
+        assert len(merged) == 2
+        assert merged.get(a._records[0].spec_key, 0).worker_id == "host-a"
+
+    def test_conflicting_duplicates_raise(self):
+        a = RunTable([self._record(seed=0, steps=5)])
+        b = RunTable([self._record(seed=0, steps=7)])
+        with pytest.raises(MergeConflictError, match="conflicting rows"):
+            RunTable.merge(a, b)
+        merged = RunTable.merge(a, b, overwrite=True)
+        assert merged.get(a._records[0].spec_key, 0).steps == 7
+
+    def test_nan_payloads_compare_equal(self):
+        record = self._record(seed=0)  # mean_entropy is NaN
+        assert record.result_payload() == self._record(seed=0).result_payload()
+        assert len(RunTable.merge(RunTable([record]), RunTable([record]))) == 1
+
+
+# ----------------------------------------------------------------------
+# Plan-capture mode
+# ----------------------------------------------------------------------
+class TestPlanningMode:
+    def test_captures_pending_without_executing_or_writing(self, tmp_path):
+        with planning() as plans:
+            result = run_campaign(_specs(3), out=tmp_path, name="plan")
+        assert len(plans) == 1
+        assert len(plans[0].pending) == 6 and plans[0].existing_rows == 0
+        assert result.executed_trials == 0
+        assert result.placeholder_trials == 6
+        assert not any(tmp_path.iterdir())  # nothing written
+        result.summary("clean")  # placeholder rows keep aggregation working
+
+    def test_planning_is_resume_aware(self, tmp_path):
+        run_campaign(_specs(2), out=tmp_path, name="plan")
+        with planning() as plans:
+            run_campaign(_specs(3), out=tmp_path, name="plan")
+        assert plans[0].existing_rows == 4
+        assert len(plans[0].pending) == 2  # only the grown seeds
+
+    def test_planning_resume_false_plans_full_grid_without_deleting(self, tmp_path):
+        first = run_campaign(_specs(2), out=tmp_path, name="plan")
+        with planning() as plans:
+            run_campaign(_specs(2), out=tmp_path, name="plan", resume=False)
+        assert len(plans[0].pending) == 4
+        assert first.csv_path.exists()  # plan mode must not unlink
+
+
+# ----------------------------------------------------------------------
+# Sharded campaign execution
+# ----------------------------------------------------------------------
+class TestShardedCampaigns:
+    def test_shard_union_is_byte_identical_to_serial(self, tmp_path):
+        specs = _specs(3)
+        serial = run_campaign(specs, out=tmp_path / "serial", name="sh")
+        count = 3
+        for index in range(1, count + 1):
+            result = run_campaign(specs, out=tmp_path / f"shard{index}",
+                                  name="sh", shard=Shard(index, count))
+            persisted = len(result.table) - result.placeholder_trials
+            assert result.executed_trials == persisted
+            # plan file saved for the merge's canonical ordering
+            assert (tmp_path / f"shard{index}" / "plans" / "sh.json").exists()
+        merged = merge_run_tables(
+            tmp_path / "merged",
+            [tmp_path / f"shard{index}" for index in range(1, count + 1)])
+        assert [m.missing_cells for m in merged] == [0]
+        assert (tmp_path / "merged" / "sh.csv").read_bytes() == \
+            serial.csv_path.read_bytes()
+        assert (tmp_path / "merged" / "sh.json").read_bytes() == \
+            serial.json_path.read_bytes()
+
+    def test_sequential_shards_into_one_dir_rebuild_the_serial_table(self, tmp_path):
+        """Shards resume from the shared table, so running every shard
+        against the same out dir converges to the exact serial file."""
+        specs = _specs(3)
+        serial = run_campaign(specs, out=tmp_path / "serial", name="sh")
+        total = 0
+        for index in (1, 2):
+            with shard_scope(Shard(index, 2)):
+                result = run_campaign(specs, out=tmp_path / "acc", name="sh")
+            total += result.executed_trials
+        assert total == 6
+        assert (tmp_path / "acc" / "sh.csv").read_bytes() == \
+            serial.csv_path.read_bytes()
+
+    def test_shard_scope_none_is_a_no_op(self, tmp_path):
+        with shard_scope(None):
+            result = run_campaign(_specs(1), out=tmp_path, name="noop")
+        assert result.executed_trials == 2 and result.placeholder_trials == 0
+
+
+# ----------------------------------------------------------------------
+# Work queue
+# ----------------------------------------------------------------------
+class TestWorkQueue:
+    def _queue(self, tmp_path, **kwargs):
+        return WorkQueue(tmp_path / "q", **kwargs)
+
+    def test_enqueue_is_idempotent(self, tmp_path):
+        queue = self._queue(tmp_path)
+        plan = CampaignPlan(name="demo", specs=_specs(4))
+        first = queue.enqueue(plan, batch=2)
+        assert first.new_tasks == 4 and first.enqueued_cells == 8
+        again = queue.enqueue(plan, batch=2)
+        assert again.new_tasks == 0 and again.skipped_tasks == 4
+
+    def test_enqueue_rejects_changed_plan_under_same_name(self, tmp_path):
+        queue = self._queue(tmp_path)
+        queue.enqueue(CampaignPlan(name="demo", specs=_specs(2)))
+        with pytest.raises(ValueError, match="different plan"):
+            queue.enqueue(CampaignPlan(name="demo", specs=_specs(5)))
+
+    def test_enqueue_rejects_unknown_system_keys(self, tmp_path):
+        spec = TrialSpec(condition="x", system="no-such-system",
+                         task="wooden", num_trials=1)
+        with pytest.raises(ValueError, match="not in the registry"):
+            self._queue(tmp_path).enqueue(CampaignPlan(name="demo",
+                                                       specs=[spec]))
+
+    def test_reenqueue_with_different_batch_never_drops_cells(self, tmp_path):
+        """Batch size is part of the task id: after an interrupted enqueue,
+        re-enqueueing with a different --batch must re-cover every cell
+        (overlap deduplicates at merge; id collisions would drop cells)."""
+        queue = self._queue(tmp_path)
+        plan = CampaignPlan(name="demo", specs=_specs(4))  # 8 cells
+        queue.enqueue(plan, batch=1)
+        for path in sorted(queue.tasks_dir.glob("*.json"))[4:]:
+            path.unlink()  # simulate an enqueue interrupted half-way
+        queue.enqueue(plan, batch=3)
+        covered = set()
+        for path in queue.tasks_dir.glob("*.json"):
+            data = json.loads(path.read_text())
+            covered.update((key, seed) for key, seed, _ in data["cells"])
+        assert covered == {(c.spec_key, c.seed) for c in plan.cells()}
+
+    def test_claim_long_after_enqueue_is_not_instantly_reclaimable(self, tmp_path):
+        """Claiming must refresh the heartbeat clock: a task enqueued more
+        than one TTL ago would otherwise surface as an already-expired
+        lease that a concurrent reclaimer could snatch mid-claim."""
+        queue = self._queue(tmp_path, lease_ttl=30)
+        queue.enqueue(CampaignPlan(name="demo", specs=_specs(2)), batch=4)
+        task_path = next(queue.tasks_dir.glob("*.json"))
+        stale = time.time() - 1000
+        os.utime(task_path, (stale, stale))  # enqueued "long ago"
+        task = queue.claim("w1")
+        assert task is not None
+        assert queue.reclaim_expired() == []  # the fresh lease survives
+
+    def test_enqueue_skips_batches_satisfied_by_a_table(self, tmp_path):
+        specs = _specs(2)
+        done = run_campaign(specs, out=tmp_path / "done", name="demo")
+        queue = self._queue(tmp_path)
+        report = queue.enqueue(CampaignPlan(name="demo", specs=specs),
+                               batch=1, table=done.table)
+        assert report.new_tasks == 0 and report.satisfied_tasks == 4
+
+    def test_claim_complete_lifecycle(self, tmp_path):
+        queue = self._queue(tmp_path)
+        queue.enqueue(CampaignPlan(name="demo", specs=_specs(2)), batch=4)
+        task = queue.claim("w1")
+        assert task is not None and len(task.cells) == 4
+        assert queue.counts() == {"pending": 0, "leased": 1, "done": 0,
+                                  "failed": 0}
+        owner = json.loads(
+            task.lease_path.with_suffix(".owner.json").read_text())
+        assert owner["worker"] == "w1" and owner["pid"] == os.getpid()
+        assert queue.complete(task)
+        assert queue.counts()["done"] == 1
+        assert not task.lease_path.with_suffix(".owner.json").exists()
+        assert queue.claim("w2") is None  # drained
+
+    def test_cells_rebuild_with_exact_spec_keys(self, tmp_path):
+        queue = self._queue(tmp_path)
+        specs = _specs(2)
+        queue.enqueue(CampaignPlan(name="demo", specs=specs), batch=8)
+        task = queue.claim("w1")
+        assert [(c.spec_key, c.seed) for c in task.cells] == \
+            [(c.spec_key, c.seed) for c in enumerate_cells(specs)]
+
+    def test_expired_leases_are_reclaimed_once(self, tmp_path):
+        queue = self._queue(tmp_path, lease_ttl=30)
+        queue.enqueue(CampaignPlan(name="demo", specs=_specs(2)), batch=2)
+        task = queue.claim("dead-worker")
+        assert queue.reclaim_expired() == []  # heartbeat is fresh
+        stale = time.time() - 1000
+        os.utime(task.lease_path, (stale, stale))  # simulate a dead worker
+        assert queue.reclaim_expired() == [task.task_id]
+        assert queue.reclaim_expired() == []
+        assert task.task_id in queue.pending_ids()
+        assert not task.lease_path.with_suffix(".owner.json").exists()
+
+    def test_complete_after_reclaim_reports_loss(self, tmp_path):
+        queue = self._queue(tmp_path, lease_ttl=30)
+        queue.enqueue(CampaignPlan(name="demo", specs=_specs(2)), batch=4)
+        task = queue.claim("slow-worker")
+        stale = time.time() - 1000
+        os.utime(task.lease_path, (stale, stale))
+        queue.reclaim_expired()
+        assert queue.complete(task) is False  # informational, not an error
+
+
+# ----------------------------------------------------------------------
+# Worker daemon
+# ----------------------------------------------------------------------
+class TestWorkerDaemon:
+    def test_single_daemon_drains_and_matches_serial(self, tmp_path):
+        specs = _specs(3)
+        serial = run_campaign(specs, out=tmp_path / "serial", name="demo")
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(CampaignPlan(name="demo", specs=specs), batch=2)
+        stats = WorkerDaemon(queue, jobs=1, worker_id="w1").run()
+        assert stats.tasks_completed == 3 and stats.cells_executed == 6
+        assert queue.counts() == {"pending": 0, "leased": 0, "done": 3,
+                                  "failed": 0}
+        merge_run_tables(tmp_path / "merged", [queue.root])
+        assert (tmp_path / "merged" / "demo.csv").read_bytes() == \
+            serial.csv_path.read_bytes()
+        assert (tmp_path / "merged" / "demo.json").read_bytes() == \
+            serial.json_path.read_bytes()
+
+    def test_pool_daemon_matches_serial(self, tmp_path):
+        specs = _specs(3)
+        serial = run_campaign(specs, out=tmp_path / "serial", name="demo")
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(CampaignPlan(name="demo", specs=specs), batch=2)
+        stats = WorkerDaemon(queue, jobs=2, worker_id="pool").run()
+        assert stats.cells_executed == 6
+        merge_run_tables(tmp_path / "merged", [queue.root])
+        assert (tmp_path / "merged" / "demo.csv").read_bytes() == \
+            serial.csv_path.read_bytes()
+
+    def test_partial_drain_resumes_with_a_second_daemon(self, tmp_path):
+        """Kill-and-restart workflow: a worker stops mid-queue; a later
+        worker picks up exactly the remaining tasks."""
+        specs = _specs(4)
+        serial = run_campaign(specs, out=tmp_path / "serial", name="demo")
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(CampaignPlan(name="demo", specs=specs), batch=2)
+        first = WorkerDaemon(queue, worker_id="w1", max_tasks=1).run()
+        assert first.tasks_completed == 1
+        assert len(queue.pending_ids()) == 3
+        second = WorkerDaemon(queue, worker_id="w2").run()
+        assert second.tasks_completed == 3
+        merge_run_tables(tmp_path / "merged", [queue.root])
+        assert (tmp_path / "merged" / "demo.csv").read_bytes() == \
+            serial.csv_path.read_bytes()
+
+    def test_daemon_reclaims_dead_workers_lease_and_reruns_it(self, tmp_path):
+        """The cells of an abandoned (SIGKILL'd) lease are re-executed by a
+        healthy worker and nothing is lost."""
+        specs = _specs(3)
+        serial = run_campaign(specs, out=tmp_path / "serial", name="demo")
+        queue = WorkQueue(tmp_path / "q", lease_ttl=30)
+        queue.enqueue(CampaignPlan(name="demo", specs=specs), batch=2)
+        abandoned = queue.claim("dead-worker")  # never heartbeats again
+        stale = time.time() - 1000
+        os.utime(abandoned.lease_path, (stale, stale))
+        stats = WorkerDaemon(queue, worker_id="survivor", wait=True,
+                             poll_interval=0.05).run()
+        assert stats.leases_reclaimed == 1
+        assert stats.cells_executed == 6  # including the reclaimed cells
+        merge_run_tables(tmp_path / "merged", [queue.root])
+        assert (tmp_path / "merged" / "demo.csv").read_bytes() == \
+            serial.csv_path.read_bytes()
+
+    def test_duplicate_rows_from_lease_loss_merge_away(self, tmp_path):
+        """A slow worker finishing after reclamation leaves duplicate rows;
+        they are byte-identical and must merge to the serial table."""
+        specs = _specs(2)
+        serial = run_campaign(specs, out=tmp_path / "serial", name="demo")
+        queue = WorkQueue(tmp_path / "q", lease_ttl=30)
+        queue.enqueue(CampaignPlan(name="demo", specs=specs), batch=4)
+
+        slow = WorkerDaemon(queue, worker_id="slow")
+        task = queue.claim("slow")
+        stale = time.time() - 1000
+        os.utime(task.lease_path, (stale, stale))
+        queue.reclaim_expired()  # lease expires while "slow" is executing
+        stats = WorkerStats(worker_id="slow")
+        slow._run_inline(task, stats)  # finishes anyway, streams its rows
+        assert stats.tasks_lost == 1
+        for writers in slow._writers.values():
+            for writer in writers:
+                writer.close()
+
+        healthy = WorkerDaemon(queue, worker_id="healthy").run()
+        assert healthy.cells_executed == 4  # re-ran the reclaimed task
+        merged = merge_run_tables(tmp_path / "merged", [queue.root])
+        assert merged[0].rows == 4 and merged[0].sources == 2
+        assert (tmp_path / "merged" / "demo.csv").read_bytes() == \
+            serial.csv_path.read_bytes()
+
+    def test_inline_failure_parks_task_in_failed(self, tmp_path):
+        """A deterministically crashing task must land in failed/ (not stay
+        leased), or its reclaimed lease would crash every worker in turn."""
+        from repro.agents.registry import (SYSTEM_FACTORIES,
+                                           SYSTEM_HAS_PREDICTOR,
+                                           register_system)
+
+        def boom():
+            raise RuntimeError("broken factory")
+
+        register_system("boom-system", boom, overwrite=True)
+        try:
+            queue = WorkQueue(tmp_path / "q")
+            spec = TrialSpec(condition="x", system="boom-system",
+                             task="wooden", num_trials=1)
+            queue.enqueue(CampaignPlan(name="demo", specs=[spec]), batch=1)
+            with pytest.raises(RuntimeError, match="broken factory"):
+                WorkerDaemon(queue, worker_id="w").run()
+            assert queue.failed_ids()
+            assert not queue.pending_ids() and not queue.lease_ids()
+        finally:
+            SYSTEM_FACTORIES.pop("boom-system", None)
+            SYSTEM_HAS_PREDICTOR.pop("boom-system", None)
+
+    def test_worker_id_includes_host_and_pid(self, tmp_path):
+        """Satellite fix: profile attribution must be unambiguous across
+        hosts and across successive pools."""
+        result = run_campaign(_specs(1), out=tmp_path, name="wid")
+        sidecar = RunTable.read_csv(tmp_path / "profiles" / "wid.csv")
+        for record in sidecar:
+            assert socket.gethostname() in record.worker_id
+            assert str(os.getpid()) in record.worker_id
+
+
+# ----------------------------------------------------------------------
+# Real processes: two concurrent CLI workers, one SIGKILL'd mid-lease
+# ----------------------------------------------------------------------
+class TestDistributedProcesses:
+    def test_two_workers_with_sigkill_match_serial(self, tmp_path,
+                                                   jarvis_system):
+        env = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
+        specs = _specs(3)
+        serial = run_campaign(specs, out=tmp_path / "serial", name="demo")
+        queue = WorkQueue(tmp_path / "q", lease_ttl=60)
+        queue.enqueue(CampaignPlan(name="demo", specs=specs), batch=1)
+
+        def worker(worker_id, extra=()):
+            return subprocess.Popen(
+                [sys.executable, "-m", "repro.cli", "worker", "--queue",
+                 str(queue.root), "--id", worker_id, "--lease-ttl", "60",
+                 *extra],
+                env=env, cwd=REPO_ROOT, stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT, text=True)
+
+        victim = worker("victim")
+        deadline = time.time() + 120
+        while time.time() < deadline and not queue.lease_ids():
+            time.sleep(0.02)
+        assert queue.lease_ids(), "victim never claimed a lease"
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.wait()
+
+        # Expire the orphaned lease immediately instead of waiting the TTL.
+        stale = time.time() - 1000
+        for lease_id in queue.lease_ids():
+            os.utime(queue.leases_dir / f"{lease_id}.json", (stale, stale))
+
+        survivors = [worker(f"survivor-{i}", extra=("--wait", "--poll", "0.2"))
+                     for i in (1, 2)]
+        outputs = [proc.communicate(timeout=240)[0] for proc in survivors]
+        assert all(proc.returncode == 0 for proc in survivors), outputs
+        assert any("re-queued" in output for output in outputs), outputs
+
+        merged = merge_run_tables(tmp_path / "merged", [queue.root])
+        assert merged[0].missing_cells == 0
+        assert (tmp_path / "merged" / "demo.csv").read_bytes() == \
+            serial.csv_path.read_bytes()
+        assert not queue.pending_ids() and not queue.lease_ids()
