@@ -1,0 +1,64 @@
+"""Scenario catalog: generated-suite trial throughput (beyond Table 10).
+
+Tracks how fast the harness pushes trials through the procedurally generated
+catalog scenarios (multi-room navigation, long-horizon assembly) — suite
+generation, per-fingerprint planner/controller build, and the campaign
+engine's trial loop all sit on this path.  The assembly scenario doubles as
+a long-horizon stress test: its 10-20-step recipes exercise the planner's
+extended progress-token range.
+"""
+
+import time
+
+from common import engine_kwargs, num_trials, run_once
+
+from repro.env.scenarios import CATALOG
+from repro.eval import banner, format_table
+from repro.eval.experiments import scenario_resilience
+
+
+def _throughput(scenario: str, trials: int, results) -> list:
+    suite = CATALOG.build(scenario)
+    total = sum(len(sweep.points) * trials
+                for per_task in results["values"].values()
+                for sweep in per_task.values())
+    return [scenario, CATALOG.get(scenario).fingerprint, len(suite),
+            total, f"{total / results['seconds']:.1f}"]
+
+
+def test_scenario_trial_throughput(benchmark):
+    """Trials/second of the AD/WR battery on both generated scenarios."""
+    bers = [3e-4, 1e-3]
+    trials = num_trials(6)
+
+    def run():
+        out = {}
+        for scenario in ("navigation", "assembly"):
+            start = time.perf_counter()
+            values = scenario_resilience(scenario, bers, num_trials=trials,
+                                         seed=0, **engine_kwargs())
+            out[scenario] = {"values": values,
+                             "seconds": time.perf_counter() - start}
+        return out
+
+    results = run_once(benchmark, run)
+    print()
+    print(banner("Scenario catalog: generated-suite trial throughput"))
+    rows = [_throughput(scenario, trials, res)
+            for scenario, res in results.items()]
+    print(format_table(
+        ["scenario", "suite fingerprint", "tasks", "trials", "trials/s"],
+        rows, title="AD/WR battery over generated suites"))
+    for scenario, res in results.items():
+        for per_task in res["values"].values():
+            for sweep in per_task.values():
+                assert len(sweep.points) == len(bers), \
+                    f"{scenario}: incomplete sweep"
+        # The battery must show the resilience signal, not just throughput.
+        # Compare task-averaged rates with slack: per-cell rates are means
+        # of few trials, so an exact per-task ordering would gate on noise.
+        def mean_rate(arm, values=res["values"]):
+            return sum(sweep.success_rates()[-1]
+                       for sweep in values[arm].values()) / len(values[arm])
+        assert mean_rate("AD") >= mean_rate("unprotected") - 0.34, \
+            f"{scenario}: AD collapsed below the unprotected arm"

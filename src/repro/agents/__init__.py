@@ -8,7 +8,12 @@ from .configs import (
     PLANNER_CONFIGS,
     PlannerConfig,
 )
-from .vocabulary import PlannerVocabulary, build_vocabulary
+from .vocabulary import (
+    PlannerVocabulary,
+    TABLE10_FINGERPRINT,
+    build_vocabulary,
+    scenario_vocabulary,
+)
 from .planner import (
     DeployedPlanner,
     PlannerNetwork,
@@ -31,8 +36,10 @@ from .jarvis import (
     build_controller_platform,
     build_jarvis_system,
     build_planner_platform,
+    build_scenario_system,
 )
 from .zoo import (
+    VocabularyMismatchError,
     cache_directory,
     clear_cache,
     get_controller_network,
@@ -57,7 +64,9 @@ __all__ = [
     "CONTROLLER_CONFIGS",
     "PAPER_MODEL_STATS",
     "PlannerVocabulary",
+    "TABLE10_FINGERPRINT",
     "build_vocabulary",
+    "scenario_vocabulary",
     "PlannerNetwork",
     "PlannerWeights",
     "DeployedPlanner",
@@ -77,6 +86,8 @@ __all__ = [
     "build_jarvis_system",
     "build_planner_platform",
     "build_controller_platform",
+    "build_scenario_system",
+    "VocabularyMismatchError",
     "cache_directory",
     "clear_cache",
     "get_planner_network",

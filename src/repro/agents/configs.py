@@ -90,6 +90,16 @@ PLANNER_CONFIGS: dict[str, PlannerConfig] = {
                              num_layers=3, dim=40, mlp_dim=112, seed=2026),
     "roboflamingo": PlannerConfig(name="roboflamingo", benchmark="calvin",
                                   num_layers=2, dim=40, mlp_dim=96, seed=2027),
+    # Catalog scenarios (repro.env.scenarios): their benchmarks are generated
+    # suites with per-scenario vocabularies, not Table-10 platforms — the
+    # `jarvis-navigation` / `jarvis-assembly` registry keys build them;
+    # max_plan_length covers the generators' longest recipes.
+    "navigation": PlannerConfig(name="navigation", benchmark="navigation",
+                                num_layers=2, dim=40, mlp_dim=96,
+                                max_plan_length=14, seed=2033),
+    "assembly": PlannerConfig(name="assembly", benchmark="assembly",
+                              num_layers=2, dim=40, mlp_dim=96,
+                              max_plan_length=20, seed=2034),
 }
 
 CONTROLLER_CONFIGS: dict[str, ControllerConfig] = {
@@ -99,6 +109,12 @@ CONTROLLER_CONFIGS: dict[str, ControllerConfig] = {
                             num_layers=2, dim=32, mlp_dim=80, seed=2028),
     "octo": ControllerConfig(name="octo", benchmark="oxe",
                              num_layers=2, dim=24, mlp_dim=64, seed=2029),
+    # Scenario controllers, imitation-trained on the generated suites with
+    # the scenario's own subtask registry as the embedding id space.
+    "navigation": ControllerConfig(name="navigation", benchmark="navigation",
+                                   num_layers=2, dim=32, mlp_dim=80, seed=2035),
+    "assembly": ControllerConfig(name="assembly", benchmark="assembly",
+                                 num_layers=2, dim=32, mlp_dim=80, seed=2036),
 }
 
 # ----------------------------------------------------------------------

@@ -82,8 +82,18 @@ class ControllerNetwork(Module):
 def build_controller_dataset(suite: TaskSuite, registry: SubtaskRegistry,
                              num_episodes: int = 40,
                              world_config: WorldConfig | None = None,
-                             seed: int = 7) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Roll out the oracle policy and record (subtask id, observation, oracle probs)."""
+                             seed: int = 7,
+                             id_registry: SubtaskRegistry | None = None,
+                             ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Roll out the oracle policy and record (subtask id, observation, oracle probs).
+
+    ``registry`` drives the world simulation; ``id_registry`` supplies the
+    subtask *embedding ids* the controller is conditioned on.  It defaults
+    to the frozen ``ALL_SUBTASKS`` union (the id space of every Table-10
+    controller checkpoint); scenario controllers pass their scenario's own
+    registry so the embedding table matches the suite.
+    """
+    id_registry = id_registry or ALL_SUBTASKS
     rng = np.random.default_rng(seed)
     subtask_ids: list[int] = []
     observations: list[np.ndarray] = []
@@ -97,7 +107,7 @@ def build_controller_dataset(suite: TaskSuite, registry: SubtaskRegistry,
             world.set_subtask(subtask)
             while True:
                 probs = world.oracle_distribution()
-                subtask_ids.append(ALL_SUBTASKS.token_id(subtask))
+                subtask_ids.append(id_registry.token_id(subtask))
                 observations.append(world.observation())
                 targets.append(probs)
                 action = rng.choice(probs.size, p=probs)
@@ -119,11 +129,19 @@ def _soft_cross_entropy(logits: Tensor, target_probs: np.ndarray) -> Tensor:
 
 def train_controller(config: ControllerConfig, suite: TaskSuite, registry: SubtaskRegistry,
                      num_episodes: int = 40, epochs: int = 12, lr: float = 2e-3,
-                     batch_size: int = 64, verbose: bool = False) -> ControllerNetwork:
-    """Imitation-train a controller on oracle rollouts of a benchmark suite."""
+                     batch_size: int = 64, verbose: bool = False,
+                     id_registry: SubtaskRegistry | None = None) -> ControllerNetwork:
+    """Imitation-train a controller on oracle rollouts of a benchmark suite.
+
+    ``id_registry`` sizes the subtask embedding table and supplies its ids
+    (default: the frozen ``ALL_SUBTASKS`` union; scenario controllers pass
+    their scenario's registry).
+    """
     subtask_ids, observations, targets = build_controller_dataset(
-        suite, registry, num_episodes=num_episodes, seed=config.seed)
-    network = ControllerNetwork(config)
+        suite, registry, num_episodes=num_episodes, seed=config.seed,
+        id_registry=id_registry)
+    network = ControllerNetwork(
+        config, num_subtasks=len(id_registry) if id_registry is not None else None)
     optimizer = AdamW(network.parameters(), lr=lr, weight_decay=1e-4)
     rng = np.random.default_rng(config.seed + 1)
 
@@ -180,7 +198,8 @@ class DeployedController:
     def __init__(self, network: ControllerNetwork, spec: QuantSpec = INT8,
                  calibration_samples: tuple[np.ndarray, np.ndarray] | None = None,
                  calibration_suite: TaskSuite | None = None,
-                 calibration_registry: SubtaskRegistry | None = None):
+                 calibration_registry: SubtaskRegistry | None = None,
+                 id_registry: SubtaskRegistry | None = None):
         self.config = network.config
         self.spec = spec
         self.num_actions = network.num_actions
@@ -194,7 +213,7 @@ class DeployedController:
                     "provide calibration_samples or a calibration suite + registry")
             ids, obs, _ = build_controller_dataset(
                 calibration_suite, calibration_registry, num_episodes=6,
-                seed=self.config.seed + 17)
+                seed=self.config.seed + 17, id_registry=id_registry)
             calibration_samples = (ids[:600], obs[:600])
         self.calibrate(*calibration_samples)
 

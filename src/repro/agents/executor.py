@@ -118,11 +118,16 @@ class MissionExecutor:
                  action_temperature: float = 1.0,
                  max_replans: int = 8,
                  invalid_token_penalty: int = 10,
-                 planner_use_cache: bool = True):
+                 planner_use_cache: bool = True,
+                 id_registry: SubtaskRegistry | None = None):
         self.controller = controller
         self.planner = planner
         self.suite = suite
         self.registry = registry
+        #: Subtask-id space the controller was trained with.  Table-10
+        #: controllers share the frozen ``ALL_SUBTASKS`` ids; scenario
+        #: systems pass their scenario's own registry.
+        self.id_registry = id_registry or ALL_SUBTASKS
         self.predictor = predictor
         self.world_config = world_config or WorldConfig()
         self.timing_model = timing_model or TimingErrorModel()
@@ -217,7 +222,8 @@ class MissionExecutor:
             if not world.set_subtask(subtask):
                 world.waste_steps(self.invalid_token_penalty)
                 continue
-            subtask_token = ALL_SUBTASKS.token_id(subtask) if subtask in ALL_SUBTASKS else 0
+            subtask_token = self.id_registry.token_id(subtask) \
+                if subtask in self.id_registry else 0
 
             completed = False
             while not world.task_budget_exhausted():

@@ -32,7 +32,7 @@ from .zoo import (
 )
 
 __all__ = ["EmbodiedSystem", "build_jarvis_system", "build_planner_platform",
-           "build_controller_platform"]
+           "build_controller_platform", "build_scenario_system"]
 
 
 @dataclass
@@ -46,6 +46,10 @@ class EmbodiedSystem:
     planner: DeployedPlanner | None = None
     predictor: EntropyPredictor | None = None
     planner_rotated: bool = False
+    #: Subtask-id space of the controller (None = the frozen ALL_SUBTASKS
+    #: union shared by every Table-10 checkpoint; scenario systems carry
+    #: their scenario's own registry).
+    id_registry: SubtaskRegistry | None = None
 
     def executor(self, world_config: WorldConfig | None = None,
                  **kwargs) -> MissionExecutor:
@@ -56,6 +60,7 @@ class EmbodiedSystem:
             planner=self.planner,
             predictor=self.predictor,
             world_config=world_config,
+            id_registry=self.id_registry,
             **kwargs,
         )
 
@@ -104,6 +109,51 @@ def build_jarvis_system(rotate_planner: bool = True, with_planner: bool = True,
     )
 
 
+def build_scenario_system(scenario: str, rotate_planner: bool = False,
+                          spec: QuantSpec = INT8) -> EmbodiedSystem:
+    """A full planner + controller system on a generated catalog scenario.
+
+    The scenario's suite and vocabulary come from the catalog
+    (:mod:`repro.env.scenarios`): the planner is trained (and cached) under
+    the scenario's fingerprinted vocabulary, the controller is
+    imitation-trained on the generated suite with the scenario registry as
+    its subtask-id space, and no entropy predictor is deployed — the
+    scenario presets exercise the planner-resilience path (AD, WR), exactly
+    like the cross-platform planner studies.
+    """
+    from ..env.scenarios import CATALOG
+
+    entry = CATALOG.get(scenario)
+    if entry.vocabulary != "scenario":
+        raise ValueError(
+            f"scenario {scenario!r} does not carry its own planner "
+            f"vocabulary (mode {entry.vocabulary!r}); only 'scenario' "
+            "entries build planner systems")
+    suite = entry.build()
+    registry = entry.registry
+    network, vocab = get_planner_network(scenario)
+    weights = extract_planner_weights(network)
+    if rotate_planner:
+        rotation = rotation_matrix_for_dim(
+            weights.dim, np.random.default_rng(weights.config.seed))
+        weights = weights.apply_rotation(rotation)
+    planner = DeployedPlanner(weights, vocab, suite, spec=spec)
+    controller = DeployedController(
+        get_controller_network(scenario), spec=spec,
+        calibration_suite=suite, calibration_registry=registry,
+        id_registry=registry)
+    return EmbodiedSystem(
+        name=f"jarvis-{scenario}" + ("-rotated" if rotate_planner else ""),
+        suite=suite,
+        registry=registry,
+        controller=controller,
+        planner=planner,
+        predictor=None,
+        planner_rotated=rotate_planner,
+        id_registry=registry,
+    )
+
+
 def build_planner_platform(name: str, rotate_planner: bool = True,
                            spec: QuantSpec = INT8) -> EmbodiedSystem:
     """Cross-platform planner evaluation (OpenVLA on LIBERO, RoboFlamingo on CALVIN).
@@ -116,6 +166,9 @@ def build_planner_platform(name: str, rotate_planner: bool = True,
         return build_jarvis_system(rotate_planner=rotate_planner, spec=spec)
     if name not in PLANNER_CONFIGS:
         raise KeyError(f"unknown planner platform {name!r}")
+    if PLANNER_CONFIGS[name].benchmark not in SUITES:
+        raise KeyError(f"{name!r} is a catalog scenario, not a Table-10 "
+                       "platform; build it with build_scenario_system")
     planner = _deploy_planner(name, rotate_planner, spec)
     controller = _deploy_controller("rt1", spec)
     benchmark = PLANNER_CONFIGS[name].benchmark
@@ -141,6 +194,9 @@ def build_controller_platform(name: str, spec: QuantSpec = INT8,
     """
     if name not in CONTROLLER_CONFIGS:
         raise KeyError(f"unknown controller platform {name!r}")
+    if CONTROLLER_CONFIGS[name].benchmark not in SUITES:
+        raise KeyError(f"{name!r} is a catalog scenario, not a Table-10 "
+                       "platform; build it with build_scenario_system")
     controller = _deploy_controller(name, spec)
     benchmark = CONTROLLER_CONFIGS[name].benchmark
     if suite is not None:

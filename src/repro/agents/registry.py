@@ -27,6 +27,10 @@ plus system variants beyond the paper's main configurations::
     jarvis-int4-acc16           ... INT4 operands, 16-bit accumulators
     controller-rt1-kitchen      RT-1 controller on the kitchen-rearrangement
                                 task generator (non-Minecraft workload)
+    jarvis-navigation[-rotated] planner + controller trained on the generated
+    jarvis-assembly[-rotated]   multi-room navigation / long-horizon assembly
+                                scenarios, under the scenario's own
+                                fingerprinted vocabulary (docs/scenarios.md)
 
 ``register_system`` adds custom factories (e.g. for tests); ``get_system``
 builds lazily and caches one instance per key per process.
@@ -47,6 +51,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from ..env.tasks import SUITES
 from ..quant import INT4, INT8, QuantSpec
 from .configs import CONTROLLER_CONFIGS, PLANNER_CONFIGS
 from .jarvis import (
@@ -54,11 +59,12 @@ from .jarvis import (
     build_controller_platform,
     build_jarvis_system,
     build_planner_platform,
+    build_scenario_system,
 )
 
 __all__ = ["SYSTEM_FACTORIES", "BUILTIN_SYSTEM_KEYS", "SYSTEM_HAS_PREDICTOR",
-           "register_system", "get_system", "system_keys",
-           "system_has_predictor", "clear_system_cache"]
+           "SCENARIO_SYSTEM_KEYS", "register_system", "get_system",
+           "system_keys", "system_has_predictor", "clear_system_cache"]
 
 
 def _jarvis_factory(rotate: bool, spec, with_predictor: bool = True):
@@ -77,6 +83,12 @@ def _planner_factory(name: str, rotate: bool):
 def _controller_factory(name: str, suite: str | None = None):
     def build() -> EmbodiedSystem:
         return build_controller_platform(name, suite=suite)
+    return build
+
+
+def _scenario_factory(scenario: str, rotate: bool):
+    def build() -> EmbodiedSystem:
+        return build_scenario_system(scenario, rotate_planner=rotate)
     return build
 
 
@@ -103,13 +115,26 @@ SYSTEM_FACTORIES: dict[str, Callable[[], EmbodiedSystem]] = {
     # Scenario diversity: the RT-1 controller surrogate evaluated on the
     # generated kitchen-rearrangement suite (non-Minecraft workload).
     "controller-rt1-kitchen": _controller_factory("rt1", suite="kitchen"),
+    # Catalog scenarios with their own fingerprinted planner vocabularies
+    # (see repro.env.scenarios and docs/scenarios.md): a scenario-trained
+    # planner + controller pair, plain and weight-rotated.
+    "jarvis-navigation": _scenario_factory("navigation", False),
+    "jarvis-navigation-rotated": _scenario_factory("navigation", True),
+    "jarvis-assembly": _scenario_factory("assembly", False),
+    "jarvis-assembly-rotated": _scenario_factory("assembly", True),
 }
+#: Registry keys of the catalog-scenario systems (no entropy predictor).
+SCENARIO_SYSTEM_KEYS = frozenset(
+    key for key in SYSTEM_FACTORIES if key.startswith("jarvis-navigation")
+    or key.startswith("jarvis-assembly"))
 for _name in PLANNER_CONFIGS:
-    if _name != "jarvis":
+    # Catalog-scenario configs (benchmark outside SUITES) are exposed through
+    # the dedicated jarvis-<scenario> keys above, not as planner platforms.
+    if _name != "jarvis" and PLANNER_CONFIGS[_name].benchmark in SUITES:
         SYSTEM_FACTORIES[f"planner-{_name}"] = _planner_factory(_name, True)
         SYSTEM_FACTORIES[f"planner-{_name}-plain"] = _planner_factory(_name, False)
 for _name in CONTROLLER_CONFIGS:
-    if _name != "jarvis":
+    if _name != "jarvis" and CONTROLLER_CONFIGS[_name].benchmark in SUITES:
         SYSTEM_FACTORIES[f"controller-{_name}"] = _controller_factory(_name)
 
 #: Keys shipped with the package (rebuildable after a bare re-import, e.g. in
@@ -123,6 +148,7 @@ BUILTIN_SYSTEM_KEYS = frozenset(SYSTEM_FACTORIES)
 #: planner/controller systems never do (see ``build_*_platform``).
 SYSTEM_HAS_PREDICTOR: dict[str, bool] = {
     key: key.startswith("jarvis") and "nopredictor" not in key
+    and key not in SCENARIO_SYSTEM_KEYS
     for key in BUILTIN_SYSTEM_KEYS
 }
 

@@ -2,32 +2,55 @@
 
 The planner is a (small) causal language model: its prompt names the task and
 the current progress, and its completion is the sequence of subtask tokens —
-the "plan".  A single shared vocabulary covers all benchmarks so planners for
-different platforms are interchangeable pieces of the same system.
+the "plan".  Vocabularies are *versioned artifacts*: every
+:class:`PlannerVocabulary` carries a content-hash :attr:`fingerprint` that
+the model zoo uses to cache planner checkpoints per vocabulary and to refuse
+loading a checkpoint under a vocabulary it was not trained for.
+
+The **default** vocabulary (:func:`build_vocabulary` with no arguments) is
+frozen to the paper's Table-10 benchmarks — it determines the embedding/head
+shapes of every shipped planner checkpoint, and its fingerprint is pinned by
+a golden test (:data:`TABLE10_FINGERPRINT`).  Scenario suites from the
+catalog (:mod:`repro.env.scenarios`) get their *own* vocabularies via
+:func:`scenario_vocabulary`, with a per-vocabulary ``max_progress`` sized to
+the suite's longest plan instead of the Table-10 range.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable
 
-from ..env.subtasks import ALL_SUBTASKS
-from ..env.tasks import SUITES
+from ..env.subtasks import ALL_SUBTASKS, SubtaskRegistry
+from ..env.tasks import SUITES, TaskSuite
 
-__all__ = ["PlannerVocabulary", "build_vocabulary"]
+__all__ = ["PlannerVocabulary", "build_vocabulary", "scenario_vocabulary",
+           "DEFAULT_MAX_PROGRESS", "TABLE10_SUITES", "TABLE10_FINGERPRINT"]
 
-_MAX_PROGRESS = 12
+#: Progress-token count of the default (Table-10) vocabulary.
+DEFAULT_MAX_PROGRESS = 12
 
-#: Suites whose task names define the planner vocabulary.  This list is
-#: frozen to the paper's Table 10 benchmarks: the vocabulary determines the
-#: embedding/head shapes of every trained planner checkpoint, so registering
-#: additional suites in ``SUITES`` (e.g. the generated kitchen benchmark)
-#: must not change it.  New-suite tasks run controller-only instead.
-_VOCABULARY_SUITES = ("minecraft", "libero", "calvin", "oxe", "manipulation")
+#: Suites whose task names define the default planner vocabulary.  This list
+#: is frozen to the paper's Table 10 benchmarks: the vocabulary determines
+#: the embedding/head shapes of every trained Table-10 planner checkpoint,
+#: so registering additional suites in ``SUITES`` or the scenario catalog
+#: must not change it.  Catalog scenarios bring their own vocabulary
+#: (``scenario_vocabulary``) or run controller-only.
+TABLE10_SUITES = ("minecraft", "libero", "calvin", "oxe", "manipulation")
+
+#: Pinned fingerprint of the default Table-10 vocabulary.  If this drifts,
+#: every shipped planner checkpoint, token id, and run-table output changes;
+#: the golden test in ``tests/test_scenarios.py`` and
+#: ``tools/check_catalog.py`` both fail loudly instead.
+TABLE10_FINGERPRINT = "8b4de1405a00"
 
 
 @dataclass(frozen=True)
 class PlannerVocabulary:
-    """Bidirectional token <-> symbol mapping."""
+    """Bidirectional token <-> symbol mapping (a versioned artifact)."""
 
     pad: int
     bos: int
@@ -36,17 +59,63 @@ class PlannerVocabulary:
     task_tokens: dict[str, int]
     progress_tokens: dict[int, int]
     subtask_tokens: dict[str, int]
+    #: Exclusive upper bound of the progress values this vocabulary encodes.
+    max_progress: int = DEFAULT_MAX_PROGRESS
 
     @property
     def size(self) -> int:
         return 4 + len(self.task_tokens) + len(self.progress_tokens) + len(self.subtask_tokens)
 
     # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @cached_property
+    def fingerprint(self) -> str:
+        """Content hash over every token assignment (checkpoint identity).
+
+        Two vocabularies with equal fingerprints produce bit-identical
+        prompts, completions, and model shapes; the model zoo caches planner
+        checkpoints under this hash and refuses cross-fingerprint loads.
+        """
+        payload = json.dumps({
+            "special": [self.pad, self.bos, self.eos, self.sep],
+            "tasks": sorted(self.task_tokens.items()),
+            "progress": sorted(self.progress_tokens.items()),
+            "subtasks": sorted(self.subtask_tokens.items()),
+            "max_progress": self.max_progress,
+        }, sort_keys=True)
+        return hashlib.sha1(payload.encode()).hexdigest()[:12]
+
+    # ------------------------------------------------------------------
+    # Hot-path caches (decode runs once per trial-plan invocation)
+    # ------------------------------------------------------------------
+    @cached_property
+    def _subtask_names_by_token(self) -> dict[int, str]:
+        return {token: name for name, token in self.subtask_tokens.items()}
+
+    @cached_property
+    def _subtask_token_set(self) -> frozenset[int]:
+        return frozenset(self.subtask_tokens.values())
+
+    # ------------------------------------------------------------------
     def encode_prompt(self, task_name: str, progress: int) -> list[int]:
-        """Prompt tokens: ``[BOS, TASK, PROGRESS, SEP]``."""
+        """Prompt tokens: ``[BOS, TASK, PROGRESS, SEP]``.
+
+        ``progress`` outside ``[0, max_progress)`` raises instead of
+        aliasing to the last progress token: silently clamping would corrupt
+        long-horizon prompts (two different situations becoming the same
+        prompt) — a vocabulary that cannot express a suite's progress range
+        is a configuration error, fixed by building the vocabulary with a
+        larger ``max_progress`` (see :func:`scenario_vocabulary`).
+        """
         if task_name not in self.task_tokens:
             raise KeyError(f"unknown task {task_name!r}")
-        progress = int(min(max(progress, 0), _MAX_PROGRESS - 1))
+        progress = int(progress)
+        if not 0 <= progress < self.max_progress:
+            raise ValueError(
+                f"progress {progress} outside this vocabulary's range "
+                f"[0, {self.max_progress}); build the vocabulary with a "
+                "larger max_progress for longer-horizon suites")
         return [self.bos, self.task_tokens[task_name], self.progress_tokens[progress], self.sep]
 
     def encode_plan(self, subtasks: list[str] | tuple[str, ...]) -> list[int]:
@@ -61,7 +130,7 @@ class PlannerVocabulary:
         which is how a corrupted plan wastes steps instead of crashing.
         """
         names: list[str] = []
-        inverse = {token: name for name, token in self.subtask_tokens.items()}
+        inverse = self._subtask_names_by_token
         for token in tokens:
             if token == self.eos:
                 break
@@ -69,22 +138,84 @@ class PlannerVocabulary:
         return names
 
     def is_subtask_token(self, token: int) -> bool:
-        return token in set(self.subtask_tokens.values())
+        return token in self._subtask_token_set
 
 
-def build_vocabulary() -> PlannerVocabulary:
-    """Construct the shared vocabulary from the task suites and subtask registry."""
-    task_names = sorted({task for key in _VOCABULARY_SUITES
-                         for task in SUITES[key].task_names})
+def build_vocabulary(suites: Iterable[TaskSuite | str] | None = None,
+                     registry: SubtaskRegistry | None = None,
+                     max_progress: int | None = None) -> PlannerVocabulary:
+    """Construct a planner vocabulary from an explicit suite set.
+
+    With no arguments this builds the **default Table-10 vocabulary** —
+    task tokens from the five paper suites, subtask tokens from the frozen
+    ``ALL_SUBTASKS`` union, ``DEFAULT_MAX_PROGRESS`` progress tokens — and
+    is bit-identical to every previously trained checkpoint (pinned by
+    :data:`TABLE10_FINGERPRINT`).
+
+    ``suites`` accepts :class:`~repro.env.tasks.TaskSuite` objects or
+    ``SUITES`` names.  ``registry`` defaults to the union of the given
+    suites' registries (``ALL_SUBTASKS`` for the default set).
+    ``max_progress`` defaults to ``max(DEFAULT_MAX_PROGRESS, longest plan)``
+    so every (task, progress) replanning situation of the given suites is
+    encodable.
+    """
+    if suites is None:
+        resolved = [SUITES[key] for key in TABLE10_SUITES]
+        registry = registry if registry is not None else ALL_SUBTASKS
+        max_progress = max_progress if max_progress is not None else DEFAULT_MAX_PROGRESS
+    else:
+        resolved = [SUITES[s] if isinstance(s, str) else s for s in suites]
+        if not resolved:
+            raise ValueError("at least one suite is required")
+    if registry is None:
+        # Union of the suites' registries, deduplicating shared subtasks
+        # (several suites may share one registry, or distinct registries may
+        # carry the same spec); conflicting redefinitions are an error.
+        specs: dict[str, object] = {}
+        for suite in resolved:
+            for subtask in suite.registry.names:
+                spec = suite.registry.get(subtask)
+                if specs.get(subtask, spec) != spec:
+                    raise ValueError(
+                        f"conflicting definitions of subtask {subtask!r} "
+                        "across the given suites; pass an explicit registry")
+                specs[subtask] = spec
+        registry = SubtaskRegistry(list(specs.values()))
+    longest_plan = max(len(task.plan) for suite in resolved for task in suite.tasks())
+    if max_progress is None:
+        max_progress = max(DEFAULT_MAX_PROGRESS, longest_plan)
+    if max_progress < longest_plan:
+        raise ValueError(
+            f"max_progress {max_progress} cannot express the longest plan "
+            f"({longest_plan} subtasks) of the given suites")
+    missing = {subtask for suite in resolved for task in suite.tasks()
+               for subtask in task.plan if subtask not in registry}
+    if missing:
+        raise ValueError(f"registry lacks subtasks used by the suites: "
+                         f"{', '.join(sorted(missing))}")
+
+    task_names = sorted({task for suite in resolved for task in suite.task_names})
     offset = 4
     task_tokens = {name: offset + index for index, name in enumerate(task_names)}
     offset += len(task_tokens)
-    progress_tokens = {index: offset + index for index in range(_MAX_PROGRESS)}
+    progress_tokens = {index: offset + index for index in range(max_progress)}
     offset += len(progress_tokens)
-    subtask_tokens = {name: offset + index for index, name in enumerate(ALL_SUBTASKS.names)}
+    subtask_tokens = {name: offset + index for index, name in enumerate(registry.names)}
     return PlannerVocabulary(
         pad=0, bos=1, eos=2, sep=3,
         task_tokens=task_tokens,
         progress_tokens=progress_tokens,
         subtask_tokens=subtask_tokens,
+        max_progress=max_progress,
     )
+
+
+def scenario_vocabulary(suite: TaskSuite) -> PlannerVocabulary:
+    """The vocabulary of one catalog scenario suite.
+
+    Task tokens come from the suite alone, subtask tokens from the suite's
+    own registry, and ``max_progress`` is sized to the suite's longest plan
+    (never below :data:`DEFAULT_MAX_PROGRESS`), so long-horizon scenarios
+    like the assembly generator get the progress-token range they need.
+    """
+    return build_vocabulary(suites=(suite,), registry=suite.registry)

@@ -1,16 +1,19 @@
 """Command-line interface to the CREATE reproduction.
 
-Eight subcommands cover the workflows a downstream user needs most often::
+Nine subcommands cover the workflows a downstream user needs most often::
 
     python -m repro.cli hardware                      # accelerator / LDO / model tables
     python -m repro.cli policies                      # entropy-to-voltage policies A-F
     python -m repro.cli systems                       # registered system keys
+    python -m repro.cli suites                        # scenario catalog + fingerprints
     python -m repro.cli mission --task wooden         # run protected missions
     python -m repro.cli characterize --target planner # BER sweep on one model
     python -m repro.cli campaign ad-controller        # declarative experiment campaigns
     python -m repro.cli campaign paper --out runs/paper --jobs 8   # the whole paper
+    python -m repro.cli campaign navigation           # generated-scenario battery
     python -m repro.cli worker --queue runs/q         # drain a shared work queue
     python -m repro.cli merge runs/merged runs/q      # merge worker/shard tables
+    python -m repro.cli merge runs/merged runs/q --watch   # live re-merge loop
 
 ``mission``, ``characterize`` and ``campaign`` execute through the campaign
 engine (:mod:`repro.eval.campaign`): ``--jobs N`` fans trials out over worker
@@ -58,6 +61,8 @@ CAMPAIGN_PRESETS = {
     "repetitions": "success rate vs. repetition count (Table 5)",
     "quantization": "INT8 vs. INT4 planner robustness (Table 6)",
     "kitchen": "kitchen-rearrangement controller suite (beyond the paper)",
+    "navigation": "AD/WR planner battery on the generated navigation scenario",
+    "assembly": "AD/WR planner battery on the generated assembly scenario",
     "paper": "chain every paper preset into one resumable full-paper sweep",
 }
 
@@ -203,6 +208,17 @@ def build_parser() -> argparse.ArgumentParser:
     merge.add_argument("--overwrite", action="store_true",
                        help="let later inputs win on conflicting duplicate "
                             "cells instead of refusing to merge")
+    merge.add_argument("--watch", action="store_true",
+                       help="poll the directories and re-merge on an "
+                            "interval, printing live completed/pending "
+                            "counts, until every queue is drained and every "
+                            "planned cell is merged")
+    merge.add_argument("--interval", type=float, default=5.0, metavar="S",
+                       help="seconds between --watch polls (default: 5)")
+    merge.add_argument("--max-polls", type=positive_int, default=None,
+                       metavar="N",
+                       help="with --watch, give up after N polls instead of "
+                            "waiting for the queue to drain")
 
     subparsers.add_parser("hardware", help="print the accelerator / LDO / model tables")
 
@@ -212,6 +228,11 @@ def build_parser() -> argparse.ArgumentParser:
         "systems",
         help="list the registered system keys (predictor-less, custom "
              "quantization, kitchen, ... variants included)")
+
+    subparsers.add_parser(
+        "suites",
+        help="list the scenario catalog: every registered task suite with "
+             "its content fingerprint and planner-vocabulary identity")
 
     return parser
 
@@ -295,6 +316,8 @@ _PRESET_USED_OPTIONS = {
     "repetitions": {"task", "bers"},
     "quantization": {"task", "bers"},
     "kitchen": {"tasks"},
+    "navigation": {"tasks", "bers"},
+    "assembly": {"tasks", "bers"},
     "paper": {"task", "tasks", "bers"},
 }
 
@@ -444,6 +467,31 @@ def _preset_kitchen(args, engine) -> None:
                              "(controller-rt1-kitchen)"))
 
 
+def _preset_scenario(args, engine) -> None:
+    """AD/WR planner-resilience battery on a generated catalog scenario."""
+    import numpy as np
+
+    from .env.scenarios import CATALOG
+    from .eval import experiments, format_table
+
+    scenario = args.preset
+    results = experiments.scenario_resilience(scenario, list(args.bers),
+                                              tasks=args.tasks,
+                                              num_trials=args.trials,
+                                              seed=args.seed, **engine)
+    arms = list(results)
+    tasks = list(next(iter(results.values())))
+    rows = []
+    for index, ber in enumerate(args.bers):
+        rows.append([f"{ber:.0e}"] + [
+            float(np.mean([results[arm][task].points[index].summary.success_rate
+                           for task in tasks])) for arm in arms])
+    fingerprint = CATALOG.get(scenario).fingerprint
+    print(format_table(["planner BER"] + arms, rows,
+                       title=f"{scenario} scenario ({len(tasks)} task(s), "
+                             f"suite {fingerprint}): success rate"))
+
+
 #: Preset name -> ``runner(args, engine_kwargs)`` printing its figure/table.
 _PRESET_RUNNERS = {
     "ad-planner": _preset_ad,
@@ -456,6 +504,8 @@ _PRESET_RUNNERS = {
     "repetitions": _preset_repetitions,
     "quantization": _preset_quantization,
     "kitchen": _preset_kitchen,
+    "navigation": _preset_scenario,
+    "assembly": _preset_scenario,
 }
 
 
@@ -684,10 +734,78 @@ def _run_worker(args) -> int:
     return 0 if not counts["failed"] else 1
 
 
+def _queue_roots(dirs) -> list:
+    """The given directories that are work-queue roots.
+
+    Both queues and static-shard ``--out`` directories carry a ``plans/``
+    directory, so a queue is recognized by its ``tasks/`` directory too —
+    shard result dirs must never be treated (or touched) as queues.
+    """
+    from pathlib import Path
+
+    return [Path(d) for d in dirs
+            if (Path(d) / "plans").is_dir() and (Path(d) / "tasks").is_dir()]
+
+
+def _merge_watch(args) -> int:
+    """Poll-and-re-merge loop over a draining queue (``merge --watch``).
+
+    Each poll unions the run tables found so far (exactly like a one-shot
+    ``merge``) and prints live progress: merged rows, cells still missing
+    from the campaign plans, and the pending/leased/done counts of every
+    queue directory.  The loop ends when all queues are drained and no
+    planned cell is missing — or after ``--max-polls`` polls.
+    """
+    import time
+
+    from .eval.runtable import MergeConflictError
+    from .eval.scheduler import WorkQueue, merge_run_tables
+
+    queues = _queue_roots(args.dirs)
+    polls = 0
+    while True:
+        polls += 1
+        try:
+            merged = merge_run_tables(args.out, args.dirs,
+                                      overwrite=args.overwrite)
+        except MergeConflictError as exc:
+            print(f"merge conflict: {exc}")
+            return 1
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"error: {exc}")
+            return 2
+        rows = sum(table.rows for table in merged)
+        missing = sum(table.missing_cells for table in merged)
+        counts = {"pending": 0, "leased": 0, "done": 0, "failed": 0}
+        for root in queues:
+            for state, count in WorkQueue(root).counts().items():
+                counts[state] += count
+        print(f"[watch {polls}] {len(merged)} campaign(s), {rows} rows "
+              f"merged, {missing} cells pending; queue tasks: "
+              f"{counts['pending']} pending, {counts['leased']} leased, "
+              f"{counts['done']} done, {counts['failed']} failed")
+        drained = counts["pending"] == 0 and counts["leased"] == 0
+        if merged and missing == 0 and drained:
+            print(f"complete: all cells merged into {args.out}")
+            return 0
+        if counts["failed"] and drained and not counts["pending"]:
+            # Nothing left to wait for: failures need operator attention.
+            print(f"queue drained with {counts['failed']} failed task(s); "
+                  "inspect the queue's failed/ directory and re-enqueue")
+            return 1
+        if args.max_polls is not None and polls >= args.max_polls:
+            print(f"stopped after {polls} poll(s); {missing} cells still "
+                  "pending — re-run to keep watching")
+            return 0 if missing == 0 and drained else 1
+        time.sleep(args.interval)
+
+
 def _run_merge(args) -> int:
     from .eval.runtable import MergeConflictError
     from .eval.scheduler import merge_run_tables
 
+    if args.watch:
+        return _merge_watch(args)
     try:
         merged = merge_run_tables(args.out, args.dirs,
                                   overwrite=args.overwrite)
@@ -762,6 +880,39 @@ def _run_systems(_args) -> int:
     return 0
 
 
+def _run_suites(_args) -> int:
+    """List the scenario catalog (suites, fingerprints, vocabulary identity).
+
+    Fast: building the generated suites and their vocabularies is pure
+    bookkeeping — no model is trained or loaded.  The same listing is
+    checked for consistency against the docs by ``tools/check_catalog.py``.
+    """
+    from .agents.vocabulary import (TABLE10_FINGERPRINT, build_vocabulary,
+                                    scenario_vocabulary)
+    from .env.scenarios import CATALOG
+    from .eval import format_table
+
+    rows = []
+    for entry in CATALOG.entries():
+        suite = entry.build()
+        longest = max(len(task.plan) for task in suite.tasks())
+        if entry.vocabulary == "table10":
+            vocab = f"table10 {TABLE10_FINGERPRINT}"
+        elif entry.vocabulary == "scenario":
+            vocab = f"scenario {scenario_vocabulary(suite).fingerprint}"
+        else:
+            vocab = "controller-only"
+        rows.append([entry.name, entry.kind, len(suite), longest,
+                     entry.fingerprint, vocab])
+    print(format_table(
+        ["suite", "kind", "tasks", "longest plan", "fingerprint", "vocabulary"],
+        rows, title="scenario catalog"))
+    print(f"\n{len(rows)} suites; default Table-10 vocabulary fingerprint: "
+          f"{build_vocabulary().fingerprint} (pinned). Generated suites "
+          "rebuild deterministically from their seed; see docs/scenarios.md")
+    return 0
+
+
 _COMMANDS = {
     "mission": _run_mission,
     "characterize": _run_characterize,
@@ -771,6 +922,7 @@ _COMMANDS = {
     "hardware": _run_hardware,
     "policies": _run_policies,
     "systems": _run_systems,
+    "suites": _run_suites,
 }
 
 

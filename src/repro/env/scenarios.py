@@ -1,0 +1,302 @@
+"""Versioned scenario catalog: suites as first-class, fingerprinted artifacts.
+
+Every benchmark the system can run — the paper's static Table-10 suites and
+the procedural generators that go beyond them — is registered here as a
+:class:`ScenarioEntry`.  An entry knows how to *build* its
+:class:`~repro.env.tasks.TaskSuite` (deterministically, so campaign workers
+on any host rebuild the identical suite), which subtask registry the suite
+draws from, and how the suite relates to the planner vocabulary:
+
+``table10``
+    The suite's task names are part of the shared Table-10 planner
+    vocabulary (the default instance of
+    :func:`repro.agents.vocabulary.build_vocabulary`); planners trained on
+    that vocabulary can replan these tasks.
+``scenario``
+    The suite carries its *own* vocabulary, derived from its tasks and
+    registry; planners for it are trained and cached per vocabulary
+    fingerprint (see :mod:`repro.agents.zoo`) under registry keys such as
+    ``jarvis-navigation``.
+``none``
+    Controller-only: episodes follow the ground-truth plan (e.g. the
+    kitchen-rearrangement generator evaluated through
+    ``controller-rt1-kitchen``).
+
+Registering a scenario here makes it a first-class suite everywhere the
+catalog is read: the CLI ``suites`` listing, ``entry.build()`` rebuilds in
+campaign workers, the model zoo's suite/registry/vocabulary resolution, and
+the consistency checks (``tools/check_catalog.py``).  A ``scenario``-
+vocabulary entry that should also *train planners and run campaigns* needs
+three declarations alongside the registration — a ``PlannerConfig`` /
+``ControllerConfig`` named after the scenario (``repro.agents.configs``),
+the ``jarvis-<name>[-rotated]`` registry keys (``repro.agents.registry``),
+and a campaign preset (``repro.cli``) — each a few lines; the catalog
+checks fail loudly when one is missing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .subtasks import (
+    ASSEMBLY_PARTS,
+    ASSEMBLY_SUBTASKS,
+    MANIPULATION_SUBTASKS,
+    NAVIGATION_KEYS,
+    NAVIGATION_ROOMS,
+    NAVIGATION_SUBTASKS,
+    SubtaskRegistry,
+)
+from .tasks import (
+    CALVIN_SUITE,
+    LIBERO_SUITE,
+    MANIPULATION_SUITE,
+    MINECRAFT_SUITE,
+    OXE_SUITE,
+    TaskSpec,
+    TaskSuite,
+    build_kitchen_suite,
+)
+
+__all__ = [
+    "ScenarioEntry",
+    "ScenarioCatalog",
+    "CATALOG",
+    "suite_fingerprint",
+    "build_navigation_suite",
+    "build_assembly_suite",
+]
+
+
+def suite_fingerprint(suite: TaskSuite) -> str:
+    """Content hash of a suite: task names, plans, and registry names.
+
+    Two suites with the same fingerprint define the same evaluation
+    workload (and, for ``scenario`` entries, the same planner vocabulary);
+    the hash is what the CLI ``suites`` listing prints and what the
+    determinism tests compare across processes.
+    """
+    digest = hashlib.sha1()
+    digest.update(suite.name.encode())
+    for task in suite.tasks():
+        digest.update(b"\x00" + task.name.encode())
+        for subtask in task.plan:
+            digest.update(b"\x01" + subtask.encode())
+    for name in suite.registry.names:
+        digest.update(b"\x02" + name.encode())
+    return digest.hexdigest()[:12]
+
+
+# ----------------------------------------------------------------------
+# Procedural generators
+# ----------------------------------------------------------------------
+def build_navigation_suite(num_tasks: int = 6, seed: int = 2031) -> TaskSuite:
+    """Procedurally generate a multi-room navigation suite.
+
+    Each task is a route: the agent traverses 2-4 rooms (``reach_<room>``
+    then ``enter_<room>``), collects 0-2 keys to unlock gates along the way
+    (``pick_<color>_key`` then ``unlock_<color>_gate``), and finishes at the
+    beacon (``reach_beacon``, ``activate_beacon``).  Rooms and keys are
+    drawn without replacement, so every plan is duplicate-free, 6-14
+    subtasks long, and fully deterministic in ``seed`` — campaign workers
+    and the planner-training path rebuild the identical suite.
+    """
+    if num_tasks < 1:
+        raise ValueError("num_tasks must be positive")
+    if num_tasks > 24:
+        raise ValueError("the navigation generator supports at most 24 tasks")
+    rng = np.random.default_rng(seed)
+    tasks: list[TaskSpec] = []
+    seen: set[str] = set()
+    while len(tasks) < num_tasks:
+        num_rooms = int(rng.integers(2, 5))        # 2-4 rooms
+        num_keys = int(rng.integers(0, 3))         # 0-2 locked gates
+        rooms = [NAVIGATION_ROOMS[i] for i in
+                 rng.choice(len(NAVIGATION_ROOMS), size=num_rooms, replace=False)]
+        keys = [NAVIGATION_KEYS[i] for i in
+                rng.choice(len(NAVIGATION_KEYS), size=num_keys, replace=False)]
+        name = f"route-{'-'.join(room[:3] for room in rooms)}" + \
+            (f"-{num_keys}k" if num_keys else "")
+        if name in seen:
+            continue
+        plan: list[str] = []
+        for index, room in enumerate(rooms):
+            # A gate guards this room when a key is still unused: the key is
+            # picked up and the gate unlocked before the room is entered.
+            if index < len(keys):
+                plan.append(f"pick_{keys[index]}_key")
+                plan.append(f"unlock_{keys[index]}_gate")
+            plan.append(f"reach_{room}")
+            plan.append(f"enter_{room}")
+        plan += ["reach_beacon", "activate_beacon"]
+        assert 6 <= len(plan) <= 14, "navigation plans must span 6-14 subtasks"
+        seen.add(name)
+        tasks.append(TaskSpec(
+            name=name,
+            benchmark="navigation",
+            description=f"Navigate {num_rooms} rooms ({', '.join(rooms)}) "
+                        f"past {num_keys} locked gate(s) to the beacon",
+            plan=tuple(plan),
+        ))
+    return TaskSuite("navigation", NAVIGATION_SUBTASKS, tasks)
+
+
+def build_assembly_suite(num_tasks: int = 5, seed: int = 2032) -> TaskSuite:
+    """Procedurally generate a long-horizon assembly suite.
+
+    Each recipe mounts 3-6 parts through the shared ``mount`` sub-recipe
+    (``fetch_<part>``, ``align_<part>``, ``fasten_<part>``), optionally
+    calibrates the rig first, and always ends with an inspection (and,
+    budget permitting, packing).  Recipes are 10-20 steps long — past the
+    Table-10 vocabulary's 12 progress tokens, which is exactly the range
+    the per-scenario ``max_progress`` exists for — and deterministic in
+    ``seed``.
+    """
+    if num_tasks < 1:
+        raise ValueError("num_tasks must be positive")
+    if num_tasks > 24:
+        raise ValueError("the assembly generator supports at most 24 tasks")
+    rng = np.random.default_rng(seed)
+    tasks: list[TaskSpec] = []
+    seen: set[str] = set()
+    while len(tasks) < num_tasks:
+        num_parts = int(rng.integers(3, 7))        # 3-6 mounted parts
+        calibrate = bool(rng.integers(0, 2))
+        pack = bool(rng.integers(0, 2))
+        parts = [ASSEMBLY_PARTS[i] for i in
+                 rng.choice(len(ASSEMBLY_PARTS), size=num_parts, replace=False)]
+        plan: list[str] = ["calibrate_rig"] if calibrate else []
+        for part in parts:                          # shared mount sub-recipe
+            plan += [f"fetch_{part}", f"align_{part}", f"fasten_{part}"]
+        plan.append("inspect_assembly")
+        if pack and len(plan) < 20:
+            plan.append("pack_assembly")
+        name = f"build-{'-'.join(part[:3] for part in parts)}"
+        if calibrate:
+            name += "-cal"
+        if name in seen:
+            continue
+        assert 10 <= len(plan) <= 20, "assembly recipes must span 10-20 steps"
+        seen.add(name)
+        tasks.append(TaskSpec(
+            name=name,
+            benchmark="assembly",
+            description=f"Assemble {num_parts} parts ({', '.join(parts)})"
+                        + (", calibrating first" if calibrate else ""),
+            plan=tuple(plan),
+        ))
+    return TaskSuite("assembly", ASSEMBLY_SUBTASKS, tasks)
+
+
+# ----------------------------------------------------------------------
+# The catalog
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioEntry:
+    """One catalog entry: a named, rebuildable benchmark suite."""
+
+    name: str
+    kind: str                                  # "static" | "generated"
+    vocabulary: str                            # "table10" | "scenario" | "none"
+    description: str
+    factory: Callable[..., TaskSuite]
+    registry: SubtaskRegistry
+    defaults: tuple[tuple[str, object], ...] = ()
+    #: Per-entry memo of the default-parameter build (not identity).
+    _cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self):
+        if self.kind not in ("static", "generated"):
+            raise ValueError(f"unknown scenario kind {self.kind!r}")
+        if self.vocabulary not in ("table10", "scenario", "none"):
+            raise ValueError(f"unknown vocabulary mode {self.vocabulary!r}")
+
+    def build(self, **params) -> TaskSuite:
+        """Build the suite (default parameters unless overridden).
+
+        The default build is memoized per entry: every caller in one
+        process shares the same suite object, exactly like the static
+        module-level suites.
+        """
+        if params:
+            return self.factory(**{**dict(self.defaults), **params})
+        if "default" not in self._cache:
+            self._cache["default"] = self.factory(**dict(self.defaults))
+        return self._cache["default"]
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of the default build (see :func:`suite_fingerprint`)."""
+        return suite_fingerprint(self.build())
+
+
+class ScenarioCatalog:
+    """Name -> :class:`ScenarioEntry` registry with stable iteration order."""
+
+    def __init__(self):
+        self._entries: dict[str, ScenarioEntry] = {}
+
+    def register(self, entry: ScenarioEntry, overwrite: bool = False) -> ScenarioEntry:
+        if entry.name in self._entries and not overwrite:
+            raise KeyError(f"scenario {entry.name!r} already registered")
+        self._entries[entry.name] = entry
+        return entry
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def names(self) -> list[str]:
+        """Registered scenario names, sorted."""
+        return sorted(self._entries)
+
+    def entries(self) -> list[ScenarioEntry]:
+        return [self._entries[name] for name in self.names()]
+
+    def get(self, name: str) -> ScenarioEntry:
+        if name not in self._entries:
+            raise KeyError(f"unknown scenario {name!r}; registered: "
+                           f"{', '.join(self.names())}")
+        return self._entries[name]
+
+    def build(self, name: str, **params) -> TaskSuite:
+        """Build (or fetch the cached default build of) a scenario's suite."""
+        return self.get(name).build(**params)
+
+
+def _static(suite: TaskSuite, description: str) -> ScenarioEntry:
+    return ScenarioEntry(name=suite.name, kind="static", vocabulary="table10",
+                         description=description, factory=lambda suite=suite: suite,
+                         registry=suite.registry)
+
+
+#: The process-wide scenario catalog.
+CATALOG = ScenarioCatalog()
+CATALOG.register(_static(MINECRAFT_SUITE,
+                         "JARVIS-1 Minecraft benchmark (paper Table 10)"))
+CATALOG.register(_static(LIBERO_SUITE, "LIBERO manipulation benchmark"))
+CATALOG.register(_static(CALVIN_SUITE, "CALVIN manipulation benchmark"))
+CATALOG.register(_static(OXE_SUITE, "OXE controller benchmark"))
+CATALOG.register(_static(MANIPULATION_SUITE,
+                         "LIBERO + CALVIN + OXE union (controller training)"))
+CATALOG.register(ScenarioEntry(
+    name="kitchen", kind="generated", vocabulary="none",
+    description="generated kitchen rearrangement (controller-only)",
+    factory=build_kitchen_suite, registry=MANIPULATION_SUBTASKS,
+    defaults=(("num_tasks", 8), ("seed", 2030))))
+CATALOG.register(ScenarioEntry(
+    name="navigation", kind="generated", vocabulary="scenario",
+    description="generated multi-room navigation (6-14 step routes)",
+    factory=build_navigation_suite, registry=NAVIGATION_SUBTASKS,
+    defaults=(("num_tasks", 6), ("seed", 2031))))
+CATALOG.register(ScenarioEntry(
+    name="assembly", kind="generated", vocabulary="scenario",
+    description="generated long-horizon assembly (10-20 step recipes)",
+    factory=build_assembly_suite, registry=ASSEMBLY_SUBTASKS,
+    defaults=(("num_tasks", 5), ("seed", 2032))))

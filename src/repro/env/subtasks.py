@@ -17,7 +17,8 @@ from enum import Enum
 from .actions import Action
 
 __all__ = ["SubtaskKind", "SubtaskSpec", "SubtaskRegistry", "MINECRAFT_SUBTASKS",
-           "MANIPULATION_SUBTASKS", "ALL_SUBTASKS"]
+           "MANIPULATION_SUBTASKS", "NAVIGATION_SUBTASKS", "ASSEMBLY_SUBTASKS",
+           "ALL_SUBTASKS"]
 
 
 class SubtaskKind(Enum):
@@ -181,5 +182,90 @@ MANIPULATION_SUBTASKS = SubtaskRegistry([
                 alternate_actions=(Action.LEFT, Action.RIGHT)),
 ])
 
+# ----------------------------------------------------------------------
+# Multi-room navigation subtasks (generated scenario, see env/scenarios.py)
+# ----------------------------------------------------------------------
+#: Rooms a generated navigation route can traverse; each contributes a
+#: ``reach_<room>`` / ``enter_<room>`` subtask pair so routes never repeat a
+#: subtask name inside one plan (plans are duplicate-free by construction).
+NAVIGATION_ROOMS = ("atrium", "corridor", "gallery", "lab", "storage",
+                    "vault", "cellar")
+
+#: Key colors for locked gates along a navigation route.
+NAVIGATION_KEYS = ("red", "blue", "green")
+
+
+def _navigation_specs() -> list[SubtaskSpec]:
+    specs: list[SubtaskSpec] = []
+    for room in NAVIGATION_ROOMS:
+        specs.append(SubtaskSpec(
+            f"reach_{room}", SubtaskKind.STOCHASTIC, Action.FORWARD,
+            execution_length=2, quantity=1, exploration_distance=6,
+            alternate_actions=(Action.LEFT, Action.RIGHT)))
+        specs.append(SubtaskSpec(
+            f"enter_{room}", SubtaskKind.SEQUENTIAL, Action.USE,
+            execution_length=3, quantity=1, exploration_distance=2))
+    for color in NAVIGATION_KEYS:
+        specs.append(SubtaskSpec(
+            f"pick_{color}_key", SubtaskKind.SEQUENTIAL, Action.GRASP,
+            execution_length=3, quantity=1, exploration_distance=4))
+        specs.append(SubtaskSpec(
+            f"unlock_{color}_gate", SubtaskKind.SEQUENTIAL, Action.USE,
+            execution_length=4, quantity=1, exploration_distance=2))
+    specs.append(SubtaskSpec(
+        "reach_beacon", SubtaskKind.STOCHASTIC, Action.FORWARD,
+        execution_length=2, quantity=1, exploration_distance=7,
+        alternate_actions=(Action.LEFT, Action.RIGHT, Action.JUMP)))
+    specs.append(SubtaskSpec(
+        "activate_beacon", SubtaskKind.SEQUENTIAL, Action.USE,
+        execution_length=3, quantity=1, exploration_distance=1))
+    return specs
+
+
+NAVIGATION_SUBTASKS = SubtaskRegistry(_navigation_specs())
+
+# ----------------------------------------------------------------------
+# Long-horizon assembly subtasks (generated scenario, see env/scenarios.py)
+# ----------------------------------------------------------------------
+#: Parts a generated assembly recipe can mount; each contributes a
+#: ``fetch``/``align``/``fasten`` sub-recipe, so 10-20-step recipes with
+#: unique subtask names compose from up to six shared mount sub-recipes.
+ASSEMBLY_PARTS = ("frame", "axle", "gearbox", "rotor", "panel", "sensor")
+
+
+def _assembly_specs() -> list[SubtaskSpec]:
+    specs: list[SubtaskSpec] = []
+    for part in ASSEMBLY_PARTS:
+        specs.append(SubtaskSpec(
+            f"fetch_{part}", SubtaskKind.STOCHASTIC, Action.GRASP,
+            execution_length=2, quantity=1, exploration_distance=4,
+            alternate_actions=(Action.FORWARD,)))
+        specs.append(SubtaskSpec(
+            f"align_{part}", SubtaskKind.SEQUENTIAL, Action.PLACE,
+            execution_length=3, quantity=1, exploration_distance=1))
+        specs.append(SubtaskSpec(
+            f"fasten_{part}", SubtaskKind.SEQUENTIAL, Action.USE,
+            execution_length=4, quantity=1, exploration_distance=0,
+            exploration_jitter=0))
+    specs.append(SubtaskSpec(
+        "calibrate_rig", SubtaskKind.SEQUENTIAL, Action.USE,
+        execution_length=3, quantity=1, exploration_distance=1))
+    specs.append(SubtaskSpec(
+        "inspect_assembly", SubtaskKind.STOCHASTIC, Action.USE,
+        execution_length=2, quantity=1, exploration_distance=2,
+        alternate_actions=(Action.FORWARD, Action.LEFT)))
+    specs.append(SubtaskSpec(
+        "pack_assembly", SubtaskKind.SEQUENTIAL, Action.PLACE,
+        execution_length=3, quantity=1, exploration_distance=1))
+    return specs
+
+
+ASSEMBLY_SUBTASKS = SubtaskRegistry(_assembly_specs())
+
 #: Union registry used to build a single planner vocabulary across benchmarks.
+#: Frozen to the Minecraft + manipulation registries of the paper's Table-10
+#: platforms: its sorted names fix the subtask token ids (and therefore the
+#: embedding/head shapes) of every Table-10 planner checkpoint.  Scenario
+#: registries (navigation, assembly) are deliberately *not* merged here —
+#: their suites carry their own vocabularies (see ``repro.env.scenarios``).
 ALL_SUBTASKS = MINECRAFT_SUBTASKS.merged_with(MANIPULATION_SUBTASKS)

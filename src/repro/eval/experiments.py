@@ -35,7 +35,7 @@ from ..quant import INT4, INT8, QuantSpec
 from .campaign import (CampaignRunner, SystemLike, TrialSpec, merge_overrides,
                        run_campaign, slugify, system_ref)
 from .metrics import TrialSummary, energy_savings_percent
-from .resilience import SweepResult, ber_sweep
+from .resilience import SweepPoint, SweepResult, ber_sweep
 
 __all__ = [
     "motivation_curves",
@@ -44,6 +44,7 @@ __all__ = [
     "rotation_study",
     "ad_evaluation",
     "wr_evaluation",
+    "scenario_resilience",
     "PolicyEvaluation",
     "vs_evaluation",
     "interval_sweep",
@@ -167,6 +168,71 @@ def wr_evaluation(plain_system: SystemLike, rotated_system: SystemLike,
                              exposure_scale=exposure_scale, label="with WR",
                              jobs=jobs, out=out, batch=batch),
     }
+
+
+# ----------------------------------------------------------------------
+# Catalog scenarios: planner-resilience battery beyond Table 10
+# ----------------------------------------------------------------------
+def scenario_resilience(scenario: str, bers: list[float],
+                        tasks: list[str] | None = None,
+                        num_trials: int = 8, seed: int = 0,
+                        exposure_scale: float = 1.0,
+                        jobs: int = 1, out: str | None = None,
+                        batch: int | None = None
+                        ) -> dict[str, dict[str, SweepResult]]:
+    """Full AD/WR planner-resilience battery on a generated catalog scenario.
+
+    Runs the four protection arms of the paper's planner studies —
+    unprotected, AD, WR, AD+WR — as one campaign over the scenario's
+    generated tasks, injecting into the scenario-trained planner
+    (``jarvis-<scenario>`` / ``jarvis-<scenario>-rotated`` registry keys).
+    Returns ``{arm: {task: SweepResult}}``; like every campaign this is
+    shardable, queueable, and resumable through ``jobs``/``out``/``batch``.
+    """
+    from ..env.scenarios import CATALOG
+
+    suite = CATALOG.build(scenario)
+    tasks = list(tasks) if tasks else suite.task_names[:2]
+    for task in tasks:
+        if task not in suite:
+            raise KeyError(f"unknown task {task!r} in scenario {scenario!r}; "
+                           f"generated tasks: {', '.join(suite.task_names)}")
+    arms = {
+        "unprotected": (f"jarvis-{scenario}", False),
+        "AD": (f"jarvis-{scenario}", True),
+        "WR": (f"jarvis-{scenario}-rotated", False),
+        "AD+WR": (f"jarvis-{scenario}-rotated", True),
+    }
+    specs: list[TrialSpec] = []
+    conditions: dict[tuple[str, str, float], str] = {}
+    for label, (key, anomaly_detection) in arms.items():
+        for task in tasks:
+            for ber in bers:
+                protection = ProtectionConfig(
+                    error_model=UniformErrorModel(float(ber)),
+                    anomaly_detection=anomaly_detection,
+                    exposure_scale=exposure_scale)
+                condition = f"{label}/{task}/ber={float(ber)!r}"
+                conditions[(label, task, float(ber))] = condition
+                specs.append(TrialSpec(
+                    condition=condition, system=key, task=task,
+                    num_trials=num_trials, seed=seed,
+                    planner_protection=protection,
+                    params=(("arm", label), ("task", task),
+                            ("ber", repr(float(ber))))))
+    campaign = run_campaign(specs, jobs=jobs, out=out, batch=batch,
+                            name=slugify(f"scenario-{scenario}"))
+    results: dict[str, dict[str, SweepResult]] = {}
+    for label in arms:
+        results[label] = {}
+        for task in tasks:
+            sweep = SweepResult(label=label, task=task)
+            for ber in bers:
+                sweep.points.append(SweepPoint(
+                    ber=float(ber),
+                    summary=campaign.summary(conditions[(label, task, float(ber))])))
+            results[label][task] = sweep
+    return results
 
 
 # ----------------------------------------------------------------------

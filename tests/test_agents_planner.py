@@ -58,9 +58,15 @@ class TestVocabulary:
         assert decoded[1].startswith("<invalid:")
         assert len(decoded) == 2
 
-    def test_progress_clamped(self):
+    def test_progress_beyond_range_raises(self):
+        # Out-of-range progress used to alias to the last progress token,
+        # which silently corrupts long-horizon prompts; it is now an error
+        # (per-vocabulary max_progress, see tests/test_scenarios.py).
         vocab = build_vocabulary()
-        assert vocab.encode_prompt("wooden", 100)[2] == vocab.progress_tokens[11]
+        with pytest.raises(ValueError):
+            vocab.encode_prompt("wooden", 100)
+        assert vocab.encode_prompt("wooden", vocab.max_progress - 1)[2] == \
+            vocab.progress_tokens[vocab.max_progress - 1]
 
 
 class TestPlannerDatasetAndNetwork:

@@ -70,7 +70,25 @@ def check_links(errors: list[str]) -> None:
 
 
 def _documented_presets(path: Path) -> set[str]:
-    return set(_PRESET_ROW.findall(path.read_text()))
+    """Code-span names in the first column of ``| Preset | ...`` tables.
+
+    Only tables whose header row starts with a ``Preset`` column count —
+    other code-span-led tables (e.g. the scenario-catalog suite table,
+    checked by ``tools/check_catalog.py``) are not preset documentation.
+    """
+    presets: set[str] = set()
+    in_preset_table = False
+    for line in path.read_text().splitlines():
+        if re.match(r"^\|\s*Preset\s*\|", line):
+            in_preset_table = True
+            continue
+        if in_preset_table:
+            match = _PRESET_ROW.match(line)
+            if match:
+                presets.add(match.group(1))
+            elif not re.match(r"^\|[-\s|]*\|$", line):
+                in_preset_table = False
+    return presets
 
 
 def check_presets(errors: list[str]) -> None:
