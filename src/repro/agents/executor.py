@@ -107,6 +107,25 @@ def build_protection_hooks(protection: ProtectionConfig, rng: np.random.Generato
     return hooks, injector, detector
 
 
+@dataclass
+class _TrialSetup:
+    """Deterministic pre-decode state of one trial (see ``_prepare_trial``)."""
+
+    task: object
+    rng: np.random.Generator
+    world: EmbodiedWorld
+    controller_protection: ProtectionConfig
+    planner_kernel: object
+    controller_kernel: object
+    planner_voltage: float
+    vs_runtime: AdaptiveVoltageController | None
+    planner_injector: ErrorInjector | None
+    controller_injector: ErrorInjector | None
+    planner_detector: AnomalyDetector | None
+    controller_detector: AnomalyDetector | None
+    result: TrialResult
+
+
 class MissionExecutor:
     """Runs task trials for one (planner, controller) system on one benchmark."""
 
@@ -152,20 +171,35 @@ class MissionExecutor:
             return [subtask for subtask in task.plan[progress:]]
         plan = self.planner.plan(task.name, progress, context=context,
                                  use_cache=self.planner_use_cache)
+        self._account_plan(plan, result, voltage)
+        return plan
+
+    def _account_plan(self, plan: list[str], result: TrialResult,
+                      voltage: float) -> None:
+        """MAC/invocation accounting of one planner decode (serial or batched)."""
         result.planner_invocations += 1
         generated = len(plan) + 1  # +1 for the EOS decode step
         prompt_len = 4
-        macs = sum(self.planner.macs_per_decode_step(prompt_len + i) for i in range(generated))
+        macs = sum(self.planner.macs_per_decode_step(prompt_len + i)
+                   for i in range(generated))
         result.planner_macs_by_voltage[voltage] = (
             result.planner_macs_by_voltage.get(voltage, 0.0) + macs)
-        return plan
 
     # ------------------------------------------------------------------
     # Trial execution
     # ------------------------------------------------------------------
-    def run_trial(self, task_name: str, seed: int = 0,
-                  planner_protection: ProtectionConfig | None = None,
-                  controller_protection: ProtectionConfig | None = None) -> TrialResult:
+    def _prepare_trial(self, task_name: str, seed: int,
+                       planner_protection: ProtectionConfig | None,
+                       controller_protection: ProtectionConfig | None
+                       ) -> "_TrialSetup":
+        """Build one trial's deterministic state, before any planner decode.
+
+        RNG streams are derived from the seed exactly as they always were
+        (trial / world / planner / controller at ``seed`` / ``+10k`` /
+        ``+20k`` / ``+30k``), so a trial prepared here and finished by
+        :meth:`_run_to_completion` is bit-identical to :meth:`run_trial`
+        regardless of how the initial plan decode is executed.
+        """
         planner_protection = planner_protection or ProtectionConfig()
         controller_protection = controller_protection or ProtectionConfig()
         task = self.suite.get(task_name)
@@ -200,9 +234,71 @@ class MissionExecutor:
 
         result = TrialResult(task=task_name, success=False, steps=0,
                              planner_invocations=0, controller_steps=0)
+        return _TrialSetup(
+            task=task, rng=rng, world=world,
+            controller_protection=controller_protection,
+            planner_kernel=planner_kernel, controller_kernel=controller_kernel,
+            planner_voltage=planner_voltage, vs_runtime=vs_runtime,
+            planner_injector=planner_injector,
+            controller_injector=controller_injector,
+            planner_detector=planner_detector,
+            controller_detector=controller_detector, result=result)
 
+    def run_trial(self, task_name: str, seed: int = 0,
+                  planner_protection: ProtectionConfig | None = None,
+                  controller_protection: ProtectionConfig | None = None) -> TrialResult:
+        setup = self._prepare_trial(task_name, seed, planner_protection,
+                                    controller_protection)
         plan_queue: deque[str] = deque(
-            self._invoke_planner(task, world, planner_kernel, result, planner_voltage))
+            self._invoke_planner(setup.task, setup.world, setup.planner_kernel,
+                                 setup.result, setup.planner_voltage))
+        return self._run_to_completion(setup, plan_queue)
+
+    def run_trial_batch(self, task_name: str, seeds: list[int],
+                        planner_protection: ProtectionConfig | None = None,
+                        controller_protection: ProtectionConfig | None = None
+                        ) -> list[TrialResult]:
+        """Run one trial per seed, batching the initial planner decodes.
+
+        Every trial of a (spec, task) cell group starts with the same prompt
+        — the task at progress 0 — so the first planner invocation of all
+        trials runs as one cross-prompt batched decode through each trial's
+        own kernel context (:meth:`DeployedPlanner.plan_batch`).  The world
+        loop and any replans then execute per trial, against the same
+        contexts.  RNG derivation, kernel hooks, and accounting are identical
+        to :meth:`run_trial`, and the batched decode is bit-identical to the
+        serial one, so results match seed-for-seed byte for byte.
+        """
+        if self.planner is None or len(seeds) < 2:
+            return [self.run_trial(task_name, seed=seed,
+                                   planner_protection=planner_protection,
+                                   controller_protection=controller_protection)
+                    for seed in seeds]
+        setups = [self._prepare_trial(task_name, seed, planner_protection,
+                                      controller_protection) for seed in seeds]
+        requests = [(setup.task.name, self._progress(setup.world, setup.task))
+                    for setup in setups]
+        plans = self.planner.plan_batch(
+            requests, contexts=[setup.planner_kernel for setup in setups],
+            use_cache=self.planner_use_cache)
+        results = []
+        for setup, plan in zip(setups, plans):
+            self._account_plan(plan, setup.result, setup.planner_voltage)
+            results.append(self._run_to_completion(setup, deque(plan)))
+        return results
+
+    def _run_to_completion(self, setup: "_TrialSetup",
+                           plan_queue: deque[str]) -> TrialResult:
+        """Drive the world loop of one prepared trial until success or budget."""
+        task = setup.task
+        rng = setup.rng
+        world = setup.world
+        controller_protection = setup.controller_protection
+        planner_kernel = setup.planner_kernel
+        controller_kernel = setup.controller_kernel
+        planner_voltage = setup.planner_voltage
+        vs_runtime = setup.vs_runtime
+        result = setup.result
         replans = 0
         controller_macs = self.controller.macs_per_step
         predictor_macs = self.predictor.macs_per_call if self.predictor is not None else 0
@@ -269,14 +365,14 @@ class MissionExecutor:
                 + remaining * controller_macs)
             result.steps = self.world_config.task_step_limit
 
-        if planner_injector is not None:
-            result.planner_bits_flipped = planner_injector.stats.bits_flipped
-        if controller_injector is not None:
-            result.controller_bits_flipped = controller_injector.stats.bits_flipped
-        if planner_detector is not None:
-            result.planner_elements_clamped = planner_detector.stats.elements_clamped
-        if controller_detector is not None:
-            result.controller_elements_clamped = controller_detector.stats.elements_clamped
+        if setup.planner_injector is not None:
+            result.planner_bits_flipped = setup.planner_injector.stats.bits_flipped
+        if setup.controller_injector is not None:
+            result.controller_bits_flipped = setup.controller_injector.stats.bits_flipped
+        if setup.planner_detector is not None:
+            result.planner_elements_clamped = setup.planner_detector.stats.elements_clamped
+        if setup.controller_detector is not None:
+            result.controller_elements_clamped = setup.controller_detector.stats.elements_clamped
         if vs_runtime is not None:
             result.voltage_summary = vs_runtime.schedule_summary()
         return result

@@ -27,6 +27,7 @@ from ..env.tasks import TaskSuite
 from ..nn import Embedding, Linear, LlamaTransformer, Module, Tensor, no_grad
 from ..nn.functional import rms_norm, silu, softmax
 from ..quant import (
+    BatchedKernel,
     Calibrator,
     FloatKernel,
     GemmHooks,
@@ -288,6 +289,58 @@ def _unit_rms_norm(x: np.ndarray, gain: np.ndarray | None = None) -> np.ndarray:
     return rms_norm(x, np.ones(x.shape[-1]) if gain is None else gain, eps=_NORM_EPS)
 
 
+@dataclass
+class _DecodeLane:
+    """Per-prompt decoding state of one lane of a batched decode."""
+
+    tokens: list[int]
+    cache: KVCache
+    context: KernelContext
+    generated: list[int] = field(default_factory=list)
+    logits: list[np.ndarray] | None = None
+    done: bool = False
+
+
+class _BatchedKVMirror:
+    """Contiguous cross-lane mirror of the active lanes' K/V caches.
+
+    Batched attention wants each layer's cached K/V as one
+    ``(n_lanes, total, dim)`` block; stacking the per-lane caches anew every
+    step re-copies the whole prefix — O(L²) copying over a decode.  The
+    mirror keeps the same values in one preallocated buffer per projection
+    and appends only each step's new rows (O(L)).  The per-lane caches stay
+    the source of truth: the mirror is rebuilt (backfilled from them) when a
+    lane drops out at EOS, and the uncached / non-uniform-geometry paths
+    never consult it.  Values are bit-identical either way — the mirror
+    holds copies of exactly the rows the per-lane caches hold.
+    """
+
+    def __init__(self, lanes: list[_DecodeLane]):
+        layers, capacity, dim = lanes[0].cache._k.shape
+        n_lanes = len(lanes)
+        self._k = np.empty((layers, n_lanes, capacity, dim), dtype=np.float64)
+        self._v = np.empty((layers, n_lanes, capacity, dim), dtype=np.float64)
+        self.length = lanes[0].cache.length
+        for index, lane in enumerate(lanes):
+            self._k[:, index, :self.length] = lane.cache._k[:, :self.length]
+            self._v[:, index, :self.length] = lane.cache._v[:, :self.length]
+
+    def append(self, layer: int, k_new: np.ndarray, v_new: np.ndarray) -> None:
+        """Write all lanes' new rows (``(n_lanes, n_new, dim)``) at ``length:``."""
+        n_new = k_new.shape[1]
+        self._k[layer, :, self.length:self.length + n_new] = k_new
+        self._v[layer, :, self.length:self.length + n_new] = v_new
+
+    def advance(self, rows: int) -> None:
+        self.length += rows
+
+    def keys(self, layer: int, length: int) -> np.ndarray:
+        return self._k[layer, :, :length]
+
+    def values(self, layer: int, length: int) -> np.ndarray:
+        return self._v[layer, :, :length]
+
+
 class DeployedPlanner:
     """INT8 planner inference with fault-injection / anomaly-clearance hooks.
 
@@ -312,6 +365,10 @@ class DeployedPlanner:
         self._quantized: dict[str, QuantizedLinear] = {}
         self._activation_probe: dict[str, np.ndarray] | None = None
         self._clean_kernel: KernelContext | None = None
+        # Hook-free batched decoding reuses a pool of per-lane contexts
+        # (grown on demand) so lane counters stay independent without
+        # rebuilding contexts per plan_batch call.
+        self._clean_lanes: list[KernelContext] = []
         self._norm_gain = np.ones(weights.config.dim)
         self._mask_cache: dict[tuple[int, int, int], np.ndarray] = {}
         if calibrate:
@@ -365,9 +422,9 @@ class DeployedPlanner:
         for index in range(len(self.weights.layers)):
             prefix = f"layer{index}"
             h = _unit_rms_norm(x, gain)
-            q = kernel.qgemm(f"{prefix}.q", h, logical_rows=total)
-            k = kernel.qgemm(f"{prefix}.k", h, logical_rows=total)
-            v = kernel.qgemm(f"{prefix}.v", h, logical_rows=total)
+            q, k, v = kernel.qgemm_multi(
+                (f"{prefix}.q", f"{prefix}.k", f"{prefix}.v"), h,
+                logical_rows=total)
             cache.append(index, k, v)
             attn = self._attention(q, cache.keys(index, total),
                                    cache.values(index, total), start)
@@ -375,15 +432,129 @@ class DeployedPlanner:
             if probe is not None:
                 probe[f"{prefix}.pre_mlp_norm"] = x.copy()
             h2 = _unit_rms_norm(x, gain)
-            gate = silu(kernel.qgemm(f"{prefix}.gate", h2, logical_rows=total))
-            up = kernel.qgemm(f"{prefix}.up", h2, logical_rows=total)
-            x = x + kernel.qgemm(f"{prefix}.down", gate * up, logical_rows=total)
+            gate, up = kernel.qgemm_multi(
+                (f"{prefix}.gate", f"{prefix}.up"), h2, logical_rows=total)
+            x = x + kernel.qgemm(f"{prefix}.down", silu(gate) * up,
+                                 logical_rows=total)
             if probe is not None:
                 probe[f"{prefix}.pre_attn_norm"] = x.copy()
         cache.advance(n_new)
         x = _unit_rms_norm(x, gain)
         logits = kernel.qgemm("head", x[-1:], logical_rows=1)
         return logits[0]
+
+    def _attention_batch(self, q: np.ndarray, ks: np.ndarray,
+                         vs: np.ndarray, start: int) -> np.ndarray:
+        """Per-lane causal attention over lanes sharing one (n_new, total, start).
+
+        ``q`` is the row-stacked query block of all lanes; ``ks`` / ``vs``
+        are ``(n_lanes, total, dim)`` blocks (a :class:`_BatchedKVMirror`
+        view or a stack of the per-lane caches).  numpy's batched matmul
+        runs one 2-D GEMM per (lane, head) slice — the same GEMMs the
+        per-lane :meth:`_attention` issues — and every other op is
+        elementwise, so the result is bit-identical to looping lanes (the
+        batched-decode tests assert this).
+        """
+        n_lanes, total = ks.shape[0], ks.shape[1]
+        n_new = q.shape[0] // n_lanes
+        dim = q.shape[1]
+        heads = self.config.num_heads
+        head_dim = dim // heads
+        q = q.reshape(n_lanes, n_new, heads, head_dim).transpose(0, 2, 1, 3)
+        k = ks.reshape(n_lanes, total, heads, head_dim).transpose(0, 2, 1, 3)
+        v = vs.reshape(n_lanes, total, heads, head_dim).transpose(0, 2, 1, 3)
+        scores = q @ k.transpose(0, 1, 3, 2) / np.sqrt(head_dim)
+        mask = self._mask_cache.get((n_new, total, start))
+        if mask is None:
+            mask = np.where(
+                np.arange(total)[None, :] > start + np.arange(n_new)[:, None],
+                -1e9, 0.0)
+            self._mask_cache[(n_new, total, start)] = mask
+        weights = softmax(scores + mask, axis=-1)
+        context = weights @ v
+        return context.transpose(0, 2, 1, 3).reshape(n_lanes * n_new, dim)
+
+    def _forward_step_batch(self, lanes: list[_DecodeLane], starts: list[int],
+                            kernel: BatchedKernel,
+                            mirror: _BatchedKVMirror | None = None
+                            ) -> np.ndarray:
+        """One decoder step over several prompts; returns (n_lanes, vocab) logits.
+
+        The lanes' new-token rows are stacked into one activation matrix and
+        every projection runs as a single batched (and Q/K/V- / Gate/Up-fused)
+        GEMM through ``kernel``; K/V caches and attention stay per lane.  Row
+        slicing, normalization, and attention are all row-independent, so each
+        lane's logits are bit-identical to its serial :meth:`_forward_step`.
+        ``mirror`` (cached uniform decodes only) feeds attention the same K/V
+        values without re-stacking the per-lane caches each step.
+        """
+        totals = [len(lane.tokens) for lane in lanes]
+        n_news = [total - start for total, start in zip(totals, starts)]
+        bounds = []
+        offset = 0
+        for n_new in n_news:
+            bounds.append((offset, offset + n_new))
+            offset += n_new
+        if all(n_new == 1 for n_new in n_news):
+            # Steady state (one new token per lane): one fancy-index gather
+            # instead of a per-lane gather + concatenate.
+            x = self.weights.embed[[lane.tokens[-1] for lane in lanes]]
+        else:
+            x = np.concatenate([
+                self.weights.embed[np.asarray(lane.tokens[start:],
+                                              dtype=np.int64)]
+                for lane, start in zip(lanes, starts)])
+        gain = self._norm_gain
+        # Prompts share one length and lanes step together, so the geometry
+        # is uniform in practice; heterogeneous geometries (possible through
+        # direct calls) fall back to per-lane attention.
+        uniform = len(set(zip(n_news, totals, starts))) == 1
+        # The mirror's write position must line up with the lanes' caches;
+        # a stale mirror (left behind by a non-uniform step) is ignored.
+        use_mirror = mirror is not None and uniform and mirror.length == starts[0]
+        n_lanes = len(lanes)
+        for index in range(len(self.weights.layers)):
+            prefix = f"layer{index}"
+            h = _unit_rms_norm(x, gain)
+            q, k, v = kernel.qgemm_multi(
+                (f"{prefix}.q", f"{prefix}.k", f"{prefix}.v"), h, n_news,
+                logical_rows=totals)
+            for lane, (lo, hi) in zip(lanes, bounds):
+                lane.cache.append(index, k[lo:hi], v[lo:hi])
+            if use_mirror:
+                mirror.append(index, k.reshape(n_lanes, n_news[0], -1),
+                              v.reshape(n_lanes, n_news[0], -1))
+                attn = self._attention_batch(
+                    q, mirror.keys(index, totals[0]),
+                    mirror.values(index, totals[0]), starts[0])
+            elif uniform:
+                attn = self._attention_batch(
+                    q, np.stack([lane.cache.keys(index, total)
+                                 for lane, total in zip(lanes, totals)]),
+                    np.stack([lane.cache.values(index, total)
+                              for lane, total in zip(lanes, totals)]),
+                    starts[0])
+            else:
+                attn = np.concatenate([
+                    self._attention(q[lo:hi], lane.cache.keys(index, total),
+                                    lane.cache.values(index, total), start)
+                    for lane, (lo, hi), total, start
+                    in zip(lanes, bounds, totals, starts)])
+            x = x + kernel.qgemm(f"{prefix}.o", attn, n_news, logical_rows=totals)
+            h2 = _unit_rms_norm(x, gain)
+            gate, up = kernel.qgemm_multi(
+                (f"{prefix}.gate", f"{prefix}.up"), h2, n_news,
+                logical_rows=totals)
+            x = x + kernel.qgemm(f"{prefix}.down", silu(gate) * up, n_news,
+                                 logical_rows=totals)
+        for lane, n_new in zip(lanes, n_news):
+            lane.cache.advance(n_new)
+        if use_mirror:
+            mirror.advance(n_news[0])
+        x = _unit_rms_norm(x, gain)
+        last = x[[hi - 1 for _, hi in bounds]]
+        ones = [1] * len(lanes)
+        return kernel.qgemm("head", last, ones, logical_rows=ones)
 
     def _float_weight(self, name: str) -> np.ndarray:
         if name == "head":
@@ -438,6 +609,7 @@ class DeployedPlanner:
         self.calibrator = observer
         self._quantized = {}
         self._clean_kernel = None
+        self._clean_lanes = []
         for name in self.weights.component_names():
             self._quantized[name] = QuantizedLinear(
                 name=name,
@@ -496,6 +668,116 @@ class DeployedPlanner:
                               use_cache=use_cache,
                               collect_logits=logits if collect_logits else None)
         return tokens, logits
+
+    # ------------------------------------------------------------------
+    # Cross-prompt batched decoding
+    # ------------------------------------------------------------------
+    def _batch_contexts(self, count: int,
+                        hooks: list[GemmHooks] | None,
+                        contexts: list[KernelContext] | None
+                        ) -> list[KernelContext]:
+        """Resolve one kernel context per lane (caller-owned, hook-built, or pooled)."""
+        if contexts is not None:
+            contexts = list(contexts)
+            if len(contexts) != count:
+                raise ValueError(f"{len(contexts)} contexts for {count} prompts")
+            return contexts
+        if hooks is not None:
+            if isinstance(hooks, GemmHooks):
+                raise TypeError(
+                    "batched decoding needs one GemmHooks per prompt (sharing "
+                    "one injector across lanes would make results depend on "
+                    "batch composition); pass a sequence of hooks")
+            hooks = list(hooks)
+            if len(hooks) != count:
+                raise ValueError(f"{len(hooks)} hooks for {count} prompts")
+            return [self.kernel_context(h) for h in hooks]
+        while len(self._clean_lanes) < count:
+            self._clean_lanes.append(self.kernel_context())
+        return self._clean_lanes[:count]
+
+    def decode_tokens_batch(self, requests: list[tuple[str, int]],
+                            hooks: list[GemmHooks] | None = None,
+                            quantized: bool = True, use_cache: bool = True,
+                            collect_logits: bool = False,
+                            max_new_tokens: int | None = None,
+                            contexts: list[KernelContext] | None = None,
+                            ) -> list[tuple[list[int], list[np.ndarray]]]:
+        """Greedy-decode several ``(task_name, progress)`` prompts as one batch.
+
+        All prompts step together through :class:`~repro.quant.BatchedKernel`
+        — one quantize + one stacked GEMM per projection per step — while KV
+        caches, fault-injection RNG streams, and counters stay per prompt
+        (``hooks`` / ``contexts`` supply one entry per prompt).  A prompt
+        drops out of the batch when it emits EOS.  Results are bit-identical
+        to calling :meth:`decode_tokens` per prompt — tokens, logits, and
+        counters, fault-free and under injection, cached or not (the batched
+        equivalence tests assert all of it).  ``quantized=False`` falls back
+        to serial float decoding.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        if not quantized:
+            return [self.decode_tokens(task_name, progress, quantized=False,
+                                       use_cache=use_cache,
+                                       collect_logits=collect_logits,
+                                       max_new_tokens=max_new_tokens)
+                    for task_name, progress in requests]
+        lane_contexts = self._batch_contexts(len(requests), hooks, contexts)
+        limit = max_new_tokens or self.config.max_plan_length + 1
+        lanes = []
+        for (task_name, progress), context in zip(requests, lane_contexts):
+            tokens = list(self.vocab.encode_prompt(task_name, progress))
+            lanes.append(_DecodeLane(
+                tokens=tokens, cache=self._new_cache(len(tokens) + limit),
+                context=context, logits=[] if collect_logits else None))
+        kernel = None
+        mirror = None
+        kernel_lanes: list[_DecodeLane] = []
+        for _ in range(limit):
+            active = [lane for lane in lanes if not lane.done]
+            if not active:
+                break
+            if use_cache:
+                starts = [lane.cache.length for lane in active]
+            else:
+                for lane in active:
+                    lane.cache.reset()
+                starts = [0] * len(active)
+            # The batched kernel is stateless apart from its quantized-input
+            # memo, so reuse it (and the K/V mirror, rebuilt by backfilling
+            # from the lane caches) across steps until a lane drops at EOS.
+            if kernel is None or active != kernel_lanes:
+                kernel = BatchedKernel([lane.context for lane in active])
+                kernel_lanes = active
+                mirror = _BatchedKVMirror(active) if use_cache else None
+            logits = self._forward_step_batch(active, starts, kernel, mirror)
+            for lane, row in zip(active, logits):
+                if lane.logits is not None:
+                    lane.logits.append(np.asarray(row, dtype=np.float64).copy())
+                next_token = int(np.argmax(row))
+                lane.generated.append(next_token)
+                lane.tokens.append(next_token)
+                if next_token == self.vocab.eos:
+                    lane.done = True
+        return [(lane.generated, lane.logits or []) for lane in lanes]
+
+    def plan_batch(self, requests: list[tuple[str, int]],
+                   hooks: list[GemmHooks] | None = None,
+                   quantized: bool = True, use_cache: bool = True,
+                   contexts: list[KernelContext] | None = None
+                   ) -> list[list[str]]:
+        """Batched :meth:`plan`: one subtask plan per ``(task, progress)`` prompt.
+
+        Bit-identical to per-prompt :meth:`plan` calls with the matching
+        context/hooks — see :meth:`decode_tokens_batch`.
+        """
+        decoded = self.decode_tokens_batch(requests, hooks=hooks,
+                                           quantized=quantized,
+                                           use_cache=use_cache,
+                                           contexts=contexts)
+        return [self.vocab.decode_plan(tokens) for tokens, _ in decoded]
 
     def plan(self, task_name: str, progress: int = 0,
              hooks: GemmHooks | None = None,

@@ -16,16 +16,25 @@ seed, planner/controller :class:`~repro.core.create.ProtectionConfig` — and a
   them per process (deployed systems are deliberately never pickled);
 * **in batches** — several cells ride in one worker task (``batch=`` knob,
   auto-tuned by default) so very short trials amortize process-pool IPC;
-  batching groups cells without reordering or reseeding them, so it cannot
-  change results;
+  batching groups cells without reordering or reseeding them — and cuts the
+  chunks at spec boundaries — so it cannot change results;
+* **vectorized** — consecutive cells of the same spec (identical system,
+  task and protections; only the seed differs) execute through
+  :meth:`~repro.agents.executor.MissionExecutor.run_trial_batch`, which
+  decodes all their planner prompts as one cross-prompt batched GEMM per
+  step.  The batched path is bit-identical to scalar execution (per-trial
+  RNG streams stay independent), engages automatically for same-spec groups
+  of two or more cells on planner-backed systems, and falls back to the
+  scalar cell-at-a-time path everywhere else; ``vector=False`` disables it;
 * **streamed to disk** — with an output directory, completed rows are
   appended to ``<out>/<name>.csv`` *as they finish* (flushed per row), so a
   campaign killed mid-flight leaves a crash-safe partial table behind;
 * **incrementally** — re-runs load the persisted table (tolerating a torn
   final row from a crash) and only execute the missing (spec, seed) cells.
 
-Each executed cell is also timed and attributed to its worker process; the
-profile lands in the ``wall_time_s`` / ``worker_id`` columns of the in-memory
+Each executed cell is also timed and attributed to its worker process and
+execution path; the profile lands in the ``wall_time_s`` / ``worker_id`` /
+``batch_size`` / ``vector_path`` columns of the in-memory
 :class:`~repro.eval.runtable.RunRecord` rows, in the append-only
 ``<out>/profiles/<name>.csv`` sidecar, and in the
 :meth:`CampaignResult.profile` summary.  Profile columns are *excluded* from
@@ -388,7 +397,7 @@ def _worker_id() -> str:
 
 
 def _run_cell(cell: _Cell, executor: MissionExecutor) -> RunRecord:
-    """Execute one cell and stamp its wall time and worker attribution."""
+    """Execute one cell scalar-style and stamp its profile attribution."""
     start = time.perf_counter()
     trial = executor.run_trial(cell.task, seed=cell.seed,
                                planner_protection=cell.planner_protection,
@@ -397,28 +406,114 @@ def _run_cell(cell: _Cell, executor: MissionExecutor) -> RunRecord:
     record = record_from_trial(trial, spec_key=cell.spec_key, condition=cell.condition,
                                system=cell.system, task=cell.task, seed=cell.seed,
                                trial_index=cell.trial_index, params=cell.params)
-    return replace(record, wall_time_s=wall_time, worker_id=_worker_id())
+    return replace(record, wall_time_s=wall_time, worker_id=_worker_id(),
+                   batch_size=1, vector_path="scalar")
+
+
+def _spec_groups(cells: Sequence[_Cell]) -> list[list[_Cell]]:
+    """Consecutive same-spec runs of a cell sequence, in order.
+
+    Cells of one group share (system, task, protections) — a spec key hashes
+    exactly those — and differ only in seed, which is the shape the
+    vectorized trial path batches.  Grouping never reorders cells.
+    """
+    groups: list[list[_Cell]] = []
+    for cell in cells:
+        if groups and groups[-1][0].spec_key == cell.spec_key:
+            groups[-1].append(cell)
+        else:
+            groups.append([cell])
+    return groups
+
+
+def _chunk_cells(cells: Sequence[_Cell], size: int) -> list[tuple[_Cell, ...]]:
+    """Split cells into pool-task chunks of at most ``size``, cut at spec
+    boundaries.
+
+    The flat ``cells[i:i+size]`` slicing this replaces ignored shape
+    homogeneity: a chunk could straddle two specs, splitting each spec's
+    run across workers and shrinking the same-spec groups the vectorized
+    trial path batches.  Cutting at spec boundaries keeps every chunk a
+    single vectorizable group; no cell is reordered or reseeded, so the
+    canonical table is unchanged.
+    """
+    chunks: list[tuple[_Cell, ...]] = []
+    run: list[_Cell] = []
+    for cell in cells:
+        if run and (len(run) >= size or run[0].spec_key != cell.spec_key):
+            chunks.append(tuple(run))
+            run = []
+        run.append(cell)
+    if run:
+        chunks.append(tuple(run))
+    return chunks
+
+
+def _vectorizable(cells: Sequence[_Cell], executor: MissionExecutor) -> bool:
+    """Whether a same-spec group can take the batched trial path.
+
+    Batching needs at least two lanes to amortize anything and a planner to
+    batch over; planner-less systems run scalar (their trials have no decode
+    loop for cross-prompt batching to accelerate).  ``getattr`` keeps
+    duck-typed executor stand-ins (wrappers exposing only ``run_trial``) on
+    the scalar path instead of crashing the campaign.
+    """
+    return (len(cells) >= 2
+            and getattr(executor, "planner", None) is not None
+            and hasattr(executor, "run_trial_batch"))
+
+
+def _run_cell_batch(cells: Sequence[_Cell], executor: MissionExecutor) -> list[RunRecord]:
+    """Execute one same-spec group through the vectorized trial path.
+
+    All lanes ride :meth:`MissionExecutor.run_trial_batch` — one cross-prompt
+    batched GEMM per decode step, per-trial RNG streams independent — so the
+    result columns are bit-identical to running each cell through
+    :func:`_run_cell`.  Wall time is attributed evenly across the group.
+    """
+    first = cells[0]
+    start = time.perf_counter()
+    trials = executor.run_trial_batch(
+        first.task, [cell.seed for cell in cells],
+        planner_protection=first.planner_protection,
+        controller_protection=first.controller_protection)
+    share = (time.perf_counter() - start) / len(cells)
+    worker = _worker_id()
+    records = []
+    for cell, trial in zip(cells, trials):
+        record = record_from_trial(trial, spec_key=cell.spec_key,
+                                   condition=cell.condition, system=cell.system,
+                                   task=cell.task, seed=cell.seed,
+                                   trial_index=cell.trial_index, params=cell.params)
+        records.append(replace(record, wall_time_s=share, worker_id=worker,
+                               batch_size=len(cells), vector_path="batched"))
+    return records
 
 
 _WORKER_EXECUTORS: dict[str, MissionExecutor] = {}
 
 
-def _pool_run_batch(cells: tuple[_Cell, ...]) -> list[RunRecord]:
+def _pool_run_batch(cells: tuple[_Cell, ...], vector: bool = True) -> list[RunRecord]:
     """Worker entry point: run a batch of cells on this worker's cached systems.
 
     Cells arrive in campaign order and run in that order; every trial is
     seeded by its own cell, so batch composition cannot change results — it
     only amortizes the per-task pickle/IPC cost over ``len(cells)`` trials.
+    Same-spec runs within the batch additionally take the vectorized trial
+    path (see :func:`_run_cell_batch`) unless ``vector`` is off.
     """
     records = []
-    for cell in cells:
-        executor = _WORKER_EXECUTORS.get(cell.system)
+    for group in _spec_groups(cells):
+        executor = _WORKER_EXECUTORS.get(group[0].system)
         if executor is None:
             from ..agents.registry import get_system
 
-            executor = get_system(cell.system).executor()
-            _WORKER_EXECUTORS[cell.system] = executor
-        records.append(_run_cell(cell, executor))
+            executor = get_system(group[0].system).executor()
+            _WORKER_EXECUTORS[group[0].system] = executor
+        if vector and _vectorizable(group, executor):
+            records.extend(_run_cell_batch(group, executor))
+        else:
+            records.extend(_run_cell(cell, executor) for cell in group)
     return records
 
 
@@ -604,8 +699,17 @@ class CampaignRunner:
         Cells per worker task when running in parallel.  ``None`` (default)
         auto-tunes to roughly four batches per worker, capped at
         ``32`` cells; ``1`` restores one-cell-per-task dispatch.  Batching
-        never reorders or reseeds cells, so any value produces the same
-        canonical table byte for byte.
+        never reorders or reseeds cells — and chunks are cut at spec
+        boundaries so each worker task stays a single vectorizable group —
+        so any value produces the same canonical table byte for byte.
+    vector:
+        When true (default), consecutive same-spec cells execute through the
+        batched trial path (:meth:`MissionExecutor.run_trial_batch`): their
+        planner prompts decode as one cross-prompt batched GEMM per step.
+        The batched path is bit-identical to scalar execution; ``False``
+        forces cell-at-a-time trials (useful for profiling comparisons —
+        the ``vector_path`` sidecar column records which path ran each
+        cell).
     shard:
         Execute only this static slice of the cell grid (see
         :mod:`repro.eval.shard`); ``None`` (default) inherits the ambient
@@ -618,7 +722,8 @@ class CampaignRunner:
 
     def __init__(self, jobs: int = 1, out: str | Path | None = None,
                  systems: Mapping[str, object] | None = None, resume: bool = True,
-                 batch: int | None = None, shard: Shard | None = None):
+                 batch: int | None = None, shard: Shard | None = None,
+                 vector: bool = True):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if batch is not None and batch < 1:
@@ -629,6 +734,7 @@ class CampaignRunner:
         self.resume = resume
         self.batch = batch
         self.shard = shard
+        self.vector = vector
         self._executors: dict[str, MissionExecutor] = {}
 
     # ------------------------------------------------------------------
@@ -672,9 +778,10 @@ class CampaignRunner:
         caches; where fork is unavailable (spawn-only platforms), workers
         re-import the registry and can only rebuild the built-in systems.
 
-        Cells are grouped into :meth:`_batch_size` chunks, one pool task per
-        chunk; completed chunks are handed to ``sink`` (the streaming writer)
-        the moment they finish, in completion order.
+        Cells are grouped into :meth:`_batch_size`-capped, spec-aligned
+        chunks (:func:`_chunk_cells`), one pool task per chunk; completed
+        chunks are handed to ``sink`` (the streaming writer) the moment they
+        finish, in completion order.
         """
         import multiprocessing
 
@@ -691,7 +798,7 @@ class CampaignRunner:
                     "'fork' start method, which this platform lacks; run with "
                     "jobs=1 for: " + ", ".join(custom))
         size = self._batch_size(len(cells))
-        batches = [tuple(cells[i:i + size]) for i in range(0, len(cells), size)]
+        batches = _chunk_cells(cells, size)
         records: list[RunRecord] = []
         consumed: set = set()
 
@@ -704,7 +811,8 @@ class CampaignRunner:
         pool = concurrent.futures.ProcessPoolExecutor(max_workers=self.jobs,
                                                       mp_context=context)
         try:
-            futures = [pool.submit(_pool_run_batch, chunk) for chunk in batches]
+            futures = [pool.submit(_pool_run_batch, chunk, self.vector)
+                       for chunk in batches]
             failure: BaseException | None = None
             for future in concurrent.futures.as_completed(futures):
                 try:
@@ -735,12 +843,22 @@ class CampaignRunner:
 
     def _run_serial(self, cells: list[_Cell],
                     sink: Callable[[RunRecord], None]) -> list[RunRecord]:
-        """Execute cells in-process, streaming each row as it completes."""
+        """Execute cells in-process, streaming each row as it completes.
+
+        Same-spec runs take the vectorized trial path when enabled; their
+        rows reach the sink together once the batch completes (the batch is
+        the unit of execution), scalar cells stream one by one as before.
+        """
         records: list[RunRecord] = []
-        for cell in cells:
-            record = _run_cell(cell, self._executor_for(cell.system))
-            sink(record)
-            records.append(record)
+        for group in _spec_groups(cells):
+            executor = self._executor_for(group[0].system)
+            if self.vector and _vectorizable(group, executor):
+                produced = _run_cell_batch(group, executor)
+            else:
+                produced = (_run_cell(cell, executor) for cell in group)
+            for record in produced:
+                sink(record)
+                records.append(record)
         return records
 
     # ------------------------------------------------------------------
@@ -892,7 +1010,8 @@ def run_campaign(specs: Sequence[TrialSpec], jobs: int = 1,
                  out: str | Path | None = None, name: str = "campaign",
                  systems: Mapping[str, object] | None = None,
                  resume: bool = True, batch: int | None = None,
-                 shard: Shard | None = None) -> CampaignResult:
+                 shard: Shard | None = None, vector: bool = True) -> CampaignResult:
     """One-shot convenience wrapper around :class:`CampaignRunner`."""
     return CampaignRunner(jobs=jobs, out=out, systems=systems, resume=resume,
-                          batch=batch, shard=shard).run(specs, name=name)
+                          batch=batch, shard=shard,
+                          vector=vector).run(specs, name=name)

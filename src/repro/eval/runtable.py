@@ -22,13 +22,16 @@ split into two groups:
   and batched executions of the same campaign produce *byte-identical* files.
   This is the default on-disk format and matches the format of earlier
   releases exactly.
-* :data:`PROFILE_COLUMNS` — ``wall_time_s`` and ``worker_id``, recorded by the
-  campaign engine for profiling.  They depend on machine load and scheduling,
-  so they are excluded from the canonical table files and stored in the
-  ``profiles/<name>.csv`` sidecar instead (written with ``profile=True``).
+* :data:`PROFILE_COLUMNS` — ``wall_time_s``, ``worker_id``, ``batch_size``
+  and ``vector_path``, recorded by the campaign engine for profiling.  They
+  depend on machine load and scheduling decisions, so they are excluded from
+  the canonical table files and stored in the ``profiles/<name>.csv`` sidecar
+  instead (written with ``profile=True``).
 
-``read_csv``/``read_json`` accept either format; rows without profile columns
-load with ``wall_time_s = nan`` and an empty ``worker_id``.
+``read_csv``/``read_json`` accept either format — including profile sidecars
+written before ``batch_size``/``vector_path`` existed; rows without profile
+columns load with their defaults (``wall_time_s = nan``, empty ``worker_id``,
+``batch_size = 0``, empty ``vector_path``).
 
 Streaming
 ---------
@@ -84,10 +87,13 @@ class RunRecord:
     """One executed trial: condition labels plus every per-trial measurement.
 
     All fields up to and including ``params`` are deterministic given the
-    trial's (system, task, seed, protections); ``wall_time_s`` and
-    ``worker_id`` are execution-profile metadata filled in by the campaign
-    engine (``nan`` / ``""`` for rows loaded from a canonical table, which
-    does not persist them).
+    trial's (system, task, seed, protections); ``wall_time_s``,
+    ``worker_id``, ``batch_size`` and ``vector_path`` are execution-profile
+    metadata filled in by the campaign engine (defaults for rows loaded from
+    a canonical table, which does not persist them).  ``batch_size`` is the
+    size of the trial group the cell executed in and ``vector_path`` records
+    which execution path ran it (``"batched"`` for the vectorized
+    ``run_trial_batch`` path, ``"scalar"`` for cell-at-a-time execution).
     """
 
     spec_key: str
@@ -114,6 +120,8 @@ class RunRecord:
     params: str
     wall_time_s: float = float("nan")
     worker_id: str = ""
+    batch_size: int = 0
+    vector_path: str = ""
 
     # ------------------------------------------------------------------
     def planner_macs_by_voltage(self) -> dict[float, float]:
@@ -158,7 +166,7 @@ class RunRecord:
 _INT_FIELDS = {"seed", "trial_index", "steps", "planner_invocations", "controller_steps",
                "planner_bits_flipped", "controller_bits_flipped",
                "planner_elements_clamped", "controller_elements_clamped",
-               "entropy_records"}
+               "entropy_records", "batch_size"}
 _FLOAT_FIELDS = {"energy_j", "effective_voltage", "mean_entropy", "wall_time_s"}
 _BOOL_FIELDS = {"success"}
 
@@ -166,11 +174,21 @@ _BOOL_FIELDS = {"success"}
 COLUMNS: tuple[str, ...] = tuple(f.name for f in fields(RunRecord))
 
 #: Execution-profile columns (machine-dependent; excluded from canonical files).
-PROFILE_COLUMNS: tuple[str, ...] = ("wall_time_s", "worker_id")
+PROFILE_COLUMNS: tuple[str, ...] = ("wall_time_s", "worker_id", "batch_size",
+                                    "vector_path")
 
 #: Deterministic measurement columns — the canonical on-disk format.
 RESULT_COLUMNS: tuple[str, ...] = tuple(c for c in COLUMNS
                                         if c not in PROFILE_COLUMNS)
+
+#: Profile header written before ``batch_size``/``vector_path`` existed;
+#: still accepted on read so old sidecars keep loading (and being appended
+#: to) unchanged.
+_LEGACY_PROFILE_HEADER: tuple[str, ...] = RESULT_COLUMNS + ("wall_time_s",
+                                                            "worker_id")
+
+_ACCEPTED_HEADERS: tuple[tuple[str, ...], ...] = (RESULT_COLUMNS, COLUMNS,
+                                                  _LEGACY_PROFILE_HEADER)
 
 
 def _format_cell(name: str, value) -> str:
@@ -297,12 +315,23 @@ class RunTableWriter:
         fresh = not self.path.exists() or self.path.stat().st_size == 0
         if not fresh:
             fresh = self._truncate_torn_tail() == 0
+        if not fresh:
+            # Appending must match the file's existing header, which may be a
+            # legacy profile header from before batch_size/vector_path: adopt
+            # any recognized column set so resumed sidecars stay rectangular.
+            existing = self._existing_header()
+            if existing in _ACCEPTED_HEADERS:
+                self.columns = existing
         self._handle = self.path.open("a", newline="")
         self._writer = csv.writer(self._handle, lineterminator="\n")
         if fresh:
             self._writer.writerow(self.columns)
             self._handle.flush()
         self.rows_written = 0
+
+    def _existing_header(self) -> tuple[str, ...]:
+        with self.path.open(newline="") as handle:
+            return tuple(next(csv.reader(handle), ()))
 
     def _truncate_torn_tail(self) -> int:
         """Drop a partial final line left by a crash; return the new size.
@@ -464,9 +493,10 @@ class RunTable:
     def read_csv(cls, path: str | Path, strict: bool = True) -> "RunTable":
         """Read a table written by :meth:`write_csv` or :class:`RunTableWriter`.
 
-        Accepts both the canonical (:data:`RESULT_COLUMNS`) and the profile
-        (:data:`COLUMNS`) header; rows without profile columns load with
-        ``wall_time_s = nan`` / ``worker_id = ""``.  With ``strict=False``,
+        Accepts the canonical (:data:`RESULT_COLUMNS`) header, the profile
+        (:data:`COLUMNS`) header, and the pre-``batch_size`` legacy profile
+        header; columns a header lacks load with their field defaults.  With
+        ``strict=False``,
         rows that are truncated or unparseable — e.g. the torn final line of
         a campaign killed mid-write — are skipped instead of raising, which
         is how interrupted streamed tables are resumed.
@@ -477,7 +507,7 @@ class RunTable:
             header = next(reader, None)
             if header is None:
                 return cls()
-            if tuple(header) not in (RESULT_COLUMNS, COLUMNS):
+            if tuple(header) not in _ACCEPTED_HEADERS:
                 raise ValueError(f"unexpected run-table header in {path}: {header}")
             header = tuple(header)
             records = []

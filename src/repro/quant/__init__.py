@@ -21,7 +21,8 @@ from .qtypes import (
 )
 from .quantizer import Calibrator, QuantParams, compute_scale, dequantize, quantize
 from .qgemm import GemmHooks, GemmStats, QuantizedLinear, quantized_matmul
-from .kernel import FloatKernel, KernelContext, KernelCounters, KVCache
+from .kernel import (BatchedKernel, FloatKernel, KernelContext, KernelCounters,
+                     KVCache)
 
 __all__ = [
     "ACCUMULATOR_BITS",
@@ -44,4 +45,5 @@ __all__ = [
     "KernelCounters",
     "FloatKernel",
     "KVCache",
+    "BatchedKernel",
 ]

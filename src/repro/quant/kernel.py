@@ -24,6 +24,27 @@ runtime object:
 changes bookkeeping, not arithmetic — which the kernel equivalence tests
 assert.
 
+Batched execution
+-----------------
+Two further fusion levels build on the same exactness argument (a float64
+GEMM over integer-valued operands is exact below 2^52, and every per-element
+pipeline stage — wrap, injection, clamp, dequantize — commutes with row or
+column slicing):
+
+* **Fused component groups** (:meth:`KernelContext.qgemm_multi`) stack the
+  weight matrices of components that read the same input under one shared
+  calibration scale (Q/K/V, Gate/Up) column-wise and run them as one GEMM.
+  Injection, anomaly clearance, MAC attribution and dequantization still run
+  per component on the column slice, so a fault targeted at ``*.k`` lands
+  only in the K slice and every counter matches the unfused path bit for bit.
+* **Cross-prompt batching** (:class:`BatchedKernel`) row-stacks the inputs of
+  N independent per-prompt :class:`KernelContext` objects and runs one GEMM
+  for the whole batch, then applies each lane's injector / clamp / counters
+  to its own row slice.  Each lane keeps its own RNG stream and sees row
+  blocks of exactly the shapes its serial decode would produce, so batched
+  output is bit-identical to N serial decodes — fault-free and under
+  injection.
+
 Logical-row accounting
 ----------------------
 Incremental (KV-cached) decoding computes GEMMs only for new token rows, but
@@ -47,7 +68,8 @@ from typing import Callable
 from .qgemm import GemmHooks, QuantizedLinear
 from .qtypes import INT8, QuantSpec
 
-__all__ = ["KernelCounters", "KernelContext", "FloatKernel", "KVCache"]
+__all__ = ["KernelCounters", "KernelContext", "FloatKernel", "KVCache",
+           "BatchedKernel"]
 
 
 @dataclass
@@ -139,6 +161,54 @@ class _KernelEntry:
         self.exact_float = acc_bound < (1 << 52)
 
 
+class _FusedEntry:
+    """Column-stacked constants of a component group sharing one input scale.
+
+    Components whose GEMMs read the same activation tensor under the same
+    calibration scale (Q/K/V off the attention norm, Gate/Up off the MLP
+    norm) can run as one GEMM over the column-concatenated weights.  The
+    per-component stages (injection, clamp, dequantize, counters) keep using
+    the original :class:`_KernelEntry` objects on column slices, so fusion
+    never changes a bit of any component's output or bookkeeping.
+    """
+
+    __slots__ = ("slices", "weight_q", "weight_f", "x_scale", "in_features",
+                 "out_features", "qmin", "qmax", "wrap_free", "exact_float",
+                 "scale_row")
+
+    def __init__(self, names: tuple[str, ...], entries: list[_KernelEntry]):
+        self.slices: list[tuple[str, _KernelEntry, int, int]] = []
+        offset = 0
+        for name, entry in zip(names, entries):
+            self.slices.append((name, entry, offset, offset + entry.out_features))
+            offset += entry.out_features
+        self.weight_q = np.concatenate([e.weight_q for e in entries], axis=1)
+        self.weight_f = np.concatenate([e.weight_f for e in entries], axis=1)
+        # Full-width dequant row: one contiguous multiply instead of one
+        # strided multiply per column slice.  Each column holds exactly its
+        # component's scalar ``combined_scale``, so the product is
+        # bit-identical to per-slice scaling.
+        self.scale_row = np.concatenate([
+            np.full(e.out_features, e.combined_scale) for e in entries])
+        first = entries[0]
+        self.x_scale = first.x_scale
+        self.in_features = first.in_features
+        self.out_features = offset
+        self.qmin = first.qmin
+        self.qmax = first.qmax
+        self.wrap_free = all(e.wrap_free for e in entries)
+        self.exact_float = all(e.exact_float for e in entries)
+
+    @staticmethod
+    def fusable(entries: list[_KernelEntry]) -> bool:
+        """Whether the components share the input geometry and quantization."""
+        first = entries[0]
+        return all(e.in_features == first.in_features
+                   and e.x_scale == first.x_scale
+                   and e.qmin == first.qmin and e.qmax == first.qmax
+                   for e in entries[1:])
+
+
 class KernelContext:
     """Owns pre-quantized weights, workspace buffers, and the fused pipeline.
 
@@ -178,6 +248,7 @@ class KernelContext:
         self._acc_sign = 1 << (spec.accumulator_bits - 1)
         self._acc_span = 1 << spec.accumulator_bits
         self._entries: dict[str, _KernelEntry] = {}
+        self._fused_entries: dict[tuple[str, ...], _FusedEntry | None] = {}
         self._workspaces: dict[tuple[int, int], np.ndarray] = {}
         # Quantized-input reuse: components sharing one calibration scale
         # (e.g. Q/K/V projections reading the same normalized residual) reuse
@@ -198,6 +269,7 @@ class KernelContext:
             raise ValueError(
                 f"layer {layer.name!r} uses {layer.spec}, context uses {self.spec}")
         self._entries[layer.name] = _KernelEntry(layer, self.clamp is not None)
+        self._fused_entries.clear()
 
     def register_all(self, layers: dict[str, QuantizedLinear]) -> None:
         for layer in layers.values():
@@ -291,6 +363,92 @@ class KernelContext:
             out = out.reshape(*x.shape[:-1], entry.out_features)
         return out
 
+    def _fused(self, names: tuple[str, ...]) -> _FusedEntry | None:
+        """Memoized column-stacked entry for a component group (None: unfusable)."""
+        if names in self._fused_entries:
+            return self._fused_entries[names]
+        entries = [self._entries[name] for name in names]
+        fused = _FusedEntry(names, entries) if _FusedEntry.fusable(entries) else None
+        self._fused_entries[names] = fused
+        return fused
+
+    def qgemm_multi(self, names: tuple[str, ...], x: np.ndarray,
+                    logical_rows: int | None = None) -> tuple[np.ndarray, ...]:
+        """Run several components over one input as a single stacked GEMM.
+
+        Components must share the input scale (Q/K/V and Gate/Up do by
+        construction — they read the same normalized residual); groups that
+        do not simply fall back to one :meth:`qgemm` per component.  Every
+        per-component stage — injection (RNG draws and targeting), anomaly
+        clearance, MAC/stat attribution, dequantization — runs on the
+        component's column slice in call order, so results and all counters
+        are bit-identical to separate :meth:`qgemm` calls.
+        """
+        names = tuple(names)
+        fused = self._fused(names)
+        if fused is None:
+            return tuple(self.qgemm(name, x, logical_rows) for name in names)
+
+        x_q = self._quantize_input(fused, x)
+        if x_q.ndim != 2:
+            x_q = x_q.reshape(-1, fused.in_features)
+        rows = x_q.shape[0]
+        logical = logical_rows if logical_rows is not None else rows
+        for name, entry, _, _ in fused.slices:
+            macs = logical * entry.in_features * entry.out_features
+            outputs = rows * entry.out_features
+            self.counters.record_gemm(name, macs, outputs)
+            if self.stats is not None:
+                self.stats.record(name, macs, outputs)
+
+        injector = self.injector
+        if fused.exact_float and fused.wrap_free and injector is None:
+            acc = x_q @ fused.weight_f
+            if self.clamp is not None:
+                for name, entry, lo, hi in fused.slices:
+                    if entry.bound_acc is not None:
+                        acc[:, lo:hi] = self._clamp_stage(
+                            acc[:, lo:hi], entry.bound_acc, name)
+            acc *= fused.scale_row
+            out = acc
+        else:
+            if fused.exact_float:
+                acc = (x_q @ fused.weight_f).astype(np.int64)
+            else:
+                acc = self._workspace(rows, fused.out_features)
+                np.matmul(x_q.astype(np.int64).reshape(rows, fused.in_features),
+                          fused.weight_q, out=acc)
+            if not fused.wrap_free:
+                # Wrapping is the identity on any wrap-free component slice,
+                # so the whole-accumulator wrap changes no fused component.
+                acc &= self._acc_mask
+                acc[acc >= self._acc_sign] -= self._acc_span
+            for name, entry, lo, hi in fused.slices:
+                if injector is not None:
+                    flipped_before = injector.stats.bits_flipped
+                    corrupted_before = injector.stats.elements_corrupted
+                    acc[:, lo:hi] = injector.inject(acc[:, lo:hi], self.spec,
+                                                    component=name)
+                    self.counters.bits_flipped += (
+                        injector.stats.bits_flipped - flipped_before)
+                    self.counters.elements_corrupted += (
+                        injector.stats.elements_corrupted - corrupted_before)
+                if self.clamp is not None and entry.bound_acc is not None:
+                    acc[:, lo:hi] = self._clamp_stage(
+                        acc[:, lo:hi], entry.bound_acc, name)
+            out = acc.astype(np.float64)
+            out *= fused.scale_row
+
+        parts = []
+        for _, entry, lo, hi in fused.slices:
+            part = out[:, lo:hi]
+            if entry.bias is not None:
+                part += entry.bias
+            if x.ndim != 2:
+                part = part.reshape(*x.shape[:-1], entry.out_features)
+            parts.append(part)
+        return tuple(parts)
+
     def _clamp_stage(self, acc: np.ndarray, bound: int, name: str) -> np.ndarray:
         """Anomaly clearance as a pipeline stage (tracks the unified counters)."""
         clamp_stats = getattr(self.clamp, "stats", None)
@@ -303,6 +461,217 @@ class KernelContext:
 
     def reset_counters(self) -> None:
         self.counters.reset()
+
+
+class BatchedKernel:
+    """Cross-prompt batched execution over N per-prompt kernel contexts.
+
+    The batched planner decode row-stacks the activations of N prompts and
+    calls :meth:`qgemm` / :meth:`qgemm_multi` with ``lane_rows`` giving each
+    prompt's row count in the stack.  Quantization and the (IN)T GEMM run
+    once for the whole stack; every per-lane stage — MAC/stat attribution,
+    fault injection with the lane's own RNG stream, anomaly clearance —
+    runs on the lane's row slice through the lane's own
+    :class:`KernelContext`.  Each lane's injector therefore sees tensors of
+    exactly the shapes (and values) its serial decode would produce, in the
+    same call order, so batched execution is bit-identical to N serial
+    decodes, fault-free and under injection.
+
+    All contexts must be registered over the same deployed model (same
+    component names, scales, and quantization spec); lanes may differ in
+    hooks — injectors, clamps, stats — arbitrarily.
+    """
+
+    def __init__(self, contexts: list[KernelContext]):
+        if not contexts:
+            raise ValueError("BatchedKernel needs at least one context")
+        host = contexts[0]
+        for context in contexts[1:]:
+            if context.spec != host.spec:
+                raise ValueError("all batched contexts must share one spec")
+            if context._entries.keys() != host._entries.keys():
+                raise ValueError(
+                    "all batched contexts must register the same components")
+        self.contexts = list(contexts)
+        self.spec = host.spec
+        self._host = host
+        self._qx_source: np.ndarray | None = None
+        self._qx_scale = 0.0
+        self._qx: np.ndarray | None = None
+        # Hooks are fixed at context construction, so hoist the "does any
+        # lane inject / clamp" checks out of the per-call hot path; when no
+        # lane has hooks the per-lane stage loops are skipped entirely.
+        self._faulty = any(c.injector is not None for c in self.contexts)
+        self._hooked = self._faulty or any(
+            c.clamp is not None for c in self.contexts)
+        self._bounds_memo: dict[tuple[int, ...], list[tuple[int, int]]] = {}
+
+    def _quantize_input(self, entry, x: np.ndarray) -> np.ndarray:
+        """Stack-level quantized-input memo (same arithmetic as the contexts')."""
+        if x is self._qx_source and entry.x_scale == self._qx_scale:
+            return self._qx
+        q = x / entry.x_scale
+        np.rint(q, out=q)
+        np.minimum(q, entry.qmax, out=q)
+        np.maximum(q, entry.qmin, out=q)
+        self._qx_source = x
+        self._qx_scale = entry.x_scale
+        self._qx = q
+        return q
+
+    def _bounds(self, lane_rows: list[int], total: int) -> list[tuple[int, int]]:
+        key = tuple(lane_rows)
+        bounds = self._bounds_memo.get(key)
+        if bounds is not None:
+            if key and bounds[-1][1] != total or not key and total:
+                raise ValueError(
+                    f"lane_rows sum to {sum(key)}, stack has {total} rows")
+            return bounds
+        bounds = []
+        offset = 0
+        for rows in lane_rows:
+            bounds.append((offset, offset + rows))
+            offset += rows
+        if offset != total:
+            raise ValueError(f"lane_rows sum to {offset}, stack has {total} rows")
+        self._bounds_memo[key] = bounds
+        return bounds
+
+    def _accumulate(self, entry, x: np.ndarray) -> tuple[np.ndarray, bool]:
+        """Quantize + GEMM (+wrap) for the whole stack; returns (acc, is_int).
+
+        Lanes without an injector could stay in the float domain, but a
+        single integer accumulator for the whole stack keeps one GEMM per
+        call; the int64 and float paths dequantize to identical bits (the
+        accumulator is exact below 2^52 either way).
+        """
+        x_q = self._quantize_input(entry, x)
+        if entry.exact_float and entry.wrap_free and not self._faulty:
+            return x_q @ entry.weight_f, False
+        if entry.exact_float:
+            acc = (x_q @ entry.weight_f).astype(np.int64)
+        else:
+            acc = np.matmul(x_q.astype(np.int64), entry.weight_q)
+        if not entry.wrap_free:
+            host = self._host
+            acc &= host._acc_mask
+            acc[acc >= host._acc_sign] -= host._acc_span
+        return acc, True
+
+    def _lane_stages(self, context: KernelContext, acc: np.ndarray,
+                     lo: int, hi: int, entry: _KernelEntry, name: str,
+                     is_int: bool) -> None:
+        """Injection + clamp of one lane's row block, in place on the stack."""
+        injector = context.injector
+        if injector is not None and is_int:
+            flipped_before = injector.stats.bits_flipped
+            corrupted_before = injector.stats.elements_corrupted
+            acc[lo:hi] = injector.inject(acc[lo:hi], self.spec, component=name)
+            context.counters.bits_flipped += (
+                injector.stats.bits_flipped - flipped_before)
+            context.counters.elements_corrupted += (
+                injector.stats.elements_corrupted - corrupted_before)
+        lane_entry = context._entries[name]
+        if context.clamp is not None and lane_entry.bound_acc is not None:
+            acc[lo:hi] = context._clamp_stage(acc[lo:hi], lane_entry.bound_acc,
+                                              name)
+
+    def qgemm(self, name: str, x: np.ndarray, lane_rows: list[int],
+              logical_rows: list[int] | None = None) -> np.ndarray:
+        """One batched pipeline pass; returns the row-stacked float output."""
+        entry = self._host._entries[name]
+        bounds = self._bounds(lane_rows, x.shape[0])
+        logical = logical_rows if logical_rows is not None else lane_rows
+        elems = entry.in_features * entry.out_features
+        outs = entry.out_features
+        for context, (lo, hi), lrows in zip(self.contexts, bounds, logical):
+            macs = lrows * elems
+            outputs = (hi - lo) * outs
+            # Inlined ``counters.record_gemm`` (same arithmetic) — see
+            # :meth:`qgemm_multi`.
+            counters = context.counters
+            counters.gemm_calls += 1
+            counters.macs += macs
+            counters.output_elements += outputs
+            counters.macs_per_component[name] = (
+                counters.macs_per_component.get(name, 0) + macs)
+            if context.stats is not None:
+                context.stats.record(name, macs, outputs)
+
+        acc, is_int = self._accumulate(entry, x)
+        if self._hooked:
+            for context, (lo, hi) in zip(self.contexts, bounds):
+                self._lane_stages(context, acc, lo, hi, entry, name, is_int)
+        out = acc.astype(np.float64) if is_int else acc
+        out *= entry.combined_scale
+        if entry.bias is not None:
+            out += entry.bias
+        return out
+
+    def qgemm_multi(self, names: tuple[str, ...], x: np.ndarray,
+                    lane_rows: list[int],
+                    logical_rows: list[int] | None = None
+                    ) -> tuple[np.ndarray, ...]:
+        """Batched + component-fused pass; returns row-stacked per-component outputs.
+
+        Per lane, per-component stages run in component call order (the order
+        a lane's serial fused decode uses), keeping every lane's RNG stream
+        bit-identical to its serial execution.
+        """
+        names = tuple(names)
+        fused = self._host._fused(names)
+        if fused is None:
+            return tuple(self.qgemm(name, x, lane_rows, logical_rows)
+                         for name in names)
+        bounds = self._bounds(lane_rows, x.shape[0])
+        logical = logical_rows if logical_rows is not None else lane_rows
+        sizes = [(name, entry.in_features * entry.out_features,
+                  entry.out_features) for name, entry, _, _ in fused.slices]
+        for context, (lo, hi), lrows in zip(self.contexts, bounds, logical):
+            counters = context.counters
+            stats = context.stats
+            rows = hi - lo
+            # Inlined ``counters.record_gemm`` (same arithmetic): the
+            # per-lane × per-component recording is the hottest pure-Python
+            # loop of the batched decode step.
+            per_component = counters.macs_per_component
+            counters.gemm_calls += len(sizes)
+            for name, elems, outs in sizes:
+                macs = lrows * elems
+                counters.macs += macs
+                counters.output_elements += rows * outs
+                per_component[name] = per_component.get(name, 0) + macs
+                if stats is not None:
+                    stats.record(name, macs, rows * outs)
+
+        acc, is_int = self._accumulate(fused, x)
+        if self._hooked:
+            for context, (lo, hi) in zip(self.contexts, bounds):
+                for name, entry, c0, c1 in fused.slices:
+                    injector = context.injector
+                    if injector is not None and is_int:
+                        flipped_before = injector.stats.bits_flipped
+                        corrupted_before = injector.stats.elements_corrupted
+                        acc[lo:hi, c0:c1] = injector.inject(
+                            acc[lo:hi, c0:c1], self.spec, component=name)
+                        context.counters.bits_flipped += (
+                            injector.stats.bits_flipped - flipped_before)
+                        context.counters.elements_corrupted += (
+                            injector.stats.elements_corrupted - corrupted_before)
+                    lane_entry = context._entries[name]
+                    if context.clamp is not None \
+                            and lane_entry.bound_acc is not None:
+                        acc[lo:hi, c0:c1] = context._clamp_stage(
+                            acc[lo:hi, c0:c1], lane_entry.bound_acc, name)
+        out = acc.astype(np.float64) if is_int else acc
+        out *= fused.scale_row
+        parts = []
+        for _, entry, c0, c1 in fused.slices:
+            part = out[:, c0:c1]
+            if entry.bias is not None:
+                part += entry.bias
+            parts.append(part)
+        return tuple(parts)
 
 
 class FloatKernel:
@@ -334,6 +703,15 @@ class FloatKernel:
         if self._observer is not None:
             self._observer.observe(name, x, out)
         return out
+
+    def qgemm_multi(self, names: tuple[str, ...], x: np.ndarray,
+                    logical_rows: int | None = None) -> tuple[np.ndarray, ...]:
+        """Per-component float GEMMs in call order (no fusion in the float path).
+
+        Calibration must observe each component's input/output exactly as the
+        reference pipeline produced them, so the float kernel never stacks.
+        """
+        return tuple(self.qgemm(name, x, logical_rows) for name in names)
 
 
 class KVCache:

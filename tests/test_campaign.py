@@ -352,7 +352,11 @@ class TestStreaming:
         monkeypatch.setattr(campaign_module, "_run_cell", spying_run_cell)
         key, overrides = system_ref(jarvis_executor)
         spec = TrialSpec(condition="clean", system=key, task="wooden", num_trials=3)
-        run_campaign([spec], systems=overrides, out=tmp_path, name="grow")
+        # vector=False pins the scalar path: the vectorized path executes the
+        # whole same-spec group as one unit, so rows land in a burst instead
+        # of one by one (and _run_cell is never called).
+        run_campaign([spec], systems=overrides, out=tmp_path, name="grow",
+                     vector=False)
         assert len(sizes) == 3
         assert sizes[1] > sizes[0] and sizes[2] > sizes[1]
 

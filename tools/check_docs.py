@@ -7,7 +7,11 @@ Verifies that the prose and the code cannot drift apart silently:
 2. ``python -m repro.cli campaign --help`` lists every preset documented in
    the README and ``docs/campaigns.md`` preset tables, every preset those
    tables document exists in ``repro.cli.CAMPAIGN_PRESETS``, and every
-   ``CAMPAIGN_PRESETS`` entry is documented in both places.
+   ``CAMPAIGN_PRESETS`` entry is documented in both places;
+3. every benchmark speedup floor the prose quotes (``Nx decode-speedup``,
+   ``Nx batched-decode``) matches the gate constants in
+   ``benchmarks/bench_kernels.py`` — the single source of truth the CI
+   ``kernels`` job enforces via ``tools/check_bench.py``.
 
 Run from the repository root (CI does) or anywhere::
 
@@ -125,10 +129,50 @@ def check_presets(errors: list[str]) -> None:
                           f"documented preset {preset!r}")
 
 
+#: Prose floor quotations, e.g. "the 3x decode-speedup target" or "the 2x
+#: batched-decode floor"; group 1 is the quoted multiplier.
+_FLOOR_QUOTES = {
+    "DECODE_SPEEDUP_TARGET": re.compile(r"(\d+(?:\.\d+)?)x decode-speedup"),
+    "BATCHED_DECODE_TARGET": re.compile(r"(\d+(?:\.\d+)?)x batched-decode"),
+}
+
+
+def check_bench_floors(errors: list[str]) -> None:
+    """Floors quoted in the prose must match the benchmark gate constants.
+
+    The constants live in ``benchmarks/bench_kernels.py`` (parsed by
+    ``tools/check_bench.py``); any markdown sentence quoting a floor — and
+    at least one must, per floor — has to agree with them.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        from check_bench import bench_floors
+    finally:
+        sys.path.pop(0)
+    floors = bench_floors()
+    for name, pattern in _FLOOR_QUOTES.items():
+        quoted = 0
+        for source in markdown_files():
+            rel = source.relative_to(REPO_ROOT)
+            for match in pattern.finditer(source.read_text()):
+                quoted += 1
+                if float(match.group(1)) != floors[name]:
+                    errors.append(
+                        f"{rel}: quotes a {match.group(1)}x floor but "
+                        f"benchmarks/bench_kernels.py sets {name} = "
+                        f"{floors[name]:g}")
+        if not quoted:
+            errors.append(
+                f"no markdown file quotes the {name} floor "
+                f"({floors[name]:g}x) — document it so the CI gate has a "
+                "prose counterpart")
+
+
 def collect_errors() -> list[str]:
     errors: list[str] = []
     check_links(errors)
     check_presets(errors)
+    check_bench_floors(errors)
     return errors
 
 
