@@ -1,0 +1,66 @@
+"""Analysis layer: grouped statistics and publication-pack build throughput.
+
+Unlike the figure benchmarks this one runs no trials — it synthesizes a
+paper-sized sweep of run tables (pure arithmetic, no models) and measures
+the `repro-create report` path over it: discovery, merge, grouped
+Wilson/bootstrap statistics, and artifact serialization.  The point is to
+keep pack building interactive even for full 100-trial paper sweeps.
+"""
+
+import json
+
+from common import num_trials, run_once
+
+from repro.eval import banner, format_table
+from repro.eval.analysis import build_pack, group_records
+from repro.eval.runtable import RunRecord, RunTable
+
+
+def _synthetic_table(figure: str, conditions: int, trials: int) -> RunTable:
+    records = []
+    for index in range(conditions):
+        ber = f"{(index + 1) * 1e-4:.0e}"
+        for seed in range(trials):
+            records.append(RunRecord(
+                spec_key=f"{figure}-{index:02d}", condition=f"ber={ber}",
+                system="jarvis", task="wooden", seed=seed, trial_index=seed,
+                success=(seed * 7 + index) % 3 != 0, steps=40 + (seed % 11),
+                planner_invocations=1 + seed % 3,
+                controller_steps=40 + (seed % 11),
+                energy_j=1e-3 * (1 + 0.01 * (seed % 17)),
+                effective_voltage=0.9,
+                planner_bits_flipped=seed % 5, controller_bits_flipped=seed % 3,
+                planner_elements_clamped=0, controller_elements_clamped=0,
+                mean_entropy=0.5, entropy_records=10,
+                planner_macs=json.dumps({"0.9": 1.2e8}),
+                controller_macs=json.dumps({"0.78": 4.5e7}),
+                predictor_macs="{}", params=json.dumps({"ber": ber})))
+    return RunTable(records)
+
+
+def test_report_pack_build(benchmark, tmp_path):
+    trials = num_trials(100)
+    figures = 9   # one per paper preset
+    sweep = tmp_path / "sweep"
+    rows = 0
+    for index in range(figures):
+        table = _synthetic_table(f"fig{index}", conditions=8, trials=trials)
+        table.write_csv(sweep / f"fig{index}" / f"table-{index}.csv")
+        rows += len(table)
+
+    def run():
+        return build_pack(sweep, tmp_path / "pack")
+
+    manifest = run_once(benchmark, run)
+    groups = group_records(_synthetic_table("solo", 8, trials))
+    print()
+    print(banner(f"report: {figures}-figure pack over {rows} rows "
+                 f"({trials} trials x 8 conditions per figure)"))
+    print(format_table(
+        ["figures", "rows", "pack files", "pack hash"],
+        [[len(manifest["figures"]), rows, len(manifest["files"]) + 1,
+          manifest["pack_hash"][:16]]]))
+    assert len(manifest["figures"]) == figures
+    assert len(groups) == 8
+    # Determinism gate: a second build of the same sweep is byte-identical.
+    assert build_pack(sweep, tmp_path / "pack2") == manifest

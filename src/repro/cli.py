@@ -1,6 +1,6 @@
 """Command-line interface to the CREATE reproduction.
 
-Nine subcommands cover the workflows a downstream user needs most often::
+Ten subcommands cover the workflows a downstream user needs most often::
 
     python -m repro.cli hardware                      # accelerator / LDO / model tables
     python -m repro.cli policies                      # entropy-to-voltage policies A-F
@@ -14,6 +14,8 @@ Nine subcommands cover the workflows a downstream user needs most often::
     python -m repro.cli worker --queue runs/q         # drain a shared work queue
     python -m repro.cli merge runs/merged runs/q      # merge worker/shard tables
     python -m repro.cli merge runs/merged runs/q --watch   # live re-merge loop
+    python -m repro.cli report runs/paper --out runs/paper-pack  # publication pack
+    python -m repro.cli report --diff runs/pack-a runs/pack-b    # compare packs
 
 ``mission``, ``characterize`` and ``campaign`` execute through the campaign
 engine (:mod:`repro.eval.campaign`): ``--jobs N`` fans trials out over worker
@@ -219,6 +221,37 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="with --watch, give up after N polls instead of "
                             "waiting for the queue to drain")
+
+    report = subparsers.add_parser(
+        "report",
+        help="build a publication pack from a sweep directory, or "
+             "diff/verify packs",
+        description="Aggregate every run table under SWEEP (a campaign "
+                    "--out, 'campaign paper' sweep, or merge output "
+                    "directory) into a publication pack: one deterministic "
+                    "JSON + CSV + markdown summary per figure with "
+                    "Wilson/bootstrap confidence intervals, plus a "
+                    "manifest.json of SHA-256 content hashes.  Building "
+                    "twice from the same sweep produces byte-identical "
+                    "packs.  --diff compares two packs (delta tables with "
+                    "significance flags); --check re-hashes a pack against "
+                    "its manifest.")
+    report.add_argument("sweep", nargs="?", default=None, metavar="SWEEP",
+                        help="sweep directory holding the run tables")
+    report.add_argument("--out", default=None, metavar="DIR",
+                        help="output directory of the pack (required when "
+                             "building)")
+    report.add_argument("--diff", nargs=2, default=None, metavar=("A", "B"),
+                        help="compare two packs instead of building one; "
+                             "exit 0 when identical, 1 when they differ")
+    report.add_argument("--check", default=None, metavar="PACK",
+                        help="verify a pack's artifacts against its "
+                             "manifest hashes instead of building one")
+    report.add_argument("--confidence", type=float, default=0.95,
+                        metavar="LEVEL",
+                        help="confidence level of the intervals and "
+                             "significance flags (0.8, 0.9, 0.95, or 0.99; "
+                             "default: 0.95)")
 
     subparsers.add_parser("hardware", help="print the accelerator / LDO / model tables")
 
@@ -832,6 +865,63 @@ def _run_merge(args) -> int:
     return 0
 
 
+def _run_report(args) -> int:
+    """Build, diff, or verify a publication pack (``repro-create report``)."""
+    from .eval import analysis
+    from .eval.runtable import MergeConflictError
+
+    modes = sum(bool(m) for m in (args.sweep, args.diff, args.check))
+    if modes != 1:
+        print("error: pick exactly one of SWEEP (build), --diff A B, "
+              "or --check PACK")
+        return 2
+    if args.confidence not in analysis.Z_SCORES:
+        print(f"error: --confidence must be one of "
+              f"{sorted(analysis.Z_SCORES)} (the z table is hardcoded so "
+              "packs stay byte-deterministic)")
+        return 2
+
+    if args.diff is not None:
+        try:
+            diff = analysis.diff_packs(args.diff[0], args.diff[1],
+                                       confidence=args.confidence)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}")
+            return 2
+        print(diff.format())
+        return 0 if diff.identical else 1
+
+    if args.check is not None:
+        problems = analysis.verify_pack(args.check)
+        for problem in problems:
+            print(f"error: {problem}")
+        if problems:
+            return 1
+        print(f"pack {args.check} verifies against its manifest")
+        return 0
+
+    if args.out is None:
+        print("error: building a pack needs --out DIR")
+        return 2
+    try:
+        manifest = analysis.build_pack(args.sweep, args.out,
+                                       confidence=args.confidence)
+    except MergeConflictError as exc:
+        print(f"merge conflict while aggregating: {exc}")
+        return 2
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    for name, info in manifest["figures"].items():
+        print(f"figure {name}: {info['rows']} row(s) from "
+              f"{len(info['tables'])} table(s), {info['trials']} trials")
+    print(f"pack: {args.out} ({len(manifest['files']) + 1} files, "
+          f"hash {manifest['pack_hash'][:16]})")
+    print(f"compare against another pack with: repro-create report "
+          f"--diff {args.out} <OTHER>")
+    return 0
+
+
 def _run_hardware(_args) -> int:
     from .eval import format_table
     from .eval.experiments import hardware_report, model_table
@@ -919,6 +1009,7 @@ _COMMANDS = {
     "campaign": _run_campaign,
     "worker": _run_worker,
     "merge": _run_merge,
+    "report": _run_report,
     "hardware": _run_hardware,
     "policies": _run_policies,
     "systems": _run_systems,

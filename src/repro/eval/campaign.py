@@ -661,6 +661,18 @@ class CampaignResult:
         """Condition label -> :class:`TrialSummary`, in spec order."""
         return {spec.condition: self.summary(spec.condition) for spec in self.specs}
 
+    def grouped(self, by: tuple[str, ...] = ("condition",),
+                confidence: float = 0.95):
+        """Grouped statistics with confidence intervals over this table.
+
+        Delegates to :func:`repro.eval.analysis.group_records`, so the axes
+        can be record fields *or* spec ``params`` labels (``ber``,
+        ``policy``, ...) — the same grouping the publication pack uses.
+        """
+        from .analysis import group_records
+
+        return group_records(self.table, by=by, confidence=confidence)
+
     def profile(self) -> CampaignProfile:
         """Execution profile of this run (wall time per cell/worker/condition).
 

@@ -8,7 +8,7 @@ import numpy as np
 from scipy import stats as scipy_stats
 
 from ..agents.executor import TrialResult
-from ..hardware.energy import EnergyModel
+from ..hardware.energy import DEFAULT_ENERGY_MODEL, EnergyModel
 
 __all__ = ["TrialSummary", "aggregate_rows", "summarize_trials", "confidence_interval",
            "energy_savings_percent"]
@@ -62,7 +62,7 @@ def aggregate_rows(rows: list[tuple[bool, int, float, float, dict[float, float],
     """
     if not rows:
         raise ValueError("cannot summarize an empty result list")
-    model = energy_model or EnergyModel()
+    model = energy_model or DEFAULT_ENERGY_MODEL
     successes = [row for row in rows if row[0]]
     energies = [row[3] for row in rows]
     merged_macs: dict[float, float] = {}
@@ -92,7 +92,7 @@ def summarize_trials(results: list[TrialResult],
     convention of averaging over *successful* trials (with the all-trials
     average also reported); energy includes failed trials at full execution.
     """
-    model = energy_model or EnergyModel()
+    model = energy_model or DEFAULT_ENERGY_MODEL
     rows = [(r.success, r.steps, r.planner_invocations,
              r.computational_energy_j(model), r.macs_by_voltage(),
              r.entropy_trace.mean_entropy() if len(r.entropy_trace) else float("nan"),

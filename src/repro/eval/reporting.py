@@ -6,7 +6,8 @@ from typing import Iterable
 
 import numpy as np
 
-__all__ = ["format_table", "format_series", "format_sweep", "banner"]
+__all__ = ["format_table", "format_series", "format_sweep", "banner",
+           "format_markdown_table"]
 
 
 def banner(title: str, width: int = 78) -> str:
@@ -38,6 +39,32 @@ def format_table(headers: list[str], rows: Iterable[Iterable], title: str | None
     lines.append("-+-".join("-" * w for w in widths))
     for row in rows:
         lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers: list[str], rows: Iterable[Iterable]) -> str:
+    """GitHub-flavored markdown table with padded (readable-as-text) cells.
+
+    Cells are taken verbatim when already strings — the publication-pack
+    writer pre-formats its numbers — and run through the same value
+    formatter as :func:`format_table` otherwise.  Pipes in cells are
+    escaped so a cell can never break the row structure.
+    """
+    def cell(value) -> str:
+        text = value if isinstance(value, str) else _format_value(value)
+        return text.replace("|", "\\|")
+
+    rows = [[cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, text in enumerate(row):
+            widths[index] = max(widths[index], len(text))
+    lines = ["| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+             + " |",
+             "|" + "|".join("-" * (w + 2) for w in widths) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(text.ljust(w)
+                                       for text, w in zip(row, widths)) + " |")
     return "\n".join(lines)
 
 

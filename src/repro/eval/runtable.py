@@ -23,15 +23,22 @@ split into two groups:
   This is the default on-disk format and matches the format of earlier
   releases exactly.
 * :data:`PROFILE_COLUMNS` — ``wall_time_s``, ``worker_id``, ``batch_size``
-  and ``vector_path``, recorded by the campaign engine for profiling.  They
-  depend on machine load and scheduling decisions, so they are excluded from
-  the canonical table files and stored in the ``profiles/<name>.csv`` sidecar
+  and ``vector_path``, recorded by the campaign engine for profiling, plus the
+  :data:`DERIVED_PROFILE_COLUMNS` (``macs_total``, ``flips_total``,
+  ``energy_model_j``) — per-row analytics denormalized from the result
+  columns, so sidecar consumers need no re-derivation.  Profile columns are
+  either machine-dependent or redundant, so they are excluded from the
+  canonical table files and stored in the ``profiles/<name>.csv`` sidecar
   instead (written with ``profile=True``).
 
 ``read_csv``/``read_json`` accept either format — including profile sidecars
-written before ``batch_size``/``vector_path`` existed; rows without profile
-columns load with their defaults (``wall_time_s = nan``, empty ``worker_id``,
-``batch_size = 0``, empty ``vector_path``).
+written before ``batch_size``/``vector_path`` existed and sidecars written
+before the derived columns existed; rows without profile columns load with
+their defaults (``wall_time_s = nan``, empty ``worker_id``, ``batch_size =
+0``, empty ``vector_path``).  Derived columns are computed properties of
+:class:`RunRecord`, never stored fields: they are recomputed on access, so a
+sidecar cell that disagreed with its row's result columns could not survive a
+round-trip.
 
 Streaming
 ---------
@@ -52,12 +59,12 @@ from pathlib import Path
 from typing import Iterable, Iterator
 
 from ..agents.executor import TrialResult
-from ..hardware.energy import EnergyModel
+from ..hardware.energy import DEFAULT_ENERGY_MODEL, EnergyModel
 from .metrics import TrialSummary, aggregate_rows
 
 __all__ = ["RunRecord", "RunTable", "RunTableWriter", "MergeConflictError",
-           "record_from_trial", "summarize_records", "COLUMNS",
-           "RESULT_COLUMNS", "PROFILE_COLUMNS"]
+           "record_from_trial", "summarize_records", "is_run_table", "COLUMNS",
+           "RESULT_COLUMNS", "PROFILE_COLUMNS", "DERIVED_PROFILE_COLUMNS"]
 
 
 class MergeConflictError(ValueError):
@@ -162,33 +169,70 @@ class RunRecord:
         """Whether this row carries execution-profile data (ran this session)."""
         return math.isfinite(self.wall_time_s)
 
+    # ------------------------------------------------------------------
+    # Derived profile columns (computed, never stored as fields)
+    # ------------------------------------------------------------------
+    @property
+    def macs_total(self) -> float:
+        """Total MACs over all components and voltages (kernel counter)."""
+        return math.fsum(self.macs_by_voltage().values())
+
+    @property
+    def flips_total(self) -> int:
+        """Total injected bit flips (planner + controller injectors)."""
+        return self.planner_bits_flipped + self.controller_bits_flipped
+
+    @property
+    def energy_model_j(self) -> float:
+        """Compute-only joules under the default energy model.
+
+        Excludes the AD/LDO overhead fractions that ``energy_j`` includes,
+        so the two columns together split a trial's energy into raw compute
+        and protection overhead without another model evaluation.
+        """
+        return DEFAULT_ENERGY_MODEL.compute_energy_j(self.macs_by_voltage(),
+                                                     include_overheads=False)
+
 
 _INT_FIELDS = {"seed", "trial_index", "steps", "planner_invocations", "controller_steps",
                "planner_bits_flipped", "controller_bits_flipped",
                "planner_elements_clamped", "controller_elements_clamped",
-               "entropy_records", "batch_size"}
-_FLOAT_FIELDS = {"energy_j", "effective_voltage", "mean_entropy", "wall_time_s"}
+               "entropy_records", "batch_size", "flips_total"}
+_FLOAT_FIELDS = {"energy_j", "effective_voltage", "mean_entropy", "wall_time_s",
+                 "macs_total", "energy_model_j"}
 _BOOL_FIELDS = {"success"}
 
-#: Full schema: every field of :class:`RunRecord`, profile columns last.
-COLUMNS: tuple[str, ...] = tuple(f.name for f in fields(RunRecord))
+#: Stored fields of :class:`RunRecord`, in declaration order.
+_FIELD_COLUMNS: tuple[str, ...] = tuple(f.name for f in fields(RunRecord))
 
-#: Execution-profile columns (machine-dependent; excluded from canonical files).
+#: Derived sidecar columns: per-row analytics denormalized into the profile
+#: sidecar.  Backed by computed :class:`RunRecord` properties, not stored
+#: fields — written on serialization, ignored (recomputed) on read.
+DERIVED_PROFILE_COLUMNS: tuple[str, ...] = ("macs_total", "flips_total",
+                                            "energy_model_j")
+
+#: Execution-profile columns (machine-dependent or derived; excluded from
+#: canonical files).
 PROFILE_COLUMNS: tuple[str, ...] = ("wall_time_s", "worker_id", "batch_size",
-                                    "vector_path")
+                                    "vector_path") + DERIVED_PROFILE_COLUMNS
 
 #: Deterministic measurement columns — the canonical on-disk format.
-RESULT_COLUMNS: tuple[str, ...] = tuple(c for c in COLUMNS
+RESULT_COLUMNS: tuple[str, ...] = tuple(c for c in _FIELD_COLUMNS
                                         if c not in PROFILE_COLUMNS)
 
-#: Profile header written before ``batch_size``/``vector_path`` existed;
-#: still accepted on read so old sidecars keep loading (and being appended
-#: to) unchanged.
-_LEGACY_PROFILE_HEADER: tuple[str, ...] = RESULT_COLUMNS + ("wall_time_s",
-                                                            "worker_id")
+#: Full profile schema: result columns first, profile columns last.
+COLUMNS: tuple[str, ...] = RESULT_COLUMNS + PROFILE_COLUMNS
 
-_ACCEPTED_HEADERS: tuple[tuple[str, ...], ...] = (RESULT_COLUMNS, COLUMNS,
-                                                  _LEGACY_PROFILE_HEADER)
+#: Profile headers of earlier releases — before ``batch_size``/``vector_path``
+#: existed, and before the derived columns existed; still accepted on read so
+#: old sidecars keep loading (and being appended to) unchanged.
+_LEGACY_PROFILE_HEADERS: tuple[tuple[str, ...], ...] = (
+    RESULT_COLUMNS + ("wall_time_s", "worker_id"),
+    RESULT_COLUMNS + ("wall_time_s", "worker_id", "batch_size", "vector_path"),
+)
+
+_ACCEPTED_HEADERS: tuple[tuple[str, ...], ...] = (
+    RESULT_COLUMNS, COLUMNS) + _LEGACY_PROFILE_HEADERS
 
 
 def _format_cell(name: str, value) -> str:
@@ -218,7 +262,7 @@ def record_from_trial(trial: TrialResult, *, spec_key: str, condition: str,
     Profile fields are left at their defaults; the campaign engine stamps
     them (via :func:`dataclasses.replace`) on the cells it executes itself.
     """
-    model = energy_model or EnergyModel()
+    model = energy_model or DEFAULT_ENERGY_MODEL
     return RunRecord(
         spec_key=spec_key,
         condition=condition,
@@ -265,8 +309,11 @@ def _columns_for(profile: bool) -> tuple[str, ...]:
 
 
 def _record_from_row(header: tuple[str, ...], row: list[str]) -> RunRecord:
+    # Derived columns are properties, not constructor arguments: drop them
+    # here and let the record recompute them from its result columns.
     return RunRecord(**{name: _parse_cell(name, cell)
-                        for name, cell in zip(header, row)})
+                        for name, cell in zip(header, row)
+                        if name not in DERIVED_PROFILE_COLUMNS})
 
 
 _JSON_FIELDS = ("planner_macs", "controller_macs", "predictor_macs", "params")
@@ -494,8 +541,8 @@ class RunTable:
         """Read a table written by :meth:`write_csv` or :class:`RunTableWriter`.
 
         Accepts the canonical (:data:`RESULT_COLUMNS`) header, the profile
-        (:data:`COLUMNS`) header, and the pre-``batch_size`` legacy profile
-        header; columns a header lacks load with their field defaults.  With
+        (:data:`COLUMNS`) header, and the legacy profile headers of earlier
+        releases; columns a header lacks load with their field defaults.  With
         ``strict=False``,
         rows that are truncated or unparseable — e.g. the torn final line of
         a campaign killed mid-write — are skipped instead of raising, which
@@ -558,5 +605,24 @@ class RunTable:
         rows = json.loads(Path(path).read_text())
         return cls(RunRecord(**{name: (float("nan") if name in _FLOAT_FIELDS
                                        and value is None else value)
-                                for name, value in row.items()})
+                                for name, value in row.items()
+                                if name not in DERIVED_PROFILE_COLUMNS})
                    for row in rows)
+
+
+def is_run_table(path: str | Path) -> bool:
+    """Whether ``path`` is a CSV with a recognized run-table header.
+
+    Cheap (reads one line); lets directory scanners — ``repro-create merge``
+    inputs, the report builder's sweep discovery — pick run tables out of
+    mixed directories without attempting a full parse.
+    """
+    path = Path(path)
+    if not path.is_file():
+        return False
+    try:
+        with path.open(newline="") as handle:
+            header = tuple(next(csv.reader(handle), ()))
+    except (OSError, UnicodeDecodeError, csv.Error):
+        return False
+    return header in _ACCEPTED_HEADERS

@@ -16,7 +16,8 @@ import numpy as np
 
 from .timing import NOMINAL_VOLTAGE
 
-__all__ = ["EnergyConfig", "EnergyModel", "EnergyBreakdown", "BatteryModel"]
+__all__ = ["EnergyConfig", "EnergyModel", "EnergyBreakdown", "BatteryModel",
+           "DEFAULT_ENERGY_MODEL"]
 
 
 @dataclass(frozen=True)
@@ -157,6 +158,13 @@ class EnergyModel:
             dram_j=self.dram_energy_j(dram_bytes),
             overhead_j=overhead,
         )
+
+
+#: Shared default-configuration model.  ``EnergyModel`` is immutable in
+#: practice (its config is frozen), so every ``energy_model or EnergyModel()``
+#: call site can use this singleton instead of re-building config + model per
+#: call — same numbers, no per-call allocation.
+DEFAULT_ENERGY_MODEL = EnergyModel()
 
 
 @dataclass(frozen=True)

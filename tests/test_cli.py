@@ -208,3 +208,68 @@ class TestDistributedCli:
         empty.mkdir()
         assert main(["merge", str(tmp_path / "out"), str(empty)]) == 1
         assert "no run tables found" in capsys.readouterr().out
+
+
+class TestReportCli:
+    """`repro-create report`: pack building, checking, diffing (no models)."""
+
+    @staticmethod
+    def _sweep(root, success=True):
+        from test_analysis import make_record
+
+        from repro.eval.runtable import RunTable
+
+        records = [make_record(seed=s, success=success or s % 2 == 0)
+                   for s in range(4)]
+        RunTable(records).write_csv(root / "study" / "t.csv")
+        return root
+
+    def test_report_parser(self):
+        args = build_parser().parse_args(
+            ["report", "sweep", "--out", "pack", "--confidence", "0.99"])
+        assert args.sweep == "sweep" and args.out == "pack"
+        assert args.confidence == pytest.approx(0.99)
+        args = build_parser().parse_args(["report", "--diff", "a", "b"])
+        assert args.diff == ["a", "b"] and args.sweep is None
+
+    def test_build_then_check_roundtrip(self, capsys, tmp_path):
+        sweep = self._sweep(tmp_path / "sweep")
+        pack = tmp_path / "pack"
+        assert main(["report", str(sweep), "--out", str(pack)]) == 0
+        out = capsys.readouterr().out
+        assert "study" in out and "pack:" in out and "hash" in out
+        assert (pack / "manifest.json").is_file()
+        assert main(["report", "--check", str(pack)]) == 0
+        assert "verifies against its manifest" in capsys.readouterr().out
+
+    def test_check_detects_corruption(self, capsys, tmp_path):
+        pack = tmp_path / "pack"
+        assert main(["report", str(self._sweep(tmp_path / "sweep")),
+                     "--out", str(pack)]) == 0
+        (pack / "figures" / "study.csv").unlink()
+        assert main(["report", "--check", str(pack)]) == 1
+        assert "missing" in capsys.readouterr().out
+
+    def test_diff_exit_codes(self, capsys, tmp_path):
+        sweep_a = self._sweep(tmp_path / "a")
+        sweep_b = self._sweep(tmp_path / "b", success=False)
+        for name in ("a", "b"):
+            assert main(["report", str(tmp_path / name),
+                         "--out", str(tmp_path / f"pack-{name}")]) == 0
+        assert main(["report", "--diff", str(tmp_path / "pack-a"),
+                     str(tmp_path / "pack-a")]) == 0
+        assert "identical" in capsys.readouterr().out
+        assert main(["report", "--diff", str(tmp_path / "pack-a"),
+                     str(tmp_path / "pack-b")]) == 1
+        assert "differs" in capsys.readouterr().out
+
+    def test_report_errors(self, capsys, tmp_path):
+        # build without --out, missing sweep, no mode at all: all exit 2.
+        assert main(["report", str(tmp_path)]) == 2
+        assert main(["report", str(tmp_path / "nope"), "--out",
+                     str(tmp_path / "p")]) == 2
+        assert main(["report"]) == 2
+        assert main(["report", str(tmp_path), "--out", str(tmp_path / "p"),
+                     "--confidence", "0.42"]) == 2
+        out = capsys.readouterr().out
+        assert "error:" in out

@@ -46,3 +46,30 @@ def test_runtable_schema_documents_every_column():
     schema = (REPO_ROOT / "docs" / "runtable-schema.md").read_text()
     missing = [column for column in COLUMNS if f"`{column}`" not in schema]
     assert missing == [], f"columns undocumented in runtable-schema.md: {missing}"
+
+
+def test_report_columns_documented():
+    """The campaigns.md report-column table matches SUMMARY_COLUMNS exactly."""
+    checker = _load_checker()
+    errors: list[str] = []
+    checker.check_report_columns(errors)
+    assert errors == []
+
+
+def test_report_column_checker_catches_drift(tmp_path, monkeypatch):
+    """Renaming a documented column (or a constant) must fail the check."""
+    checker = _load_checker()
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    original = (REPO_ROOT / "docs" / "campaigns.md").read_text()
+    (docs / "campaigns.md").write_text(
+        original.replace("`mean_energy_j`", "`mean_energy`", 1))
+    (docs / "runtable-schema.md").write_text(
+        (REPO_ROOT / "docs" / "runtable-schema.md").read_text()
+        .replace("`flips_total`", "`flip_total`"))
+    monkeypatch.setattr(checker, "REPO_ROOT", tmp_path)
+    errors: list[str] = []
+    checker.check_report_columns(errors)
+    assert any("mean_energy" in error for error in errors)
+    assert any("mean_energy_j" in error for error in errors)
+    assert any("flips_total" in error for error in errors)

@@ -11,7 +11,11 @@ Verifies that the prose and the code cannot drift apart silently:
 3. every benchmark speedup floor the prose quotes (``Nx decode-speedup``,
    ``Nx batched-decode``) matches the gate constants in
    ``benchmarks/bench_kernels.py`` — the single source of truth the CI
-   ``kernels`` job enforces via ``tools/check_bench.py``.
+   ``kernels`` job enforces via ``tools/check_bench.py``;
+4. the report-column table in ``docs/campaigns.md`` documents exactly the
+   figure columns ``repro.eval.analysis.SUMMARY_COLUMNS`` emits, and every
+   derived sidecar column (``repro.eval.runtable.DERIVED_PROFILE_COLUMNS``)
+   is documented in ``docs/runtable-schema.md``.
 
 Run from the repository root (CI does) or anywhere::
 
@@ -168,11 +172,69 @@ def check_bench_floors(errors: list[str]) -> None:
                 "prose counterpart")
 
 
+#: Code spans inside the first cell of a ``| Column | ...`` table row.
+_COLUMN_ROW = re.compile(r"^\|([^|]*)\|", re.MULTILINE)
+_CODE_SPAN = re.compile(r"`([A-Za-z0-9_]+)`")
+
+
+def _documented_columns(path: Path) -> set[str]:
+    """Code-span names in the first cell of ``| Column | ...`` table rows."""
+    columns: set[str] = set()
+    in_column_table = False
+    for line in path.read_text().splitlines():
+        if re.match(r"^\|\s*Column\s*\|", line):
+            in_column_table = True
+            continue
+        if in_column_table:
+            match = _COLUMN_ROW.match(line)
+            if match and not re.match(r"^\|[-\s|]*\|$", line):
+                columns.update(_CODE_SPAN.findall(match.group(1)))
+            elif not re.match(r"^\|[-\s|]*\|$", line):
+                in_column_table = False
+    return columns
+
+
+def check_report_columns(errors: list[str]) -> None:
+    """The documented report/sidecar columns must match the code constants.
+
+    ``docs/campaigns.md`` documents the figure columns in a
+    ``| Column | Meaning |`` table: its code-span set must equal
+    ``analysis.SUMMARY_COLUMNS`` exactly, so a column added to (or renamed
+    in) the analysis layer cannot ship undocumented.  The derived sidecar
+    columns must likewise each appear as a code span in
+    ``docs/runtable-schema.md``.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.eval.analysis import SUMMARY_COLUMNS
+        from repro.eval.runtable import DERIVED_PROFILE_COLUMNS
+    finally:
+        sys.path.pop(0)
+
+    campaigns = REPO_ROOT / "docs" / "campaigns.md"
+    documented = _documented_columns(campaigns)
+    rel = campaigns.relative_to(REPO_ROOT)
+    for column in sorted(documented - set(SUMMARY_COLUMNS)):
+        errors.append(f"{rel}: documents unknown report column {column!r} "
+                      "(not in repro.eval.analysis.SUMMARY_COLUMNS)")
+    for column in sorted(set(SUMMARY_COLUMNS) - documented):
+        errors.append(f"{rel}: report column {column!r} is emitted by the "
+                      "analysis layer but missing from the column table")
+
+    schema = REPO_ROOT / "docs" / "runtable-schema.md"
+    schema_text = schema.read_text()
+    for column in DERIVED_PROFILE_COLUMNS:
+        if f"`{column}`" not in schema_text:
+            errors.append(f"{schema.relative_to(REPO_ROOT)}: derived sidecar "
+                          f"column {column!r} is undocumented")
+
+
 def collect_errors() -> list[str]:
     errors: list[str] = []
     check_links(errors)
     check_presets(errors)
     check_bench_floors(errors)
+    check_report_columns(errors)
     return errors
 
 
