@@ -57,6 +57,11 @@ DECODE_SPEEDUP_TARGET = 3.0
 #: Required speedup of batch=8 batched decode over 8 serial decodes (all runs).
 BATCHED_DECODE_TARGET = 2.0
 
+#: Required speedup of the stacked Q/K/V GEMM over three split projections
+#: (all runs).  A fused path that loses to split is a regression by
+#: definition — fusion exists only to beat per-call dispatch.
+FUSED_QKV_TARGET = 1.0
+
 #: Cross-prompt batch sizes measured by the ``batched_decode`` section.
 BATCH_SIZES = (1, 4, 8, 16)
 
@@ -320,6 +325,10 @@ def main(argv: list[str] | None = None) -> int:
             f"cached decode is slower than uncached "
             f"({decode['fused_cached_ms']:.2f} ms vs "
             f"{decode['fused_uncached_ms']:.2f} ms)")
+    if results["fused_qkv"]["speedup"] < FUSED_QKV_TARGET:
+        failures.append(
+            f"fused QKV ({results['fused_qkv']['speedup']:.2f}x) is slower "
+            f"than three split projections ({FUSED_QKV_TARGET:.1f}x floor)")
     if batched["batch8_speedup"] < BATCHED_DECODE_TARGET:
         failures.append(
             f"batched decode speedup at batch=8 "

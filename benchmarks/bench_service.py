@@ -1,0 +1,124 @@
+"""Throughput/latency benchmark of the campaign service (``serve``).
+
+Starts an in-process :class:`~repro.eval.service.CampaignService` on an
+ephemeral port, enqueues a synthetic single-spec plan, and drains it with
+the concurrent fleet from ``tools/load_service.py`` — every task goes
+through the full lease-report round trip a real worker performs (claim ->
+heartbeat -> stream rows -> complete).  Results land in
+``BENCH_service.json``::
+
+    PYTHONPATH=src python benchmarks/bench_service.py            # full run
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke    # CI gate
+
+The gate: sustained lease-report round trips per second must reach
+:data:`ROUND_TRIP_TARGET` (500/s) and no worker may see a transport error.
+``tools/check_service_bench.py`` re-checks the committed baseline against
+the same floor and diffs fresh CI runs against it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from load_service import run_load, synthetic_plan  # noqa: E402
+
+from repro.eval.service import CampaignService, QueueClient  # noqa: E402
+
+#: Required sustained lease-report round trips per second.  One round trip
+#: is four HTTP requests plus four queue state transitions; 500/s of them
+#: keeps the service comfortably ahead of any realistic worker fleet (a
+#: real task takes seconds of trial simulation per lease).
+ROUND_TRIP_TARGET = 500.0
+
+#: Maximum tolerated p95 round-trip latency, milliseconds.  Latency is the
+#: autoscaler's signal quality: depth polls and lease settles must stay
+#: cheap even while a fleet is streaming rows.
+ROUND_TRIP_P95_MS_LIMIT = 50.0
+
+
+def bench_round_trips(cells: int, workers: int, batch: int = 1) -> dict:
+    """Drain a ``cells``-task synthetic backlog; return the stats document."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as root:
+        with CampaignService(Path(root) / "queue", lease_ttl=300.0) as service:
+            client = QueueClient(service.url)
+            report = client.enqueue(synthetic_plan(cells), batch=batch)
+            stats = run_load(service.url, workers=workers)
+            stats["cells"] = cells
+            stats["tasks"] = report.new_tasks
+            stats["batch"] = batch
+    return stats
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller backlog for CI (same gates)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="concurrent synthetic workers (default: 4 — "
+                             "the in-process sweet spot; more fleets "
+                             "contend on the shared interpreter)")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: repo-root "
+                             "BENCH_service.json)")
+    args = parser.parse_args(argv)
+
+    cells = 512 if args.smoke else 2048
+    print(f"campaign-service benchmark: {cells} tasks, "
+          f"{args.workers} workers")
+    stats = bench_round_trips(cells, args.workers)
+    results = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "smoke": args.smoke,
+        "round_trip_target_per_s": ROUND_TRIP_TARGET,
+        "service": stats,
+    }
+
+    out = Path(args.out) if args.out else REPO_ROOT / "BENCH_service.json"
+    out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    p95 = stats["latency_ms"]["round_trip"]["p95"]
+    print(f"  round trips : {stats['round_trips']} in "
+          f"{stats['elapsed_s']:.2f}s -> "
+          f"{stats['round_trips_per_s']:.0f}/s "
+          f"(target {ROUND_TRIP_TARGET:.0f}/s)")
+    print(f"  requests    : {stats['requests_per_s']:.0f}/s, "
+          f"rows {stats['rows_per_s']:.0f}/s")
+    print(f"  latency     : round-trip p50 "
+          f"{stats['latency_ms']['round_trip']['p50']:.2f}ms, "
+          f"p95 {p95:.2f}ms, "
+          f"p99 {stats['latency_ms']['round_trip']['p99']:.2f}ms")
+    print(f"  wrote {out}")
+
+    failures = []
+    if stats["errors"]:
+        failures.append(f"{len(stats['errors'])} worker transport error(s): "
+                        f"{stats['errors'][:3]}")
+    if stats["round_trips"] != stats["tasks"]:
+        failures.append(f"drained {stats['round_trips']} of "
+                        f"{stats['tasks']} tasks")
+    if stats["round_trips_per_s"] < ROUND_TRIP_TARGET:
+        failures.append(
+            f"sustained {stats['round_trips_per_s']:.0f} round trips/s is "
+            f"below the {ROUND_TRIP_TARGET:.0f}/s ROUND_TRIP_TARGET")
+    if p95 > ROUND_TRIP_P95_MS_LIMIT:
+        failures.append(f"round-trip p95 {p95:.2f}ms exceeds the "
+                        f"{ROUND_TRIP_P95_MS_LIMIT:.0f}ms limit")
+    for failure in failures:
+        print(f"GATE FAILED: {failure}")
+    if failures:
+        return 1
+    print("gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

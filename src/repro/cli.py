@@ -1,6 +1,6 @@
 """Command-line interface to the CREATE reproduction.
 
-Ten subcommands cover the workflows a downstream user needs most often::
+The subcommands cover the workflows a downstream user needs most often::
 
     python -m repro.cli hardware                      # accelerator / LDO / model tables
     python -m repro.cli policies                      # entropy-to-voltage policies A-F
@@ -12,6 +12,9 @@ Ten subcommands cover the workflows a downstream user needs most often::
     python -m repro.cli campaign paper --out runs/paper --jobs 8   # the whole paper
     python -m repro.cli campaign navigation           # generated-scenario battery
     python -m repro.cli worker --queue runs/q         # drain a shared work queue
+    python -m repro.cli serve runs/q                  # queue over HTTP (campaign service)
+    python -m repro.cli worker --queue-url http://host:8765 --wait  # network worker
+    python -m repro.cli autoscale --queue-url http://host:8765      # elastic fleet
     python -m repro.cli merge runs/merged runs/q      # merge worker/shard tables
     python -m repro.cli merge runs/merged runs/q --watch   # live re-merge loop
     python -m repro.cli report runs/paper --out runs/paper-pack  # publication pack
@@ -30,8 +33,12 @@ training or running anything; ``--queue DIR`` enqueues the grid as task
 files that any number of ``worker`` daemons (on any hosts sharing the
 filesystem) claim, lease, and execute; ``--shard i/N --out DIR`` statically
 executes the i-th of N deterministic grid slices for queue-less clusters.
-``merge`` unions the resulting worker/shard run tables — with conflict
-detection — into canonical files byte-identical to a single-host run.
+For hosts that share no filesystem, ``serve`` exposes the same queue over
+HTTP/JSON (:mod:`repro.eval.service`): workers connect with ``--queue-url``
+instead of ``--queue``, and ``autoscale`` keeps a local fleet sized to the
+queue's depth and drain rate until it empties.  ``merge`` unions the
+resulting worker/shard run tables — with conflict detection — into
+canonical files byte-identical to a single-host run.
 
 The ``campaign paper`` preset chains every figure/table preset into one
 resumable full-paper sweep directory (one subdirectory per preset); see
@@ -173,11 +180,20 @@ def build_parser() -> argparse.ArgumentParser:
                     "heartbeated while executing; leases of dead workers "
                     "expire and are re-queued, so no cell is lost.  Merge "
                     "the worker tables with the 'merge' subcommand.")
-    worker.add_argument("--queue", required=True, metavar="DIR",
+    worker.add_argument("--queue", default=None, metavar="DIR",
                         help="work-queue directory (shared filesystem)")
+    worker.add_argument("--queue-url", default=None, metavar="URL",
+                        help="campaign-service URL (see the 'serve' "
+                             "subcommand) to pull tasks from instead of a "
+                             "shared-filesystem queue directory")
     worker.add_argument("--jobs", type=positive_int, default=1,
                         help="process-pool workers for cell execution "
                              "(default: 1, in-process)")
+    worker.add_argument("--plan", default=None, metavar="NAME",
+                        help="plan affinity: prefer this plan's tasks and "
+                             "steal from the deepest co-queued plan only "
+                             "when it drains (default: deterministic task "
+                             "order)")
     worker.add_argument("--id", default=None, metavar="NAME",
                         help="worker id for leases and the results "
                              "directory (default: <hostname>-<pid>)")
@@ -193,6 +209,58 @@ def build_parser() -> argparse.ArgumentParser:
                              "of exiting when no task is claimable")
     worker.add_argument("--max-tasks", type=positive_int, default=None,
                         metavar="N", help="stop after claiming N tasks")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the HTTP campaign service over a work-queue directory",
+        description="Serve the work-queue protocol (submit plans, lease "
+                    "tasks with heartbeats, stream result rows, poll merge "
+                    "progress) as HTTP/JSON endpoints over a server-side "
+                    "queue directory.  Workers connect with 'worker "
+                    "--queue-url URL'; the directory stays a normal queue, "
+                    "so 'merge' and filesystem workers keep working "
+                    "alongside.  See docs/campaigns.md (campaign service).")
+    serve.add_argument("root", metavar="DIR",
+                       help="queue directory to serve (created if missing)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default: 8765)")
+    serve.add_argument("--lease-ttl", type=float, default=120.0, metavar="S",
+                       help="seconds without a heartbeat before a lease "
+                            "expires and its task is re-queued (default: 120)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every request to stdout")
+
+    autoscale = subparsers.add_parser(
+        "autoscale",
+        help="spawn/retire local workers against a campaign service",
+        description="Poll a campaign service's queue depth and drain rate, "
+                    "keep ceil(pending / tasks-per-worker) local 'worker "
+                    "--queue-url' processes running (clamped to "
+                    "[--min, --max]), retire surplus workers with SIGTERM "
+                    "(they finish in-flight batches and exit cleanly), and "
+                    "return once the queue drains.")
+    autoscale.add_argument("--queue-url", required=True, metavar="URL",
+                           help="campaign-service URL to scale against")
+    autoscale.add_argument("--max", dest="max_workers", type=positive_int,
+                           default=4, help="fleet ceiling (default: 4)")
+    autoscale.add_argument("--min", dest="min_workers", type=int, default=0,
+                           help="fleet floor while work remains (default: 0)")
+    autoscale.add_argument("--jobs", type=positive_int, default=1,
+                           help="per-worker process-pool size (default: 1)")
+    autoscale.add_argument("--tasks-per-worker", type=positive_int, default=2,
+                           metavar="N",
+                           help="pending tasks one worker is expected to "
+                                "absorb; sets the scale-up target "
+                                "(default: 2)")
+    autoscale.add_argument("--poll", type=float, default=0.5, metavar="S",
+                           help="seconds between depth observations "
+                                "(default: 0.5)")
+    autoscale.add_argument("--timeout", type=float, default=None, metavar="S",
+                           help="fail if the queue has not drained after "
+                                "this long (default: wait forever)")
 
     merge = subparsers.add_parser(
         "merge",
@@ -755,16 +823,72 @@ def _campaign_shard_run(args, shard) -> int:
 def _run_worker(args) -> int:
     from .eval.scheduler import WorkQueue, WorkerDaemon
 
-    queue = WorkQueue(args.queue, lease_ttl=args.lease_ttl)
+    if (args.queue is None) == (args.queue_url is None):
+        print("error: pass exactly one of --queue DIR or --queue-url URL")
+        return 2
+    if args.queue_url is not None:
+        from .eval.service import QueueClient, ServiceError
+
+        try:
+            queue = QueueClient(args.queue_url)
+        except (ServiceError, OSError) as exc:
+            print(f"error: cannot reach campaign service at "
+                  f"{args.queue_url}: {exc}")
+            return 2
+    else:
+        queue = WorkQueue(args.queue, lease_ttl=args.lease_ttl)
     daemon = WorkerDaemon(queue, jobs=args.jobs, worker_id=args.id,
                           poll_interval=args.poll, wait=args.wait,
-                          max_tasks=args.max_tasks, log=print)
+                          max_tasks=args.max_tasks,
+                          plan_affinity=args.plan, log=print)
     daemon.run()
     counts = queue.counts()
     print(f"queue {queue.root}: {counts['pending']} pending, "
           f"{counts['leased']} leased, {counts['done']} done, "
           f"{counts['failed']} failed")
     return 0 if not counts["failed"] else 1
+
+
+def _run_serve(args) -> int:
+    from .eval.service import CampaignService
+
+    log = print if args.verbose else None
+    service = CampaignService(args.root, host=args.host, port=args.port,
+                              lease_ttl=args.lease_ttl, log=log)
+    print(f"campaign service for {service.queue.root} listening on "
+          f"{service.url}")
+    print(f"workers connect with: repro-create worker --queue-url "
+          f"{service.url} --wait")
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("\ninterrupted; queue directory left intact")
+    finally:
+        service.close()
+    return 0
+
+
+def _run_autoscale(args) -> int:
+    from .eval.service import AutoScaler, ServiceError
+
+    scaler = AutoScaler(args.queue_url, max_workers=args.max_workers,
+                        min_workers=args.min_workers, jobs=args.jobs,
+                        tasks_per_worker=args.tasks_per_worker,
+                        poll_interval=args.poll, log=print)
+    try:
+        stats = scaler.run(timeout=args.timeout)
+    except (ServiceError, OSError) as exc:
+        print(f"error: campaign service at {args.queue_url} "
+              f"unreachable: {exc}")
+        return 2
+    except TimeoutError as exc:
+        print(f"error: {exc}")
+        return 1
+    print(f"autoscaler drained the queue: spawned "
+          f"{stats.workers_spawned} worker(s), retired "
+          f"{stats.workers_retired}, peak fleet {stats.peak_workers}, "
+          f"{stats.polls} depth polls")
+    return 0
 
 
 def _queue_roots(dirs) -> list:
@@ -1008,6 +1132,8 @@ _COMMANDS = {
     "characterize": _run_characterize,
     "campaign": _run_campaign,
     "worker": _run_worker,
+    "serve": _run_serve,
+    "autoscale": _run_autoscale,
     "merge": _run_merge,
     "report": _run_report,
     "hardware": _run_hardware,

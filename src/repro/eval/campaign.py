@@ -407,7 +407,7 @@ def _run_cell(cell: _Cell, executor: MissionExecutor) -> RunRecord:
                                system=cell.system, task=cell.task, seed=cell.seed,
                                trial_index=cell.trial_index, params=cell.params)
     return replace(record, wall_time_s=wall_time, worker_id=_worker_id(),
-                   batch_size=1, vector_path="scalar")
+                   batch_size=1, vector_path="scalar", queue_backend="local")
 
 
 def _spec_groups(cells: Sequence[_Cell]) -> list[list[_Cell]]:
@@ -486,7 +486,8 @@ def _run_cell_batch(cells: Sequence[_Cell], executor: MissionExecutor) -> list[R
                                    task=cell.task, seed=cell.seed,
                                    trial_index=cell.trial_index, params=cell.params)
         records.append(replace(record, wall_time_s=share, worker_id=worker,
-                               batch_size=len(cells), vector_path="batched"))
+                               batch_size=len(cells), vector_path="batched",
+                               queue_backend="local"))
     return records
 
 

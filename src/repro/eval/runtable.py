@@ -22,8 +22,10 @@ split into two groups:
   and batched executions of the same campaign produce *byte-identical* files.
   This is the default on-disk format and matches the format of earlier
   releases exactly.
-* :data:`PROFILE_COLUMNS` — ``wall_time_s``, ``worker_id``, ``batch_size``
-  and ``vector_path``, recorded by the campaign engine for profiling, plus the
+* :data:`PROFILE_COLUMNS` — ``wall_time_s``, ``worker_id``, ``batch_size``,
+  ``vector_path`` and ``queue_backend`` (which transport delivered the row:
+  ``local`` for in-process campaigns, ``file`` / ``http`` for queue-backed
+  workers), recorded by the campaign engine for profiling, plus the
   :data:`DERIVED_PROFILE_COLUMNS` (``macs_total``, ``flips_total``,
   ``energy_model_j``) — per-row analytics denormalized from the result
   columns, so sidecar consumers need no re-derivation.  Profile columns are
@@ -129,6 +131,7 @@ class RunRecord:
     worker_id: str = ""
     batch_size: int = 0
     vector_path: str = ""
+    queue_backend: str = ""
 
     # ------------------------------------------------------------------
     def planner_macs_by_voltage(self) -> dict[float, float]:
@@ -214,7 +217,8 @@ DERIVED_PROFILE_COLUMNS: tuple[str, ...] = ("macs_total", "flips_total",
 #: Execution-profile columns (machine-dependent or derived; excluded from
 #: canonical files).
 PROFILE_COLUMNS: tuple[str, ...] = ("wall_time_s", "worker_id", "batch_size",
-                                    "vector_path") + DERIVED_PROFILE_COLUMNS
+                                    "vector_path",
+                                    "queue_backend") + DERIVED_PROFILE_COLUMNS
 
 #: Deterministic measurement columns — the canonical on-disk format.
 RESULT_COLUMNS: tuple[str, ...] = tuple(c for c in _FIELD_COLUMNS
@@ -224,11 +228,14 @@ RESULT_COLUMNS: tuple[str, ...] = tuple(c for c in _FIELD_COLUMNS
 COLUMNS: tuple[str, ...] = RESULT_COLUMNS + PROFILE_COLUMNS
 
 #: Profile headers of earlier releases — before ``batch_size``/``vector_path``
-#: existed, and before the derived columns existed; still accepted on read so
-#: old sidecars keep loading (and being appended to) unchanged.
+#: existed, before the derived columns existed, and before ``queue_backend``
+#: existed; still accepted on read so old sidecars keep loading (and being
+#: appended to) unchanged.
 _LEGACY_PROFILE_HEADERS: tuple[tuple[str, ...], ...] = (
     RESULT_COLUMNS + ("wall_time_s", "worker_id"),
     RESULT_COLUMNS + ("wall_time_s", "worker_id", "batch_size", "vector_path"),
+    RESULT_COLUMNS + ("wall_time_s", "worker_id", "batch_size", "vector_path",
+                      "macs_total", "flips_total", "energy_model_j"),
 )
 
 _ACCEPTED_HEADERS: tuple[tuple[str, ...], ...] = (

@@ -46,6 +46,7 @@ from __future__ import annotations
 import json
 import os
 import socket
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -63,7 +64,7 @@ from .shard import cell_shard_index
 
 __all__ = ["CampaignPlan", "WorkQueue", "ClaimedTask", "WorkerDaemon",
            "WorkerStats", "MergedTable", "merge_run_tables",
-           "spec_to_dict", "spec_from_dict",
+           "spec_to_dict", "spec_from_dict", "task_from_dict",
            "protection_to_dict", "protection_from_dict"]
 
 PLAN_FORMAT = "repro-create-plan-v1"
@@ -323,6 +324,39 @@ class ClaimedTask:
     cells: list[_Cell]
 
 
+def task_from_dict(data: Mapping, lease_path: Path) -> ClaimedTask:
+    """Rebuild a claimed task from its task-file payload.
+
+    Shared by the file-backed queue (which reads the payload from the lease
+    file it just renamed) and the HTTP queue client (which receives the same
+    payload over the wire; its ``lease_path`` is a placeholder — ownership
+    lives server-side).
+    """
+    if data.get("format") != TASK_FORMAT:
+        raise ValueError(f"not a task payload (format={data.get('format')!r})")
+    specs: dict[str, TrialSpec] = {}
+    for key, spec_data in data["specs"].items():
+        spec = spec_from_dict(spec_data)
+        if spec.key() != key:
+            raise ValueError(
+                f"task {data['task_id']} declares spec key {key} but its "
+                f"spec deserializes to {spec.key()}; the task file is "
+                "corrupt or was produced by an incompatible version")
+        specs[key] = spec
+    cells = []
+    for key, seed, trial_index in data["cells"]:
+        spec = specs[key]
+        cells.append(_Cell(
+            spec_key=key, condition=spec.condition, system=spec.system,
+            task=spec.task, seed=seed, trial_index=trial_index,
+            planner_protection=spec.planner_protection,
+            controller_protection=spec.controller_protection,
+            params=spec.params_json()))
+    return ClaimedTask(task_id=data["task_id"], plan_name=data["plan"],
+                       plan_hash=data["plan_hash"], lease_path=lease_path,
+                       cells=cells)
+
+
 @dataclass
 class EnqueueReport:
     """What :meth:`WorkQueue.enqueue` did for one plan."""
@@ -355,11 +389,28 @@ class WorkQueue:
     succeeds, the losers see ``FileNotFoundError`` and move on.
     """
 
+    #: Transport label stamped into the ``queue_backend`` profile column of
+    #: rows executed against this queue (``http`` for the service client).
+    backend = "file"
+
     def __init__(self, root: str | Path, lease_ttl: float = 120.0):
         if lease_ttl <= 0:
             raise ValueError("lease_ttl must be positive")
         self.root = Path(root)
         self.lease_ttl = lease_ttl
+        # Last lease mtime this *instance* observed (claim and reclaim scans).
+        # A lease whose mtime advanced since the previous observation is being
+        # heartbeaten right now, even when the absolute mtime lags wall-clock
+        # (worker clock skew) — reclaiming it would steal live work.
+        self._observed_mtimes: dict[str, float] = {}
+        # Sorted pending task names, maintained across claims so a deep
+        # queue is not re-listed and re-sorted on every claim (the O(n)
+        # scan dominates claim latency under the HTTP service).  May go
+        # stale when other processes touch the queue: stale names drop out
+        # when their rename fails, and an exhausted cache forces a rescan,
+        # so correctness never depends on it.
+        self._pending_cache: list[str] | None = None
+        self._cache_lock = threading.Lock()
         self.plans_dir = self.root / "plans"
         self.tasks_dir = self.root / "tasks"
         self.leases_dir = self.root / "leases"
@@ -453,47 +504,96 @@ class WorkQueue:
             })
             report.new_tasks += 1
             report.enqueued_cells += len(chunk)
+        if report.new_tasks:
+            self._invalidate_pending()
         return report
 
     # -- worker side ---------------------------------------------------
     def _parse_task(self, path: Path) -> ClaimedTask:
-        data = json.loads(path.read_text())
-        if data.get("format") != TASK_FORMAT:
-            raise ValueError(f"{path} is not a task file "
-                             f"(format={data.get('format')!r})")
-        specs: dict[str, TrialSpec] = {}
-        for key, spec_data in data["specs"].items():
-            spec = spec_from_dict(spec_data)
-            if spec.key() != key:
-                raise ValueError(
-                    f"task {data['task_id']} declares spec key {key} but its "
-                    f"spec deserializes to {spec.key()}; the task file is "
-                    "corrupt or was produced by an incompatible version")
-            specs[key] = spec
-        cells = []
-        for key, seed, trial_index in data["cells"]:
-            spec = specs[key]
-            cells.append(_Cell(
-                spec_key=key, condition=spec.condition, system=spec.system,
-                task=spec.task, seed=seed, trial_index=trial_index,
-                planner_protection=spec.planner_protection,
-                controller_protection=spec.controller_protection,
-                params=spec.params_json()))
-        return ClaimedTask(task_id=data["task_id"], plan_name=data["plan"],
-                           plan_hash=data["plan_hash"], lease_path=path,
-                           cells=cells)
+        return task_from_dict(json.loads(path.read_text()), path)
 
-    def claim(self, worker_id: str = "") -> ClaimedTask | None:
+    def _plan_prefixes(self) -> dict[str, str]:
+        """task-id prefix (``plan_hash[:8]``) -> plan name, for every plan."""
+        return {plan.plan_hash()[:8]: plan.name for plan in self.plans()}
+
+    def pending_by_plan(self) -> dict[str, int]:
+        """Pending task count per plan name (the work-stealing depth signal)."""
+        prefixes = self._plan_prefixes()
+        counts = {name: 0 for name in prefixes.values()}
+        for task_id in self.pending_ids():
+            name = prefixes.get(task_id.split("-", 1)[0])
+            if name is not None:
+                counts[name] += 1
+        return counts
+
+    def claim(self, worker_id: str = "",
+              prefer_plan: str | None = None) -> ClaimedTask | None:
         """Atomically claim one pending task, or return None.
 
         The claim is the rename into ``leases/``: losing a race surfaces as
         ``FileNotFoundError`` and the next candidate is tried.  The lease
         file's mtime starts the heartbeat clock; an ``.owner.json`` sidecar
-        records who holds it (purely informational — ownership is the lease
+        records who claimed it (purely informational — ownership is the lease
         file itself).
+
+        ``prefer_plan`` implements work stealing across co-queued campaigns:
+        tasks of the named plan are tried first, and once that plan is
+        drained the remaining candidates are tried deepest-backlog-first, so
+        an idle worker steals from the plan with the most pending work.
         """
-        for candidate in sorted(self.tasks_dir.glob("*.json")):
-            lease = self.leases_dir / candidate.name
+        with self._cache_lock:
+            candidates = self._pending_cache
+            fresh = not candidates
+            if fresh:
+                candidates = self._scan_pending()
+            while True:
+                task = self._claim_from(candidates, worker_id, prefer_plan)
+                if task is not None:
+                    return task
+                if fresh:
+                    return None
+                # Every cached name was stale (claimed elsewhere or the
+                # queue was cleared behind us): rescan the directory once.
+                candidates = self._scan_pending()
+                fresh = True
+
+    def _scan_pending(self) -> list[str]:
+        """(Re)build the pending-name cache from the tasks directory.
+
+        listdir + plain-string sort, not ``sorted(glob())``: claim runs
+        once per task per worker, and on a deep queue sorting Path objects
+        (and glob's per-entry fnmatch) costs ~2ms per call — an order of
+        magnitude more than the rename itself.  Name order and path order
+        are the same order.
+        """
+        self._pending_cache = sorted(name
+                                     for name in os.listdir(self.tasks_dir)
+                                     if name.endswith(".json"))
+        return self._pending_cache
+
+    def _invalidate_pending(self) -> None:
+        """Drop the pending-name cache (new or re-queued tasks appeared)."""
+        with self._cache_lock:
+            self._pending_cache = None
+
+    def _claim_from(self, candidates: list[str], worker_id: str,
+                    prefer_plan: str | None) -> ClaimedTask | None:
+        """Try candidates in claim order; prune tried names from the cache."""
+        order = candidates
+        if prefer_plan is not None and candidates:
+            prefixes = self._plan_prefixes()
+            depth: dict[str | None, int] = {}
+            names = {}
+            for filename in candidates:
+                name = prefixes.get(filename.split("-", 1)[0])
+                names[filename] = name
+                depth[name] = depth.get(name, 0) + 1
+            order = sorted(candidates, key=lambda filename: (
+                names[filename] != prefer_plan, -depth[names[filename]],
+                filename))
+        for filename in list(order):
+            candidate = self.tasks_dir / filename
+            lease = self.leases_dir / filename
             try:
                 # Freshen the mtime BEFORE the rename makes the lease visible
                 # to reclaimers: a task file keeps its enqueue-time mtime, so
@@ -503,7 +603,9 @@ class WorkQueue:
                 os.utime(candidate)
                 os.rename(candidate, lease)
             except FileNotFoundError:
-                continue  # another worker won this task; try the next
+                candidates.remove(filename)  # no longer pending; forget it
+                continue
+            candidates.remove(filename)
             try:
                 task = self._parse_task(lease)
             except FileNotFoundError:
@@ -511,6 +613,10 @@ class WorkQueue:
             _atomic_write_json(lease.with_suffix(".owner.json"), {
                 "worker": worker_id, "host": socket.gethostname(),
                 "pid": os.getpid(), "claimed_at": time.time()})
+            try:
+                self._observed_mtimes[lease.name] = lease.stat().st_mtime
+            except FileNotFoundError:
+                pass
             return task
         return None
 
@@ -538,6 +644,7 @@ class WorkQueue:
         except FileNotFoundError:
             return False
         task.lease_path.with_suffix(".owner.json").unlink(missing_ok=True)
+        self._observed_mtimes.pop(task.lease_path.name, None)
         return True
 
     def fail(self, task: ClaimedTask) -> None:
@@ -547,6 +654,7 @@ class WorkQueue:
         except FileNotFoundError:
             return
         task.lease_path.with_suffix(".owner.json").unlink(missing_ok=True)
+        self._observed_mtimes.pop(task.lease_path.name, None)
 
     def reclaim_expired(self, now: float | None = None) -> list[str]:
         """Re-queue every lease whose heartbeat is older than the TTL.
@@ -554,24 +662,42 @@ class WorkQueue:
         Any process may call this (workers do, each loop iteration); the
         rename back into ``tasks/`` is atomic, so concurrent reclaimers
         cannot duplicate a task.
+
+        Absolute age is not the whole story: a worker whose clock lags
+        wall-clock heartbeats mtimes that *look* expired to everyone else.
+        A lease whose mtime **advanced** since this instance last observed
+        it is therefore treated as live regardless of age — heartbeats only
+        ever move the mtime forward, so forward motion proves a beating
+        worker.  A frozen (or rewound) mtime older than the TTL is
+        reclaimed exactly as before.  The guard is per-instance memory: a
+        freshly started reclaimer falls back to pure absolute age until its
+        first scan of each lease.
         """
         now = time.time() if now is None else now
         reclaimed = []
+        observed = self._observed_mtimes
         for lease in self.leases_dir.glob("*.json"):
             if lease.name.endswith(".owner.json"):
                 continue
             try:
-                age = now - lease.stat().st_mtime
+                mtime = lease.stat().st_mtime
             except FileNotFoundError:
                 continue
-            if age <= self.lease_ttl:
+            last = observed.get(lease.name)
+            observed[lease.name] = mtime
+            if now - mtime <= self.lease_ttl:
                 continue
+            if last is not None and mtime > last:
+                continue  # heartbeat advanced since last scan: live, skewed
             try:
                 os.rename(lease, self.tasks_dir / lease.name)
             except FileNotFoundError:
                 continue  # completed or reclaimed by someone else just now
             lease.with_suffix(".owner.json").unlink(missing_ok=True)
+            observed.pop(lease.name, None)
             reclaimed.append(lease.stem)
+        if reclaimed:
+            self._invalidate_pending()  # the re-queued tasks are pending again
         return reclaimed
 
     # -- introspection -------------------------------------------------
@@ -605,6 +731,22 @@ class WorkQueue:
         safe = "".join(c if c.isalnum() or c in "-_." else "-" for c in worker_id)
         return self.results_dir / safe
 
+    def result_writers(self, worker_id: str,
+                       plan_name: str) -> list[RunTableWriter]:
+        """Streamed result sinks for one worker's rows of one plan.
+
+        Profile sidecar first (same crash-ordering argument as the campaign
+        engine: a cell with a canonical row but no profile row would stay
+        unprofiled forever; the reverse self-heals).  This is the seam a
+        network-backed queue (``repro.eval.service.QueueClient``) replaces
+        with writers that stream rows over the wire — the daemon only ever
+        calls ``write``/``flush``/``close`` on what this returns.
+        """
+        out = self.result_dir(worker_id)
+        return [RunTableWriter(out / "profiles" / f"{plan_name}.csv",
+                               profile=True),
+                RunTableWriter(out / f"{plan_name}.csv")]
+
 
 # ----------------------------------------------------------------------
 # Worker daemon
@@ -616,6 +758,7 @@ class WorkerStats:
     worker_id: str
     tasks_completed: int = 0
     tasks_lost: int = 0  # finished after the lease was reclaimed
+    tasks_stolen: int = 0  # claimed from outside this worker's plan affinity
     cells_executed: int = 0
     leases_reclaimed: int = 0  # expired leases this worker re-queued
     rows_by_plan: dict[str, int] = field(default_factory=dict)
@@ -627,7 +770,9 @@ class WorkerStats:
                  + (f"; re-queued {self.leases_reclaimed} expired leases"
                     if self.leases_reclaimed else "")
                  + (f"; {self.tasks_lost} tasks finished after lease loss"
-                    if self.tasks_lost else "")]
+                    if self.tasks_lost else "")
+                 + (f"; stole {self.tasks_stolen} tasks from other plans"
+                    if self.tasks_stolen else "")]
         for plan, rows in sorted(self.rows_by_plan.items()):
             lines.append(f"  {plan}: {rows} rows streamed")
         return "\n".join(lines)
@@ -658,6 +803,15 @@ class WorkerDaemon:
     max_tasks:
         Stop claiming after this many tasks (in-flight work still
         completes); ``None`` is unlimited.
+    plan_affinity:
+        Prefer tasks of this plan; once it drains, steal from the deepest
+        co-queued plan (``WorkQueue.claim``'s ``prefer_plan`` ordering).
+        Stolen tasks are counted in :attr:`WorkerStats.tasks_stolen`.
+    retry_attempts / retry_delay:
+        Transient queue I/O errors (a flaky NFS mount, a briefly
+        unreachable campaign service) are retried with exponential backoff
+        — ``retry_attempts`` tries starting ``retry_delay`` seconds apart,
+        doubling — before the error propagates.
     """
 
     def __init__(self, queue: WorkQueue | str | Path, jobs: int = 1,
@@ -665,10 +819,18 @@ class WorkerDaemon:
                  heartbeat_interval: float | None = None,
                  poll_interval: float = 1.0, wait: bool = False,
                  max_tasks: int | None = None,
+                 plan_affinity: str | None = None,
+                 retry_attempts: int = 5, retry_delay: float = 0.1,
                  log: Callable[[str], None] | None = None):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
-        self.queue = queue if isinstance(queue, WorkQueue) else WorkQueue(queue)
+        if retry_attempts < 1:
+            raise ValueError("retry_attempts must be >= 1")
+        # A path means the file backend; anything else (a WorkQueue, a
+        # service QueueClient) is taken as-is — the daemon only relies on
+        # the shared queue method surface.
+        self.queue = WorkQueue(queue) if isinstance(queue, (str, Path)) \
+            else queue
         self.jobs = jobs
         self.worker_id = worker_id or default_worker_id()
         self.heartbeat_interval = (heartbeat_interval
@@ -676,35 +838,73 @@ class WorkerDaemon:
         self.poll_interval = poll_interval
         self.wait = wait
         self.max_tasks = max_tasks
+        self.plan_affinity = plan_affinity
+        self.retry_attempts = retry_attempts
+        self.retry_delay = retry_delay
         self._log = log or (lambda message: None)
         self._writers: dict[str, list[RunTableWriter]] = {}
+        self._shutdown = False
 
     # ------------------------------------------------------------------
+    def request_shutdown(self, signum=None, frame=None) -> None:
+        """Finish in-flight work, release leases cleanly, then stop.
+
+        Installed as the SIGTERM handler for the duration of :meth:`run`:
+        a terminated worker completes the batches it holds (streaming their
+        rows) instead of abandoning leases to TTL reclamation, and exits 0.
+        """
+        self._shutdown = True
+
+    def _retrying(self, operation: Callable, *args):
+        """Run a queue operation, retrying transient I/O errors with backoff.
+
+        Protocol-meaningful outcomes (losing a claim race, a reclaimed
+        lease) are handled *inside* the queue methods; what reaches here is
+        infrastructure failure — which for both the file backend (OSError)
+        and the HTTP backend (URLError is an OSError) shares one type.
+        """
+        delay = self.retry_delay
+        for attempt in range(self.retry_attempts):
+            try:
+                return operation(*args)
+            except OSError as error:
+                if attempt == self.retry_attempts - 1:
+                    raise
+                self._log(f"queue I/O error ({error}); retrying in "
+                          f"{delay:.1f}s ({attempt + 1}/{self.retry_attempts})")
+                time.sleep(delay)
+                delay *= 2
+
     def _writers_for(self, plan_name: str) -> list[RunTableWriter]:
         writers = self._writers.get(plan_name)
         if writers is None:
-            out = self.queue.result_dir(self.worker_id)
-            # Profile sidecar first (same crash-ordering argument as the
-            # campaign engine: a cell with a canonical row but no profile
-            # row would stay unprofiled forever; the reverse self-heals).
-            writers = [RunTableWriter(out / "profiles" / f"{plan_name}.csv",
-                                      profile=True),
-                       RunTableWriter(out / f"{plan_name}.csv")]
+            writers = self.queue.result_writers(self.worker_id, plan_name)
             self._writers[plan_name] = writers
         return writers
 
     def _write(self, task: ClaimedTask, records, stats: WorkerStats) -> None:
+        from dataclasses import replace
+
+        backend = getattr(self.queue, "backend", "file")
+        records = [replace(record, queue_backend=backend)
+                   for record in records]
         writers = self._writers_for(task.plan_name)
         for record in records:
             for writer in writers:
                 writer.write(record)
+        # Buffering writers (the HTTP row stream) must be durable before the
+        # task settles into done/; the file-backed writers flush per row.
+        for writer in writers:
+            flush = getattr(writer, "flush", None)
+            if flush is not None:
+                self._retrying(flush)
         stats.cells_executed += len(records)
         stats.rows_by_plan[task.plan_name] = (
             stats.rows_by_plan.get(task.plan_name, 0) + len(records))
 
     def _settle(self, task: ClaimedTask, stats: WorkerStats) -> None:
         """Rows are flushed; move the lease to done (or note it was lost)."""
-        if self.queue.complete(task):
+        if self._retrying(self.queue.complete, task):
             stats.tasks_completed += 1
             self._log(f"task {task.task_id}: {len(task.cells)} cells done")
         else:
@@ -718,7 +918,7 @@ class WorkerDaemon:
         try:
             for cell in task.cells:
                 records.extend(_pool_run_batch((cell,)))
-                self.queue.heartbeat(task)
+                self._retrying(self.queue.heartbeat, task)
         except BaseException:
             # Same contract as the pool path: park the task in failed/ so a
             # deterministically crashing batch is not reclaimed and retried
@@ -733,25 +933,41 @@ class WorkerDaemon:
         """Drain the queue; returns once there is nothing left to do."""
         import concurrent.futures
         import multiprocessing
+        import signal
+        import threading
 
         stats = WorkerStats(worker_id=self.worker_id)
         started = time.perf_counter()
         pool = None
         inflight: dict[concurrent.futures.Future, ClaimedTask] = {}
         claimed = 0
+        previous_handler = None
+        in_main_thread = threading.current_thread() is threading.main_thread()
+        if in_main_thread:
+            previous_handler = signal.signal(signal.SIGTERM,
+                                             self.request_shutdown)
         self._log(f"worker {self.worker_id} starting on {self.queue.root} "
                   f"(jobs={self.jobs}, lease_ttl={self.queue.lease_ttl:g}s)")
         try:
             while True:
-                stats.leases_reclaimed += len(self.queue.reclaim_expired())
-                while (len(inflight) < self.jobs
+                stats.leases_reclaimed += len(
+                    self._retrying(self.queue.reclaim_expired))
+                while (not self._shutdown
+                       and len(inflight) < self.jobs
                        and (self.max_tasks is None or claimed < self.max_tasks)):
-                    task = self.queue.claim(self.worker_id)
+                    task = self._retrying(self.queue.claim, self.worker_id,
+                                          self.plan_affinity)
                     if task is None:
                         break
                     claimed += 1
+                    stolen = (self.plan_affinity is not None
+                              and task.plan_name != self.plan_affinity)
+                    if stolen:
+                        stats.tasks_stolen += 1
                     self._log(f"task {task.task_id}: claimed "
-                              f"({len(task.cells)} cells, plan {task.plan_name})")
+                              f"({len(task.cells)} cells, plan {task.plan_name}"
+                              + (", stolen from deepest queue)" if stolen
+                                 else ")"))
                     if self.jobs == 1:
                         self._run_inline(task, stats)
                         continue
@@ -768,7 +984,7 @@ class WorkerDaemon:
                     done, _ = concurrent.futures.wait(
                         inflight, timeout=self.heartbeat_interval,
                         return_when=concurrent.futures.FIRST_COMPLETED)
-                    self.queue.heartbeat(inflight.values())
+                    self._retrying(self.queue.heartbeat, list(inflight.values()))
                     for future in done:
                         task = inflight.pop(future)
                         try:
@@ -779,6 +995,10 @@ class WorkerDaemon:
                         self._write(task, records, stats)
                         self._settle(task, stats)
                     continue
+                if self._shutdown:
+                    self._log(f"worker {self.worker_id}: shutdown requested; "
+                              "in-flight work settled, exiting cleanly")
+                    break
                 if self.max_tasks is not None and claimed >= self.max_tasks:
                     break
                 if self.queue.pending_ids():
@@ -793,6 +1013,8 @@ class WorkerDaemon:
                 pool.shutdown(wait=False, cancel_futures=True)
             raise
         finally:
+            if in_main_thread:
+                signal.signal(signal.SIGTERM, previous_handler)
             for writers in self._writers.values():
                 for writer in writers:
                     writer.close()

@@ -1,0 +1,638 @@
+"""Network-backed campaign service: the work-queue protocol over HTTP/JSON.
+
+The PR 4 scheduler scales campaigns across processes and hosts that share a
+filesystem: atomic-rename task claims, mtime-heartbeat leases, streamed
+per-worker run tables (:mod:`repro.eval.scheduler`).  This module lifts that
+exact protocol onto the network without changing a byte of its semantics:
+
+:class:`CampaignService`
+    A stdlib-only (``http.server.ThreadingHTTPServer``) HTTP/JSON front-end
+    over a server-side :class:`~repro.eval.scheduler.WorkQueue` directory.
+    Every endpoint delegates to the corresponding queue method, so claim
+    races, lease expiry, reclamation, idempotent enqueue, and the merge all
+    behave identically whether a worker sits on the same filesystem or on
+    the other side of a socket.  Result rows stream back over the wire and
+    are appended server-side through the same
+    :class:`~repro.eval.runtable.RunTableWriter` pair a local worker uses —
+    which is what makes the central invariant hold: **a table merged from
+    any mix of HTTP workers, autoscaled workers, and stolen tasks is
+    byte-identical to the single-host serial table.**
+
+:class:`QueueClient`
+    The worker-side counterpart: implements the :class:`WorkQueue` method
+    surface (``claim`` / ``heartbeat`` / ``complete`` / ``fail`` /
+    ``reclaim_expired`` / ``result_writers`` / introspection) over
+    keep-alive ``http.client`` connections, so
+    :class:`~repro.eval.scheduler.WorkerDaemon` takes either backend
+    through one ``queue=`` argument — the CLI exposes it as
+    ``worker --queue-url``.
+
+:class:`AutoScaler`
+    Spawns and retires local worker processes against a service from the
+    observed queue depth and drain rate.  Retirement is a SIGTERM, which a
+    worker handles by finishing its in-flight batch and exiting cleanly.
+
+Wire format: JSON bodies both ways; task payloads are the task-file
+documents of ``docs/runtable-schema.md`` verbatim; result rows are the
+stored :class:`~repro.eval.runtable.RunRecord` fields.  See the "Campaign
+service" section of ``docs/campaigns.md`` for the endpoint table.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import math
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.parse
+from dataclasses import asdict, dataclass, fields
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Callable, Iterable
+
+from .runtable import RunRecord, RunTableWriter
+from .scheduler import (CampaignPlan, ClaimedTask, EnqueueReport, WorkQueue,
+                        task_from_dict)
+
+__all__ = ["CampaignService", "QueueClient", "AutoScaler", "ServiceError",
+           "SERVICE_FORMAT"]
+
+SERVICE_FORMAT = "repro-create-service-v1"
+
+#: Stored RunRecord field names, in declaration order (the row wire format).
+_RECORD_FIELDS = tuple(f.name for f in fields(RunRecord))
+
+
+class ServiceError(RuntimeError):
+    """A campaign-service response reported a protocol-level problem."""
+
+
+# ----------------------------------------------------------------------
+# Server
+# ----------------------------------------------------------------------
+@dataclass
+class _LeaseRef:
+    """Just enough of a ClaimedTask for id-addressed complete/fail/heartbeat."""
+
+    task_id: str
+    lease_path: Path
+
+
+class CampaignService:
+    """HTTP/JSON front-end over a server-side :class:`WorkQueue`.
+
+    The service owns the queue directory; clients never touch the
+    filesystem.  All state transitions remain single atomic renames inside
+    the queue, so the threading server needs no locking around them — only
+    the streamed-row writers are serialized (append order within one
+    worker's table is irrelevant to the merge, but the csv writer itself is
+    not thread-safe).
+
+    Parameters
+    ----------
+    root:
+        Queue directory (created if missing) — the same layout ``worker
+        --queue`` uses, so a service can adopt an existing file-backed
+        queue and vice versa.
+    host / port:
+        Bind address; port 0 picks an ephemeral port (see :attr:`url`).
+    lease_ttl:
+        Heartbeat TTL of the underlying queue.
+    log:
+        Optional per-request logger (method, path, status).
+    """
+
+    def __init__(self, root: str | Path, host: str = "127.0.0.1",
+                 port: int = 0, lease_ttl: float = 120.0,
+                 log: Callable[[str], None] | None = None):
+        self.queue = WorkQueue(root, lease_ttl=lease_ttl)
+        self._log = log
+        self._writers: dict[tuple[str, str], list[RunTableWriter]] = {}
+        self._writer_lock = threading.Lock()
+        self._rows_written = 0
+        service = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+            # Buffered response writes + no Nagle: with keep-alive clients,
+            # the default unbuffered status/header writes become a stream of
+            # tiny packets whose Nagle/delayed-ACK interaction stalls every
+            # exchange by ~40ms — two orders of magnitude over the actual
+            # request cost.
+            wbufsize = -1
+            disable_nagle_algorithm = True
+
+            def log_message(self, fmt, *args):  # quiet by default
+                if service._log is not None:
+                    service._log(f"{self.address_string()} {fmt % args}")
+
+            def _reply(self, status: int, payload: dict) -> None:
+                body = json.dumps(payload).encode()
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def _body(self) -> dict:
+                length = int(self.headers.get("Content-Length", 0))
+                if not length:
+                    return {}
+                return json.loads(self.rfile.read(length))
+
+            def do_GET(self):
+                try:
+                    payload = service._get(self.path)
+                except KeyError:
+                    self._reply(404, {"error": f"no such endpoint {self.path}"})
+                except Exception as error:  # surfaced to the client
+                    self._reply(500, {"error": str(error)})
+                else:
+                    self._reply(200, payload)
+
+            def do_POST(self):
+                try:
+                    payload = service._post(self.path, self._body())
+                except KeyError:
+                    self._reply(404, {"error": f"no such endpoint {self.path}"})
+                except (ValueError, TypeError) as error:
+                    self._reply(400, {"error": str(error)})
+                except Exception as error:
+                    self._reply(500, {"error": str(error)})
+                else:
+                    self._reply(200, payload)
+
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._server.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def url(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "CampaignService":
+        """Serve in a daemon thread; returns self (``with``-style usage)."""
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="campaign-service", daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the ``repro-create serve`` path)."""
+        self._server.serve_forever()
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        with self._writer_lock:
+            for writers in self._writers.values():
+                for writer in writers:
+                    writer.close()
+            self._writers.clear()
+
+    def __enter__(self) -> "CampaignService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- dispatch ------------------------------------------------------
+    def _get(self, path: str) -> dict:
+        path = path.split("?", 1)[0].rstrip("/")
+        if path == "/api/config":
+            return {"format": SERVICE_FORMAT,
+                    "lease_ttl": self.queue.lease_ttl,
+                    "root": str(self.queue.root)}
+        if path == "/api/plans":
+            return {"plans": [plan.to_dict() for plan in self.queue.plans()]}
+        if path == "/api/counts":
+            counts = self.queue.counts()
+            counts["pending_by_plan"] = self.queue.pending_by_plan()
+            return counts
+        if path == "/api/ids":
+            return {"pending": self.queue.pending_ids(),
+                    "leased": self.queue.lease_ids()}
+        if path == "/api/progress":
+            return {"plans": self._progress(), "rows_written": self._rows_written}
+        raise KeyError(path)
+
+    def _post(self, path: str, body: dict) -> dict:
+        path = path.rstrip("/")
+        if path == "/api/plans":
+            report = self.queue.enqueue(
+                CampaignPlan.from_dict(body["plan"]), batch=body.get("batch"))
+            return asdict(report)
+        if path == "/api/claim":
+            task = self.queue.claim(body.get("worker_id", ""),
+                                    prefer_plan=body.get("prefer_plan"))
+            if task is None:
+                return {"task": None}
+            # Return the task-file payload verbatim: the client re-parses it
+            # through the same codec the file backend uses.
+            return {"task": json.loads(task.lease_path.read_text())}
+        if path == "/api/heartbeat":
+            renewed = []
+            for task_id in body.get("task_ids", ()):
+                lease = self.queue.leases_dir / f"{task_id}.json"
+                try:
+                    os.utime(lease)
+                except FileNotFoundError:
+                    continue  # reclaimed; the worker learns at complete()
+                renewed.append(task_id)
+            return {"renewed": renewed}
+        if path == "/api/complete":
+            task_id = body["task_id"]
+            ref = _LeaseRef(task_id, self.queue.leases_dir / f"{task_id}.json")
+            return {"completed": self.queue.complete(ref)}
+        if path == "/api/fail":
+            task_id = body["task_id"]
+            ref = _LeaseRef(task_id, self.queue.leases_dir / f"{task_id}.json")
+            self.queue.fail(ref)
+            return {}
+        if path == "/api/reclaim":
+            return {"reclaimed": self.queue.reclaim_expired()}
+        if path == "/api/rows":
+            return {"written": self._write_rows(
+                body["worker_id"], body["plan"], body.get("records", ()))}
+        raise KeyError(path)
+
+    # -- helpers -------------------------------------------------------
+    def _write_rows(self, worker_id: str, plan_name: str,
+                    records: Iterable[dict]) -> int:
+        """Append streamed rows through the standard writer pair.
+
+        Rows land in ``results/<worker_id>/`` exactly as a filesystem
+        worker's would — profile sidecar first, canonical second, one flush
+        per row — so the merge step cannot tell the transports apart.
+        """
+        rows = [RunRecord(**{name: record[name] for name in _RECORD_FIELDS
+                             if name in record}) for record in records]
+        key = (worker_id, plan_name)
+        with self._writer_lock:
+            writers = self._writers.get(key)
+            if writers is None:
+                writers = self.queue.result_writers(worker_id, plan_name)
+                self._writers[key] = writers
+            for row in rows:
+                for writer in writers:
+                    writer.write(row)
+            self._rows_written += len(rows)
+        return len(rows)
+
+    def _progress(self) -> list[dict]:
+        """Per-plan merge progress: grid size vs rows streamed so far."""
+        progress = []
+        counts = self.queue.pending_by_plan()
+        for plan in self.queue.plans():
+            rows = 0
+            for table in self.queue.results_dir.glob(f"*/{plan.name}.csv"):
+                with open(table) as handle:
+                    rows += max(0, sum(1 for _ in handle) - 1)
+            progress.append({"plan": plan.name,
+                             "plan_hash": plan.plan_hash(),
+                             "total_cells": plan.total_cells,
+                             "rows_streamed": rows,
+                             "pending_tasks": counts.get(plan.name, 0)})
+        return progress
+
+
+# ----------------------------------------------------------------------
+# Client
+# ----------------------------------------------------------------------
+class _HttpRowWriter:
+    """Buffered row stream to ``POST /api/rows``.
+
+    Quacks like :class:`RunTableWriter` for the daemon (``write`` /
+    ``close``) plus an explicit ``flush`` the daemon calls before settling
+    a task into ``done/`` — rows must be durable server-side before the
+    lease is released, or a crash between the two could strand a hole.
+    """
+
+    def __init__(self, client: "QueueClient", worker_id: str, plan_name: str,
+                 flush_every: int = 256):
+        self._client = client
+        self._worker_id = worker_id
+        self._plan_name = plan_name
+        self._flush_every = flush_every
+        self._pending: list[dict] = []
+
+    def write(self, record: RunRecord) -> None:
+        self._pending.append(asdict(record))
+        if len(self._pending) >= self._flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._pending:
+            return
+        self._client._request("/api/rows", {
+            "worker_id": self._worker_id, "plan": self._plan_name,
+            "records": self._pending})
+        self._pending = []
+
+    def close(self) -> None:
+        self.flush()
+
+
+class QueueClient:
+    """:class:`WorkQueue`-shaped client of a :class:`CampaignService`.
+
+    Implements the full worker-facing queue surface over HTTP, so
+    ``WorkerDaemon(QueueClient(url))`` behaves exactly like
+    ``WorkerDaemon(WorkQueue(root))`` — one ``queue_url=`` knob switches a
+    fleet between shared-filesystem and networked operation.  Connection
+    failures surface as :class:`OSError`, which the daemon retries with
+    backoff.
+    """
+
+    backend = "http"
+
+    def __init__(self, url: str, timeout: float = 30.0):
+        self.url = url.rstrip("/")
+        parts = urllib.parse.urlsplit(self.url)
+        if parts.scheme != "http" or not parts.hostname:
+            raise ServiceError(f"need an http://host:port URL, got {url!r}")
+        self._address = (parts.hostname, parts.port or 80)
+        self.timeout = timeout
+        self._local = threading.local()
+        config = self._request("/api/config")
+        if config.get("format") != SERVICE_FORMAT:
+            raise ServiceError(
+                f"{url} is not a campaign service (format="
+                f"{config.get('format')!r}, expected {SERVICE_FORMAT!r})")
+        self.lease_ttl = float(config["lease_ttl"])
+        #: Printable origin, mirroring ``WorkQueue.root`` in daemon logs.
+        self.root = self.url
+
+    # -- transport -----------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        """One keep-alive connection per thread.
+
+        A worker performs thousands of small requests per campaign; paying
+        a TCP connect — and, against :class:`ThreadingHTTPServer`, a fresh
+        server thread — for each one roughly triples round-trip latency.
+        Connections are thread-local because ``http.client`` serializes
+        request/response pairs per connection.
+        """
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = http.client.HTTPConnection(*self._address,
+                                                    timeout=self.timeout)
+            connection.connect()
+            # Request headers and body go out as separate writes; without
+            # TCP_NODELAY, Nagle holds the second one until the server ACKs
+            # the first (~40ms on loopback with delayed ACKs).
+            connection.sock.setsockopt(socket.IPPROTO_TCP,
+                                       socket.TCP_NODELAY, 1)
+            self._local.connection = connection
+        return connection
+
+    def _request(self, path: str, payload: dict | None = None) -> dict:
+        body = None if payload is None else json.dumps(payload).encode()
+        method = "GET" if payload is None else "POST"
+        for attempt in (1, 2):
+            connection = self._connection()
+            try:
+                connection.request(method, path, body=body,
+                                   headers={"Content-Type": "application/json"})
+                response = connection.getresponse()
+                data = response.read()
+                break
+            except (http.client.HTTPException, OSError) as error:
+                # A dropped keep-alive connection (server restart, idle
+                # timeout) surfaces here; reconnect once before giving up
+                # to the daemon's own retry-with-backoff.  HTTPException is
+                # not an OSError, so normalize — the daemon retries OSError.
+                connection.close()
+                self._local.connection = None
+                if attempt == 2:
+                    if isinstance(error, OSError):
+                        raise
+                    raise ConnectionError(
+                        f"{method} {path}: {error}") from error
+        if response.status >= 400:
+            # 4xx/5xx carry a JSON error body; re-raise with its message so
+            # protocol bugs read as what the server actually objected to.
+            try:
+                detail = json.loads(data).get("error", "")
+            except Exception:
+                detail = ""
+            raise ServiceError(
+                f"{path} failed with HTTP {response.status}: {detail}")
+        return json.loads(data)
+
+    # -- planner side --------------------------------------------------
+    def enqueue(self, plan: CampaignPlan,
+                batch: int | None = None) -> EnqueueReport:
+        report = self._request("/api/plans",
+                               {"plan": plan.to_dict(), "batch": batch})
+        return EnqueueReport(**report)
+
+    def plans(self) -> list[CampaignPlan]:
+        return [CampaignPlan.from_dict(data)
+                for data in self._request("/api/plans")["plans"]]
+
+    # -- worker side ---------------------------------------------------
+    def claim(self, worker_id: str = "",
+              prefer_plan: str | None = None) -> ClaimedTask | None:
+        data = self._request("/api/claim", {"worker_id": worker_id,
+                                            "prefer_plan": prefer_plan})
+        if data["task"] is None:
+            return None
+        # lease_path is a placeholder: ownership lives server-side and every
+        # lease operation goes by task_id over the wire.
+        return task_from_dict(data["task"], Path(data["task"]["task_id"]))
+
+    def heartbeat(self, tasks: ClaimedTask | Iterable[ClaimedTask]) -> None:
+        if isinstance(tasks, ClaimedTask):
+            tasks = [tasks]
+        task_ids = [task.task_id for task in tasks]
+        if task_ids:
+            self._request("/api/heartbeat", {"task_ids": task_ids})
+
+    def complete(self, task: ClaimedTask) -> bool:
+        return self._request("/api/complete",
+                             {"task_id": task.task_id})["completed"]
+
+    def fail(self, task: ClaimedTask) -> None:
+        self._request("/api/fail", {"task_id": task.task_id})
+
+    def reclaim_expired(self) -> list[str]:
+        return self._request("/api/reclaim", {})["reclaimed"]
+
+    # -- results -------------------------------------------------------
+    def result_writers(self, worker_id: str,
+                       plan_name: str) -> list[_HttpRowWriter]:
+        return [_HttpRowWriter(self, worker_id, plan_name)]
+
+    # -- introspection -------------------------------------------------
+    def pending_ids(self) -> list[str]:
+        return self._request("/api/ids")["pending"]
+
+    def lease_ids(self) -> list[str]:
+        return self._request("/api/ids")["leased"]
+
+    def counts(self) -> dict[str, int]:
+        counts = self._request("/api/counts")
+        counts.pop("pending_by_plan", None)
+        return counts
+
+    def pending_by_plan(self) -> dict[str, int]:
+        return self._request("/api/counts")["pending_by_plan"]
+
+    def progress(self) -> dict:
+        return self._request("/api/progress")
+
+
+# ----------------------------------------------------------------------
+# Autoscaler
+# ----------------------------------------------------------------------
+@dataclass
+class AutoScalerStats:
+    """What one :meth:`AutoScaler.run` invocation did."""
+
+    workers_spawned: int = 0
+    workers_retired: int = 0
+    peak_workers: int = 0
+    polls: int = 0
+
+
+class AutoScaler:
+    """Spawn/retire local ``worker --queue-url`` processes from queue depth.
+
+    Each poll observes ``pending``/``leased`` counts and the drain rate
+    (backlog change per second).  The target fleet size is
+    ``ceil(pending / tasks_per_worker)``, clamped to ``[min_workers,
+    max_workers]`` — plus one extra worker when there is pending work but
+    the backlog has stopped draining (a stalled fleet needs capacity, not
+    patience).  Surplus workers are retired with SIGTERM, which the daemon
+    answers by finishing its in-flight batch, releasing its leases cleanly,
+    and exiting 0.  When the queue fully drains the remaining fleet is
+    retired the same way and :meth:`run` returns.
+    """
+
+    def __init__(self, queue_url: str, max_workers: int = 4,
+                 min_workers: int = 0, jobs: int = 1,
+                 tasks_per_worker: int = 2, poll_interval: float = 0.5,
+                 worker_id_prefix: str = "auto",
+                 log: Callable[[str], None] | None = None):
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if not 0 <= min_workers <= max_workers:
+            raise ValueError("need 0 <= min_workers <= max_workers")
+        self.client = QueueClient(queue_url)
+        self.queue_url = queue_url
+        self.max_workers = max_workers
+        self.min_workers = min_workers
+        self.jobs = jobs
+        self.tasks_per_worker = max(1, tasks_per_worker)
+        self.poll_interval = poll_interval
+        self.worker_id_prefix = worker_id_prefix
+        self._log = log or (lambda message: None)
+        self._procs: list[subprocess.Popen] = []
+        self._spawn_counter = 0
+        self._last_backlog: int | None = None
+        self._last_poll_at: float | None = None
+
+    # ------------------------------------------------------------------
+    def alive(self) -> list[subprocess.Popen]:
+        self._procs = [proc for proc in self._procs if proc.poll() is None]
+        return self._procs
+
+    def desired_workers(self, pending: int, leased: int,
+                        drain_rate: float) -> int:
+        if pending + leased == 0:
+            return 0
+        target = math.ceil(pending / self.tasks_per_worker)
+        if pending > 0 and drain_rate <= 0 and len(self._procs) < self.max_workers:
+            target = max(target, len(self._procs) + 1)
+        return max(self.min_workers, min(self.max_workers, target))
+
+    def _spawn(self) -> None:
+        self._spawn_counter += 1
+        worker_id = f"{self.worker_id_prefix}-{self._spawn_counter}"
+        command = [sys.executable, "-m", "repro.cli", "worker",
+                   "--queue-url", self.queue_url, "--jobs", str(self.jobs),
+                   "--id", worker_id, "--wait", "--poll",
+                   str(self.poll_interval)]
+        environment = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2])
+        existing = environment.get("PYTHONPATH")
+        environment["PYTHONPATH"] = (src if not existing
+                                     else src + os.pathsep + existing)
+        self._procs.append(subprocess.Popen(command, env=environment))
+        self._log(f"autoscaler: spawned {worker_id} "
+                  f"(fleet={len(self._procs)})")
+
+    def _retire(self, count: int) -> int:
+        """SIGTERM the newest ``count`` workers (graceful drain)."""
+        retired = 0
+        for proc in list(reversed(self._procs))[:count]:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+                retired += 1
+        self._log(f"autoscaler: retiring {retired} workers")
+        return retired
+
+    def step(self, stats: AutoScalerStats) -> dict:
+        """One observe-decide-act poll; returns the observation."""
+        counts = self.client.counts()
+        pending, leased = counts["pending"], counts["leased"]
+        backlog = pending + leased
+        now = time.monotonic()
+        drain_rate = 0.0
+        if self._last_backlog is not None and now > self._last_poll_at:
+            drain_rate = (self._last_backlog - backlog) / (now - self._last_poll_at)
+        self._last_backlog, self._last_poll_at = backlog, now
+
+        alive = self.alive()
+        target = self.desired_workers(pending, leased, drain_rate)
+        if len(alive) < target:
+            for _ in range(target - len(alive)):
+                self._spawn()
+                stats.workers_spawned += 1
+        elif len(alive) > target:
+            stats.workers_retired += self._retire(len(alive) - target)
+        stats.peak_workers = max(stats.peak_workers, len(self._procs))
+        stats.polls += 1
+        return {"pending": pending, "leased": leased, "failed":
+                counts.get("failed", 0), "drain_rate": drain_rate,
+                "workers": len(self._procs), "target": target}
+
+    def run(self, timeout: float | None = None) -> AutoScalerStats:
+        """Poll until the queue drains (or ``timeout``); retire the fleet."""
+        stats = AutoScalerStats()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        try:
+            while True:
+                observed = self.step(stats)
+                if observed["pending"] + observed["leased"] == 0:
+                    break
+                if deadline is not None and time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"queue did not drain within {timeout:g}s "
+                        f"(pending={observed['pending']}, "
+                        f"leased={observed['leased']})")
+                time.sleep(self.poll_interval)
+        finally:
+            for proc in self.alive():
+                proc.send_signal(signal.SIGTERM)
+            for proc in self._procs:
+                try:
+                    proc.wait(timeout=60)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+        self._log(f"autoscaler: drained; spawned {stats.workers_spawned}, "
+                  f"peak fleet {stats.peak_workers}")
+        return stats

@@ -71,6 +71,9 @@ from .qtypes import INT8, QuantSpec
 __all__ = ["KernelCounters", "KernelContext", "FloatKernel", "KVCache",
            "BatchedKernel"]
 
+#: Fused-entry memo miss marker (``None`` is a valid cached value: unfusable).
+_UNRESOLVED = object()
+
 
 @dataclass
 class KernelCounters:
@@ -174,7 +177,8 @@ class _FusedEntry:
 
     __slots__ = ("slices", "weight_q", "weight_f", "x_scale", "in_features",
                  "out_features", "qmin", "qmax", "wrap_free", "exact_float",
-                 "scale_row")
+                 "scale_row", "component_macs", "macs_per_row", "uniform_scale",
+                 "any_bias")
 
     def __init__(self, names: tuple[str, ...], entries: list[_KernelEntry]):
         self.slices: list[tuple[str, _KernelEntry, int, int]] = []
@@ -182,6 +186,14 @@ class _FusedEntry:
         for name, entry in zip(names, entries):
             self.slices.append((name, entry, offset, offset + entry.out_features))
             offset += entry.out_features
+        # Per-call counter template: (name, macs-per-logical-row, columns)
+        # per component, plus the group total, so the hot path records MACs
+        # with plain arithmetic instead of per-slice method dispatch.
+        self.component_macs = tuple(
+            (name, entry.in_features * entry.out_features, entry.out_features)
+            for name, entry, _, _ in self.slices)
+        self.macs_per_row = sum(per_row for _, per_row, _ in self.component_macs)
+        self.any_bias = any(entry.bias is not None for entry in entries)
         self.weight_q = np.concatenate([e.weight_q for e in entries], axis=1)
         self.weight_f = np.concatenate([e.weight_f for e in entries], axis=1)
         # Full-width dequant row: one contiguous multiply instead of one
@@ -190,6 +202,10 @@ class _FusedEntry:
         # bit-identical to per-slice scaling.
         self.scale_row = np.concatenate([
             np.full(e.out_features, e.combined_scale) for e in entries])
+        # When every component shares one combined scale, a scalar multiply
+        # produces the same per-element float product as the full row.
+        scales = {e.combined_scale for e in entries}
+        self.uniform_scale = scales.pop() if len(scales) == 1 else None
         first = entries[0]
         self.x_scale = first.x_scale
         self.in_features = first.in_features
@@ -384,8 +400,11 @@ class KernelContext:
         component's column slice in call order, so results and all counters
         are bit-identical to separate :meth:`qgemm` calls.
         """
-        names = tuple(names)
-        fused = self._fused(names)
+        if type(names) is not tuple:
+            names = tuple(names)
+        fused = self._fused_entries.get(names, _UNRESOLVED)
+        if fused is _UNRESOLVED:
+            fused = self._fused(names)
         if fused is None:
             return tuple(self.qgemm(name, x, logical_rows) for name in names)
 
@@ -394,12 +413,19 @@ class KernelContext:
             x_q = x_q.reshape(-1, fused.in_features)
         rows = x_q.shape[0]
         logical = logical_rows if logical_rows is not None else rows
-        for name, entry, _, _ in fused.slices:
-            macs = logical * entry.in_features * entry.out_features
-            outputs = rows * entry.out_features
-            self.counters.record_gemm(name, macs, outputs)
-            if self.stats is not None:
-                self.stats.record(name, macs, outputs)
+        # Inlined per-component record_gemm (same arithmetic, no per-slice
+        # method dispatch — the 1-row decode step is dispatch-bound).
+        counters = self.counters
+        counters.gemm_calls += len(fused.slices)
+        counters.macs += logical * fused.macs_per_row
+        counters.output_elements += rows * fused.out_features
+        per_component = counters.macs_per_component
+        stats = self.stats
+        for name, per_row, columns in fused.component_macs:
+            macs = logical * per_row
+            per_component[name] = per_component.get(name, 0) + macs
+            if stats is not None:
+                stats.record(name, macs, rows * columns)
 
         injector = self.injector
         if fused.exact_float and fused.wrap_free and injector is None:
@@ -409,7 +435,10 @@ class KernelContext:
                     if entry.bound_acc is not None:
                         acc[:, lo:hi] = self._clamp_stage(
                             acc[:, lo:hi], entry.bound_acc, name)
-            acc *= fused.scale_row
+            if fused.uniform_scale is not None:
+                acc *= fused.uniform_scale
+            else:
+                acc *= fused.scale_row
             out = acc
         else:
             if fused.exact_float:
@@ -439,6 +468,8 @@ class KernelContext:
             out = acc.astype(np.float64)
             out *= fused.scale_row
 
+        if not fused.any_bias and x.ndim == 2:
+            return tuple(out[:, lo:hi] for _, _, lo, hi in fused.slices)
         parts = []
         for _, entry, lo, hi in fused.slices:
             part = out[:, lo:hi]

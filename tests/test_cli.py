@@ -141,8 +141,18 @@ class TestDistributedCli:
                                           "2", "--wait", "--max-tasks", "3"])
         assert args.queue == "q" and args.jobs == 2 and args.wait
         assert args.max_tasks == 3 and args.lease_ttl == 120.0
-        with pytest.raises(SystemExit):  # --queue is required
-            build_parser().parse_args(["worker"])
+        assert args.queue_url is None and args.plan is None
+        args = build_parser().parse_args(["worker", "--queue-url",
+                                          "http://h:1", "--plan", "demo"])
+        assert args.queue is None and args.queue_url == "http://h:1"
+        assert args.plan == "demo"
+
+    def test_worker_needs_exactly_one_backend(self, capsys):
+        assert main(["worker"]) == 2  # neither backend
+        assert "--queue DIR or --queue-url URL" in capsys.readouterr().out
+        assert main(["worker", "--queue", "q", "--queue-url",
+                     "http://h:1"]) == 2  # both backends
+        assert "--queue DIR or --queue-url URL" in capsys.readouterr().out
 
     def test_merge_parser(self):
         args = build_parser().parse_args(["merge", "out", "a", "b"])

@@ -378,6 +378,38 @@ class TestWorkQueue:
         queue.reclaim_expired()
         assert queue.complete(task) is False  # informational, not an error
 
+    def test_skewed_but_advancing_heartbeat_survives_reclaim(self, tmp_path):
+        """Clock-skew regression: a worker whose clock lags wall-clock
+        heartbeats mtimes that *look* expired in absolute terms.  As long
+        as the mtime keeps advancing between scans the lease is live and
+        must not be reclaimed; once it freezes, it is."""
+        queue = self._queue(tmp_path, lease_ttl=30)
+        queue.enqueue(CampaignPlan(name="demo", specs=_specs(2)), batch=2)
+        task = queue.claim("lagging-worker")  # claim records the mtime
+        base = task.lease_path.stat().st_mtime
+        # Heartbeats from the lagging clock: each advances the mtime a
+        # little, but stays a TTL-and-more behind the reclaimer's clock.
+        os.utime(task.lease_path, (base + 5, base + 5))
+        assert queue.reclaim_expired(now=base + 100) == []
+        os.utime(task.lease_path, (base + 10, base + 10))
+        assert queue.reclaim_expired(now=base + 200) == []
+        # The worker dies; the frozen mtime now reads as truly expired.
+        assert queue.reclaim_expired(now=base + 300) == [task.task_id]
+        assert task.task_id in queue.pending_ids()
+
+    def test_fresh_reclaimer_falls_back_to_absolute_age(self, tmp_path):
+        """A restarted reclaimer has no observation history, so a frozen
+        long-expired lease must still be reclaimed on its first scan —
+        the advancing-mtime guard is per-instance memory, not a grace
+        period for every newcomer."""
+        queue = self._queue(tmp_path, lease_ttl=30)
+        queue.enqueue(CampaignPlan(name="demo", specs=_specs(2)), batch=2)
+        task = queue.claim("dead-worker")
+        stale = time.time() - 1000
+        os.utime(task.lease_path, (stale, stale))
+        restarted = WorkQueue(tmp_path / "q", lease_ttl=30)
+        assert restarted.reclaim_expired() == [task.task_id]
+
 
 # ----------------------------------------------------------------------
 # Worker daemon

@@ -6,7 +6,8 @@ committed at the repository root:
 
 1. **floors** — the committed baseline must satisfy the hard speedup floors
    declared in ``benchmarks/bench_kernels.py`` (``DECODE_SPEEDUP_TARGET``,
-   ``BATCHED_DECODE_TARGET``).  A baseline below its own gate means the
+   ``BATCHED_DECODE_TARGET``, ``FUSED_QKV_TARGET``).  A baseline below its
+   own gate means the
    committed numbers and the gate constants drifted apart;
 2. **regression** — every speedup in the fresh run must be within
    :data:`REGRESSION_TOLERANCE` (20%) of the committed baseline.  The
@@ -37,7 +38,8 @@ BENCH_SOURCE = REPO_ROOT / "benchmarks" / "bench_kernels.py"
 #: Maximum tolerated fractional speedup drop vs the committed baseline.
 REGRESSION_TOLERANCE = 0.20
 
-_FLOOR = re.compile(r"^(DECODE_SPEEDUP_TARGET|BATCHED_DECODE_TARGET)\s*=\s*"
+_FLOOR = re.compile(r"^(DECODE_SPEEDUP_TARGET|BATCHED_DECODE_TARGET|"
+                    r"FUSED_QKV_TARGET)\s*=\s*"
                     r"(\d+(?:\.\d+)?)\s*$", re.MULTILINE)
 
 
@@ -49,7 +51,8 @@ def bench_floors() -> dict[str, float]:
     """
     floors = {name: float(value)
               for name, value in _FLOOR.findall(BENCH_SOURCE.read_text())}
-    missing = {"DECODE_SPEEDUP_TARGET", "BATCHED_DECODE_TARGET"} - set(floors)
+    missing = {"DECODE_SPEEDUP_TARGET", "BATCHED_DECODE_TARGET",
+               "FUSED_QKV_TARGET"} - set(floors)
     if missing:
         raise ValueError(f"could not parse {sorted(missing)} from "
                          f"{BENCH_SOURCE.relative_to(REPO_ROOT)}")
@@ -81,6 +84,14 @@ def check_floors(baseline: dict, errors: list[str]) -> None:
         errors.append(
             f"committed baseline decode speedup {legacy:.2f}x is below the "
             f"{floors['DECODE_SPEEDUP_TARGET']:.1f}x DECODE_SPEEDUP_TARGET")
+    fused_qkv = baseline.get("fused_qkv")
+    if fused_qkv is None:
+        errors.append("committed baseline lacks the fused_qkv section")
+    elif fused_qkv["speedup"] < floors["FUSED_QKV_TARGET"]:
+        errors.append(
+            f"committed baseline fused QKV speedup "
+            f"{fused_qkv['speedup']:.2f}x is below the "
+            f"{floors['FUSED_QKV_TARGET']:.1f}x FUSED_QKV_TARGET")
     batched = baseline.get("batched_decode")
     if batched is None:
         errors.append("committed baseline lacks the batched_decode section")

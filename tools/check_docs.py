@@ -8,14 +8,18 @@ Verifies that the prose and the code cannot drift apart silently:
    the README and ``docs/campaigns.md`` preset tables, every preset those
    tables document exists in ``repro.cli.CAMPAIGN_PRESETS``, and every
    ``CAMPAIGN_PRESETS`` entry is documented in both places;
-3. every benchmark speedup floor the prose quotes (``Nx decode-speedup``,
-   ``Nx batched-decode``) matches the gate constants in
-   ``benchmarks/bench_kernels.py`` — the single source of truth the CI
-   ``kernels`` job enforces via ``tools/check_bench.py``;
+3. every benchmark floor the prose quotes matches its gate constant —
+   kernel speedups (``Nx decode-speedup``, ``Nx batched-decode``) against
+   ``benchmarks/bench_kernels.py`` via ``tools/check_bench.py``, and the
+   campaign-service gates (``N/s round-trip floor``, ``Nms round-trip
+   p95``) against ``benchmarks/bench_service.py`` via
+   ``tools/check_service_bench.py`` — the single sources of truth the CI
+   ``kernels`` and ``service`` jobs enforce;
 4. the report-column table in ``docs/campaigns.md`` documents exactly the
    figure columns ``repro.eval.analysis.SUMMARY_COLUMNS`` emits, and every
-   derived sidecar column (``repro.eval.runtable.DERIVED_PROFILE_COLUMNS``)
-   is documented in ``docs/runtable-schema.md``.
+   profile sidecar column (``repro.eval.runtable.PROFILE_COLUMNS``,
+   including ``queue_backend`` and the derived columns) is documented in
+   ``docs/runtable-schema.md``.
 
 Run from the repository root (CI does) or anywhere::
 
@@ -141,20 +145,24 @@ _FLOOR_QUOTES = {
 }
 
 
-def check_bench_floors(errors: list[str]) -> None:
-    """Floors quoted in the prose must match the benchmark gate constants.
+#: Prose quotations of the campaign-service gates, e.g. "the 500/s
+#: round-trip floor" / "the 50ms round-trip p95 limit"; group 1 is the
+#: quoted number.  ``\s+`` tolerates a line wrap inside the phrase.
+_SERVICE_FLOOR_QUOTES = {
+    "ROUND_TRIP_TARGET":
+        re.compile(r"(\d+(?:\.\d+)?)/s\s+round-trip\s+floor"),
+    "ROUND_TRIP_P95_MS_LIMIT":
+        re.compile(r"(\d+(?:\.\d+)?)ms\s+round-trip\s+p95"),
+}
 
-    The constants live in ``benchmarks/bench_kernels.py`` (parsed by
-    ``tools/check_bench.py``); any markdown sentence quoting a floor — and
-    at least one must, per floor — has to agree with them.
-    """
-    sys.path.insert(0, str(REPO_ROOT / "tools"))
-    try:
-        from check_bench import bench_floors
-    finally:
-        sys.path.pop(0)
-    floors = bench_floors()
-    for name, pattern in _FLOOR_QUOTES.items():
+
+def _check_floor_quotes(errors: list[str], floors: dict[str, float],
+                        quotes: dict[str, "re.Pattern[str]"],
+                        constants_file: str, unit: str) -> None:
+    """Every prose quote of a gate floor must match its constant — and at
+    least one markdown file must quote each floor, so every CI gate keeps a
+    prose counterpart."""
+    for name, pattern in quotes.items():
         quoted = 0
         for source in markdown_files():
             rel = source.relative_to(REPO_ROOT)
@@ -162,14 +170,34 @@ def check_bench_floors(errors: list[str]) -> None:
                 quoted += 1
                 if float(match.group(1)) != floors[name]:
                     errors.append(
-                        f"{rel}: quotes a {match.group(1)}x floor but "
-                        f"benchmarks/bench_kernels.py sets {name} = "
-                        f"{floors[name]:g}")
+                        f"{rel}: quotes a {match.group(1)}{unit} floor but "
+                        f"{constants_file} sets {name} = {floors[name]:g}")
         if not quoted:
             errors.append(
                 f"no markdown file quotes the {name} floor "
-                f"({floors[name]:g}x) — document it so the CI gate has a "
-                "prose counterpart")
+                f"({floors[name]:g}{unit}) — document it so the CI gate "
+                "has a prose counterpart")
+
+
+def check_bench_floors(errors: list[str]) -> None:
+    """Floors quoted in the prose must match the benchmark gate constants.
+
+    The kernel constants live in ``benchmarks/bench_kernels.py`` (parsed by
+    ``tools/check_bench.py``), the campaign-service constants in
+    ``benchmarks/bench_service.py`` (parsed by
+    ``tools/check_service_bench.py``); any markdown sentence quoting a
+    floor — and at least one must, per floor — has to agree with them.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        from check_bench import bench_floors
+        from check_service_bench import service_floors
+    finally:
+        sys.path.pop(0)
+    _check_floor_quotes(errors, bench_floors(), _FLOOR_QUOTES,
+                        "benchmarks/bench_kernels.py", "x")
+    _check_floor_quotes(errors, service_floors(), _SERVICE_FLOOR_QUOTES,
+                        "benchmarks/bench_service.py", "")
 
 
 #: Code spans inside the first cell of a ``| Column | ...`` table row.
@@ -207,7 +235,7 @@ def check_report_columns(errors: list[str]) -> None:
     sys.path.insert(0, str(REPO_ROOT / "src"))
     try:
         from repro.eval.analysis import SUMMARY_COLUMNS
-        from repro.eval.runtable import DERIVED_PROFILE_COLUMNS
+        from repro.eval.runtable import PROFILE_COLUMNS
     finally:
         sys.path.pop(0)
 
@@ -223,9 +251,9 @@ def check_report_columns(errors: list[str]) -> None:
 
     schema = REPO_ROOT / "docs" / "runtable-schema.md"
     schema_text = schema.read_text()
-    for column in DERIVED_PROFILE_COLUMNS:
+    for column in PROFILE_COLUMNS:
         if f"`{column}`" not in schema_text:
-            errors.append(f"{schema.relative_to(REPO_ROOT)}: derived sidecar "
+            errors.append(f"{schema.relative_to(REPO_ROOT)}: profile sidecar "
                           f"column {column!r} is undocumented")
 
 

@@ -1,0 +1,123 @@
+"""Campaign-service benchmark regression gate (the CI ``service`` job).
+
+Compares a fresh ``BENCH_service.json`` (produced by
+``benchmarks/bench_service.py`` earlier in the job) against the baseline
+committed at the repository root:
+
+1. **floors** — the committed baseline must satisfy the hard gates
+   declared in ``benchmarks/bench_service.py``: sustained lease-report
+   round trips per second at or above ``ROUND_TRIP_TARGET`` and a
+   round-trip p95 at or below ``ROUND_TRIP_P95_MS_LIMIT``.  A baseline
+   below its own gate means the committed numbers and the gate constants
+   drifted apart;
+2. **regression** — the fresh run's round-trip throughput must be within
+   :data:`REGRESSION_TOLERANCE` (30%) of the committed baseline, and its
+   p95 must respect the same absolute limit.  The tolerance is wider than
+   the kernel gate's because HTTP throughput is hostage to CI network
+   stacks, but a lost fast path (per-claim directory rescans, Nagle
+   stalls) shows up as 3-40x, not 30%.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/check_service_bench.py /tmp/BENCH_service.json
+
+Exit status 0 means clean; 1 prints one line per problem.  The floor
+constants are parsed from the benchmark source (not imported), so this
+check needs no running service; ``tools/check_docs.py`` reuses
+:func:`service_floors` to verify the floors quoted in the documentation.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_service.json"
+BENCH_SOURCE = REPO_ROOT / "benchmarks" / "bench_service.py"
+
+#: Maximum tolerated fractional round-trip throughput drop vs the baseline.
+REGRESSION_TOLERANCE = 0.30
+
+_FLOOR = re.compile(r"^(ROUND_TRIP_TARGET|ROUND_TRIP_P95_MS_LIMIT)\s*=\s*"
+                    r"(\d+(?:\.\d+)?)\s*$", re.MULTILINE)
+
+
+def service_floors() -> dict[str, float]:
+    """The hard gates declared in ``benchmarks/bench_service.py``.
+
+    Parsed from source so callers (this gate, ``check_docs``) need neither
+    a live service nor the benchmark's import side effects.
+    """
+    floors = {name: float(value)
+              for name, value in _FLOOR.findall(BENCH_SOURCE.read_text())}
+    missing = {"ROUND_TRIP_TARGET", "ROUND_TRIP_P95_MS_LIMIT"} - set(floors)
+    if missing:
+        raise ValueError(f"could not parse {sorted(missing)} from "
+                         f"{BENCH_SOURCE.relative_to(REPO_ROOT)}")
+    return floors
+
+
+def check_document(label: str, document: dict, floors: dict[str, float],
+                   errors: list[str]) -> dict | None:
+    """Shared shape + floor checks; returns the ``service`` stats section."""
+    stats = document.get("service")
+    if not isinstance(stats, dict):
+        errors.append(f"{label} lacks the service stats section")
+        return None
+    rate = stats.get("round_trips_per_s", 0.0)
+    if rate < floors["ROUND_TRIP_TARGET"]:
+        errors.append(
+            f"{label} sustained {rate:.0f} round trips/s, below the "
+            f"{floors['ROUND_TRIP_TARGET']:.0f}/s ROUND_TRIP_TARGET")
+    p95 = stats.get("latency_ms", {}).get("round_trip", {}).get("p95")
+    if p95 is None:
+        errors.append(f"{label} lacks the round-trip p95 latency")
+    elif p95 > floors["ROUND_TRIP_P95_MS_LIMIT"]:
+        errors.append(
+            f"{label} round-trip p95 {p95:.2f}ms exceeds the "
+            f"{floors['ROUND_TRIP_P95_MS_LIMIT']:.0f}ms "
+            "ROUND_TRIP_P95_MS_LIMIT")
+    if stats.get("errors"):
+        errors.append(f"{label} recorded {len(stats['errors'])} worker "
+                      "transport error(s)")
+    return stats
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: check_service_bench.py FRESH_BENCH_JSON",
+              file=sys.stderr)
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text())
+    fresh = json.loads(Path(argv[0]).read_text())
+
+    errors: list[str] = []
+    floors = service_floors()
+    base = check_document("committed baseline", baseline, floors, errors)
+    new = check_document("fresh run", fresh, floors, errors)
+    if base and new:
+        reference = base["round_trips_per_s"]
+        measured = new["round_trips_per_s"]
+        floor = reference * (1.0 - REGRESSION_TOLERANCE)
+        if measured < floor:
+            errors.append(
+                f"round-trip throughput regressed to {measured:.0f}/s "
+                f"(baseline {reference:.0f}/s, tolerance floor "
+                f"{floor:.0f}/s)")
+    for error in errors:
+        print(f"ERROR: {error}")
+    if errors:
+        print(f"{len(errors)} service benchmark problem(s)")
+        return 1
+    print(f"service bench OK: {new['round_trips_per_s']:.0f} round trips/s "
+          f"(baseline {base['round_trips_per_s']:.0f}/s), p95 "
+          f"{new['latency_ms']['round_trip']['p95']:.2f}ms, floors satisfied")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
