@@ -1,0 +1,181 @@
+"""Fleet runtime: cross-agent batched stepping vs per-agent serial loops.
+
+Like ``bench_kernels.py`` this is a plain script so CI can gate on it
+directly::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py            # full run
+    PYTHONPATH=src python benchmarks/bench_fleet.py --smoke    # CI gate
+
+It runs the same multi-agent navigation mission twice per fleet size —
+once as N independent ``run_trial`` loops (the pre-fleet execution model)
+and once through :meth:`MissionExecutor.run_trial_group`, which gathers
+every agent's pending planner-decode and controller-forward call per tick
+into single row-stacked :class:`BatchedKernel` passes — and writes the
+agent-steps/s of both paths to ``BENCH_fleet.json``.
+
+The gate: batched stepping at fleet size :data:`GATED_FLEET_SIZE` must
+reach :data:`FLEET_STEPPING_TARGET` (3x) the serial agent-steps/s, in
+smoke and full runs alike.  The two paths are asserted bit-identical
+before any timing happens (fault-free and under per-agent injection), so
+the speedup can never be bought with a behavioural drift.
+``tools/check_fleet_bench.py`` re-checks the committed baseline against
+the same floor and diffs fresh CI runs against it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.agents import FleetExecutor  # noqa: E402
+from repro.core.create import ProtectionConfig  # noqa: E402
+from repro.faults.models import UniformErrorModel  # noqa: E402
+
+from common import best_of_five as _time  # noqa: E402
+
+#: Required speedup of fleet-batched stepping over the per-agent serial
+#: loop at :data:`GATED_FLEET_SIZE`, measured in agent-steps/s.  One
+#: quantize + one INT GEMM per layer for the whole fleet has to beat N
+#: per-agent passes by a wide margin or the fleet runtime is not earning
+#: its complexity.
+FLEET_STEPPING_TARGET = 3.0
+
+#: Fleet sizes measured (agents stepping against one shared world suite).
+FLEET_SIZES = (4, 16)
+
+#: The fleet size the :data:`FLEET_STEPPING_TARGET` gate applies to.
+GATED_FLEET_SIZE = 16
+
+#: Per-agent bit-error rate of the injected measurement arm.
+INJECTED_BER = 1e-3
+
+
+def _assert_identical(batched, serial) -> None:
+    """Every agent's trial must match bit for bit across the two paths."""
+    assert batched.fleet_size == serial.fleet_size
+    for lane, (b, s) in enumerate(zip(batched.results, serial.results)):
+        for field in dataclasses.fields(b):
+            bv, sv = getattr(b, field.name), getattr(s, field.name)
+            if field.name == "entropy_trace":
+                same = (bv.entropies == sv.entropies
+                        and bv.critical_flags == sv.critical_flags
+                        and bv.voltages == sv.voltages)
+            else:
+                same = bv == sv
+            assert same, f"lane {lane}: {field.name} diverged"
+
+
+def _once(fn, _reps: int) -> float:
+    """Single-pass timing for the informational injected arm: missions under
+    BER run to budget exhaustion (~10x the fault-free steps), so the
+    best-of-five discipline would dominate the benchmark's wall clock."""
+    import time
+
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def bench_fleet_size(fleet: FleetExecutor, size: int, reps: int,
+                     protection: ProtectionConfig | None = None) -> dict:
+    kwargs = {}
+    timer = _time
+    if protection is not None:
+        kwargs = {"planner_protection": protection,
+                  "controller_protection": protection}
+        timer = _once
+    batched_result = fleet.run_fleet(size, batched=True, **kwargs)
+    _assert_identical(batched_result, fleet.run_fleet(size, batched=False,
+                                                      **kwargs))
+    serial_s = timer(lambda: fleet.run_fleet(size, batched=False, **kwargs),
+                     reps)
+    batched_s = timer(lambda: fleet.run_fleet(size, batched=True, **kwargs),
+                      reps)
+    steps = batched_result.agent_steps
+    return {
+        "fleet_size": size,
+        "agent_steps": steps,
+        "missions_completed": batched_result.missions_completed,
+        "serial_s": serial_s,
+        "batched_s": batched_s,
+        "serial_steps_per_s": steps / serial_s,
+        "batched_steps_per_s": steps / batched_s,
+        "speedup": serial_s / batched_s,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast CI mode: one call per timing round "
+                             "(same gates)")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="calls per best-of-five round (default: 3, "
+                             "smoke: 1)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_fleet.json"),
+                        help="output JSON path (default: BENCH_fleet.json "
+                             "at the repository root)")
+    args = parser.parse_args(argv)
+    reps = args.reps or (1 if args.smoke else 3)
+
+    print("building the JARVIS-1 navigation fleet (train-or-load)...")
+    fleet = FleetExecutor()
+
+    by_fleet = {str(size): bench_fleet_size(fleet, size, reps)
+                for size in FLEET_SIZES}
+    injected = bench_fleet_size(
+        fleet, GATED_FLEET_SIZE, reps,
+        protection=ProtectionConfig(error_model=UniformErrorModel(INJECTED_BER)))
+    results = {
+        "benchmark": "fleet-runtime",
+        "mode": "smoke" if args.smoke else "full",
+        "reps": reps,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "fleet_sizes": list(FLEET_SIZES),
+        "by_fleet": by_fleet,
+        "injected": injected,
+        "gated_fleet_size": GATED_FLEET_SIZE,
+        "gated_speedup": by_fleet[str(GATED_FLEET_SIZE)]["speedup"],
+    }
+
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+    for size in FLEET_SIZES:
+        entry = by_fleet[str(size)]
+        print(f"fleet={size:<3d} {entry['serial_steps_per_s']:8.0f} steps/s "
+              f"serial -> {entry['batched_steps_per_s']:8.0f} steps/s "
+              f"batched ({entry['speedup']:.2f}x)")
+    print(f"fleet={GATED_FLEET_SIZE:<3d} "
+          f"{injected['batched_steps_per_s']:8.0f} steps/s batched under "
+          f"BER {INJECTED_BER:g} ({injected['speedup']:.2f}x, "
+          f"{injected['missions_completed']}/{GATED_FLEET_SIZE} missions)")
+    print(f"results written to {out_path}")
+
+    failures = []
+    gated = results["gated_speedup"]
+    if gated < FLEET_STEPPING_TARGET:
+        failures.append(
+            f"fleet-batched stepping at fleet={GATED_FLEET_SIZE} "
+            f"({gated:.2f}x) is below the {FLEET_STEPPING_TARGET:.1f}x "
+            f"FLEET_STEPPING_TARGET")
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,7 +35,6 @@ import argparse
 import json
 import platform
 import sys
-import time
 from pathlib import Path
 
 import numpy as np
@@ -47,6 +46,8 @@ from repro.agents import build_jarvis_system  # noqa: E402
 from repro.env.observations import OBSERVATION_DIM  # noqa: E402
 from repro.nn.functional import rms_norm, silu  # noqa: E402
 from repro.quant import GemmHooks, KernelContext  # noqa: E402
+
+from common import best_of_five as _time  # noqa: E402
 
 FIG16_TASKS = ["wooden", "stone", "charcoal", "chicken", "coal", "iron",
                "wool", "seed"]
@@ -64,18 +65,6 @@ FUSED_QKV_TARGET = 1.0
 
 #: Cross-prompt batch sizes measured by the ``batched_decode`` section.
 BATCH_SIZES = (1, 4, 8, 16)
-
-
-def _time(fn, reps: int) -> float:
-    """Best-of-five mean seconds per call (keeps CI noise out of the gate)."""
-    fn()  # warm-up
-    best = float("inf")
-    for _ in range(5):
-        start = time.perf_counter()
-        for _ in range(reps):
-            fn()
-        best = min(best, (time.perf_counter() - start) / reps)
-    return best
 
 
 # ----------------------------------------------------------------------

@@ -10,11 +10,17 @@ extended progress-token range.
 
 import time
 
-from common import engine_kwargs, num_trials, run_once
+from common import best_of_five, engine_kwargs, num_trials, run_once
 
 from repro.env.scenarios import CATALOG
 from repro.eval import banner, format_table
 from repro.eval.experiments import scenario_resilience
+
+
+def _generation_ms(scenario: str) -> float:
+    """Suite-generation latency, best-of-five (bypasses the entry memo)."""
+    entry = CATALOG.get(scenario)
+    return best_of_five(lambda: entry.factory(**dict(entry.defaults)), 1) * 1e3
 
 
 def _throughput(scenario: str, trials: int, results) -> list:
@@ -23,6 +29,7 @@ def _throughput(scenario: str, trials: int, results) -> list:
                 for per_task in results["values"].values()
                 for sweep in per_task.values())
     return [scenario, CATALOG.get(scenario).fingerprint, len(suite),
+            f"{_generation_ms(scenario):.2f}",
             total, f"{total / results['seconds']:.1f}"]
 
 
@@ -47,7 +54,8 @@ def test_scenario_trial_throughput(benchmark):
     rows = [_throughput(scenario, trials, res)
             for scenario, res in results.items()]
     print(format_table(
-        ["scenario", "suite fingerprint", "tasks", "trials", "trials/s"],
+        ["scenario", "suite fingerprint", "tasks", "generate (ms)",
+         "trials", "trials/s"],
         rows, title="AD/WR battery over generated suites"))
     for scenario, res in results.items():
         for per_task in res["values"].values():

@@ -33,6 +33,8 @@ from load_service import run_load, synthetic_plan  # noqa: E402
 
 from repro.eval.service import CampaignService, QueueClient  # noqa: E402
 
+from common import best_of_five  # noqa: E402
+
 #: Required sustained lease-report round trips per second.  One round trip
 #: is four HTTP requests plus four queue state transitions; 500/s of them
 #: keeps the service comfortably ahead of any realistic worker fleet (a
@@ -50,8 +52,15 @@ def bench_round_trips(cells: int, workers: int, batch: int = 1) -> dict:
     with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as root:
         with CampaignService(Path(root) / "queue", lease_ttl=300.0) as service:
             client = QueueClient(service.url)
-            report = client.enqueue(synthetic_plan(cells), batch=batch)
-            stats = run_load(service.url, workers=workers)
+            try:
+                report = client.enqueue(synthetic_plan(cells), batch=batch)
+                stats = run_load(service.url, workers=workers)
+                # Depth polls are the autoscaler's control signal; measure
+                # their steady-state latency with the shared best-of-five
+                # discipline once the backlog has drained.
+                stats["depth_poll_ms"] = best_of_five(client.counts, 20) * 1e3
+            finally:
+                client.close()
             stats["cells"] = cells
             stats["tasks"] = report.new_tasks
             stats["batch"] = batch
@@ -96,6 +105,7 @@ def main(argv: list[str] | None = None) -> int:
           f"{stats['latency_ms']['round_trip']['p50']:.2f}ms, "
           f"p95 {p95:.2f}ms, "
           f"p99 {stats['latency_ms']['round_trip']['p99']:.2f}ms")
+    print(f"  depth poll  : {stats['depth_poll_ms']:.2f}ms best-of-five")
     print(f"  wrote {out}")
 
     failures = []

@@ -20,6 +20,7 @@ from ..env.world import EmbodiedWorld, WorldConfig
 from ..nn import Embedding, GptTransformer, Linear, Module, Tensor, no_grad
 from ..nn.functional import layer_norm, relu, softmax
 from ..quant import (
+    BatchedKernel,
     Calibrator,
     FloatKernel,
     GemmHooks,
@@ -269,6 +270,25 @@ class DeployedController:
         weights = softmax(scores, axis=-1)
         return (weights @ v).transpose(1, 0, 2).reshape(seq, dim)
 
+    def _attention_stack(self, q: np.ndarray, k: np.ndarray, v: np.ndarray,
+                         n: int, seq: int) -> np.ndarray:
+        """:meth:`_attention` over ``n`` row-stacked lanes in one pass.
+
+        Lanes never mix: the lane axis is a pure batch axis of the stacked
+        matmuls, so every 2-D GEMM slice, the score scaling, and the row-wise
+        softmax equal the per-lane computation bit for bit — the loop over
+        ``_attention`` calls is vectorized away, nothing else changes.
+        """
+        dim = q.shape[-1]
+        heads = self.config.num_heads
+        head_dim = dim // heads
+        q = q.reshape(n, seq, heads, head_dim).transpose(0, 2, 1, 3)
+        k = k.reshape(n, seq, heads, head_dim).transpose(0, 2, 1, 3)
+        v = v.reshape(n, seq, heads, head_dim).transpose(0, 2, 1, 3)
+        scores = q @ k.transpose(0, 1, 3, 2) / np.sqrt(head_dim)
+        weights = softmax(scores, axis=-1)
+        return (weights @ v).transpose(0, 2, 1, 3).reshape(n * seq, dim)
+
     def _forward(self, subtask_id: int, observation: np.ndarray, kernel) -> np.ndarray:
         cfg = self.config
         prompt = self.subtask_embed[subtask_id][None, :]
@@ -349,6 +369,64 @@ class DeployedController:
         """
         kernel = self._kernel_for(hooks, quantized, context)
         return self._forward(subtask_id, observation, kernel)
+
+    def act_logits_batch(self, requests: list[tuple[int, np.ndarray]],
+                         contexts: list[KernelContext]) -> list[np.ndarray]:
+        """Action logits for N lanes as one batched kernel pass per projection.
+
+        ``requests`` holds one ``(subtask_id, observation)`` per lane and
+        ``contexts`` the lane's own per-trial kernel context (its hooks,
+        injector RNG stream, and counters).  The lanes' activations are
+        row-stacked — ``1 + num_obs_tokens`` rows each — so every projection
+        runs as a single quantize + INT GEMM for the whole stack through
+        :class:`~repro.quant.BatchedKernel`, while attention and mean-pooling
+        (which mix rows) run per lane on the lane's row slice.  Per-lane
+        stages execute in the same component order as :meth:`act_logits`
+        (``obs_proj``, ``q``/``k``/``v``/``o``, ``fc1``/``fc2``,
+        ``policy_head``), so each lane's output — logits, counters, injected
+        flips — is bit-identical to its serial forward pass, and a fault
+        targeted at one lane never perturbs its siblings.
+        """
+        if len(requests) != len(contexts):
+            raise ValueError("need one kernel context per request")
+        if len(requests) == 1:
+            (subtask_id, observation), = requests
+            return [self.act_logits(subtask_id, observation,
+                                    context=contexts[0])]
+        kernel = BatchedKernel(list(contexts))
+        cfg = self.config
+        n = len(requests)
+        seq = 1 + cfg.num_obs_tokens
+        ones = [1] * n
+        rows = [seq] * n
+        bounds = [(i * seq, (i + 1) * seq) for i in range(n)]
+
+        observations = np.stack([np.asarray(observation, dtype=np.float64)
+                                 for _, observation in requests])
+        obs_tokens = kernel.qgemm("obs_proj", observations, ones)
+        x = np.empty((n * seq, cfg.dim))
+        for i, (subtask_id, _) in enumerate(requests):
+            x[i * seq] = self.subtask_embed[subtask_id]
+            x[i * seq + 1:(i + 1) * seq] = obs_tokens[i].reshape(
+                cfg.num_obs_tokens, cfg.dim)
+        for index in range(cfg.num_layers):
+            prefix = f"layer{index}"
+            norms = self._norms[index]
+            h = layer_norm(x, norms["attn_gamma"], norms["attn_beta"], eps=_LN_EPS)
+            q = kernel.qgemm(f"{prefix}.q", h, rows)
+            k = kernel.qgemm(f"{prefix}.k", h, rows)
+            v = kernel.qgemm(f"{prefix}.v", h, rows)
+            x = x + kernel.qgemm(f"{prefix}.o",
+                                 self._attention_stack(q, k, v, n, seq), rows)
+            h2 = layer_norm(x, norms["mlp_gamma"], norms["mlp_beta"], eps=_LN_EPS)
+            x = x + kernel.qgemm(f"{prefix}.fc2",
+                                 relu(kernel.qgemm(f"{prefix}.fc1", h2, rows)),
+                                 rows)
+        x = layer_norm(x, self.final_norm["gamma"], self.final_norm["beta"],
+                       eps=_LN_EPS)
+        pooled = np.stack([x[lo:hi].mean(axis=0) for lo, hi in bounds])
+        logits = kernel.qgemm("policy_head", pooled, ones)
+        return [logits[i] for i in range(n)]
 
     def capture_activations(self, subtask_id: int, observation: np.ndarray,
                             hooks: GemmHooks | None = None,

@@ -32,6 +32,7 @@ from ..faults.injector import ErrorInjector
 from ..faults.models import VoltageErrorModel
 from ..hardware.energy import EnergyModel
 from ..hardware.timing import NOMINAL_VOLTAGE, TimingErrorModel
+from ..nn.functional import entropy as _shannon_entropy
 from ..nn.functional import softmax
 from ..quant import GemmHooks
 from .controller import DeployedController
@@ -258,44 +259,76 @@ class MissionExecutor:
                         planner_protection: ProtectionConfig | None = None,
                         controller_protection: ProtectionConfig | None = None
                         ) -> list[TrialResult]:
-        """Run one trial per seed, batching the initial planner decodes.
+        """Run one trial per seed, batching inference across the whole group.
 
         Every trial of a (spec, task) cell group starts with the same prompt
         — the task at progress 0 — so the first planner invocation of all
         trials runs as one cross-prompt batched decode through each trial's
         own kernel context (:meth:`DeployedPlanner.plan_batch`).  The world
-        loop and any replans then execute per trial, against the same
-        contexts.  RNG derivation, kernel hooks, and accounting are identical
-        to :meth:`run_trial`, and the batched decode is bit-identical to the
-        serial one, so results match seed-for-seed byte for byte.
+        loops then advance in lock-step through :meth:`_run_lanes`: on every
+        simulation tick the group's pending controller forwards execute as
+        one row-stacked :class:`~repro.quant.BatchedKernel` pass
+        (:meth:`DeployedController.act_logits_batch`), and pending replans as
+        one batched decode.  RNG derivation, kernel hooks, and accounting are
+        identical to :meth:`run_trial`, and every batched call is
+        bit-identical to its serial counterpart, so results match
+        seed-for-seed byte for byte.
         """
-        if self.planner is None or len(seeds) < 2:
+        return self.run_trial_group([(task_name, seed) for seed in seeds],
+                                    planner_protection=planner_protection,
+                                    controller_protection=controller_protection)
+
+    def run_trial_group(self, trials: list[tuple[str, int]],
+                        planner_protection: ProtectionConfig | None = None,
+                        controller_protection: ProtectionConfig | None = None
+                        ) -> list[TrialResult]:
+        """Run one trial per ``(task_name, seed)`` pair with batched stepping.
+
+        The heterogeneous-task generalization of :meth:`run_trial_batch` —
+        the fleet runtime (:class:`~repro.agents.fleet.FleetExecutor`) runs
+        agents with round-robin task assignments, so lanes may decode
+        different prompts.  All lanes share every batched pass; results are
+        bit-identical to running each pair through :meth:`run_trial`.
+        """
+        if self.planner is None or len(trials) < 2:
             return [self.run_trial(task_name, seed=seed,
                                    planner_protection=planner_protection,
                                    controller_protection=controller_protection)
-                    for seed in seeds]
+                    for task_name, seed in trials]
         setups = [self._prepare_trial(task_name, seed, planner_protection,
-                                      controller_protection) for seed in seeds]
+                                      controller_protection)
+                  for task_name, seed in trials]
         requests = [(setup.task.name, self._progress(setup.world, setup.task))
                     for setup in setups]
         plans = self.planner.plan_batch(
             requests, contexts=[setup.planner_kernel for setup in setups],
             use_cache=self.planner_use_cache)
-        results = []
         for setup, plan in zip(setups, plans):
             self._account_plan(plan, setup.result, setup.planner_voltage)
-            results.append(self._run_to_completion(setup, deque(plan)))
-        return results
+        return self._run_lanes(setups, [deque(plan) for plan in plans])
 
-    def _run_to_completion(self, setup: "_TrialSetup",
-                           plan_queue: deque[str]) -> TrialResult:
-        """Drive the world loop of one prepared trial until success or budget."""
+    def _trial_steps(self, setup: "_TrialSetup", plan_queue: deque[str]):
+        """The world loop of one prepared trial as an inference-request generator.
+
+        Yields ``("plan", task_name, progress)`` when the planner must be
+        (re-)invoked and ``("act", subtask_token, observation)`` for every
+        controller forward; the driver answers via ``send()`` with the
+        decoded plan / the ``(entropy, sampling distribution)`` of the
+        action logits (see :meth:`_act_response` — drivers compute the
+        deterministic logit post-processing so the batched driver can
+        vectorize it across lanes).  Everything else — world stepping,
+        voltage scaling, MAC and entropy accounting, action sampling with the
+        lane's own RNG, finalization — happens inside the generator, so any
+        driver that services the yields with bit-identical responses
+        (serial :meth:`_run_to_completion` or batched :meth:`_run_lanes`)
+        produces bit-identical :class:`TrialResult`\\ s: each lane's own call
+        order is fixed by the generator, and cross-lane interleaving touches
+        no lane-local state.
+        """
         task = setup.task
         rng = setup.rng
         world = setup.world
         controller_protection = setup.controller_protection
-        planner_kernel = setup.planner_kernel
-        controller_kernel = setup.controller_kernel
         planner_voltage = setup.planner_voltage
         vs_runtime = setup.vs_runtime
         result = setup.result
@@ -308,8 +341,14 @@ class MissionExecutor:
                 replans += 1
                 if replans > self.max_replans:
                     break
-                plan_queue = deque(
-                    self._invoke_planner(task, world, planner_kernel, result, planner_voltage))
+                progress = self._progress(world, task)
+                if self.planner is None:
+                    # Ground-truth planning (controller-only studies).
+                    plan_queue = deque(task.plan[progress:])
+                else:
+                    plan = yield ("plan", task.name, progress)
+                    self._account_plan(plan, result, planner_voltage)
+                    plan_queue = deque(plan)
                 if not plan_queue:
                     break
                 continue
@@ -332,15 +371,15 @@ class MissionExecutor:
                 else:
                     voltage = controller_protection.static_voltage() or NOMINAL_VOLTAGE
 
-                logits = self.controller.act_logits(subtask_token, world.observation(),
-                                                    context=controller_kernel)
+                entropy_value, probs = yield ("act", subtask_token,
+                                              world.observation())
                 result.controller_steps += 1
                 result.controller_macs_by_voltage[voltage] = (
                     result.controller_macs_by_voltage.get(voltage, 0.0) + controller_macs)
-                result.entropy_trace.record(action_entropy(logits),
+                result.entropy_trace.record(entropy_value,
                                             world.is_critical_step(), voltage)
 
-                action = self._select_action(logits, rng)
+                action = int(rng.choice(probs.size, p=probs))
                 step = world.step(action)
                 if step.subtask_completed:
                     completed = True
@@ -377,12 +416,111 @@ class MissionExecutor:
             result.voltage_summary = vs_runtime.schedule_summary()
         return result
 
-    def _select_action(self, logits: np.ndarray, rng: np.random.Generator) -> int:
-        """Sample an action from the (temperature-scaled) softmax of the logits."""
+    def _run_to_completion(self, setup: "_TrialSetup",
+                           plan_queue: deque[str]) -> TrialResult:
+        """Drive the world loop of one prepared trial until success or budget.
+
+        The serial driver of :meth:`_trial_steps`: every yielded request is
+        serviced inline against the trial's own kernel contexts.
+        """
+        lane = self._trial_steps(setup, plan_queue)
+        response = None
+        while True:
+            try:
+                request = lane.send(response)
+            except StopIteration:
+                return setup.result
+            if request[0] == "plan":
+                _, task_name, progress = request
+                response = self.planner.plan(
+                    task_name, progress, context=setup.planner_kernel,
+                    use_cache=self.planner_use_cache)
+            else:
+                _, subtask_token, observation = request
+                response = self._act_response(self.controller.act_logits(
+                    subtask_token, observation,
+                    context=setup.controller_kernel))
+
+    def _run_lanes(self, setups: list["_TrialSetup"],
+                   plan_queues: list[deque[str]]) -> list[TrialResult]:
+        """Drive N prepared trials lock-step, batching cross-lane inference.
+
+        On every tick, the pending requests of all live lanes are gathered
+        and serviced as (at most) one batched planner decode
+        (:meth:`DeployedPlanner.plan_batch`) plus one batched controller
+        forward (:meth:`DeployedController.act_logits_batch`) — one quantize
+        and one INT GEMM per projection for the whole group instead of one
+        dispatch per lane.  Lanes finish independently (StopIteration drops
+        them from the round), and single-lane rounds fall back to the serial
+        calls.  Responses are bit-identical to serial servicing, and each
+        lane's call order is fixed by its generator, so the results equal the
+        per-lane serial loop byte for byte — fault-free and under injection.
+        """
+        lanes = [self._trial_steps(setup, plan_queue)
+                 for setup, plan_queue in zip(setups, plan_queues)]
+        responses: list[object] = [None] * len(lanes)
+        requests: dict[int, tuple] = {}
+        alive = list(range(len(lanes)))
+        while alive:
+            pending = []
+            for index in alive:
+                try:
+                    requests[index] = lanes[index].send(responses[index])
+                except StopIteration:
+                    continue
+                pending.append(index)
+            plan_lanes = [i for i in pending if requests[i][0] == "plan"]
+            act_lanes = [i for i in pending if requests[i][0] == "act"]
+            if len(plan_lanes) == 1:
+                index, = plan_lanes
+                _, task_name, progress = requests[index]
+                responses[index] = self.planner.plan(
+                    task_name, progress, context=setups[index].planner_kernel,
+                    use_cache=self.planner_use_cache)
+            elif plan_lanes:
+                plans = self.planner.plan_batch(
+                    [requests[i][1:] for i in plan_lanes],
+                    contexts=[setups[i].planner_kernel for i in plan_lanes],
+                    use_cache=self.planner_use_cache)
+                for index, plan in zip(plan_lanes, plans):
+                    responses[index] = plan
+            if len(act_lanes) == 1:
+                index, = act_lanes
+                _, subtask_token, observation = requests[index]
+                responses[index] = self._act_response(self.controller.act_logits(
+                    subtask_token, observation,
+                    context=setups[index].controller_kernel))
+            elif act_lanes:
+                logits = self.controller.act_logits_batch(
+                    [requests[i][1:] for i in act_lanes],
+                    contexts=[setups[i].controller_kernel for i in act_lanes])
+                stack = np.stack(logits)
+                entropies = _shannon_entropy(softmax(stack))
+                probs = self._action_probs(stack)
+                for j, index in enumerate(act_lanes):
+                    responses[index] = (float(entropies[j]), probs[j])
+            alive = pending
+        return [setup.result for setup in setups]
+
+    def _action_probs(self, logits: np.ndarray) -> np.ndarray:
+        """Temperature-scaled sampling distribution of (stacked) logits.
+
+        Every operation is elementwise or a last-axis reduction, so each row
+        of a stacked call equals the row's own 1-D call bit for bit — the
+        batched driver exploits exactly that.
+        """
         scaled = np.asarray(logits, dtype=np.float64) / self.action_temperature
         scaled = np.nan_to_num(scaled, nan=0.0, posinf=60.0, neginf=-60.0)
         scaled = np.clip(scaled, -60.0, 60.0)
-        probs = softmax(scaled)
+        return softmax(scaled)
+
+    def _act_response(self, logits: np.ndarray) -> tuple[float, np.ndarray]:
+        """The deterministic "act" payload of one lane: entropy + distribution."""
+        return action_entropy(logits), self._action_probs(logits)
+
+    def _select_action(self, logits: np.ndarray, rng: np.random.Generator) -> int:
+        """Sample an action from the (temperature-scaled) softmax of the logits."""
+        probs = self._action_probs(logits)
         return int(rng.choice(probs.size, p=probs))
 
     # ------------------------------------------------------------------

@@ -72,6 +72,7 @@ CAMPAIGN_PRESETS = {
     "kitchen": "kitchen-rearrangement controller suite (beyond the paper)",
     "navigation": "AD/WR planner battery on the generated navigation scenario",
     "assembly": "AD/WR planner battery on the generated assembly scenario",
+    "fleet": "multi-agent fleet missions under per-agent BER (beyond the paper)",
     "paper": "chain every paper preset into one resumable full-paper sweep",
 }
 
@@ -155,6 +156,11 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--bers", type=float, nargs="+", default=[1e-4, 1e-3, 3e-3])
     campaign.add_argument("--trials", type=positive_int, default=8)
     campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--fleet-sizes", type=positive_int, nargs="+",
+                          default=[1, 4, 16], metavar="N",
+                          help="fleet sizes for the 'fleet' preset: agents "
+                               "co-stepped through one batched kernel pass "
+                               "per tick (default: 1 4 16)")
     add_engine_args(campaign)
     campaign.add_argument("--dry-run", action="store_true",
                           help="print the planned (condition, seed) cell "
@@ -419,6 +425,7 @@ _PRESET_USED_OPTIONS = {
     "kitchen": {"tasks"},
     "navigation": {"tasks", "bers"},
     "assembly": {"tasks", "bers"},
+    "fleet": {"task", "bers"},
     "paper": {"task", "tasks", "bers"},
 }
 
@@ -593,6 +600,25 @@ def _preset_scenario(args, engine) -> None:
                              f"suite {fingerprint}): success rate"))
 
 
+def _preset_fleet(args, engine) -> None:
+    """Fleet runtime: missions completed under per-agent BER."""
+    from .eval import experiments, format_table
+
+    task = None if args.task == "wooden" else args.task
+    results = experiments.fleet_resilience(fleet_sizes=list(args.fleet_sizes),
+                                           bers=list(args.bers), task=task,
+                                           seed=args.seed, **engine)
+    rows = []
+    for fleet_size, points in results.items():
+        for point in points:
+            rows.append([fleet_size, f"{point.ber:.0e}" if point.ber else "0",
+                         point.missions_completed, point.mission_success_rate])
+    print(format_table(["fleet size", "per-agent BER", "missions completed",
+                        "success rate"], rows,
+                       title="fleet missions under per-agent BER "
+                             "(cross-agent batched stepping)"))
+
+
 #: Preset name -> ``runner(args, engine_kwargs)`` printing its figure/table.
 _PRESET_RUNNERS = {
     "ad-planner": _preset_ad,
@@ -607,6 +633,7 @@ _PRESET_RUNNERS = {
     "kitchen": _preset_kitchen,
     "navigation": _preset_scenario,
     "assembly": _preset_scenario,
+    "fleet": _preset_fleet,
 }
 
 

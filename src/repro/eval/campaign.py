@@ -152,6 +152,14 @@ class TrialSpec:
     ``seed + num_trials - 1``; growing ``num_trials`` on a later run only
     executes the new cells.  ``params`` carries free-form condition labels
     (e.g. ``(("ber", "1e-3"),)``) that are stored verbatim in the run table.
+
+    ``fleet`` is the fleet-runtime axis: each cell still records one agent's
+    trial, but cells of a ``fleet > 1`` spec execute in co-stepped groups of
+    ``fleet`` agents through the cross-agent batched path (see
+    :mod:`repro.agents.fleet`).  Results are bit-identical either way, so
+    ``fleet`` is an execution-shape knob and — like ``num_trials`` — is
+    excluded from :meth:`signature` when left at 1, keeping every existing
+    spec key stable.
     """
 
     condition: str
@@ -162,12 +170,15 @@ class TrialSpec:
     planner_protection: ProtectionConfig | None = None
     controller_protection: ProtectionConfig | None = None
     params: tuple[tuple[str, str], ...] = ()
+    fleet: int = 1
 
     def __post_init__(self):
         if not self.condition:
             raise ValueError("condition label must be non-empty")
         if self.num_trials <= 0:
             raise ValueError("num_trials must be positive")
+        if not 1 <= self.fleet <= 1000:
+            raise ValueError("fleet size must be in 1..1000")
 
     def seeds(self) -> range:
         """The seeds of this spec's cells, one per trial."""
@@ -249,6 +260,7 @@ class _Cell:
     planner_protection: ProtectionConfig | None
     controller_protection: ProtectionConfig | None
     params: str
+    fleet: int = 1
 
 
 def _spec_cells(spec: TrialSpec, key: str | None = None) -> Iterator[_Cell]:
@@ -259,7 +271,7 @@ def _spec_cells(spec: TrialSpec, key: str | None = None) -> Iterator[_Cell]:
                     task=spec.task, seed=seed, trial_index=index,
                     planner_protection=spec.planner_protection,
                     controller_protection=spec.controller_protection,
-                    params=params)
+                    params=params, fleet=spec.fleet)
 
 
 def enumerate_cells(specs: Sequence[TrialSpec]) -> list[_Cell]:
@@ -407,7 +419,8 @@ def _run_cell(cell: _Cell, executor: MissionExecutor) -> RunRecord:
                                system=cell.system, task=cell.task, seed=cell.seed,
                                trial_index=cell.trial_index, params=cell.params)
     return replace(record, wall_time_s=wall_time, worker_id=_worker_id(),
-                   batch_size=1, vector_path="scalar", queue_backend="local")
+                   batch_size=1, vector_path="scalar", queue_backend="local",
+                   fleet_size=cell.fleet)
 
 
 def _spec_groups(cells: Sequence[_Cell]) -> list[list[_Cell]]:
@@ -467,10 +480,33 @@ def _run_cell_batch(cells: Sequence[_Cell], executor: MissionExecutor) -> list[R
     """Execute one same-spec group through the vectorized trial path.
 
     All lanes ride :meth:`MissionExecutor.run_trial_batch` — one cross-prompt
-    batched GEMM per decode step, per-trial RNG streams independent — so the
-    result columns are bit-identical to running each cell through
-    :func:`_run_cell`.  Wall time is attributed evenly across the group.
+    batched GEMM per decode step *and* per controller tick, per-trial RNG
+    streams independent — so the result columns are bit-identical to running
+    each cell through :func:`_run_cell`.  Wall time is attributed evenly
+    across the group.
+
+    ``fleet > 1`` specs additionally cut the group into co-stepped fleets of
+    ``fleet`` agents, stamped ``vector_path="fleet"``; a trailing single-agent
+    remainder runs scalar.  Result columns are unaffected — the fleet axis
+    only reshapes which lanes share a kernel pass.
     """
+    first = cells[0]
+    if first.fleet > 1:
+        records = []
+        for lo in range(0, len(cells), first.fleet):
+            chunk = cells[lo:lo + first.fleet]
+            if len(chunk) == 1:
+                records.append(_run_cell(chunk[0], executor))
+            else:
+                records.extend(_run_lane_group(chunk, executor,
+                                               vector_path="fleet"))
+        return records
+    return _run_lane_group(cells, executor, vector_path="batched")
+
+
+def _run_lane_group(cells: Sequence[_Cell], executor: MissionExecutor,
+                    vector_path: str) -> list[RunRecord]:
+    """Run one batched lane group and stamp its profile attribution."""
     first = cells[0]
     start = time.perf_counter()
     trials = executor.run_trial_batch(
@@ -486,8 +522,8 @@ def _run_cell_batch(cells: Sequence[_Cell], executor: MissionExecutor) -> list[R
                                    task=cell.task, seed=cell.seed,
                                    trial_index=cell.trial_index, params=cell.params)
         records.append(replace(record, wall_time_s=share, worker_id=worker,
-                               batch_size=len(cells), vector_path="batched",
-                               queue_backend="local"))
+                               batch_size=len(cells), vector_path=vector_path,
+                               queue_backend="local", fleet_size=cell.fleet))
     return records
 
 

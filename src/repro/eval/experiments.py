@@ -45,6 +45,8 @@ __all__ = [
     "ad_evaluation",
     "wr_evaluation",
     "scenario_resilience",
+    "FleetSweepPoint",
+    "fleet_resilience",
     "PolicyEvaluation",
     "vs_evaluation",
     "interval_sweep",
@@ -232,6 +234,86 @@ def scenario_resilience(scenario: str, bers: list[float],
                     ber=float(ber),
                     summary=campaign.summary(conditions[(label, task, float(ber))])))
             results[label][task] = sweep
+    return results
+
+
+# ----------------------------------------------------------------------
+# Fleet runtime: missions completed under per-agent BER (ROADMAP fleet item)
+# ----------------------------------------------------------------------
+@dataclass
+class FleetSweepPoint:
+    """Fleet-level outcome of one (fleet size, per-agent BER) condition."""
+
+    fleet_size: int
+    ber: float
+    summary: TrialSummary
+
+    @property
+    def missions_completed(self) -> float:
+        """Mean missions completed per fleet at this BER."""
+        return self.summary.success_rate * self.fleet_size
+
+    @property
+    def mission_success_rate(self) -> float:
+        return self.summary.success_rate
+
+
+def fleet_resilience(fleet_sizes: list[int] | None = None,
+                     bers: list[float] | None = None,
+                     task: str | None = None,
+                     scenario: str = "navigation",
+                     seed: int = 0, exposure_scale: float = 1.0,
+                     jobs: int = 1, out: str | None = None,
+                     batch: int | None = None
+                     ) -> dict[int, list[FleetSweepPoint]]:
+    """Fleet-level resilience: missions completed under per-agent BER.
+
+    One :class:`TrialSpec` per (fleet size, BER): ``num_trials`` equals the
+    fleet size — one mission per agent — and ``fleet=N`` routes the whole
+    spec through the cross-agent batched stepping path
+    (:mod:`repro.agents.fleet`), so every simulation tick runs one fused
+    kernel pass per projection for the fleet.  Each agent draws faults from
+    its own injector RNG lane, so per-agent BER perturbs fleet-level mission
+    completion without cross-agent contamination; the result columns are
+    bit-identical to a per-agent serial loop, which is what keeps the run
+    table resumable across fleet sizes.  Returns
+    ``{fleet_size: [FleetSweepPoint per BER]}``.
+    """
+    from ..env.scenarios import CATALOG
+
+    fleet_sizes = list(fleet_sizes) if fleet_sizes else [1, 4, 16]
+    bers = list(bers) if bers is not None else [0.0, 1e-4, 1e-3]
+    suite = CATALOG.build(scenario)
+    task = task or suite.task_names[0]
+    if task not in suite:
+        raise KeyError(f"unknown task {task!r} in scenario {scenario!r}; "
+                       f"generated tasks: {', '.join(suite.task_names)}")
+    specs: list[TrialSpec] = []
+    conditions: dict[tuple[int, float], str] = {}
+    for fleet_size in fleet_sizes:
+        for ber in bers:
+            protection = ProtectionConfig(
+                error_model=UniformErrorModel(float(ber)),
+                exposure_scale=exposure_scale) if ber else None
+            condition = f"fleet={fleet_size}/ber={float(ber)!r}"
+            conditions[(fleet_size, float(ber))] = condition
+            specs.append(TrialSpec(
+                condition=condition, system=f"jarvis-{scenario}", task=task,
+                num_trials=fleet_size, seed=seed,
+                planner_protection=protection,
+                controller_protection=protection,
+                params=(("fleet", str(fleet_size)), ("task", task),
+                        ("ber", repr(float(ber)))),
+                fleet=fleet_size))
+    campaign = run_campaign(specs, jobs=jobs, out=out, batch=batch,
+                            name=slugify(f"fleet-{scenario}"))
+    results: dict[int, list[FleetSweepPoint]] = {}
+    for fleet_size in fleet_sizes:
+        results[fleet_size] = [
+            FleetSweepPoint(fleet_size=fleet_size, ber=float(ber),
+                            summary=campaign.summary(
+                                conditions[(fleet_size, float(ber))]))
+            for ber in bers]
     return results
 
 

@@ -23,9 +23,10 @@ split into two groups:
   This is the default on-disk format and matches the format of earlier
   releases exactly.
 * :data:`PROFILE_COLUMNS` — ``wall_time_s``, ``worker_id``, ``batch_size``,
-  ``vector_path`` and ``queue_backend`` (which transport delivered the row:
+  ``vector_path``, ``queue_backend`` (which transport delivered the row:
   ``local`` for in-process campaigns, ``file`` / ``http`` for queue-backed
-  workers), recorded by the campaign engine for profiling, plus the
+  workers) and ``fleet_size`` (the spec's fleet axis; 0 on rows predating
+  it), recorded by the campaign engine for profiling, plus the
   :data:`DERIVED_PROFILE_COLUMNS` (``macs_total``, ``flips_total``,
   ``energy_model_j``) — per-row analytics denormalized from the result
   columns, so sidecar consumers need no re-derivation.  Profile columns are
@@ -132,6 +133,7 @@ class RunRecord:
     batch_size: int = 0
     vector_path: str = ""
     queue_backend: str = ""
+    fleet_size: int = 0
 
     # ------------------------------------------------------------------
     def planner_macs_by_voltage(self) -> dict[float, float]:
@@ -200,7 +202,7 @@ class RunRecord:
 _INT_FIELDS = {"seed", "trial_index", "steps", "planner_invocations", "controller_steps",
                "planner_bits_flipped", "controller_bits_flipped",
                "planner_elements_clamped", "controller_elements_clamped",
-               "entropy_records", "batch_size", "flips_total"}
+               "entropy_records", "batch_size", "fleet_size", "flips_total"}
 _FLOAT_FIELDS = {"energy_j", "effective_voltage", "mean_entropy", "wall_time_s",
                  "macs_total", "energy_model_j"}
 _BOOL_FIELDS = {"success"}
@@ -217,8 +219,8 @@ DERIVED_PROFILE_COLUMNS: tuple[str, ...] = ("macs_total", "flips_total",
 #: Execution-profile columns (machine-dependent or derived; excluded from
 #: canonical files).
 PROFILE_COLUMNS: tuple[str, ...] = ("wall_time_s", "worker_id", "batch_size",
-                                    "vector_path",
-                                    "queue_backend") + DERIVED_PROFILE_COLUMNS
+                                    "vector_path", "queue_backend",
+                                    "fleet_size") + DERIVED_PROFILE_COLUMNS
 
 #: Deterministic measurement columns — the canonical on-disk format.
 RESULT_COLUMNS: tuple[str, ...] = tuple(c for c in _FIELD_COLUMNS
@@ -228,13 +230,16 @@ RESULT_COLUMNS: tuple[str, ...] = tuple(c for c in _FIELD_COLUMNS
 COLUMNS: tuple[str, ...] = RESULT_COLUMNS + PROFILE_COLUMNS
 
 #: Profile headers of earlier releases — before ``batch_size``/``vector_path``
-#: existed, before the derived columns existed, and before ``queue_backend``
-#: existed; still accepted on read so old sidecars keep loading (and being
-#: appended to) unchanged.
+#: existed, before the derived columns existed, before ``queue_backend``
+#: existed, and before ``fleet_size`` existed; still accepted on read so old
+#: sidecars keep loading (and being appended to) unchanged.
 _LEGACY_PROFILE_HEADERS: tuple[tuple[str, ...], ...] = (
     RESULT_COLUMNS + ("wall_time_s", "worker_id"),
     RESULT_COLUMNS + ("wall_time_s", "worker_id", "batch_size", "vector_path"),
     RESULT_COLUMNS + ("wall_time_s", "worker_id", "batch_size", "vector_path",
+                      "macs_total", "flips_total", "energy_model_j"),
+    RESULT_COLUMNS + ("wall_time_s", "worker_id", "batch_size", "vector_path",
+                      "queue_backend",
                       "macs_total", "flips_total", "energy_model_j"),
 )
 

@@ -186,6 +186,7 @@ def spec_to_dict(spec: TrialSpec) -> dict:
         "planner_protection": protection_to_dict(spec.planner_protection),
         "controller_protection": protection_to_dict(spec.controller_protection),
         "params": [list(pair) for pair in spec.params],
+        "fleet": spec.fleet,
     }
 
 
@@ -199,6 +200,7 @@ def spec_from_dict(data: Mapping) -> TrialSpec:
         planner_protection=protection_from_dict(data.get("planner_protection")),
         controller_protection=protection_from_dict(data.get("controller_protection")),
         params=tuple((str(k), str(v)) for k, v in data.get("params", [])),
+        fleet=int(data.get("fleet", 1)),
     )
 
 
@@ -1019,6 +1021,11 @@ class WorkerDaemon:
                 for writer in writers:
                     writer.close()
             self._writers.clear()
+            # HTTP-backed queues hold per-thread keep-alive sockets; release
+            # them on the way out.  File/dir queues have no close().
+            close = getattr(self.queue, "close", None)
+            if close is not None:
+                close()
         if pool is not None:
             pool.shutdown(wait=True)
         stats.wall_time_s = time.perf_counter() - started

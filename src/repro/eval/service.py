@@ -365,6 +365,8 @@ class QueueClient:
         self._address = (parts.hostname, parts.port or 80)
         self.timeout = timeout
         self._local = threading.local()
+        self._connections: list[http.client.HTTPConnection] = []
+        self._connections_lock = threading.Lock()
         config = self._request("/api/config")
         if config.get("format") != SERVICE_FORMAT:
             raise ServiceError(
@@ -395,7 +397,29 @@ class QueueClient:
             connection.sock.setsockopt(socket.IPPROTO_TCP,
                                        socket.TCP_NODELAY, 1)
             self._local.connection = connection
+            with self._connections_lock:
+                self._connections.append(connection)
         return connection
+
+    def close(self) -> None:
+        """Close every keep-alive connection this client ever opened.
+
+        Connections are per-thread (see :meth:`_connection`), so only the
+        thread that made a request can reach its own socket via
+        ``self._local`` — worker pools would otherwise leak one established
+        connection per pool thread for the life of the process.  Every
+        connection is therefore also tracked in ``self._connections`` at
+        creation, and ``close()`` closes them all from any thread.  The
+        client stays usable: ``self._local`` is reset, so the next request
+        on any thread reconnects lazily (double-closing a connection a
+        thread re-opens in parallel is harmless — ``HTTPConnection.close``
+        is idempotent and :meth:`_request` retries a dropped socket once).
+        """
+        with self._connections_lock:
+            connections, self._connections = self._connections, []
+        for connection in connections:
+            connection.close()
+        self._local = threading.local()
 
     def _request(self, path: str, payload: dict | None = None) -> dict:
         body = None if payload is None else json.dumps(payload).encode()

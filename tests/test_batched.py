@@ -199,6 +199,37 @@ class TestExecutorTrialBatch:
         [batched] = jarvis_executor.run_trial_batch("wooden", [5])
         assert self._payloads([batched]) == self._payloads([serial])
 
+    def test_empty_seed_list_returns_empty(self, jarvis_executor):
+        assert jarvis_executor.run_trial_batch("wooden", []) == []
+
+    def test_duplicate_seeds_get_identical_lanes(self, jarvis_executor):
+        """Each lane owns its RNG streams, so a repeated seed repeats its
+        trial exactly — no cross-lane stream sharing."""
+        protection = ProtectionConfig(error_model=UniformErrorModel(1e-3))
+        first, second, other = jarvis_executor.run_trial_batch(
+            "wooden", [4, 4, 9], planner_protection=protection,
+            controller_protection=protection)
+        assert self._payloads([first]) == self._payloads([second])
+        assert self._payloads([first]) != self._payloads([other])
+
+    def test_differing_protections_stay_batch_local(self, jarvis_executor):
+        """A protection applies to every seed of its batch and leaks into no
+        other batch: a clean batch after a protected one still matches the
+        fault-free serial trials seed for seed."""
+        protection = ProtectionConfig(error_model=UniformErrorModel(1e-2))
+        seeds = [0, 1]
+        protected = jarvis_executor.run_trial_batch(
+            "wooden", seeds, planner_protection=protection,
+            controller_protection=protection)
+        assert all(t.planner_bits_flipped + t.controller_bits_flipped > 0
+                   for t in protected)
+        clean = jarvis_executor.run_trial_batch("wooden", seeds)
+        serial = [jarvis_executor.run_trial("wooden", seed=s) for s in seeds]
+        assert all(t.planner_bits_flipped + t.controller_bits_flipped == 0
+                   for t in clean)
+        assert self._payloads(clean) == self._payloads(serial)
+        assert self._payloads(clean) != self._payloads(protected)
+
 
 class TestCampaignVectorPath:
     """Level 3 (campaign): vectorized and scalar runs are byte-identical."""

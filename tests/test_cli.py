@@ -52,10 +52,10 @@ class TestParser:
         assert args.preset == "paper"
         assert "paper" in CAMPAIGN_PRESETS
         # The paper sweep chains exactly the figure/table presets; extras
-        # beyond the paper (kitchen and the generated catalog scenarios)
-        # stay out of the chain.
+        # beyond the paper (kitchen, the generated catalog scenarios, and
+        # the fleet runtime) stay out of the chain.
         assert set(PAPER_PRESET_CHAIN) == set(CAMPAIGN_PRESETS) - {
-            "paper", "kitchen", "navigation", "assembly"}
+            "paper", "kitchen", "navigation", "assembly", "fleet"}
 
     def test_kitchen_preset_registered(self):
         from repro.cli import CAMPAIGN_PRESETS

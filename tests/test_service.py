@@ -55,12 +55,19 @@ def service(tmp_path):
         yield running
 
 
+@pytest.fixture()
+def client(service):
+    """A queue client whose keep-alive connections close on teardown."""
+    client = QueueClient(service.url)
+    yield client
+    client.close()
+
+
 # ----------------------------------------------------------------------
 # Protocol: the queue surface over the wire
 # ----------------------------------------------------------------------
 class TestServiceProtocol:
-    def test_config_identifies_the_service(self, service):
-        client = QueueClient(service.url)
+    def test_config_identifies_the_service(self, service, client):
         assert client.lease_ttl == 60.0
         assert client.root == service.url  # printable origin for logs
         assert client.backend == "http"
@@ -92,8 +99,29 @@ class TestServiceProtocol:
         with pytest.raises(ServiceError, match="http://host:port"):
             QueueClient("ftp://somewhere:21")
 
-    def test_enqueue_is_idempotent_over_http(self, service):
-        client = QueueClient(service.url)
+    def test_close_covers_every_threads_connection(self, service, client):
+        """``close()`` tears down the keep-alive socket of *every* thread
+        that ever used the client, not just the closer's own."""
+        workers = [threading.Thread(target=client.counts) for _ in range(3)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        client.counts()  # the main thread's connection
+        connections = list(client._connections)
+        assert len(connections) >= 2  # per-thread sockets were tracked
+        client.close()
+        assert client._connections == []
+        assert all(conn.sock is None for conn in connections)
+
+    def test_closed_client_reconnects_lazily(self, service, client):
+        client.counts()
+        client.close()
+        client.close()  # idempotent
+        # The client stays usable: the next request dials a fresh socket.
+        assert client.counts()["pending"] == 0
+
+    def test_enqueue_is_idempotent_over_http(self, service, client):
         plan = CampaignPlan(name="demo", specs=_specs(4))
         first = client.enqueue(plan, batch=2)
         assert first.new_tasks == 4 and first.enqueued_cells == 8
@@ -102,19 +130,16 @@ class TestServiceProtocol:
         stored, = client.plans()
         assert stored.plan_hash() == plan.plan_hash()
 
-    def test_conflicting_plan_surfaces_the_server_error(self, service):
-        client = QueueClient(service.url)
+    def test_conflicting_plan_surfaces_the_server_error(self, service, client):
         client.enqueue(CampaignPlan(name="demo", specs=_specs(2)))
         with pytest.raises(ServiceError, match="different plan"):
             client.enqueue(CampaignPlan(name="demo", specs=_specs(5)))
 
-    def test_unknown_endpoint_is_a_404(self, service):
-        client = QueueClient(service.url)
+    def test_unknown_endpoint_is_a_404(self, service, client):
         with pytest.raises(ServiceError, match="404"):
             client._request("/api/no-such-thing")
 
-    def test_claim_heartbeat_complete_lifecycle(self, service):
-        client = QueueClient(service.url)
+    def test_claim_heartbeat_complete_lifecycle(self, service, client):
         client.enqueue(CampaignPlan(name="demo", specs=_specs(2)), batch=4)
         task = client.claim("w1")
         assert task is not None and len(task.cells) == 4
@@ -126,16 +151,14 @@ class TestServiceProtocol:
         assert client.counts()["done"] == 1
         assert client.claim("w2") is None  # drained
 
-    def test_claimed_task_rebuilds_exact_cells(self, service):
-        client = QueueClient(service.url)
+    def test_claimed_task_rebuilds_exact_cells(self, service, client):
         specs = _specs(2)
         client.enqueue(CampaignPlan(name="demo", specs=specs), batch=8)
         task = client.claim("w1")
         assert [(c.spec_key, c.seed) for c in task.cells] == \
             [(c.spec_key, c.seed) for c in enumerate_cells(specs)]
 
-    def test_fail_parks_the_task(self, service):
-        client = QueueClient(service.url)
+    def test_fail_parks_the_task(self, service, client):
         client.enqueue(CampaignPlan(name="demo", specs=_specs(2)), batch=4)
         task = client.claim("w1")
         client.fail(task)
@@ -161,8 +184,7 @@ class TestRowStreaming:
             rows += len(task.cells)
         return rows
 
-    def test_rows_land_server_side_with_profile_sidecar(self, service):
-        client = QueueClient(service.url)
+    def test_rows_land_server_side_with_profile_sidecar(self, service, client):
         client.enqueue(CampaignPlan(name="demo", specs=_specs(2)), batch=2)
         rows = self._drain_with_synthetic_rows(client, "streamer")
         assert rows == 4
@@ -172,8 +194,7 @@ class TestRowStreaming:
         sidecar = RunTable.read_csv(results / "profiles" / "demo.csv")
         assert {record.queue_backend for record in sidecar} == {"http"}
 
-    def test_progress_endpoint_tracks_rows_and_backlog(self, service):
-        client = QueueClient(service.url)
+    def test_progress_endpoint_tracks_rows_and_backlog(self, service, client):
         client.enqueue(CampaignPlan(name="demo", specs=_specs(2)), batch=2)
         before = client.progress()
         assert before["plans"][0]["pending_tasks"] == 2
@@ -190,10 +211,9 @@ class TestRowStreaming:
 # The central invariant, through a real daemon
 # ----------------------------------------------------------------------
 class TestHttpWorkerByteIdentity:
-    def test_http_daemon_matches_serial(self, service, tmp_path):
+    def test_http_daemon_matches_serial(self, service, client, tmp_path):
         specs = _specs(2)
         serial = run_campaign(specs, out=tmp_path / "serial", name="demo")
-        client = QueueClient(service.url)
         client.enqueue(CampaignPlan(name="demo", specs=specs), batch=2)
         stats = WorkerDaemon(client, jobs=1, worker_id="http-w").run()
         assert stats.tasks_completed == 2 and stats.cells_executed == 4
@@ -212,8 +232,7 @@ class TestHttpWorkerByteIdentity:
 # Lease reclamation over HTTP, including clock skew
 # ----------------------------------------------------------------------
 class TestServiceReclaim:
-    def test_expired_lease_is_reclaimed_over_http(self, service):
-        client = QueueClient(service.url)
+    def test_expired_lease_is_reclaimed_over_http(self, service, client):
         client.enqueue(CampaignPlan(name="demo", specs=_specs(2)), batch=2)
         task = client.claim("dead-worker")
         assert client.reclaim_expired() == []  # heartbeat is fresh
@@ -232,19 +251,22 @@ class TestServiceReclaim:
         the heartbeat truly freezes."""
         with CampaignService(tmp_path / "queue", lease_ttl=1.0) as service:
             client = QueueClient(service.url)
-            client.enqueue(CampaignPlan(name="demo", specs=_specs(2)),
-                           batch=2)
-            claimed_at = time.time()
-            task = client.claim("skewed-worker")
-            lease = service.queue.leases_dir / f"{task.task_id}.json"
-            time.sleep(2.0)  # well past the 1s TTL in absolute terms
-            # The skewed worker's heartbeat: ahead of the mtime the service
-            # observed at claim time, far behind wall-clock.
-            skewed = claimed_at + 0.3
-            os.utime(lease, (skewed, skewed))
-            assert client.reclaim_expired() == []  # advanced => live
-            # The worker dies; the mtime freezes where it was.
-            assert client.reclaim_expired() == [task.task_id]
+            try:
+                client.enqueue(CampaignPlan(name="demo", specs=_specs(2)),
+                               batch=2)
+                claimed_at = time.time()
+                task = client.claim("skewed-worker")
+                lease = service.queue.leases_dir / f"{task.task_id}.json"
+                time.sleep(2.0)  # well past the 1s TTL in absolute terms
+                # The skewed worker's heartbeat: ahead of the mtime the
+                # service observed at claim time, far behind wall-clock.
+                skewed = claimed_at + 0.3
+                os.utime(lease, (skewed, skewed))
+                assert client.reclaim_expired() == []  # advanced => live
+                # The worker dies; the mtime freezes where it was.
+                assert client.reclaim_expired() == [task.task_id]
+            finally:
+                client.close()
 
     def test_fresh_service_reclaims_by_absolute_age(self, tmp_path):
         """A restarted service has no observation history: a long-expired
@@ -256,15 +278,17 @@ class TestServiceReclaim:
         os.utime(task.lease_path, (stale, stale))
         with CampaignService(tmp_path / "queue", lease_ttl=60.0) as service:
             client = QueueClient(service.url)
-            assert client.reclaim_expired() == [task.task_id]
+            try:
+                assert client.reclaim_expired() == [task.task_id]
+            finally:
+                client.close()
 
 
 # ----------------------------------------------------------------------
 # Work stealing through the service
 # ----------------------------------------------------------------------
 class TestWorkStealing:
-    def test_prefer_plan_orders_claims_then_steals_deepest(self, service):
-        client = QueueClient(service.url)
+    def test_prefer_plan_orders_claims_then_steals_deepest(self, service, client):
         shallow = CampaignPlan(name="shallow", specs=_specs(1)[:1])
         deep = CampaignPlan(name="deep", specs=_specs(6))
         client.enqueue(shallow, batch=1)   # 1 task
@@ -275,8 +299,7 @@ class TestWorkStealing:
         stolen = client.claim("w", prefer_plan="shallow")
         assert stolen.plan_name == "deep"  # affinity drained: steal deepest
 
-    def test_daemon_counts_stolen_tasks_over_http(self, service):
-        client = QueueClient(service.url)
+    def test_daemon_counts_stolen_tasks_over_http(self, service, client):
         client.enqueue(CampaignPlan(name="mine", specs=_specs(1)[:1]),
                        batch=1)
         client.enqueue(CampaignPlan(name="other", specs=_specs(1)), batch=2)
@@ -348,10 +371,9 @@ class TestGracefulShutdown:
             daemon._retrying(always_down)
         assert calls["n"] == 3
 
-    def test_client_transport_errors_are_oserrors(self, service):
+    def test_client_transport_errors_are_oserrors(self, service, client):
         """The daemon's retry net catches OSError; a dead service must
         surface as one (not an http.client internal)."""
-        client = QueueClient(service.url)
         service.close()
         # Drop the keep-alive connection so the next request must dial the
         # (now closed) listening socket rather than ride the old stream.

@@ -156,6 +156,14 @@ _SERVICE_FLOOR_QUOTES = {
 }
 
 
+#: Prose quotations of the fleet-runtime gate, e.g. "the 3x fleet-stepping
+#: floor"; group 1 is the quoted multiplier.
+_FLEET_FLOOR_QUOTES = {
+    "FLEET_STEPPING_TARGET":
+        re.compile(r"(\d+(?:\.\d+)?)x\s+fleet-stepping"),
+}
+
+
 def _check_floor_quotes(errors: list[str], floors: dict[str, float],
                         quotes: dict[str, "re.Pattern[str]"],
                         constants_file: str, unit: str) -> None:
@@ -185,12 +193,15 @@ def check_bench_floors(errors: list[str]) -> None:
     The kernel constants live in ``benchmarks/bench_kernels.py`` (parsed by
     ``tools/check_bench.py``), the campaign-service constants in
     ``benchmarks/bench_service.py`` (parsed by
-    ``tools/check_service_bench.py``); any markdown sentence quoting a
+    ``tools/check_service_bench.py``), the fleet-runtime constant in
+    ``benchmarks/bench_fleet.py`` (parsed by
+    ``tools/check_fleet_bench.py``); any markdown sentence quoting a
     floor — and at least one must, per floor — has to agree with them.
     """
     sys.path.insert(0, str(REPO_ROOT / "tools"))
     try:
         from check_bench import bench_floors
+        from check_fleet_bench import fleet_floors
         from check_service_bench import service_floors
     finally:
         sys.path.pop(0)
@@ -198,6 +209,8 @@ def check_bench_floors(errors: list[str]) -> None:
                         "benchmarks/bench_kernels.py", "x")
     _check_floor_quotes(errors, service_floors(), _SERVICE_FLOOR_QUOTES,
                         "benchmarks/bench_service.py", "")
+    _check_floor_quotes(errors, fleet_floors(), _FLEET_FLOOR_QUOTES,
+                        "benchmarks/bench_fleet.py", "x")
 
 
 #: Code spans inside the first cell of a ``| Column | ...`` table row.

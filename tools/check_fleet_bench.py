@@ -1,0 +1,121 @@
+"""Fleet-benchmark regression gate (the CI ``fleet`` job).
+
+Compares a fresh ``BENCH_fleet.json`` (produced by
+``benchmarks/bench_fleet.py`` earlier in the job) against the baseline
+committed at the repository root:
+
+1. **floor** — the committed baseline must satisfy the hard speedup floor
+   declared in ``benchmarks/bench_fleet.py`` (``FLEET_STEPPING_TARGET``)
+   at its gated fleet size.  A baseline below its own gate means the
+   committed numbers and the gate constant drifted apart;
+2. **regression** — every fleet-stepping speedup in the fresh run must be
+   within :data:`REGRESSION_TOLERANCE` (20%) of the committed baseline.
+   The tolerance absorbs CI machine noise while still catching real
+   regressions (a lost batched path shows up as 2-4x, not 20%).
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/check_fleet_bench.py /tmp/BENCH_fleet.json
+
+Exit status 0 means clean; 1 prints one line per problem.  The floor
+constant is parsed from the benchmark source (not imported), so this
+check needs no system build; ``tools/check_docs.py`` reuses
+:func:`fleet_floors` to verify the floor quoted in the documentation.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_fleet.json"
+BENCH_SOURCE = REPO_ROOT / "benchmarks" / "bench_fleet.py"
+
+#: Maximum tolerated fractional speedup drop vs the committed baseline.
+REGRESSION_TOLERANCE = 0.20
+
+_FLOOR = re.compile(r"^(FLEET_STEPPING_TARGET)\s*=\s*"
+                    r"(\d+(?:\.\d+)?)\s*$", re.MULTILINE)
+
+
+def fleet_floors() -> dict[str, float]:
+    """The hard speedup floor declared in ``benchmarks/bench_fleet.py``.
+
+    Parsed from source so callers (this gate, ``check_docs``) need neither a
+    trained system nor the benchmark's import side effects.
+    """
+    floors = {name: float(value)
+              for name, value in _FLOOR.findall(BENCH_SOURCE.read_text())}
+    if "FLEET_STEPPING_TARGET" not in floors:
+        raise ValueError(f"could not parse FLEET_STEPPING_TARGET from "
+                         f"{BENCH_SOURCE.relative_to(REPO_ROOT)}")
+    return floors
+
+
+def speedups(results: dict) -> dict[str, float]:
+    """The regression-diffed speedups of a ``BENCH_fleet.json`` document.
+
+    The ``injected`` section is informational only — it is single-pass
+    timed (its missions run to budget exhaustion), so holding it to the
+    regression tolerance would gate on timing noise.
+    """
+    return {f"fleet{size}": entry["speedup"]
+            for size, entry in results["by_fleet"].items()}
+
+
+def check_floors(baseline: dict, errors: list[str]) -> None:
+    """The committed baseline must satisfy the benchmark's own gate."""
+    floor = fleet_floors()["FLEET_STEPPING_TARGET"]
+    gated = baseline["gated_speedup"]
+    if gated < floor:
+        errors.append(
+            f"committed baseline fleet-stepping speedup {gated:.2f}x at "
+            f"fleet={baseline['gated_fleet_size']} is below the "
+            f"{floor:.1f}x FLEET_STEPPING_TARGET")
+
+
+def check_regressions(baseline: dict, fresh: dict, errors: list[str]) -> None:
+    """Every fresh speedup must be within tolerance of the baseline's."""
+    base = speedups(baseline)
+    new = speedups(fresh)
+    for key, reference in sorted(base.items()):
+        measured = new.get(key)
+        if measured is None:
+            errors.append(f"fresh results lack the {key!r} speedup "
+                          "(section removed?)")
+            continue
+        floor = reference * (1.0 - REGRESSION_TOLERANCE)
+        if measured < floor:
+            errors.append(
+                f"{key}: speedup regressed to {measured:.2f}x "
+                f"(baseline {reference:.2f}x, tolerance floor {floor:.2f}x)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: check_fleet_bench.py FRESH_BENCH_JSON", file=sys.stderr)
+        return 2
+    fresh_path = Path(argv[0])
+    baseline = json.loads(BASELINE_PATH.read_text())
+    fresh = json.loads(fresh_path.read_text())
+
+    errors: list[str] = []
+    check_floors(baseline, errors)
+    check_regressions(baseline, fresh, errors)
+    for error in errors:
+        print(f"ERROR: {error}")
+    if errors:
+        print(f"{len(errors)} benchmark problem(s)")
+        return 1
+    print(f"fleet bench OK: {len(speedups(fresh))} speedups within "
+          f"{REGRESSION_TOLERANCE:.0%} of the committed baseline, "
+          "floor satisfied")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
