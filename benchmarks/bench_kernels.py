@@ -6,7 +6,7 @@ pytest-benchmark), this is a plain script so CI can gate on it directly::
     PYTHONPATH=src python benchmarks/bench_kernels.py            # full run
     PYTHONPATH=src python benchmarks/bench_kernels.py --smoke    # CI gate
 
-It measures five things and writes them to ``BENCH_kernels.json``:
+It measures six things and writes them to ``BENCH_kernels.json``:
 
 1. **fused qgemm** — one fused :meth:`KernelContext.qgemm` call vs the
    reference :func:`quantized_matmul` pipeline on planner-shaped operands;
@@ -21,12 +21,17 @@ It measures five things and writes them to ``BENCH_kernels.json``:
    per step (``plan_batch``) vs N serial ``plan`` calls, at batch sizes
    1/4/8/16;
 5. **controller step** — per-step ``act_logits`` through a per-trial kernel
-   context vs transient hook resolution.
+   context vs transient hook resolution;
+6. **plan reuse** — per-trial kernel-context setup (planner + controller,
+   the fig16-style trial configuration) against the immutable
+   :class:`KernelPlan` cache vs rebuilding every ``_KernelEntry`` from the
+   quantized layers, as shipped before the plan/context split.
 
 Exit status is non-zero when a gate fails: cached decode must never be
-slower than uncached and batched decode at batch=8 must hit its ≥2x floor
-(smoke and full runs); the full run additionally checks the ≥3x speedup of
-cached decode over the legacy path.
+slower than uncached, batched decode at batch=8 must hit its ≥2x floor,
+and plan-backed trial setup must hit its ≥2x floor (smoke and full runs);
+the full run additionally checks the ≥3x speedup of cached decode over the
+legacy path.
 """
 
 from __future__ import annotations
@@ -62,6 +67,10 @@ BATCHED_DECODE_TARGET = 2.0
 #: (all runs).  A fused path that loses to split is a regression by
 #: definition — fusion exists only to beat per-call dispatch.
 FUSED_QKV_TARGET = 1.0
+
+#: Required speedup of plan-backed trial setup over rebuilding kernel
+#: entries from the quantized layers (all runs).
+PLAN_REUSE_TARGET = 2.0
 
 #: Cross-prompt batch sizes measured by the ``batched_decode`` section.
 BATCH_SIZES = (1, 4, 8, 16)
@@ -253,6 +262,38 @@ def bench_controller(controller, reps: int) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# 6. Plan-backed trial setup vs per-trial entry rebuilds
+# ----------------------------------------------------------------------
+def bench_plan_reuse(planner, controller, reps: int) -> dict:
+    # Sanity first: a plan-backed context must decode bit-identically to a
+    # freshly built one (shared immutable constants, private mutable state).
+    fresh = KernelContext(planner._quantized, spec=planner.spec)
+    planner.kernel_plan()  # warm the plan cache
+    reused = planner.kernel_context()
+    probe = np.ones((1, planner.config.dim))
+    assert np.array_equal(fresh.qgemm("layer0.q", probe),
+                          reused.qgemm("layer0.q", probe))
+    assert planner.plan_provenance() in ("hit", "shm")
+
+    def rebuild_setup():
+        KernelContext(planner._quantized, spec=planner.spec)
+        KernelContext(controller._quantized, spec=controller.spec)
+
+    def plan_setup():
+        planner.kernel_context()
+        controller.kernel_context()
+
+    rebuild = _time(rebuild_setup, reps)
+    plan = _time(plan_setup, reps)
+    return {
+        "components": len(planner._quantized) + len(controller._quantized),
+        "rebuild_us": rebuild * 1e6,
+        "plan_us": plan * 1e6,
+        "speedup": rebuild / plan,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
@@ -284,6 +325,8 @@ def main(argv: list[str] | None = None) -> int:
         "fig16_decode": bench_decode(system.planner, reps),
         "batched_decode": bench_batched_decode(system.planner, reps),
         "controller_step": bench_controller(system.controller, reps),
+        "plan_reuse": bench_plan_reuse(system.planner, system.controller,
+                                       reps * 100),
     }
 
     out_path = Path(args.out)
@@ -306,6 +349,10 @@ def main(argv: list[str] | None = None) -> int:
               f"({entry['speedup']:.2f}x)")
     print(f"controller step:  {results['controller_step']['speedup']:.2f}x with "
           f"a per-trial context")
+    plan_reuse = results["plan_reuse"]
+    print(f"plan reuse:       {plan_reuse['speedup']:.2f}x trial setup "
+          f"({plan_reuse['rebuild_us']:.1f} us rebuild -> "
+          f"{plan_reuse['plan_us']:.1f} us plan-backed)")
     print(f"results written to {out_path}")
 
     failures = []
@@ -323,6 +370,10 @@ def main(argv: list[str] | None = None) -> int:
             f"batched decode speedup at batch=8 "
             f"({batched['batch8_speedup']:.2f}x) is below the "
             f"{BATCHED_DECODE_TARGET:.1f}x target")
+    if plan_reuse["speedup"] < PLAN_REUSE_TARGET:
+        failures.append(
+            f"plan-backed trial setup ({plan_reuse['speedup']:.2f}x) is "
+            f"below the {PLAN_REUSE_TARGET:.1f}x target")
     if not args.smoke and decode["cached_vs_legacy_speedup"] < DECODE_SPEEDUP_TARGET:
         failures.append(
             f"cached decode speedup {decode['cached_vs_legacy_speedup']:.2f}x "

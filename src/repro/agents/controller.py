@@ -26,6 +26,7 @@ from ..quant import (
     GemmHooks,
     INT8,
     KernelContext,
+    KernelPlan,
     QuantizedLinear,
     QuantSpec,
 )
@@ -207,6 +208,8 @@ class DeployedController:
         self._extract_weights(network)
         self.calibrator = Calibrator(spec)
         self._quantized: dict[str, QuantizedLinear] = {}
+        self._plan: KernelPlan | None = None
+        self._plan_shared = False
         self._clean_kernel: KernelContext | None = None
         if calibration_samples is None:
             if calibration_suite is None or calibration_registry is None:
@@ -316,12 +319,46 @@ class DeployedController:
         return FloatKernel(self._float_weights.__getitem__, self._biases.get,
                            observer=observer)
 
+    def kernel_plan(self) -> KernelPlan:
+        """The shared, immutable plan all of this controller's contexts reuse.
+
+        Built once per calibration and handed to every :meth:`kernel_context`
+        call, so per-trial context construction is O(components) instead of
+        O(weights).
+        """
+        if not self._quantized:
+            raise RuntimeError("controller has not been calibrated/quantized")
+        if self._plan is None:
+            self._plan = KernelPlan(self._quantized, spec=self.spec)
+        return self._plan
+
+    def adopt_plan(self, plan: KernelPlan) -> None:
+        """Replace the cached plan with an externally shared (shm) one.
+
+        Content-hash-verified against this controller's own checkpoint, so
+        adoption changes where the arrays live, never a result.
+        """
+        if not self._quantized:
+            raise RuntimeError("controller has not been calibrated/quantized")
+        expected = KernelPlan.hash_layers(self._quantized, self.spec)
+        if plan.content_hash != expected:
+            raise ValueError(
+                f"plan hash {plan.content_hash[:12]} does not match this "
+                f"controller's checkpoint ({expected[:12]})")
+        self._plan = plan
+        self._plan_shared = plan.shared
+        self._clean_kernel = None
+
+    def plan_provenance(self) -> str:
+        """Where trial contexts get their plan: ``shm``, ``hit`` or ``miss``."""
+        if self._plan is None:
+            return "miss"
+        return "shm" if self._plan_shared else "hit"
+
     def kernel_context(self, hooks: GemmHooks | None = None,
                        rng: np.random.Generator | None = None) -> KernelContext:
         """A fused kernel runtime over this controller's quantized layers."""
-        if not self._quantized:
-            raise RuntimeError("controller has not been calibrated/quantized")
-        return KernelContext(self._quantized, hooks=hooks, spec=self.spec, rng=rng)
+        return KernelContext(hooks=hooks, rng=rng, plan=self.kernel_plan())
 
     def _kernel_for(self, hooks: GemmHooks | None, quantized: bool,
                     context: KernelContext | None = None):
@@ -343,6 +380,8 @@ class DeployedController:
             self._forward(int(subtask_id), observation, kernel)
         self.calibrator = observer
         self._quantized = {}
+        self._plan = None
+        self._plan_shared = False
         self._clean_kernel = None
         for name, weight in self._float_weights.items():
             self._quantized[name] = QuantizedLinear(
@@ -426,6 +465,7 @@ class DeployedController:
                        eps=_LN_EPS)
         pooled = np.stack([x[lo:hi].mean(axis=0) for lo, hi in bounds])
         logits = kernel.qgemm("policy_head", pooled, ones)
+        kernel.release_inputs()
         return [logits[i] for i in range(n)]
 
     def capture_activations(self, subtask_id: int, observation: np.ndarray,

@@ -159,6 +159,30 @@ class MissionExecutor:
         self.planner_use_cache = planner_use_cache
 
     # ------------------------------------------------------------------
+    def plan_cache_state(self) -> str:
+        """Kernel-plan provenance across this executor's models.
+
+        ``"shm"`` when any model adopted a shared-memory weight plane,
+        ``"miss"`` when any model would still build its plan from scratch,
+        ``"hit"`` when every model reuses a process-local plan, and ``""``
+        when no model exposes provenance (e.g. test doubles).  Stamped into
+        the run table's ``plan_cache`` profile column by the campaign engine.
+        """
+        states = []
+        for model in (getattr(self, "planner", None),
+                      getattr(self, "controller", None)):
+            provenance = getattr(model, "plan_provenance", None)
+            if callable(provenance):
+                states.append(provenance())
+        if not states:
+            return ""
+        if "shm" in states:
+            return "shm"
+        if "miss" in states:
+            return "miss"
+        return "hit"
+
+    # ------------------------------------------------------------------
     # Planning helpers
     # ------------------------------------------------------------------
     def _progress(self, world: EmbodiedWorld, task) -> int:

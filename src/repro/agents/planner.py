@@ -33,6 +33,7 @@ from ..quant import (
     GemmHooks,
     INT8,
     KernelContext,
+    KernelPlan,
     KVCache,
     QuantSpec,
     QuantizedLinear,
@@ -363,6 +364,8 @@ class DeployedPlanner:
         self.config = weights.config
         self.calibrator = Calibrator(spec)
         self._quantized: dict[str, QuantizedLinear] = {}
+        self._plan: KernelPlan | None = None
+        self._plan_shared = False
         self._activation_probe: dict[str, np.ndarray] | None = None
         self._clean_kernel: KernelContext | None = None
         # Hook-free batched decoding reuses a pool of per-lane contexts
@@ -566,12 +569,48 @@ class DeployedPlanner:
     # ------------------------------------------------------------------
     # Kernel contexts
     # ------------------------------------------------------------------
+    def kernel_plan(self) -> KernelPlan:
+        """The shared, immutable plan all of this planner's contexts reuse.
+
+        Built once per calibration (layer flattening, float weight copies)
+        and handed to every :meth:`kernel_context` call, so per-trial context
+        construction is O(components) instead of O(weights).
+        """
+        if not self._quantized:
+            raise RuntimeError("planner has not been calibrated/quantized")
+        if self._plan is None:
+            self._plan = KernelPlan(self._quantized, spec=self.spec)
+        return self._plan
+
+    def adopt_plan(self, plan: KernelPlan) -> None:
+        """Replace the cached plan with an externally shared (shm) one.
+
+        The plan must be bit-identical to this planner's own — enforced by
+        content hash — so adopting changes where the arrays live, never a
+        result.  Kernel caches built over the old plan are dropped.
+        """
+        if not self._quantized:
+            raise RuntimeError("planner has not been calibrated/quantized")
+        expected = KernelPlan.hash_layers(self._quantized, self.spec)
+        if plan.content_hash != expected:
+            raise ValueError(
+                f"plan hash {plan.content_hash[:12]} does not match this "
+                f"planner's checkpoint ({expected[:12]})")
+        self._plan = plan
+        self._plan_shared = plan.shared
+        self._clean_kernel = None
+        self._clean_lanes = []
+
+    def plan_provenance(self) -> str:
+        """Where trial contexts get their plan: ``shm``, ``hit`` or ``miss``."""
+        if self._plan is None:
+            return "miss"
+        return "shm" if self._plan_shared else "hit"
+
     def kernel_context(self, hooks: GemmHooks | None = None,
                        rng: np.random.Generator | None = None) -> KernelContext:
         """A fused kernel runtime over this planner's quantized layers."""
-        if not self._quantized:
-            raise RuntimeError("planner has not been calibrated/quantized")
-        return KernelContext(self._quantized, hooks=hooks, spec=self.spec, rng=rng)
+        return KernelContext(hooks=hooks, rng=rng, plan=self.kernel_plan())
 
     def _kernel_for(self, hooks: GemmHooks | None, quantized: bool,
                     context: KernelContext | None = None):
@@ -608,6 +647,8 @@ class DeployedPlanner:
                              use_cache=False)
         self.calibrator = observer
         self._quantized = {}
+        self._plan = None
+        self._plan_shared = False
         self._clean_kernel = None
         self._clean_lanes = []
         for name in self.weights.component_names():
@@ -753,6 +794,10 @@ class DeployedPlanner:
                 kernel_lanes = active
                 mirror = _BatchedKVMirror(active) if use_cache else None
             logits = self._forward_step_batch(active, starts, kernel, mirror)
+            # Per-step memo release: the memo never hits across steps (each
+            # step stacks fresh activations) but would otherwise pin the last
+            # stack for the kernel's lifetime.
+            kernel.release_inputs()
             for lane, row in zip(active, logits):
                 if lane.logits is not None:
                     lane.logits.append(np.asarray(row, dtype=np.float64).copy())

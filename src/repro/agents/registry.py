@@ -64,7 +64,8 @@ from .jarvis import (
 
 __all__ = ["SYSTEM_FACTORIES", "BUILTIN_SYSTEM_KEYS", "SYSTEM_HAS_PREDICTOR",
            "SCENARIO_SYSTEM_KEYS", "register_system", "get_system",
-           "system_keys", "system_has_predictor", "clear_system_cache"]
+           "system_keys", "system_has_predictor", "clear_system_cache",
+           "on_system_eviction"]
 
 
 def _jarvis_factory(rotate: bool, spec, with_predictor: bool = True):
@@ -154,6 +155,29 @@ SYSTEM_HAS_PREDICTOR: dict[str, bool] = {
 
 _SYSTEM_CACHE: dict[str, EmbodiedSystem] = {}
 
+#: Callbacks fired whenever cached system instances are evicted, with the
+#: evicted key (or ``None`` for "all").  Modules that derive per-process
+#: state from cached systems — e.g. the campaign engine's worker executor
+#: cache — register here so an eviction invalidates them too, instead of
+#: leaving stale objects built over systems the registry no longer serves.
+_EVICTION_HOOKS: list[Callable[[str | None], None]] = []
+
+
+def on_system_eviction(hook: Callable[[str | None], None]
+                       ) -> Callable[[str | None], None]:
+    """Register a callback for system-cache evictions; returns ``hook``.
+
+    The callback receives the evicted system key, or ``None`` when the whole
+    cache is cleared.  Hooks must be idempotent and must not build systems.
+    """
+    _EVICTION_HOOKS.append(hook)
+    return hook
+
+
+def _notify_eviction(key: str | None) -> None:
+    for hook in _EVICTION_HOOKS:
+        hook(key)
+
 
 def register_system(key: str, factory: Callable[[], EmbodiedSystem],
                     overwrite: bool = False,
@@ -180,6 +204,7 @@ def register_system(key: str, factory: Callable[[], EmbodiedSystem],
     SYSTEM_HAS_PREDICTOR.pop(key, None)
     if has_predictor is not None:
         SYSTEM_HAS_PREDICTOR[key] = has_predictor
+    _notify_eviction(key)
 
 
 def system_has_predictor(key: str) -> bool:
@@ -221,5 +246,11 @@ def get_system(key: str) -> EmbodiedSystem:
 
 
 def clear_system_cache() -> None:
-    """Drop all cached system instances (they will be rebuilt on next use)."""
+    """Drop all cached system instances (they will be rebuilt on next use).
+
+    Fires the eviction hooks, so derived per-process caches — the campaign
+    engine's worker executors, published weight-plane manifests — are
+    invalidated in the same call instead of surviving with stale systems.
+    """
     _SYSTEM_CACHE.clear()
+    _notify_eviction(None)

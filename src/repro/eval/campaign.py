@@ -408,8 +408,21 @@ def _worker_id() -> str:
             f"{multiprocessing.current_process().name}")
 
 
+def _plan_cache_state(executor) -> str:
+    """``plan_cache`` profile stamp: the executor's plan provenance, or ``""``.
+
+    Queried *before* the cell runs, so the first cell over a freshly built
+    executor stamps ``miss`` (it pays the plan build) and later cells stamp
+    ``hit`` / ``shm``.  Duck-typed executor stand-ins without the method
+    stamp the empty string, like legacy rows.
+    """
+    state = getattr(executor, "plan_cache_state", None)
+    return state() if callable(state) else ""
+
+
 def _run_cell(cell: _Cell, executor: MissionExecutor) -> RunRecord:
     """Execute one cell scalar-style and stamp its profile attribution."""
+    plan_cache = _plan_cache_state(executor)
     start = time.perf_counter()
     trial = executor.run_trial(cell.task, seed=cell.seed,
                                planner_protection=cell.planner_protection,
@@ -420,7 +433,7 @@ def _run_cell(cell: _Cell, executor: MissionExecutor) -> RunRecord:
                                trial_index=cell.trial_index, params=cell.params)
     return replace(record, wall_time_s=wall_time, worker_id=_worker_id(),
                    batch_size=1, vector_path="scalar", queue_backend="local",
-                   fleet_size=cell.fleet)
+                   fleet_size=cell.fleet, plan_cache=plan_cache)
 
 
 def _spec_groups(cells: Sequence[_Cell]) -> list[list[_Cell]]:
@@ -508,6 +521,7 @@ def _run_lane_group(cells: Sequence[_Cell], executor: MissionExecutor,
                     vector_path: str) -> list[RunRecord]:
     """Run one batched lane group and stamp its profile attribution."""
     first = cells[0]
+    plan_cache = _plan_cache_state(executor)
     start = time.perf_counter()
     trials = executor.run_trial_batch(
         first.task, [cell.seed for cell in cells],
@@ -523,14 +537,131 @@ def _run_lane_group(cells: Sequence[_Cell], executor: MissionExecutor,
                                    trial_index=cell.trial_index, params=cell.params)
         records.append(replace(record, wall_time_s=share, worker_id=worker,
                                batch_size=len(cells), vector_path=vector_path,
-                               queue_backend="local", fleet_size=cell.fleet))
+                               queue_backend="local", fleet_size=cell.fleet,
+                               plan_cache=plan_cache))
     return records
 
 
 _WORKER_EXECUTORS: dict[str, MissionExecutor] = {}
 
+#: Parent-side weight-plane state: system key -> role -> PlanManifest for
+#: every plan this process has published.  The manifests (small, picklable)
+#: travel to pool workers as task arguments; the arrays travel through the
+#: shared segments.  Evicted together with the system cache.
+_SHM_MANIFESTS: dict[str, dict[str, object]] = {}
 
-def _pool_run_batch(cells: tuple[_Cell, ...], vector: bool = True) -> list[RunRecord]:
+
+def _publish_system_plans(systems: set[str]):
+    """Parent-side: publish each registry system's kernel plans to shm.
+
+    Builds the system in the parent (once — pool children forked afterwards
+    inherit it, and non-forked workers verify by content hash), publishes
+    its planner/controller plans, and returns ``{system: {role: manifest}}``
+    for the pool tasks.  Returns ``None`` — per-process fallback — when the
+    plane is disabled or shared memory is unavailable; trial results are
+    identical either way.
+    """
+    from ..quant import weightplane
+
+    if not weightplane.enabled():
+        return None
+    weightplane.sweep_orphans()
+    manifests: dict[str, dict[str, object]] = {}
+    for key in sorted(systems):
+        entry = _SHM_MANIFESTS.get(key)
+        if entry is None:
+            from ..agents.registry import SYSTEM_FACTORIES, get_system
+
+            if key not in SYSTEM_FACTORIES:
+                continue
+            entry = {}
+            system = get_system(key)
+            for role in ("planner", "controller"):
+                model = getattr(system, role, None)
+                if model is None or not hasattr(model, "kernel_plan"):
+                    continue
+                try:
+                    entry[role] = weightplane.publish(model.kernel_plan())
+                except weightplane.SharedMemoryUnavailable:
+                    return None
+            _SHM_MANIFESTS[key] = entry
+        if entry:
+            manifests[key] = entry
+    return manifests or None
+
+
+def _unpublish_system_plans() -> None:
+    """Parent-side teardown: destroy published segments, forget manifests."""
+    from ..quant import weightplane
+
+    _SHM_MANIFESTS.clear()
+    weightplane.unlink_all()
+
+
+def _adopt_shared_plans(key: str, system, shm_plans) -> None:
+    """Worker-side: swap the system's kernel plans for attached shm views.
+
+    Adoption is hash-verified (see ``adopt_plan``) and best-effort: a missing
+    segment, a disabled plane, or a checkpoint mismatch silently keeps the
+    process-private plan — the fallback changes memory footprint, never a
+    result.
+    """
+    entry = (shm_plans or {}).get(key) or _SHM_MANIFESTS.get(key)
+    if not entry:
+        return
+    from ..quant import weightplane
+
+    for role in ("planner", "controller"):
+        manifest = entry.get(role)
+        model = getattr(system, role, None)
+        if manifest is None or model is None or not hasattr(model, "adopt_plan"):
+            continue
+        if getattr(model, "plan_provenance", lambda: "")() == "shm":
+            continue
+        try:
+            model.adopt_plan(weightplane.attach(manifest))
+        except (weightplane.SharedMemoryUnavailable, ValueError):
+            continue
+
+
+def _worker_executor(key: str, shm_plans=None) -> MissionExecutor:
+    """This worker's cached executor for a system key (built on first use)."""
+    executor = _WORKER_EXECUTORS.get(key)
+    if executor is None:
+        from ..agents.registry import get_system
+
+        system = get_system(key)
+        _adopt_shared_plans(key, system, shm_plans)
+        executor = system.executor()
+        _WORKER_EXECUTORS[key] = executor
+    return executor
+
+
+def _register_eviction_hook() -> None:
+    """Tie the worker caches to the registry's system-cache lifetime.
+
+    ``clear_system_cache()`` / ``register_system(..., overwrite=True)`` must
+    not leave behind executors (or published weight-plane manifests) built
+    over systems the registry no longer serves — a stale executor would keep
+    running trials on the old instance in-process.
+    """
+    from ..agents.registry import on_system_eviction
+
+    @on_system_eviction
+    def _evict_worker_state(key: str | None) -> None:
+        if key is None:
+            _WORKER_EXECUTORS.clear()
+            _SHM_MANIFESTS.clear()
+        else:
+            _WORKER_EXECUTORS.pop(key, None)
+            _SHM_MANIFESTS.pop(key, None)
+
+
+_register_eviction_hook()
+
+
+def _pool_run_batch(cells: tuple[_Cell, ...], vector: bool = True,
+                    shm_plans: dict | None = None) -> list[RunRecord]:
     """Worker entry point: run a batch of cells on this worker's cached systems.
 
     Cells arrive in campaign order and run in that order; every trial is
@@ -538,15 +669,13 @@ def _pool_run_batch(cells: tuple[_Cell, ...], vector: bool = True) -> list[RunRe
     only amortizes the per-task pickle/IPC cost over ``len(cells)`` trials.
     Same-spec runs within the batch additionally take the vectorized trial
     path (see :func:`_run_cell_batch`) unless ``vector`` is off.
+    ``shm_plans`` carries the parent's weight-plane manifests (see
+    :func:`_publish_system_plans`); workers attach zero-copy instead of
+    holding private plan arrays, falling back silently when they can't.
     """
     records = []
     for group in _spec_groups(cells):
-        executor = _WORKER_EXECUTORS.get(group[0].system)
-        if executor is None:
-            from ..agents.registry import get_system
-
-            executor = get_system(group[0].system).executor()
-            _WORKER_EXECUTORS[group[0].system] = executor
+        executor = _worker_executor(group[0].system, shm_plans)
         if vector and _vectorizable(group, executor):
             records.extend(_run_cell_batch(group, executor))
         else:
@@ -857,10 +986,17 @@ class CampaignRunner:
                 records.append(record)
             consumed.add(future)
 
+        # Publish the weight plane before the pool exists: fork-started
+        # workers then inherit the parent-built systems (copy-on-write) and
+        # attach the published plans zero-copy instead of each paying a
+        # private rebuild.  None — plane disabled or unavailable — falls
+        # back to per-process plans with identical results.
+        shm_plans = _publish_system_plans(cell_systems)
         pool = concurrent.futures.ProcessPoolExecutor(max_workers=self.jobs,
                                                       mp_context=context)
         try:
-            futures = [pool.submit(_pool_run_batch, chunk, self.vector)
+            futures = [pool.submit(_pool_run_batch, chunk, self.vector,
+                                   shm_plans)
                        for chunk in batches]
             failure: BaseException | None = None
             for future in concurrent.futures.as_completed(futures):
@@ -888,6 +1024,10 @@ class CampaignRunner:
             # batches would otherwise run to completion just to be discarded.
             # Harmless on the normal path, where every future is already done.
             pool.shutdown(wait=True, cancel_futures=True)
+            # Parent-owned lifecycle: the segments die with the pool that
+            # attached them, keeping the /dev/shm namespace clean between
+            # campaigns (and after exceptions — this is the finally block).
+            _unpublish_system_plans()
         return records
 
     def _run_serial(self, cells: list[_Cell],

@@ -25,8 +25,11 @@ split into two groups:
 * :data:`PROFILE_COLUMNS` — ``wall_time_s``, ``worker_id``, ``batch_size``,
   ``vector_path``, ``queue_backend`` (which transport delivered the row:
   ``local`` for in-process campaigns, ``file`` / ``http`` for queue-backed
-  workers) and ``fleet_size`` (the spec's fleet axis; 0 on rows predating
-  it), recorded by the campaign engine for profiling, plus the
+  workers), ``fleet_size`` (the spec's fleet axis; 0 on rows predating
+  it) and ``plan_cache`` (kernel-plan provenance when the trial started:
+  ``miss`` built fresh, ``hit`` reused a process-local plan, ``shm``
+  attached the shared-memory weight plane; empty on rows predating it),
+  recorded by the campaign engine for profiling, plus the
   :data:`DERIVED_PROFILE_COLUMNS` (``macs_total``, ``flips_total``,
   ``energy_model_j``) — per-row analytics denormalized from the result
   columns, so sidecar consumers need no re-derivation.  Profile columns are
@@ -134,6 +137,7 @@ class RunRecord:
     vector_path: str = ""
     queue_backend: str = ""
     fleet_size: int = 0
+    plan_cache: str = ""
 
     # ------------------------------------------------------------------
     def planner_macs_by_voltage(self) -> dict[float, float]:
@@ -220,7 +224,8 @@ DERIVED_PROFILE_COLUMNS: tuple[str, ...] = ("macs_total", "flips_total",
 #: canonical files).
 PROFILE_COLUMNS: tuple[str, ...] = ("wall_time_s", "worker_id", "batch_size",
                                     "vector_path", "queue_backend",
-                                    "fleet_size") + DERIVED_PROFILE_COLUMNS
+                                    "fleet_size",
+                                    "plan_cache") + DERIVED_PROFILE_COLUMNS
 
 #: Deterministic measurement columns — the canonical on-disk format.
 RESULT_COLUMNS: tuple[str, ...] = tuple(c for c in _FIELD_COLUMNS
@@ -231,8 +236,9 @@ COLUMNS: tuple[str, ...] = RESULT_COLUMNS + PROFILE_COLUMNS
 
 #: Profile headers of earlier releases — before ``batch_size``/``vector_path``
 #: existed, before the derived columns existed, before ``queue_backend``
-#: existed, and before ``fleet_size`` existed; still accepted on read so old
-#: sidecars keep loading (and being appended to) unchanged.
+#: existed, before ``fleet_size`` existed, and before ``plan_cache`` existed;
+#: still accepted on read so old sidecars keep loading (and being appended
+#: to) unchanged.
 _LEGACY_PROFILE_HEADERS: tuple[tuple[str, ...], ...] = (
     RESULT_COLUMNS + ("wall_time_s", "worker_id"),
     RESULT_COLUMNS + ("wall_time_s", "worker_id", "batch_size", "vector_path"),
@@ -240,6 +246,9 @@ _LEGACY_PROFILE_HEADERS: tuple[tuple[str, ...], ...] = (
                       "macs_total", "flips_total", "energy_model_j"),
     RESULT_COLUMNS + ("wall_time_s", "worker_id", "batch_size", "vector_path",
                       "queue_backend",
+                      "macs_total", "flips_total", "energy_model_j"),
+    RESULT_COLUMNS + ("wall_time_s", "worker_id", "batch_size", "vector_path",
+                      "queue_backend", "fleet_size",
                       "macs_total", "flips_total", "energy_model_j"),
 )
 

@@ -57,8 +57,10 @@ from ..core.policies import VoltagePolicy
 from ..core.voltage_scaling import VoltageScalingConfig
 from ..faults.models import (ErrorModel, SingleBitErrorModel, UniformErrorModel,
                              VoltageErrorModel)
-from .campaign import (TrialSpec, _Cell, _pool_run_batch, enumerate_cells,
-                       pending_cells)
+from ..quant import weightplane
+from .campaign import (TrialSpec, _Cell, _pool_run_batch,
+                       _publish_system_plans, _unpublish_system_plans,
+                       enumerate_cells, pending_cells)
 from .runtable import RunTable, RunTableWriter
 from .shard import cell_shard_index
 
@@ -940,6 +942,10 @@ class WorkerDaemon:
 
         stats = WorkerStats(worker_id=self.worker_id)
         started = time.perf_counter()
+        # A SIGKILLed daemon (or campaign parent) cannot unlink its shared
+        # weight-plane segments; reclaim any whose creator is gone before we
+        # start publishing our own.
+        weightplane.sweep_orphans()
         pool = None
         inflight: dict[concurrent.futures.Future, ClaimedTask] = {}
         claimed = 0
@@ -980,8 +986,15 @@ class WorkerDaemon:
                             context = None
                         pool = concurrent.futures.ProcessPoolExecutor(
                             max_workers=self.jobs, mp_context=context)
-                    inflight[pool.submit(_pool_run_batch,
-                                         tuple(task.cells))] = task
+                    # Publish the task's kernel plans once in the daemon and
+                    # hand workers the manifests: pool children fork before
+                    # later tasks arrive, so the manifests must travel as task
+                    # arguments rather than by fork inheritance.  Repeated
+                    # publishes per system are cache hits.
+                    shm_plans = _publish_system_plans(
+                        {cell.system for cell in task.cells})
+                    inflight[pool.submit(_pool_run_batch, tuple(task.cells),
+                                         True, shm_plans)] = task
                 if inflight:
                     done, _ = concurrent.futures.wait(
                         inflight, timeout=self.heartbeat_interval,
@@ -1026,6 +1039,11 @@ class WorkerDaemon:
             close = getattr(self.queue, "close", None)
             if close is not None:
                 close()
+            # Destroy the weight-plane segments this daemon published.  All
+            # in-flight work has settled (or the pool is being torn down), so
+            # no child is mid-attach; children that still hold mappings keep
+            # them until they exit.
+            _unpublish_system_plans()
         if pool is not None:
             pool.shutdown(wait=True)
         stats.wall_time_s = time.perf_counter() - started

@@ -22,7 +22,7 @@ from .qtypes import (
 from .quantizer import Calibrator, QuantParams, compute_scale, dequantize, quantize
 from .qgemm import GemmHooks, GemmStats, QuantizedLinear, quantized_matmul
 from .kernel import (BatchedKernel, FloatKernel, KernelContext, KernelCounters,
-                     KVCache)
+                     KernelPlan, KVCache)
 
 __all__ = [
     "ACCUMULATOR_BITS",
@@ -43,6 +43,7 @@ __all__ = [
     "quantized_matmul",
     "KernelContext",
     "KernelCounters",
+    "KernelPlan",
     "FloatKernel",
     "KVCache",
     "BatchedKernel",

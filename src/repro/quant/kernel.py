@@ -59,6 +59,7 @@ elements per produced accumulator element unchanged.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -68,8 +69,8 @@ from typing import Callable
 from .qgemm import GemmHooks, QuantizedLinear
 from .qtypes import INT8, QuantSpec
 
-__all__ = ["KernelCounters", "KernelContext", "FloatKernel", "KVCache",
-           "BatchedKernel"]
+__all__ = ["KernelCounters", "KernelContext", "KernelPlan", "FloatKernel",
+           "KVCache", "BatchedKernel"]
 
 #: Fused-entry memo miss marker (``None`` is a valid cached value: unfusable).
 _UNRESOLVED = object()
@@ -137,7 +138,7 @@ class _KernelEntry:
                  "bias", "in_features", "out_features", "qmin", "qmax",
                  "wrap_free", "exact_float")
 
-    def __init__(self, layer: QuantizedLinear, has_clamp: bool):
+    def __init__(self, layer: QuantizedLinear):
         spec = layer.spec
         self.weight_q = layer.weight_q
         # Float copy of the integer weights: for the magnitudes the formats
@@ -146,8 +147,12 @@ class _KernelEntry:
         self.weight_f = layer.weight_q.astype(np.float64)
         self.x_scale = layer.x_params.scale
         self.combined_scale = layer.x_params.scale * layer.w_params.scale
+        # The integer clamp bound is always resolved (plans are shared by
+        # clamped and clamp-less contexts alike); every pipeline stage that
+        # uses it still gates on the context's own ``clamp`` hook, so a
+        # clamp-less context never reads it.
         self.bound_acc = None
-        if has_clamp and layer.output_bound is not None:
+        if layer.output_bound is not None:
             self.bound_acc = int(np.ceil(layer.output_bound / self.combined_scale))
         self.bias = layer.bias
         self.in_features = layer.in_features
@@ -162,6 +167,34 @@ class _KernelEntry:
         # When it also fits the float64 integer range, the BLAS result is
         # bit-exact; otherwise fall back to the integer matmul.
         self.exact_float = acc_bound < (1 << 52)
+
+    @classmethod
+    def from_parts(cls, *, weight_q: np.ndarray, weight_f: np.ndarray,
+                   x_scale: float, combined_scale: float,
+                   bound_acc: int | None, bias: np.ndarray | None,
+                   qmin: int, qmax: int, wrap_free: bool,
+                   exact_float: bool) -> "_KernelEntry":
+        """Rebuild an entry from already-resolved constants and array views.
+
+        Used by the shared-memory weight plane: the arrays may be read-only
+        views into a shared segment, and every scalar is carried verbatim
+        (never recomputed), so an attached entry is bit-identical to the
+        published one.
+        """
+        entry = cls.__new__(cls)
+        entry.weight_q = weight_q
+        entry.weight_f = weight_f
+        entry.x_scale = x_scale
+        entry.combined_scale = combined_scale
+        entry.bound_acc = bound_acc
+        entry.bias = bias
+        entry.in_features = int(weight_q.shape[0])
+        entry.out_features = int(weight_q.shape[1])
+        entry.qmin = qmin
+        entry.qmax = qmax
+        entry.wrap_free = wrap_free
+        entry.exact_float = exact_float
+        return entry
 
 
 class _FusedEntry:
@@ -225,6 +258,93 @@ class _FusedEntry:
                    for e in entries[1:])
 
 
+class KernelPlan:
+    """Immutable, content-addressed compiled form of a deployed model.
+
+    A plan holds everything about a set of pre-quantized layers that does
+    not change between trials: the flattened :class:`_KernelEntry` constants
+    (integer weights, their float copies, scales, clamp bounds), the memo of
+    column-stacked :class:`_FusedEntry` group layouts, and the quantization
+    spec.  Building those is the dominant cost of ``KernelContext``
+    construction — float copies of every weight matrix plus a per-layer
+    column-sum reduction — so deployed agents build one plan per calibration
+    and hand it to every per-trial context, which then only allocates its
+    tiny mutable state (counters, hook wiring, input memo).
+
+    ``content_hash`` is a SHA-256 over the spec, layer names, scales, bounds
+    and weight bytes: two plans with equal hashes are bit-identical, which is
+    what lets the shared-memory weight plane key segments by hash and lets
+    workers verify an attached plan matches their own checkpoint before
+    adopting it.
+
+    Plans are shared (across trials, pool workers, and fleets) and therefore
+    never mutated after construction; ``KernelContext.register`` on a
+    plan-backed context forks private copies first (copy-on-write).
+    """
+
+    __slots__ = ("spec", "entries", "fused_memo", "content_hash", "shared",
+                 "_shm")
+
+    def __init__(self, layers: dict[str, QuantizedLinear],
+                 spec: QuantSpec = INT8):
+        self.spec = spec
+        self.entries: dict[str, _KernelEntry] = {}
+        for name, layer in layers.items():
+            if layer.spec != spec:
+                raise ValueError(
+                    f"layer {name!r} uses {layer.spec}, plan uses {spec}")
+            self.entries[name] = _KernelEntry(layer)
+        self.fused_memo: dict[tuple[str, ...], _FusedEntry | None] = {}
+        self.content_hash = self.hash_layers(layers, spec)
+        #: True when the entry arrays live in an attached shared-memory
+        #: segment rather than process-private memory.
+        self.shared = False
+        # Keeps the attached SharedMemory mapping alive while any entry
+        # array views its buffer; None for process-private plans.
+        self._shm = None
+
+    @classmethod
+    def from_entries(cls, entries: dict[str, _KernelEntry],
+                     spec: QuantSpec, content_hash: str, *,
+                     shared: bool = False, shm=None) -> "KernelPlan":
+        """Assemble a plan from prebuilt entries (shared-memory attach path)."""
+        plan = cls.__new__(cls)
+        plan.spec = spec
+        plan.entries = dict(entries)
+        plan.fused_memo = {}
+        plan.content_hash = content_hash
+        plan.shared = shared
+        plan._shm = shm
+        return plan
+
+    @staticmethod
+    def hash_layers(layers: dict[str, QuantizedLinear],
+                    spec: QuantSpec) -> str:
+        """Canonical content hash of a layer set (order-independent).
+
+        Covers everything an entry is derived from — spec, per-layer scales,
+        output bounds, bias bytes and quantized-weight bytes — so equal
+        hashes imply bit-identical plans.
+        """
+        digest = hashlib.sha256()
+        digest.update(repr(spec).encode())
+        for name in sorted(layers):
+            layer = layers[name]
+            bound = layer.output_bound
+            digest.update(name.encode())
+            digest.update(repr((float(layer.x_params.scale),
+                                float(layer.w_params.scale),
+                                None if bound is None else float(bound),
+                                layer.bias is not None)).encode())
+            digest.update(np.ascontiguousarray(layer.weight_q).tobytes())
+            if layer.bias is not None:
+                digest.update(np.ascontiguousarray(layer.bias).tobytes())
+        return digest.hexdigest()
+
+    def component_names(self) -> list[str]:
+        return sorted(self.entries)
+
+
 class KernelContext:
     """Owns pre-quantized weights, workspace buffers, and the fused pipeline.
 
@@ -244,12 +364,22 @@ class KernelContext:
         injector is reseeded with it (see
         :meth:`repro.faults.ErrorInjector.reseed`), so every context draws
         from its own reproducible stream.
+    plan:
+        Optional shared :class:`KernelPlan`.  A plan-backed context skips
+        layer flattening entirely — construction touches no weight array —
+        and shares the plan's entries and fused-group memo with every other
+        context over the same plan.  ``layers``/``spec`` are taken from the
+        plan; registering additional layers forks private copies first
+        (copy-on-write), so a shared plan is never mutated.
     """
 
     def __init__(self, layers: dict[str, QuantizedLinear] | None = None,
                  hooks: GemmHooks | None = None, spec: QuantSpec = INT8,
-                 rng: np.random.Generator | None = None):
+                 rng: np.random.Generator | None = None,
+                 plan: KernelPlan | None = None):
         hooks = hooks or GemmHooks()
+        if plan is not None:
+            spec = plan.spec
         self.spec = spec
         self.hooks = hooks
         self.injector = hooks.injector
@@ -263,8 +393,16 @@ class KernelContext:
         self._acc_mask = spec.accumulator_mask
         self._acc_sign = 1 << (spec.accumulator_bits - 1)
         self._acc_span = 1 << spec.accumulator_bits
-        self._entries: dict[str, _KernelEntry] = {}
-        self._fused_entries: dict[tuple[str, ...], _FusedEntry | None] = {}
+        self._plan = plan
+        if plan is not None:
+            # Shared, read-only: entries and the fused-group memo alias the
+            # plan's own dicts (the memo fills in deterministically, so
+            # sharing it across contexts changes no results).
+            self._entries = plan.entries
+            self._fused_entries = plan.fused_memo
+        else:
+            self._entries: dict[str, _KernelEntry] = {}
+            self._fused_entries: dict[tuple[str, ...], _FusedEntry | None] = {}
         self._workspaces: dict[tuple[int, int], np.ndarray] = {}
         # Quantized-input reuse: components sharing one calibration scale
         # (e.g. Q/K/V projections reading the same normalized residual) reuse
@@ -279,12 +417,23 @@ class KernelContext:
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
+    @property
+    def plan(self) -> KernelPlan | None:
+        """The shared plan backing this context (None when self-registered)."""
+        return self._plan
+
     def register(self, layer: QuantizedLinear) -> None:
         """Flatten one pre-quantized layer into the context."""
         if layer.spec != self.spec:
             raise ValueError(
                 f"layer {layer.name!r} uses {layer.spec}, context uses {self.spec}")
-        self._entries[layer.name] = _KernelEntry(layer, self.clamp is not None)
+        if self._plan is not None:
+            # Copy-on-write: a plan is shared across trials and workers, so
+            # a context that grows past it gets private dicts of its own.
+            self._entries = dict(self._entries)
+            self._fused_entries = {}
+            self._plan = None
+        self._entries[layer.name] = _KernelEntry(layer)
         self._fused_entries.clear()
 
     def register_all(self, layers: dict[str, QuantizedLinear]) -> None:
@@ -293,6 +442,19 @@ class KernelContext:
 
     def component_names(self) -> list[str]:
         return sorted(self._entries)
+
+    def reset(self, rng: np.random.Generator | None = None) -> None:
+        """O(1) per-trial reset: counters and input memo, never plan state.
+
+        Workspaces are kept (reuse across trials is the point); when ``rng``
+        is given the injector is reseeded, mirroring construction.
+        """
+        self.counters.reset()
+        self._qx_source = None
+        self._qx_scale = 0.0
+        self._qx = None
+        if rng is not None and self.injector is not None:
+            self.injector.reseed(rng)
 
     # ------------------------------------------------------------------
     # Fused pipeline
@@ -549,6 +711,20 @@ class BatchedKernel:
         self._qx_scale = entry.x_scale
         self._qx = q
         return q
+
+    def release_inputs(self) -> None:
+        """Drop the stack-level input memo (end of a decode / act step).
+
+        The memo only ever hits *within* one step — each step stacks fresh
+        lane activations, so ``x is self._qx_source`` cannot match across
+        steps — but without an explicit release it pins the last stacked
+        input (and its quantized copy) for the kernel's lifetime.  Batched
+        drivers call this once per step so long fleet missions don't grow
+        resident memory with stale activation stacks.
+        """
+        self._qx_source = None
+        self._qx_scale = 0.0
+        self._qx = None
 
     def _bounds(self, lane_rows: list[int], total: int) -> list[tuple[int, int]]:
         key = tuple(lane_rows)

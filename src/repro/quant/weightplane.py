@@ -1,0 +1,333 @@
+"""Shared-memory weight plane: publish a :class:`KernelPlan` once per host.
+
+A campaign that fans trials out over a process pool makes every worker pay
+for its own copy of every deployed checkpoint's kernel plan — the integer
+weights, their float64 GEMM copies, and the fused-group stacks.  The weight
+plane removes the copies: the pool *parent* publishes each plan's large
+read-only arrays into one ``multiprocessing.shared_memory`` segment keyed by
+the plan's content hash, and workers attach zero-copy numpy views instead.
+
+Lifecycle is parent-owned: the process that calls :func:`publish` creates
+the segment and is responsible for :func:`unlink_all` (the campaign engine
+does this when its pool shuts down; an ``atexit`` hook backstops exception
+paths).  Attaching processes never unlink.  Because a SIGKILLed parent can
+still leak segments, names embed the creator's PID and :func:`sweep_orphans`
+removes segments whose creator is gone — workers and campaign parents sweep
+on startup, so a crashed host heals on the next run.
+
+Every scalar in a manifest is carried verbatim from the published plan
+(never recomputed) and the arrays are byte-copies, so an attached plan is
+bit-identical to the published one; :meth:`KernelPlan.hash_layers` lets the
+attaching side verify the plan matches its own checkpoint before adopting.
+
+``REPRO_SHM=0`` disables the plane entirely — every process falls back to
+its private plan, changing nothing but memory footprint and setup time.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from .kernel import KernelPlan, _KernelEntry
+from .qtypes import QuantSpec
+
+__all__ = ["SharedMemoryUnavailable", "PlanManifest", "enabled", "publish",
+           "attach", "unlink_all", "published_segments", "sweep_orphans",
+           "SEGMENT_PREFIX"]
+
+#: Leading tag of every weight-plane segment name; the smoke tests assert
+#: the ``/dev/shm`` namespace holds no ``repro-wp-*`` entries after a run.
+SEGMENT_PREFIX = "repro-wp"
+
+_ALIGN = 16
+
+
+class SharedMemoryUnavailable(RuntimeError):
+    """Shared memory cannot be used here (disabled, unsupported, or full)."""
+
+
+def enabled() -> bool:
+    """Whether the weight plane is active (``REPRO_SHM=0`` turns it off)."""
+    return os.environ.get("REPRO_SHM", "1") != "0"
+
+
+@dataclass(frozen=True)
+class _ArraySlot:
+    """Placement of one array inside the plan's segment."""
+
+    offset: int
+    dtype: str
+    shape: tuple[int, ...]
+
+    def view(self, buf) -> np.ndarray:
+        array = np.ndarray(self.shape, dtype=np.dtype(self.dtype),
+                           buffer=buf, offset=self.offset)
+        array.flags.writeable = False
+        return array
+
+
+@dataclass(frozen=True)
+class _EntrySlots:
+    """One component's constants: scalars verbatim, arrays by slot."""
+
+    name: str
+    weight_q: _ArraySlot
+    weight_f: _ArraySlot
+    bias: _ArraySlot | None
+    x_scale: float
+    combined_scale: float
+    bound_acc: int | None
+    qmin: int
+    qmax: int
+    wrap_free: bool
+    exact_float: bool
+
+
+@dataclass(frozen=True)
+class PlanManifest:
+    """Everything a process needs to attach one published plan.
+
+    Manifests are small (scalars and offsets — no arrays) and picklable, so
+    they travel to pool workers either by fork inheritance or as task
+    arguments; the arrays themselves travel through the segment.
+    """
+
+    plan_hash: str
+    segment: str
+    spec: QuantSpec
+    entries: tuple[_EntrySlots, ...]
+
+
+#: Segments created by this process: plan hash -> (manifest, SharedMemory).
+_PUBLISHED: dict[str, tuple[PlanManifest, shared_memory.SharedMemory]] = {}
+
+#: PID that created the segments in ``_PUBLISHED``.  Forked pool children
+#: inherit the dict but must never unlink the parent's segments (their
+#: ``atexit`` runs at pool shutdown, possibly mid-campaign), so every
+#: destructive path checks ownership first.
+_OWNER_PID: int | None = None
+
+#: Plans attached by this process, keyed by plan hash (attach is idempotent).
+_ATTACHED: dict[str, KernelPlan] = {}
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Open an existing segment without taking ownership of its lifetime.
+
+    Pythons before 3.13 register *attached* segments with the resource
+    tracker, which then unlinks them when the attaching process exits —
+    yanking the plane out from under the parent and every sibling.  3.13+
+    has ``track=False``; older versions need the unregister workaround.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        segment = shared_memory.SharedMemory(name=name)
+        try:
+            from multiprocessing import resource_tracker
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:
+            pass
+        return segment
+
+
+def segment_name(plan_hash: str) -> str:
+    """Deterministic per-(creator, plan) name; the PID makes orphans sweepable."""
+    return f"{SEGMENT_PREFIX}-{os.getpid()}-{plan_hash[:12]}"
+
+
+def publish(plan: KernelPlan) -> PlanManifest:
+    """Copy a plan's read-only arrays into a shared segment owned by this process.
+
+    Idempotent per plan hash.  Raises :class:`SharedMemoryUnavailable` when
+    the plane is disabled or the platform cannot provide shared memory; the
+    caller falls back to process-private plans.
+    """
+    if not enabled():
+        raise SharedMemoryUnavailable("weight plane disabled (REPRO_SHM=0)")
+    global _OWNER_PID
+    if _OWNER_PID is not None and _OWNER_PID != os.getpid():
+        # Forked child of a publisher: its inherited registry is the
+        # parent's, not its own.  Start fresh (without unlinking anything).
+        _PUBLISHED.clear()
+    _OWNER_PID = os.getpid()
+    cached = _PUBLISHED.get(plan.content_hash)
+    if cached is not None:
+        return cached[0]
+
+    slots: list[_ArraySlot] = []
+    offset = 0
+    for entry in plan.entries.values():
+        for array in (entry.weight_q, entry.weight_f, entry.bias):
+            if array is None:
+                continue
+            offset = _align(offset)
+            slots.append(_ArraySlot(offset, array.dtype.str,
+                                    tuple(array.shape)))
+            offset += array.nbytes
+
+    name = segment_name(plan.content_hash)
+    try:
+        try:
+            segment = shared_memory.SharedMemory(name=name, create=True,
+                                                 size=max(offset, 1))
+        except FileExistsError:
+            # Same name means same PID + same hash: a leftover from a
+            # recycled PID.  Reclaim it.
+            _attach_segment(name).unlink()
+            segment = shared_memory.SharedMemory(name=name, create=True,
+                                                 size=max(offset, 1))
+    except (OSError, ValueError) as exc:
+        raise SharedMemoryUnavailable(f"cannot create segment {name}: {exc}") \
+            from exc
+
+    slot_iter = iter(slots)
+    entry_manifests = []
+    for entry_name, entry in plan.entries.items():
+        placed = {}
+        for field in ("weight_q", "weight_f", "bias"):
+            if getattr(entry, field) is None:
+                placed[field] = None
+                continue
+            slot = next(slot_iter)
+            np.ndarray(slot.shape, dtype=np.dtype(slot.dtype),
+                       buffer=segment.buf, offset=slot.offset)[...] = \
+                getattr(entry, field)
+            placed[field] = slot
+        entry_manifests.append(_EntrySlots(
+            name=entry_name, weight_q=placed["weight_q"],
+            weight_f=placed["weight_f"], bias=placed["bias"],
+            x_scale=entry.x_scale, combined_scale=entry.combined_scale,
+            bound_acc=entry.bound_acc, qmin=entry.qmin, qmax=entry.qmax,
+            wrap_free=entry.wrap_free, exact_float=entry.exact_float))
+
+    manifest = PlanManifest(plan_hash=plan.content_hash, segment=name,
+                            spec=plan.spec, entries=tuple(entry_manifests))
+    _PUBLISHED[plan.content_hash] = (manifest, segment)
+    return manifest
+
+
+def attach(manifest: PlanManifest) -> KernelPlan:
+    """Build a zero-copy :class:`KernelPlan` over a published segment.
+
+    Idempotent per plan hash within a process.  Raises
+    :class:`SharedMemoryUnavailable` when the plane is disabled or the
+    segment is gone (its owner unlinked it or died).
+    """
+    if not enabled():
+        raise SharedMemoryUnavailable("weight plane disabled (REPRO_SHM=0)")
+    cached = _ATTACHED.get(manifest.plan_hash)
+    if cached is not None:
+        return cached
+    published = _PUBLISHED.get(manifest.plan_hash)
+    if published is not None:
+        # The publishing process attaches to its own segment: views over the
+        # mapping it already owns, no second mapping needed.
+        segment = published[1]
+    else:
+        try:
+            segment = _attach_segment(manifest.segment)
+        except (OSError, ValueError, FileNotFoundError) as exc:
+            raise SharedMemoryUnavailable(
+                f"cannot attach segment {manifest.segment}: {exc}") from exc
+
+    entries = {}
+    for slot in manifest.entries:
+        entries[slot.name] = _KernelEntry.from_parts(
+            weight_q=slot.weight_q.view(segment.buf),
+            weight_f=slot.weight_f.view(segment.buf),
+            x_scale=slot.x_scale, combined_scale=slot.combined_scale,
+            bound_acc=slot.bound_acc,
+            bias=None if slot.bias is None else slot.bias.view(segment.buf),
+            qmin=slot.qmin, qmax=slot.qmax, wrap_free=slot.wrap_free,
+            exact_float=slot.exact_float)
+    plan = KernelPlan.from_entries(entries, manifest.spec, manifest.plan_hash,
+                                   shared=True, shm=segment)
+    _ATTACHED[manifest.plan_hash] = plan
+    return plan
+
+
+def published_segments() -> list[str]:
+    """Segment names this process currently owns (for tests and sweeps)."""
+    return [entry[0].segment for entry in _PUBLISHED.values()]
+
+
+def unlink_all() -> None:
+    """Destroy every segment this process published (parent-side teardown).
+
+    A no-op destruction-wise in forked children that inherited the
+    publisher's registry: they forget the entries but leave the parent's
+    segments alone.
+    """
+    owns = _OWNER_PID == os.getpid()
+    while _PUBLISHED:
+        _, (manifest, segment) = _PUBLISHED.popitem()
+        _ATTACHED.pop(manifest.plan_hash, None)
+        if not owns:
+            continue
+        try:
+            segment.unlink()
+        except (OSError, FileNotFoundError):
+            pass
+        try:
+            segment.close()
+        except BufferError:
+            # Attached views (e.g. the publisher adopted its own plan) still
+            # export the buffer; the mapping is released when they die.
+            pass
+
+
+def sweep_orphans() -> list[str]:
+    """Unlink weight-plane segments whose creating process is dead.
+
+    A SIGKILLed campaign parent or worker daemon cannot run its own
+    teardown; because segment names embed the creator PID, any surviving
+    process can tell an orphan from a live plane.  Returns the names
+    removed.  No-op on platforms without a ``/dev/shm`` namespace.
+    """
+    root = "/dev/shm"
+    removed: list[str] = []
+    try:
+        names = os.listdir(root)
+    except OSError:
+        return removed
+    for name in names:
+        if not name.startswith(SEGMENT_PREFIX + "-"):
+            continue
+        parts = name.split("-")
+        try:
+            pid = int(parts[2])
+        except (IndexError, ValueError):
+            continue
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(root, name))
+            removed.append(name)
+        except OSError:
+            pass
+    return removed
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return True
+    return True
+
+
+atexit.register(unlink_all)

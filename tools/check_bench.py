@@ -6,7 +6,8 @@ committed at the repository root:
 
 1. **floors** — the committed baseline must satisfy the hard speedup floors
    declared in ``benchmarks/bench_kernels.py`` (``DECODE_SPEEDUP_TARGET``,
-   ``BATCHED_DECODE_TARGET``, ``FUSED_QKV_TARGET``).  A baseline below its
+   ``BATCHED_DECODE_TARGET``, ``FUSED_QKV_TARGET``, ``PLAN_REUSE_TARGET``).
+   A baseline below its
    own gate means the
    committed numbers and the gate constants drifted apart;
 2. **regression** — every speedup in the fresh run must be within
@@ -39,7 +40,7 @@ BENCH_SOURCE = REPO_ROOT / "benchmarks" / "bench_kernels.py"
 REGRESSION_TOLERANCE = 0.20
 
 _FLOOR = re.compile(r"^(DECODE_SPEEDUP_TARGET|BATCHED_DECODE_TARGET|"
-                    r"FUSED_QKV_TARGET)\s*=\s*"
+                    r"FUSED_QKV_TARGET|PLAN_REUSE_TARGET)\s*=\s*"
                     r"(\d+(?:\.\d+)?)\s*$", re.MULTILINE)
 
 
@@ -52,7 +53,7 @@ def bench_floors() -> dict[str, float]:
     floors = {name: float(value)
               for name, value in _FLOOR.findall(BENCH_SOURCE.read_text())}
     missing = {"DECODE_SPEEDUP_TARGET", "BATCHED_DECODE_TARGET",
-               "FUSED_QKV_TARGET"} - set(floors)
+               "FUSED_QKV_TARGET", "PLAN_REUSE_TARGET"} - set(floors)
     if missing:
         raise ValueError(f"could not parse {sorted(missing)} from "
                          f"{BENCH_SOURCE.relative_to(REPO_ROOT)}")
@@ -73,6 +74,9 @@ def speedups(results: dict) -> dict[str, float]:
         values["fused_qkv"] = results["fused_qkv"]["speedup"]
     for size, entry in results.get("batched_decode", {}).get("by_batch", {}).items():
         values[f"batched_decode.batch{size}"] = entry["speedup"]
+    # Section introduced with the plan/context split; same one-time tolerance.
+    if "plan_reuse" in results:
+        values["plan_reuse"] = results["plan_reuse"]["speedup"]
     return values
 
 
@@ -100,6 +104,14 @@ def check_floors(baseline: dict, errors: list[str]) -> None:
             f"committed baseline batch=8 decode speedup "
             f"{batched['batch8_speedup']:.2f}x is below the "
             f"{floors['BATCHED_DECODE_TARGET']:.1f}x BATCHED_DECODE_TARGET")
+    plan_reuse = baseline.get("plan_reuse")
+    if plan_reuse is None:
+        errors.append("committed baseline lacks the plan_reuse section")
+    elif plan_reuse["speedup"] < floors["PLAN_REUSE_TARGET"]:
+        errors.append(
+            f"committed baseline plan-reuse setup speedup "
+            f"{plan_reuse['speedup']:.2f}x is below the "
+            f"{floors['PLAN_REUSE_TARGET']:.1f}x PLAN_REUSE_TARGET")
 
 
 def check_regressions(baseline: dict, fresh: dict, errors: list[str]) -> None:

@@ -142,6 +142,7 @@ def check_presets(errors: list[str]) -> None:
 _FLOOR_QUOTES = {
     "DECODE_SPEEDUP_TARGET": re.compile(r"(\d+(?:\.\d+)?)x decode-speedup"),
     "BATCHED_DECODE_TARGET": re.compile(r"(\d+(?:\.\d+)?)x batched-decode"),
+    "PLAN_REUSE_TARGET": re.compile(r"(\d+(?:\.\d+)?)x plan-reuse"),
 }
 
 

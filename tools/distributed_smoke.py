@@ -7,13 +7,19 @@ single-host serial run writes:
 
 1. run the preset serially (``campaign <preset> --out``) as the reference;
 2. enqueue the same preset into a fresh work queue (``--queue``);
-3. start a *victim* ``worker``, wait (milliseconds) until it holds a lease,
-   and SIGKILL it — the lease is now orphaned with a frozen heartbeat;
+3. start a *victim* ``worker`` with ``--jobs 2`` (so its daemon publishes
+   shared-memory weight-plane segments for its pool), wait (milliseconds)
+   until it holds a lease, and SIGKILL it — the lease is now orphaned with
+   a frozen heartbeat, and any published segments are orphaned in
+   ``/dev/shm``;
 4. start two concurrent survivor workers with ``--wait`` and a short lease
-   TTL; one of them reclaims the expired lease, and together they drain the
+   TTL; one of them reclaims the expired lease (their startup orphan sweep
+   also reclaims the victim's dead segments), and together they drain the
    queue;
 5. ``merge`` the worker tables and byte-compare CSV and JSON against the
-   serial reference.
+   serial reference;
+6. assert the ``/dev/shm`` namespace holds no ``repro-wp-*`` segments —
+   neither the SIGKILL nor normal pool shutdown may leak the weight plane.
 
 Run from the repository root::
 
@@ -34,6 +40,16 @@ import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+SHM_ROOT = Path("/dev/shm")
+
+
+def _wp_segments() -> list[str]:
+    """Weight-plane segments currently present in the host's shm namespace."""
+    try:
+        return sorted(p.name for p in SHM_ROOT.iterdir()
+                      if p.name.startswith("repro-wp-"))
+    except OSError:
+        return []
 
 
 def _cli(*args: str, **kwargs) -> subprocess.CompletedProcess:
@@ -73,20 +89,21 @@ def main() -> int:
     print(f"distributed smoke test in {work} (preset {args.preset}, "
           f"{args.trials} trials)")
 
-    print("[1/5] serial reference run")
+    print("[1/6] serial reference run")
     _checked("serial", _cli("campaign", args.preset, "--trials", trials,
                             "--out", str(work / "serial")))
 
-    print("[2/5] enqueue into the work queue (one cell per task)")
+    print("[2/6] enqueue into the work queue (one cell per task)")
     out = _checked("enqueue", _cli("campaign", args.preset, "--trials", trials,
                                    "--queue", str(queue), "--batch", "1"))
     print("   " + out.splitlines()[0])
 
-    print("[3/5] start a victim worker and SIGKILL it while it holds a lease")
+    print("[3/6] start a victim worker (--jobs 2, publishes its weight "
+          "plane) and SIGKILL it while it holds a lease")
     env = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
     victim = subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "worker", "--queue", str(queue),
-         "--id", "victim", "--lease-ttl", "300"],
+         "--id", "victim", "--lease-ttl", "300", "--jobs", "2"],
         env=env, cwd=REPO_ROOT, stdout=subprocess.DEVNULL,
         stderr=subprocess.STDOUT)
     deadline = time.time() + 300
@@ -97,11 +114,20 @@ def main() -> int:
         victim.kill()
         print("FAIL: the victim worker never claimed a lease")
         return 1
+    # Let the victim's daemon publish weight-plane segments for the claimed
+    # task (the system build behind publish is served from the on-disk model
+    # cache the serial run warmed), so the SIGKILL orphans real segments and
+    # the survivors' startup sweep has something to reclaim.
+    publish_deadline = min(deadline, time.time() + 60)
+    while time.time() < publish_deadline and not _wp_segments():
+        time.sleep(0.02)
+    orphaned = _wp_segments()
     os.kill(victim.pid, signal.SIGKILL)
     victim.wait()
-    print(f"   killed pid {victim.pid} holding {[p.stem for p in held]}")
+    print(f"   killed pid {victim.pid} holding {[p.stem for p in held]}; "
+          f"orphaned shm segments: {orphaned or 'none'}")
 
-    print(f"[4/5] two concurrent survivors drain the queue "
+    print(f"[4/6] two concurrent survivors drain the queue "
           f"(lease TTL {args.lease_ttl:g}s)")
     survivors = [subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "worker", "--queue", str(queue),
@@ -120,7 +146,7 @@ def main() -> int:
         return 1
     print("   queue drained; the victim's lease was reclaimed and re-run")
 
-    print("[5/5] merge the worker tables and compare with the serial run")
+    print("[5/6] merge the worker tables and compare with the serial run")
     print("   " + _checked("merge", _cli(
         "merge", str(work / "merged"), str(queue))).splitlines()[0])
     mismatches = []
@@ -137,8 +163,18 @@ def main() -> int:
         for mismatch in mismatches:
             print(f"  {mismatch}")
         return 1
+    print("[6/6] shared-memory namespace must be clean")
+    leaked = _wp_segments()
+    if leaked:
+        print("FAIL: weight-plane segments leaked after the run "
+              f"(SIGKILL orphans not swept or pool shutdown leaked): {leaked}")
+        return 1
+    if orphaned:
+        print("   victim's orphaned segments were swept; /dev/shm is clean")
+    else:
+        print("   /dev/shm is clean (victim was killed before publishing)")
     print("OK: merged tables byte-identical to the single-host serial run; "
-          "no cells lost to the SIGKILL")
+          "no cells lost to the SIGKILL; no shm segments leaked")
     return 0
 
 
